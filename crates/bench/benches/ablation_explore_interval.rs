@@ -1,0 +1,6 @@
+//! Ablation: explore-interval length vs degradation and stall overhead.
+fn main() {
+    gpm_bench::run_experiment("ablation_explore_interval", |ctx| {
+        Ok(gpm_experiments::ablation::explore_interval(ctx, 0.8)?.render())
+    });
+}

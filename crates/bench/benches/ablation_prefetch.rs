@@ -1,0 +1,6 @@
+//! Ablation: POWER4-style 8-stream hardware prefetcher (disabled in Table 1).
+fn main() {
+    gpm_bench::run_experiment("ablation_prefetch", |_ctx| {
+        Ok(gpm_experiments::ablation::prefetch(3_000_000).render())
+    });
+}

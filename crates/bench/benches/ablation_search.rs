@@ -1,0 +1,9 @@
+//! Ablation: exhaustive 3^N vs greedy MaxBIPS search quality.
+use gpm_workloads::combos;
+fn main() {
+    gpm_bench::run_experiment("ablation_search", |ctx| {
+        let four = gpm_experiments::ablation::search(ctx, &combos::ammp_mcf_crafty_art())?;
+        let eight = gpm_experiments::ablation::search(ctx, &combos::eight_way_mixed())?;
+        Ok(format!("{}\n{}", four.render(), eight.render()))
+    });
+}

@@ -1,0 +1,6 @@
+//! Ablation: power-sensor noise vs MaxBIPS budget adherence.
+fn main() {
+    gpm_bench::run_experiment("ablation_sensor_noise", |ctx| {
+        Ok(gpm_experiments::ablation::sensor_noise(ctx, 0.8)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Ablation: conservative stall-all transitions vs overlapped execution.
+fn main() {
+    gpm_bench::run_experiment("ablation_transition_overlap", |ctx| {
+        Ok(gpm_experiments::ablation::transition_overlap(ctx)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Extension: the dual problem — minimise power for a performance target.
+fn main() {
+    gpm_bench::run_experiment("ext_min_power", |ctx| {
+        Ok(gpm_experiments::ablation::dual_problem(ctx)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Extension: per-core thermal throttling over an RC junction model.
+fn main() {
+    gpm_bench::run_experiment("ext_thermal", |ctx| {
+        Ok(gpm_experiments::ablation::thermal(ctx, 72.0)?.render())
+    });
+}

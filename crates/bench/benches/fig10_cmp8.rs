@@ -1,0 +1,6 @@
+//! Regenerates Figure 10: 8-way CMP policy curves.
+fn main() {
+    gpm_bench::run_experiment("fig10_cmp8", |ctx| {
+        Ok(gpm_experiments::scaling::fig10(ctx)?.render())
+    });
+}

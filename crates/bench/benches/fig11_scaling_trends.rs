@@ -1,0 +1,6 @@
+//! Regenerates Figure 11: policy trends with respect to CMP scaling.
+fn main() {
+    gpm_bench::run_experiment("fig11_scaling_trends", |ctx| {
+        Ok(gpm_experiments::scaling::fig11(ctx)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 2: measured ΔPower/ΔPerf per mode across the suite.
+fn main() {
+    gpm_bench::run_experiment("fig2_dvfs_tradeoffs", |ctx| {
+        Ok(gpm_experiments::fig2::run(ctx)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3: chip-wide DVFS vs MaxBIPS power timelines at 83%.
+fn main() {
+    gpm_bench::run_experiment("fig3_timelines", |ctx| {
+        Ok(gpm_experiments::fig3::run(ctx)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 4: policy, budget and weighted-slowdown curves.
+fn main() {
+    gpm_bench::run_experiment("fig4_policy_curves", |ctx| {
+        Ok(gpm_experiments::fig4::run(ctx)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 5: power saving vs perf degradation (3:1 target).
+fn main() {
+    gpm_bench::run_experiment("fig5_savings_ratio", |ctx| {
+        Ok(gpm_experiments::fig5::run(ctx)?.render())
+    });
+}

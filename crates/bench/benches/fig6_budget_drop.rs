@@ -1,0 +1,6 @@
+//! Regenerates Figure 6: MaxBIPS timeline under a 90%→70% budget drop.
+fn main() {
+    gpm_bench::run_experiment("fig6_budget_drop", |ctx| {
+        Ok(gpm_experiments::fig6::run(ctx)?.render())
+    });
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7: oracle/static bounds vs MaxBIPS and chip-wide.
+fn main() {
+    gpm_bench::run_experiment("fig7_bounds", |ctx| {
+        Ok(gpm_experiments::fig7::run(ctx)?.render())
+    });
+}

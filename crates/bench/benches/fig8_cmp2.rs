@@ -1,0 +1,6 @@
+//! Regenerates Figure 8: 2-way CMP policy curves for the Table 2 combos.
+fn main() {
+    gpm_bench::run_experiment("fig8_cmp2", |ctx| {
+        Ok(gpm_experiments::scaling::fig8(ctx)?.render())
+    });
+}

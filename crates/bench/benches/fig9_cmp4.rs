@@ -1,0 +1,6 @@
+//! Regenerates Figure 9: 4-way CMP policy curves for the Table 2 combos.
+fn main() {
+    gpm_bench::run_experiment("fig9_cmp4", |ctx| {
+        Ok(gpm_experiments::scaling::fig9(ctx)?.render())
+    });
+}

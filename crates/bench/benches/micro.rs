@@ -1,0 +1,121 @@
+//! Criterion microbenchmarks: controller decision latency (exhaustive vs
+//! greedy search across core counts), trace-simulator throughput, and core
+//! timing-model throughput.
+//!
+//! These quantify the engineering claims DESIGN.md makes: the 3^N search is
+//! practical at the paper's 2–8-core scales, the greedy extension is O(N)
+//! and enables the paper's projected 16–64-core chips, and the simulators
+//! are fast enough to regenerate every figure from scratch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gpm_cmp::CoreObservation;
+use gpm_core::{GreedyMaxBips, MaxBips, Policy, PolicyContext, PowerBipsMatrices};
+use gpm_microarch::{CoreConfig, CoreModel};
+use gpm_power::DvfsParams;
+use gpm_types::{Bips, CoreId, Hertz, Micros, ModeCombination, PowerMode, Watts};
+use gpm_workloads::SpecBenchmark;
+
+fn observations(cores: usize) -> Vec<CoreObservation> {
+    (0..cores)
+        .map(|i| CoreObservation {
+            core: CoreId::new(i),
+            mode: PowerMode::Turbo,
+            power: Watts::new(12.0 + (i % 5) as f64 * 2.0),
+            bips: Bips::new(0.4 + (i % 4) as f64 * 0.6),
+            instructions: 0,
+        })
+        .collect()
+}
+
+fn decision_latency(c: &mut Criterion) {
+    let dvfs = DvfsParams::paper();
+    let mut group = c.benchmark_group("decision_latency");
+    for &cores in &[2usize, 4, 8] {
+        let obs = observations(cores);
+        let matrices = PowerBipsMatrices::predict(&obs);
+        let current = ModeCombination::uniform(cores, PowerMode::Turbo);
+        let budget = Watts::new(matrices.chip_power(&current).value() * 0.8);
+        let ctx = PolicyContext {
+            current_modes: &current,
+            matrices: &matrices,
+            future: None,
+            budget,
+            dvfs: &dvfs,
+            explore: Micros::new(500.0),
+        };
+        group.bench_with_input(BenchmarkId::new("exhaustive", cores), &cores, |b, _| {
+            let mut policy = MaxBips::new();
+            b.iter(|| black_box(policy.decide(&ctx)));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", cores), &cores, |b, _| {
+            let mut policy = GreedyMaxBips::new();
+            b.iter(|| black_box(policy.decide(&ctx)));
+        });
+    }
+    // Greedy only at scales where exhaustive is impractical.
+    for &cores in &[16usize, 32, 64] {
+        let obs = observations(cores);
+        let matrices = PowerBipsMatrices::predict(&obs);
+        let current = ModeCombination::uniform(cores, PowerMode::Turbo);
+        let budget = Watts::new(matrices.chip_power(&current).value() * 0.8);
+        let ctx = PolicyContext {
+            current_modes: &current,
+            matrices: &matrices,
+            future: None,
+            budget,
+            dvfs: &dvfs,
+            explore: Micros::new(500.0),
+        };
+        group.bench_with_input(BenchmarkId::new("greedy", cores), &cores, |b, _| {
+            let mut policy = GreedyMaxBips::new();
+            b.iter(|| black_box(policy.decide(&ctx)));
+        });
+    }
+    group.finish();
+}
+
+fn core_model_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_model");
+    group.sample_size(10);
+    for bench in [SpecBenchmark::Gcc, SpecBenchmark::Mcf] {
+        group.bench_function(bench.name(), |b| {
+            let config = CoreConfig::power4();
+            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+            let mut stream = bench.stream();
+            b.iter(|| black_box(core.run_cycles(&mut stream, 100_000)));
+        });
+    }
+    group.finish();
+}
+
+fn trace_sim_throughput(c: &mut Criterion) {
+    use gpm_cmp::{SimParams, TraceCmpSim};
+    use gpm_trace::{CaptureConfig, TraceStore};
+
+    let store = TraceStore::new(CaptureConfig::fast(500_000));
+    let traces = store
+        .combo(&gpm_workloads::combos::ammp_mcf_crafty_art())
+        .expect("capture");
+    let mut group = c.benchmark_group("trace_sim");
+    group.bench_function("explore_interval_4core", |b| {
+        let turbo = ModeCombination::uniform(4, PowerMode::Turbo);
+        let mut sim = TraceCmpSim::new(traces.clone(), SimParams::default()).expect("sim");
+        b.iter(|| {
+            if sim.finished() {
+                sim = TraceCmpSim::new(traces.clone(), SimParams::default()).expect("sim");
+            }
+            black_box(sim.advance_explore(&turbo).expect("advance"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    decision_latency,
+    core_model_throughput,
+    trace_sim_throughput
+);
+criterion_main!(benches);

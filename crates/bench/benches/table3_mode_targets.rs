@@ -1,0 +1,6 @@
+//! Regenerates Table 3: target ΔPower:ΔPerformance ratios per mode.
+fn main() {
+    gpm_bench::run_experiment("table3_mode_targets", |_ctx| {
+        Ok(gpm_experiments::tables::table3().render())
+    });
+}

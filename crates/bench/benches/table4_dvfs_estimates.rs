@@ -1,0 +1,7 @@
+//! Regenerates Table 4: analytic DVFS power/performance estimates.
+use gpm_power::DvfsParams;
+fn main() {
+    gpm_bench::run_experiment("table4_dvfs_estimates", |_ctx| {
+        Ok(gpm_experiments::tables::table4(&DvfsParams::paper()).render())
+    });
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 5: DVFS transition overheads at 10 mV/µs.
+use gpm_power::DvfsParams;
+fn main() {
+    gpm_bench::run_experiment("table5_transition_overheads", |_ctx| {
+        Ok(gpm_experiments::tables::table5(&DvfsParams::paper()).render())
+    });
+}

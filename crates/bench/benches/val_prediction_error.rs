@@ -1,0 +1,12 @@
+//! Section 5.5 audit: Power/BIPS matrix prediction accuracy.
+use gpm_workloads::combos;
+fn main() {
+    gpm_bench::run_experiment("val_prediction_error", |ctx| {
+        let err = gpm_experiments::validation::prediction_error(
+            ctx,
+            &combos::ammp_mcf_crafty_art(),
+            0.8,
+        )?;
+        Ok(err.render())
+    });
+}

@@ -1,0 +1,9 @@
+//! Section 3.1 validation: trace-based tool vs full-CMP shared-L2 runs.
+use gpm_types::Micros;
+fn main() {
+    gpm_bench::run_experiment("val_trace_vs_full", |ctx| {
+        let results =
+            gpm_experiments::validation::run_trace_vs_full(ctx, Micros::from_millis(2.0))?;
+        Ok(gpm_experiments::validation::render_trace_vs_full(&results))
+    });
+}

@@ -1,0 +1,78 @@
+//! Support library for the benchmark harness: every paper table and figure
+//! is a `cargo bench` target (see `benches/`), each of which calls
+//! [`run_experiment`] with the driver from `gpm-experiments`.
+//!
+//! `cargo bench --workspace` therefore *regenerates the paper*: each target
+//! prints its table/figure in the paper's row/series format and archives a
+//! copy under `target/gpm-results/`.
+//!
+//! Set `GPM_FAST=1` to run against truncated (~6 ms) benchmark regions —
+//! useful for smoke-testing the harness; the shipped `EXPERIMENTS.md`
+//! numbers come from full regions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use gpm_experiments::ExperimentContext;
+use gpm_types::Result;
+
+/// Builds the context the harness runs with: full-fidelity captures unless
+/// `GPM_FAST=1`.
+#[must_use]
+pub fn harness_context() -> ExperimentContext {
+    if std::env::var("GPM_FAST").is_ok_and(|v| v == "1") {
+        ExperimentContext::fast()
+    } else {
+        ExperimentContext::full()
+    }
+}
+
+/// Runs one experiment: builds the context, invokes the driver, prints the
+/// rendered result, archives it under `target/gpm-results/<name>.txt`, and
+/// reports wall time.
+///
+/// # Panics
+///
+/// Panics (failing the bench target) if the experiment errors.
+pub fn run_experiment(name: &str, f: impl FnOnce(&ExperimentContext) -> Result<String>) {
+    let ctx = harness_context();
+    let start = Instant::now();
+    let rendered = f(&ctx).unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    let elapsed = start.elapsed();
+
+    println!("=== {name} ({elapsed:.1?}) ===");
+    println!("{rendered}");
+
+    let dir = std::path::Path::new("target").join("gpm-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Ok(mut file) = std::fs::File::create(dir.join(format!("{name}.txt"))) {
+            let _ = writeln!(file, "{rendered}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_context_honours_fast_env() {
+        // Just exercise the constructor paths; the env var may or may not
+        // be set in the test environment.
+        let _ = harness_context();
+    }
+
+    #[test]
+    fn run_experiment_prints_and_archives() {
+        run_experiment("selftest", |_ctx| Ok("hello".to_owned()));
+        let path = std::path::Path::new("target/gpm-results/selftest.txt");
+        // Written relative to the invoking directory; tolerate either.
+        if path.exists() {
+            let content = std::fs::read_to_string(path).unwrap();
+            assert!(content.contains("hello"));
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! Implementation of the `gpm` command-line tool: argument parsing and the
+//! subcommands. The binary in `main.rs` is a thin wrapper so that parsing
+//! and execution stay unit-testable.
+//!
+//! ```text
+//! gpm run    --combo "ammp|mcf|crafty|art" --policy maxbips --budget 0.83
+//! gpm sweep  --combo "art|mcf" --policies maxbips,chipwide --budgets 0.6:1.0:0.05
+//! gpm figure fig4            # regenerate one paper experiment
+//! gpm list                   # benchmarks, combos, policies, experiments
+//! ```
+//!
+//! Options: `--fast` (truncated ~6 ms regions), `--json` (machine-readable
+//! run output where supported).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use gpm_cmp::{SimParams, TraceCmpSim};
+use gpm_core::{
+    static_oracle, sweep_policy, throughput_degradation, turbo_baseline, weighted_slowdown,
+    BudgetSchedule, GlobalManager, MinPower, Policy,
+};
+use gpm_experiments::{ExperimentContext, PolicyKind};
+use gpm_types::{GpmError, Result};
+use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one policy at one budget and report the outcome.
+    Run {
+        /// The workload combination.
+        combo: WorkloadCombo,
+        /// Policy to drive the chip.
+        policy: PolicySpec,
+        /// Budget as a fraction of maximum chip power.
+        budget: f64,
+        /// Emit the full run as JSON instead of a summary.
+        json: bool,
+        /// Use truncated captures.
+        fast: bool,
+    },
+    /// Sweep policies across budgets (policy curves).
+    Sweep {
+        /// The workload combination.
+        combo: WorkloadCombo,
+        /// Policies to sweep.
+        policies: Vec<PolicySpec>,
+        /// Budget points.
+        budgets: Vec<f64>,
+        /// Use truncated captures.
+        fast: bool,
+    },
+    /// Regenerate one paper experiment by name (`fig4`, `table5`, …).
+    Figure {
+        /// Experiment name.
+        name: String,
+        /// Use truncated captures.
+        fast: bool,
+    },
+    /// List benchmarks, combos, policies and experiments.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// A policy selected on the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolicySpec {
+    /// One of the named dynamic policies.
+    Kind(PolicyKind),
+    /// The MinPower extension with its throughput-target fraction.
+    MinPower(f64),
+    /// The offline optimistic-static bound.
+    Static,
+}
+
+impl PolicySpec {
+    /// Parses `maxbips`, `priority`, `pullhipushlo`, `chipwide`, `oracle`,
+    /// `greedy`, `static`, or `minpower:<target>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] for unknown names.
+    pub fn parse(s: &str) -> Result<Self> {
+        let lower = s.to_ascii_lowercase();
+        if let Some(target) = lower.strip_prefix("minpower:") {
+            let target: f64 = target.parse().map_err(|_| GpmError::InvalidConfig {
+                parameter: "policy",
+                reason: format!("bad MinPower target in `{s}`"),
+            })?;
+            return Ok(PolicySpec::MinPower(target));
+        }
+        Ok(match lower.as_str() {
+            "maxbips" => PolicySpec::Kind(PolicyKind::MaxBips),
+            "priority" => PolicySpec::Kind(PolicyKind::Priority),
+            "pullhipushlo" => PolicySpec::Kind(PolicyKind::PullHiPushLo),
+            "chipwide" | "chipwidedvfs" => PolicySpec::Kind(PolicyKind::ChipWide),
+            "oracle" => PolicySpec::Kind(PolicyKind::Oracle),
+            "greedy" | "greedymaxbips" => PolicySpec::Kind(PolicyKind::GreedyMaxBips),
+            "static" => PolicySpec::Static,
+            _ => {
+                return Err(GpmError::InvalidConfig {
+                    parameter: "policy",
+                    reason: format!("unknown policy `{s}`"),
+                })
+            }
+        })
+    }
+
+    fn make(&self) -> Option<Box<dyn Policy>> {
+        match self {
+            PolicySpec::Kind(kind) => Some(kind.make()),
+            PolicySpec::MinPower(target) => Some(Box::new(MinPower::new(*target))),
+            PolicySpec::Static => None,
+        }
+    }
+}
+
+/// Parses a `lo:hi:step` budget range or a comma list of fractions.
+///
+/// # Errors
+///
+/// Returns [`GpmError::InvalidConfig`] on malformed input.
+pub fn parse_budgets(s: &str) -> Result<Vec<f64>> {
+    let bad = |reason: String| GpmError::InvalidConfig {
+        parameter: "budgets",
+        reason,
+    };
+    if s.contains(':') {
+        let parts: Vec<&str> = s.split(':').collect();
+        if parts.len() != 3 {
+            return Err(bad(format!("`{s}` is not lo:hi:step")));
+        }
+        let nums: Vec<f64> = parts
+            .iter()
+            .map(|p| p.parse().map_err(|_| bad(format!("bad number in `{s}`"))))
+            .collect::<Result<_>>()?;
+        let (lo, hi, step) = (nums[0], nums[1], nums[2]);
+        if step <= 0.0 || hi < lo {
+            return Err(bad(format!("empty range `{s}`")));
+        }
+        let mut out = Vec::new();
+        let mut b = lo;
+        while b <= hi + 1e-9 {
+            out.push((b * 1000.0).round() / 1000.0);
+            b += step;
+        }
+        Ok(out)
+    } else {
+        s.split(',')
+            .map(|p| p.trim().parse().map_err(|_| bad(format!("bad number `{p}`"))))
+            .collect()
+    }
+}
+
+/// Parses the command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`GpmError::InvalidConfig`] on unknown commands, flags or values.
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
+    let mut args = args.into_iter().peekable();
+    let bad = |reason: String| GpmError::InvalidConfig {
+        parameter: "arguments",
+        reason,
+    };
+    let Some(cmd) = args.next() else {
+        return Ok(Command::Help);
+    };
+
+    // Collect `--key value` pairs and bare flags.
+    let mut combo: Option<WorkloadCombo> = None;
+    let mut policy = None;
+    let mut policies = None;
+    let mut budget = None;
+    let mut budgets = None;
+    let mut fast = false;
+    let mut json = false;
+    let mut positional = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--json" => json = true,
+            "--combo" => {
+                let v = args.next().ok_or_else(|| bad("--combo needs a value".into()))?;
+                combo = Some(WorkloadCombo::parse(&v)?);
+            }
+            "--policy" => {
+                let v = args.next().ok_or_else(|| bad("--policy needs a value".into()))?;
+                policy = Some(PolicySpec::parse(&v)?);
+            }
+            "--policies" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--policies needs a value".into()))?;
+                policies = Some(
+                    v.split(',')
+                        .map(PolicySpec::parse)
+                        .collect::<Result<Vec<_>>>()?,
+                );
+            }
+            "--budget" => {
+                let v = args.next().ok_or_else(|| bad("--budget needs a value".into()))?;
+                budget = Some(v.parse::<f64>().map_err(|_| bad(format!("bad budget `{v}`")))?);
+            }
+            "--budgets" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--budgets needs a value".into()))?;
+                budgets = Some(parse_budgets(&v)?);
+            }
+            other if other.starts_with("--") => {
+                return Err(bad(format!("unknown flag `{other}`")));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+
+    match cmd.as_str() {
+        "run" => Ok(Command::Run {
+            combo: combo.unwrap_or_else(combos::ammp_mcf_crafty_art),
+            policy: policy.unwrap_or(PolicySpec::Kind(PolicyKind::MaxBips)),
+            budget: budget.unwrap_or(0.8),
+            json,
+            fast,
+        }),
+        "sweep" => Ok(Command::Sweep {
+            combo: combo.unwrap_or_else(combos::ammp_mcf_crafty_art),
+            policies: policies.unwrap_or_else(|| {
+                vec![
+                    PolicySpec::Kind(PolicyKind::MaxBips),
+                    PolicySpec::Kind(PolicyKind::ChipWide),
+                ]
+            }),
+            budgets: budgets.unwrap_or_else(|| gpm_core::DEFAULT_BUDGETS.to_vec()),
+            fast,
+        }),
+        "figure" | "experiment" => {
+            let name = positional
+                .first()
+                .cloned()
+                .ok_or_else(|| bad("figure needs an experiment name (e.g. fig4)".into()))?;
+            Ok(Command::Figure { name, fast })
+        }
+        "list" => Ok(Command::List),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(bad(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "gpm — global CMP power management (MICRO 2006 reproduction)
+
+USAGE:
+  gpm run    [--combo \"a|b|c\"] [--policy NAME] [--budget F] [--json] [--fast]
+  gpm sweep  [--combo \"a|b|c\"] [--policies a,b,c] [--budgets lo:hi:step] [--fast]
+  gpm figure NAME [--fast]      regenerate a paper experiment (see `gpm list`)
+  gpm list                      benchmarks, combos, policies, experiments
+  gpm help
+
+POLICIES: maxbips, priority, pullhipushlo, chipwide, oracle, greedy,
+          minpower:<target>, static (sweep only)
+";
+
+fn context(fast: bool) -> ExperimentContext {
+    if fast {
+        ExperimentContext::fast()
+    } else {
+        ExperimentContext::full()
+    }
+}
+
+/// Executes a parsed command, returning the text to print.
+///
+/// # Errors
+///
+/// Propagates capture/simulation errors and unknown experiment names.
+pub fn execute(command: Command) -> Result<String> {
+    match command {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::List => Ok(list_text()),
+        Command::Run {
+            combo,
+            policy,
+            budget,
+            json,
+            fast,
+        } => run_one(&combo, &policy, budget, json, fast),
+        Command::Sweep {
+            combo,
+            policies,
+            budgets,
+            fast,
+        } => run_sweep(&combo, &policies, &budgets, fast),
+        Command::Figure { name, fast } => run_figure(&name, fast),
+    }
+}
+
+fn list_text() -> String {
+    let mut out = String::from("benchmarks:\n  ");
+    out.push_str(
+        &SpecBenchmark::ALL
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str("\n\ncombos (Table 2):\n");
+    for combo in combos::two_way_suite()
+        .into_iter()
+        .chain(combos::four_way_suite())
+        .chain(combos::eight_way_suite())
+    {
+        let _ = writeln!(out, "  {}", combo.label());
+    }
+    out.push_str(
+        "\npolicies: maxbips priority pullhipushlo chipwide oracle greedy minpower:<t> static\n",
+    );
+    out.push_str("\nexperiments: table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8\n");
+    out.push_str("             fig9 fig10 fig11 validation prediction minpower thermal transition\n");
+    out
+}
+
+fn run_one(
+    combo: &WorkloadCombo,
+    policy: &PolicySpec,
+    budget: f64,
+    json: bool,
+    fast: bool,
+) -> Result<String> {
+    if budget <= 0.0 || budget > 1.0 {
+        return Err(GpmError::InvalidConfig {
+            parameter: "budget",
+            reason: format!("{budget} outside (0, 1]"),
+        });
+    }
+    let ctx = context(fast);
+    let traces = ctx.traces(combo)?;
+    let params = SimParams::default();
+    let baseline = turbo_baseline(&traces, &params)?;
+
+    let Some(mut boxed) = policy.make() else {
+        // Static: offline analysis.
+        let envelope: gpm_types::Watts = traces
+            .iter()
+            .map(|t| t.trace(gpm_types::PowerMode::Turbo).peak_power())
+            .sum();
+        let base = static_oracle::all_turbo(&traces)?;
+        let best = static_oracle::best_or_floor(
+            &traces,
+            envelope * budget,
+            static_oracle::BudgetCriterion::PeakPower,
+        )?;
+        return Ok(format!(
+            "Static (offline, optimistic) on {} at {:.0}% budget:\n  modes {}\n  ΔPerf {:.2}%  w.slowdown {:.2}%  avg power {:.1}\n",
+            combo,
+            budget * 100.0,
+            best.modes,
+            best.degradation_vs(&base) * 100.0,
+            best.weighted_slowdown_vs(&base) * 100.0,
+            best.average_power,
+        ));
+    };
+
+    let sim = TraceCmpSim::new(traces, params)?;
+    let run = GlobalManager::new().run(sim, &mut *boxed, &BudgetSchedule::constant(budget))?;
+    if json {
+        return run.to_json();
+    }
+    Ok(format!(
+        "{} on {} at {:.0}% budget:\n  ΔPerf {:.2}%  w.slowdown {:.2}%  power/budget {:.1}%\n  avg power {:.1}  avg BIPS {:.2}  stalls {:.1}  intervals {}\n",
+        run.policy,
+        combo,
+        budget * 100.0,
+        throughput_degradation(&run, &baseline) * 100.0,
+        weighted_slowdown(&run, &baseline) * 100.0,
+        run.budget_utilization() * 100.0,
+        run.average_chip_power(),
+        run.average_chip_bips(),
+        run.total_stall(),
+        run.records.len(),
+    ))
+}
+
+fn run_sweep(
+    combo: &WorkloadCombo,
+    policies: &[PolicySpec],
+    budgets: &[f64],
+    fast: bool,
+) -> Result<String> {
+    let ctx = context(fast);
+    let traces = ctx.traces(combo)?;
+    let params = SimParams::default();
+    let baseline = turbo_baseline(&traces, &params)?;
+
+    let mut out = format!("policy curves for {combo} (ΔPerf per budget)\n");
+    let mut header = vec![format!("{:<14}", "policy")];
+    header.extend(budgets.iter().map(|b| format!("{:>7.0}%", b * 100.0)));
+    out.push_str(&header.join(" "));
+    out.push('\n');
+
+    for spec in policies {
+        let curve = match spec {
+            PolicySpec::Static => {
+                let sub = ExperimentContext::new(
+                    gpm_trace::TraceStore::new(ctx.store().config().clone()),
+                    params.clone(),
+                    budgets.to_vec(),
+                );
+                gpm_experiments::static_curve(&sub, combo)?
+            }
+            PolicySpec::Kind(kind) => {
+                sweep_policy(&traces, &params, budgets, &baseline, &|| kind.make())?
+            }
+            PolicySpec::MinPower(target) => {
+                let t = *target;
+                sweep_policy(&traces, &params, budgets, &baseline, &move || {
+                    Box::new(MinPower::new(t))
+                })?
+            }
+        };
+        let mut cells = vec![format!("{:<14}", curve.policy)];
+        for p in &curve.points {
+            cells.push(format!("{:>7.2}%", p.perf_degradation * 100.0));
+        }
+        out.push_str(&cells.join(" "));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn run_figure(name: &str, fast: bool) -> Result<String> {
+    use gpm_experiments as exp;
+    let ctx = context(fast);
+    let unknown = || GpmError::InvalidConfig {
+        parameter: "experiment",
+        reason: format!("unknown experiment `{name}` (see `gpm list`)"),
+    };
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "table3" => exp::tables::table3().render(),
+        "table4" => exp::tables::table4(&gpm_power::DvfsParams::paper()).render(),
+        "table5" => exp::tables::table5(&gpm_power::DvfsParams::paper()).render(),
+        "fig2" => exp::fig2::run(&ctx)?.render(),
+        "fig3" => exp::fig3::run(&ctx)?.render(),
+        "fig4" => exp::fig4::run(&ctx)?.render(),
+        "fig5" => exp::fig5::run(&ctx)?.render(),
+        "fig6" => exp::fig6::run(&ctx)?.render(),
+        "fig7" => exp::fig7::run(&ctx)?.render(),
+        "fig8" => exp::scaling::fig8(&ctx)?.render(),
+        "fig9" => exp::scaling::fig9(&ctx)?.render(),
+        "fig10" => exp::scaling::fig10(&ctx)?.render(),
+        "fig11" => exp::scaling::fig11(&ctx)?.render(),
+        "validation" => exp::validation::render_trace_vs_full(&exp::validation::run_trace_vs_full(
+            &ctx,
+            gpm_types::Micros::from_millis(2.0),
+        )?),
+        "prediction" => exp::validation::prediction_error(
+            &ctx,
+            &combos::ammp_mcf_crafty_art(),
+            0.8,
+        )?
+        .render(),
+        "minpower" => exp::ablation::dual_problem(&ctx)?.render(),
+        "thermal" => exp::ablation::thermal(&ctx, 72.0)?.render(),
+        "transition" => exp::ablation::transition_overlap(&ctx)?.render(),
+        _ => return Err(unknown()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<Command> {
+        parse_args(line.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_run_with_all_flags() {
+        let cmd = parse("run --combo art|mcf --policy maxbips --budget 0.75 --fast --json")
+            .unwrap();
+        match cmd {
+            Command::Run {
+                combo,
+                policy,
+                budget,
+                json,
+                fast,
+            } => {
+                assert_eq!(combo.label(), "art|mcf");
+                assert_eq!(policy, PolicySpec::Kind(PolicyKind::MaxBips));
+                assert_eq!(budget, 0.75);
+                assert!(json && fast);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_sweep_with_budget_range() {
+        let cmd = parse("sweep --policies maxbips,static,minpower:0.95 --budgets 0.6:0.8:0.1")
+            .unwrap();
+        match cmd {
+            Command::Sweep {
+                policies, budgets, ..
+            } => {
+                assert_eq!(policies.len(), 3);
+                assert_eq!(policies[1], PolicySpec::Static);
+                assert_eq!(policies[2], PolicySpec::MinPower(0.95));
+                assert_eq!(budgets, vec![0.6, 0.7, 0.8]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_figure_and_list_and_help() {
+        assert!(matches!(
+            parse("figure fig4 --fast").unwrap(),
+            Command::Figure { ref name, fast: true } if name == "fig4"
+        ));
+        assert_eq!(parse("list").unwrap(), Command::List);
+        assert_eq!(parse("help").unwrap(), Command::Help);
+        assert_eq!(parse("").unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_unknown_input() {
+        assert!(parse("frobnicate").is_err());
+        assert!(parse("run --policy nosuch").is_err());
+        assert!(parse("run --combo quake|doom").is_err());
+        assert!(parse("run --nonsense").is_err());
+        assert!(parse("figure").is_err());
+    }
+
+    #[test]
+    fn budget_parsing() {
+        assert_eq!(parse_budgets("0.7,0.8").unwrap(), vec![0.7, 0.8]);
+        assert_eq!(
+            parse_budgets("0.6:0.7:0.05").unwrap(),
+            vec![0.6, 0.65, 0.7]
+        );
+        assert!(parse_budgets("0.9:0.6:0.1").is_err());
+        assert!(parse_budgets("a:b:c").is_err());
+        assert!(parse_budgets("xyz").is_err());
+    }
+
+    #[test]
+    fn help_and_list_execute() {
+        assert!(execute(Command::Help).unwrap().contains("USAGE"));
+        let list = execute(Command::List).unwrap();
+        assert!(list.contains("ammp|mcf|crafty|art"));
+        assert!(list.contains("maxbips"));
+    }
+
+    #[test]
+    fn static_tables_execute_without_captures() {
+        for name in ["table3", "table4", "table5"] {
+            let out = run_figure(name, true).unwrap();
+            assert!(out.contains("Table"), "{name}: {out}");
+        }
+        assert!(run_figure("nope", true).is_err());
+    }
+
+    #[test]
+    fn run_rejects_bad_budget() {
+        let combo = combos::art_mcf();
+        assert!(run_one(&combo, &PolicySpec::Kind(PolicyKind::MaxBips), 1.5, false, true).is_err());
+    }
+
+    #[test]
+    fn end_to_end_run_and_sweep_fast() {
+        let out = execute(Command::Run {
+            combo: combos::art_mcf(),
+            policy: PolicySpec::Kind(PolicyKind::MaxBips),
+            budget: 0.8,
+            json: false,
+            fast: true,
+        })
+        .unwrap();
+        assert!(out.contains("MaxBIPS"), "{out}");
+        assert!(out.contains("ΔPerf"));
+
+        let out = execute(Command::Sweep {
+            combo: combos::art_mcf(),
+            policies: vec![
+                PolicySpec::Kind(PolicyKind::MaxBips),
+                PolicySpec::MinPower(0.95),
+            ],
+            budgets: vec![0.7, 0.9],
+            fast: true,
+        })
+        .unwrap();
+        assert!(out.contains("MaxBIPS"));
+        assert!(out.contains("MinPower"));
+    }
+
+    #[test]
+    fn json_run_roundtrips() {
+        let out = execute(Command::Run {
+            combo: combos::art_mcf(),
+            policy: PolicySpec::Kind(PolicyKind::MaxBips),
+            budget: 0.8,
+            json: true,
+            fast: true,
+        })
+        .unwrap();
+        let run = gpm_core::RunResult::from_json(&out).unwrap();
+        assert_eq!(run.policy, "MaxBIPS");
+    }
+}

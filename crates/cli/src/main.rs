@@ -1,0 +1,18 @@
+//! The `gpm` binary: parse, execute, print.
+
+fn main() {
+    let command = match gpm_cli::parse_args(std::env::args().skip(1)) {
+        Ok(cmd) => cmd,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", gpm_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match gpm_cli::execute(command) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

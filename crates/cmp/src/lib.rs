@@ -1,0 +1,54 @@
+//! CMP simulators: the paper's fast trace-based analysis tool and the
+//! cycle-level full-CMP validation model.
+//!
+//! Two simulators live here (Section 3.1 of the paper):
+//!
+//! * [`TraceCmpSim`] — the *static trace-based CMP analysis tool*. Each core
+//!   progresses its benchmark's per-mode trace (captured by `gpm-trace`) in
+//!   `delta_sim_time` (50 µs) steps; mode switches happen simultaneously at
+//!   all cores on `explore_time` (500 µs) boundaries, paying the longest
+//!   per-core DVFS transition as a GALS synchronisation stall during which
+//!   no instructions execute but CPU power is still consumed. Termination is
+//!   when the first benchmark completes. This is the engine under every
+//!   policy experiment.
+//! * [`FullCmpSim`] — a time-quantum-synchronised multi-core run of the real
+//!   `gpm-microarch` core models against a **shared L2 with bus contention**
+//!   ([`SharedL2`]). The paper uses the analogous cycle-accurate full-CMP
+//!   Turandot to validate the trace tool: chip power within ~5% (and
+//!   consistently lower), performance lower by ~9% on average and up to
+//!   ~30% for memory-bound combinations.
+//!
+//! The global power-management policies themselves live in `gpm-core`; they
+//! drive a [`TraceCmpSim`] through [`TraceCmpSim::advance_explore`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gpm_cmp::{SimParams, TraceCmpSim};
+//! use gpm_trace::{CaptureConfig, TraceStore};
+//! use gpm_types::{ModeCombination, PowerMode};
+//! use gpm_workloads::combos;
+//!
+//! let store = TraceStore::new(CaptureConfig::default());
+//! let traces = store.combo(&combos::ammp_mcf_crafty_art())?;
+//! let mut sim = TraceCmpSim::new(traces, SimParams::default())?;
+//! let all_turbo = ModeCombination::uniform(4, PowerMode::Turbo);
+//! while !sim.finished() {
+//!     let outcome = sim.advance_explore(&all_turbo)?;
+//!     println!("chip power {:.1}", outcome.average_chip_power());
+//! }
+//! # Ok::<(), gpm_types::GpmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod full_sim;
+mod params;
+mod shared_l2;
+mod trace_sim;
+
+pub use full_sim::{FullCmpOutcome, FullCmpSim, PerCoreOutcome};
+pub use params::{SensorModel, SimParams, TransitionBehavior};
+pub use shared_l2::{SharedL2, SharedL2Config};
+pub use trace_sim::{CoreObservation, ExploreOutcome, SimHistory, TraceCmpSim};

@@ -1,0 +1,173 @@
+//! Simulation-loop parameters.
+
+use gpm_power::DvfsParams;
+use gpm_types::{GpmError, Micros, Result};
+use serde::{Deserialize, Serialize};
+
+/// What happens to execution while a core's voltage regulator slews
+/// between modes (Section 5.1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TransitionBehavior {
+    /// The paper's conservative assumption (and our default): no benchmark
+    /// execution during mode transitions, CPU power still consumed, and the
+    /// multiple-clock-domain implementation stalls *all* cores for the
+    /// longest per-core transition.
+    #[default]
+    StallChip,
+    /// The optimistic alternative the paper cites (Brock & Rajamani; Clark
+    /// et al.): execution continues through the voltage slew, so
+    /// transitions are free. Brackets the transition-overhead impact from
+    /// below; see the `ablation_transition_overlap` bench.
+    Overlapped,
+}
+
+/// Imperfection model for the on-core current sensors feeding the global
+/// manager (the paper assumes Foxton-style sensors; the noise knob is our
+/// ablation extension).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorModel {
+    /// Relative standard deviation of multiplicative white noise applied to
+    /// observed per-core power (0 = ideal sensors).
+    pub power_noise_std: f64,
+    /// Seed for the deterministic noise stream.
+    pub seed: u64,
+}
+
+impl Default for SensorModel {
+    fn default() -> Self {
+        Self {
+            power_noise_std: 0.0,
+            seed: 0x5e4_50b,
+        }
+    }
+}
+
+/// Parameters of the trace-based CMP simulation loop.
+///
+/// Defaults reproduce the paper: `delta_sim_time` 50 µs, `explore_time`
+/// 500 µs, the linear three-mode DVFS scenario, ideal sensors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Statistics re-evaluation interval (`delta_sim_time`).
+    pub delta: Micros,
+    /// Mode-setting interval (`explore_time`); must be a positive multiple
+    /// of `delta`.
+    pub explore: Micros,
+    /// DVFS operating points and slew rate.
+    pub dvfs: DvfsParams,
+    /// Sensor imperfection model.
+    pub sensor: SensorModel,
+    /// Execution behaviour during DVFS transitions.
+    pub transition: TransitionBehavior,
+    /// Safety cap on simulated time; `None` runs to benchmark completion.
+    pub max_duration: Option<Micros>,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self {
+            delta: Micros::new(50.0),
+            explore: Micros::new(500.0),
+            dvfs: DvfsParams::paper(),
+            sensor: SensorModel::default(),
+            transition: TransitionBehavior::default(),
+            max_duration: None,
+        }
+    }
+}
+
+impl SimParams {
+    /// Number of `delta` steps per explore interval.
+    #[must_use]
+    pub fn deltas_per_explore(&self) -> usize {
+        (self.explore.value() / self.delta.value()).round() as usize
+    }
+
+    /// Validates interval relationships.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] when `delta` is non-positive or
+    /// `explore` is not a positive multiple of `delta`.
+    pub fn validate(&self) -> Result<()> {
+        if self.delta.value() <= 0.0 {
+            return Err(GpmError::InvalidConfig {
+                parameter: "delta",
+                reason: "must be positive".into(),
+            });
+        }
+        let ratio = self.explore.value() / self.delta.value();
+        if ratio < 1.0 - 1e-9 || (ratio - ratio.round()).abs() > 1e-9 {
+            return Err(GpmError::InvalidConfig {
+                parameter: "explore",
+                reason: format!(
+                    "explore ({}) must be a positive multiple of delta ({})",
+                    self.explore, self.delta
+                ),
+            });
+        }
+        if self.sensor.power_noise_std < 0.0 {
+            return Err(GpmError::InvalidConfig {
+                parameter: "sensor",
+                reason: "noise std must be non-negative".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = SimParams::default();
+        assert_eq!(p.delta, Micros::new(50.0));
+        assert_eq!(p.explore, Micros::new(500.0));
+        assert_eq!(p.deltas_per_explore(), 10);
+        assert_eq!(p.transition, TransitionBehavior::StallChip);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_non_multiple_explore() {
+        let p = SimParams {
+            explore: Micros::new(120.0),
+            ..SimParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_delta() {
+        let p = SimParams {
+            delta: Micros::ZERO,
+            ..SimParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_negative_noise() {
+        let p = SimParams {
+            sensor: SensorModel {
+                power_noise_std: -0.1,
+                seed: 0,
+            },
+            ..SimParams::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn explore_equal_delta_is_valid() {
+        let p = SimParams {
+            delta: Micros::new(50.0),
+            explore: Micros::new(50.0),
+            ..SimParams::default()
+        };
+        p.validate().unwrap();
+        assert_eq!(p.deltas_per_explore(), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Shared L2 with bus contention for the full-CMP validation simulator.
+
+use gpm_microarch::{AccessOutcome, CacheConfig, MemorySubsystem, SetAssocCache};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of the shared L2 and its bus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedL2Config {
+    /// Cache geometry (the paper's 2 MB, 4-way, 128 B unified L2).
+    pub cache: CacheConfig,
+    /// L2 array access latency in nanoseconds.
+    pub l2_latency_ns: f64,
+    /// Main-memory latency in nanoseconds (added on a miss).
+    pub memory_latency_ns: f64,
+    /// Bus occupancy per L2 access in nanoseconds — the bandwidth knob that
+    /// turns concurrent traffic from several cores into queueing delay.
+    pub service_ns: f64,
+}
+
+impl Default for SharedL2Config {
+    fn default() -> Self {
+        Self {
+            cache: CacheConfig::new(2 * 1024 * 1024, 4, 128),
+            l2_latency_ns: 9.0,
+            memory_latency_ns: 77.0,
+            service_ns: 2.0,
+        }
+    }
+}
+
+/// A shared L2 + memory behind a bandwidth-limited bus.
+///
+/// Capacity contention is modelled exactly (one shared tag array for all
+/// cores). Bandwidth contention uses a windowed queueing model: the
+/// simulation driver closes an observation window every synchronisation
+/// quantum via [`end_window`], the bus utilisation of that window sets the
+/// queueing delay charged to every access of the next window
+/// (`w = s·ρ/(2(1−ρ))`, the M/D/1 mean wait). This is deliberately
+/// rate-based rather than event-timestamped: the cores advance round-robin
+/// with drifting local clocks, and absolute-timestamp arbitration would be
+/// unstable under that interleaving.
+///
+/// [`end_window`]: SharedL2::end_window
+#[derive(Debug, Clone)]
+pub struct SharedL2 {
+    cache: SetAssocCache,
+    config: SharedL2Config,
+    window_accesses: u64,
+    current_queue_ns: f64,
+    current_utilization: f64,
+    windows: u64,
+    utilization_sum: f64,
+    peak_utilization: f64,
+    accesses: u64,
+}
+
+impl SharedL2 {
+    /// Builds the shared L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache geometry is invalid.
+    #[must_use]
+    pub fn new(config: SharedL2Config) -> Self {
+        Self {
+            cache: SetAssocCache::new(config.cache),
+            config,
+            window_accesses: 0,
+            current_queue_ns: 0.0,
+            current_utilization: 0.0,
+            windows: 0,
+            utilization_sum: 0.0,
+            peak_utilization: 0.0,
+            accesses: 0,
+        }
+    }
+
+    /// The tag array (for diagnostics).
+    #[must_use]
+    pub fn cache(&self) -> &SetAssocCache {
+        &self.cache
+    }
+
+    /// Total accesses served.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Closes the current observation window of `window_ns` wall time: the
+    /// window's bus utilisation determines the queueing delay applied to
+    /// the next window's accesses.
+    pub fn end_window(&mut self, window_ns: f64) {
+        assert!(window_ns > 0.0, "window must be positive");
+        let demand = self.window_accesses as f64 * self.config.service_ns;
+        let utilization = (demand / window_ns).min(0.98);
+        self.current_utilization = utilization;
+        self.current_queue_ns =
+            self.config.service_ns * utilization / (2.0 * (1.0 - utilization));
+        self.windows += 1;
+        self.utilization_sum += utilization;
+        self.peak_utilization = self.peak_utilization.max(utilization);
+        self.window_accesses = 0;
+    }
+
+    /// Queueing delay currently charged per access, in nanoseconds.
+    #[must_use]
+    pub fn current_queue_ns(&self) -> f64 {
+        self.current_queue_ns
+    }
+
+    /// Mean bus utilisation over all closed windows.
+    #[must_use]
+    pub fn average_utilization(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.utilization_sum / self.windows as f64
+        }
+    }
+
+    /// Highest single-window bus utilisation seen.
+    #[must_use]
+    pub fn peak_utilization(&self) -> f64 {
+        self.peak_utilization
+    }
+}
+
+impl Default for SharedL2 {
+    fn default() -> Self {
+        Self::new(SharedL2Config::default())
+    }
+}
+
+impl MemorySubsystem for SharedL2 {
+    fn access(&mut self, addr: u64, _now_ns: f64) -> (f64, bool) {
+        self.accesses += 1;
+        self.window_accesses += 1;
+        let queue = self.current_queue_ns;
+        match self.cache.access(addr) {
+            AccessOutcome::Hit => (queue + self.config.l2_latency_ns, true),
+            AccessOutcome::Miss => (
+                queue + self.config.l2_latency_ns + self.config.memory_latency_ns,
+                false,
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_latencies() {
+        let mut l2 = SharedL2::default();
+        let (lat_miss, hit) = l2.access(0x1000, 0.0);
+        assert!(!hit);
+        assert!((lat_miss - 86.0).abs() < 1e-9);
+        let (lat_hit, hit) = l2.access(0x1000, 0.0);
+        assert!(hit);
+        assert!((lat_hit - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_sets_next_window_queue() {
+        let mut l2 = SharedL2::default();
+        // 1000 accesses × 2 ns in a 5000 ns window: ρ = 0.4.
+        for i in 0..1000 {
+            let _ = l2.access(i * 128, 0.0);
+        }
+        l2.end_window(5000.0);
+        assert!((l2.average_utilization() - 0.4).abs() < 1e-9);
+        // M/D/1 wait: 2 × 0.4 / (2 × 0.6) = 0.666… ns.
+        assert!((l2.current_queue_ns() - 2.0 * 0.4 / 1.2).abs() < 1e-9);
+        let (lat, _) = l2.access(0xdead_0000, 0.0);
+        assert!(lat > 86.0, "queue delay charged: {lat}");
+    }
+
+    #[test]
+    fn idle_window_has_no_queue() {
+        let mut l2 = SharedL2::default();
+        l2.end_window(5000.0);
+        assert_eq!(l2.current_queue_ns(), 0.0);
+        assert_eq!(l2.average_utilization(), 0.0);
+    }
+
+    #[test]
+    fn utilization_is_capped_and_stable() {
+        let mut l2 = SharedL2::default();
+        for _ in 0..10 {
+            for i in 0..100_000u64 {
+                let _ = l2.access(i * 128, 0.0);
+            }
+            l2.end_window(5000.0); // demand 40× capacity
+        }
+        assert!(l2.peak_utilization() <= 0.98);
+        assert!(l2.current_queue_ns().is_finite());
+        assert!(l2.current_queue_ns() < 100.0, "bounded queue");
+    }
+
+    #[test]
+    fn capacity_contention_between_streams() {
+        // Two interleaved 1.5 MB streams overflow the 2 MB L2 even though
+        // each would fit alone.
+        let mut l2 = SharedL2::default();
+        let lines = (1_536_000 / 128) as u64;
+        let mut misses_second_round = 0;
+        for round in 0..2 {
+            for i in 0..lines {
+                let (_, hit_a) = l2.access(i * 128, 0.0);
+                let (_, hit_b) = l2.access(0x1000_0000 + i * 128, 0.0);
+                if round == 1 {
+                    misses_second_round += u64::from(!hit_a) + u64::from(!hit_b);
+                }
+            }
+        }
+        assert!(
+            misses_second_round > lines,
+            "3 MB of combined working set must keep missing: {misses_second_round}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        SharedL2::default().end_window(0.0);
+    }
+}

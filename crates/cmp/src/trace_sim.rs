@@ -1,0 +1,578 @@
+//! The trace-based CMP simulator — the paper's fast policy-evaluation tool.
+
+use std::sync::Arc;
+
+use gpm_trace::BenchmarkTraces;
+use gpm_types::{
+    Bips, CoreId, GpmError, Micros, ModeCombination, PowerMode, Result, TimeSeries, Watts,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::SimParams;
+
+/// What the global manager's local monitors report for one core after an
+/// explore interval: the current-sensor power reading and the
+/// performance-counter throughput, plus the mode the core ran in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreObservation {
+    /// The observed core.
+    pub core: CoreId,
+    /// Mode the core ran in during the interval.
+    pub mode: PowerMode,
+    /// Average power over the interval (after sensor noise, if modelled).
+    pub power: Watts,
+    /// Average throughput over the interval, including the zero-progress
+    /// transition stall (this is why observed BIPS embeds the paper's
+    /// `explore/(explore+t)` de-rating).
+    pub bips: Bips,
+    /// Instructions retired during the interval.
+    pub instructions: u64,
+}
+
+/// Result of advancing the simulation by one explore interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreOutcome {
+    /// Per-core sensor/counter observations.
+    pub observed: Vec<CoreObservation>,
+    /// Chip power per completed `delta` step, in watts.
+    pub chip_power: Vec<f64>,
+    /// Chip throughput per completed `delta` step, in BIPS.
+    pub chip_bips: Vec<f64>,
+    /// The GALS synchronisation stall paid at the interval start.
+    pub transition_stall: Micros,
+    /// Wall time covered (a full explore interval unless the run
+    /// terminated mid-interval).
+    pub duration: Micros,
+    /// Whether a benchmark completed during this interval.
+    pub finished: bool,
+}
+
+impl ExploreOutcome {
+    /// Mean chip power over the interval.
+    #[must_use]
+    pub fn average_chip_power(&self) -> Watts {
+        if self.chip_power.is_empty() {
+            return Watts::ZERO;
+        }
+        Watts::new(self.chip_power.iter().sum::<f64>() / self.chip_power.len() as f64)
+    }
+
+    /// Mean chip throughput over the interval.
+    #[must_use]
+    pub fn total_bips(&self) -> Bips {
+        Bips::new(self.observed.iter().map(|o| o.bips.value()).sum())
+    }
+}
+
+/// Full time-series record of a simulation run.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimHistory {
+    /// Chip power on the `delta` grid.
+    pub chip_power: Option<TimeSeries<f64>>,
+    /// Per-core power on the `delta` grid.
+    pub per_core_power: Vec<TimeSeries<f64>>,
+    /// Per-core throughput on the `delta` grid.
+    pub per_core_bips: Vec<TimeSeries<f64>>,
+    /// Every mode assignment applied, with its start time.
+    pub mode_changes: Vec<(Micros, ModeCombination)>,
+}
+
+/// The trace-based CMP simulator (Section 3.1).
+///
+/// Cores progress their benchmark's per-mode traces by instruction position;
+/// the position is the alignment key, so a core switched from Turbo to Eff2
+/// mid-run continues from the same program point in the Eff2 trace. All mode
+/// switches happen at explore boundaries via [`advance_explore`], which pays
+/// the longest per-core transition as a chip-wide stall (the multiple-clock-
+/// domain synchronisation cost the paper describes) during which cores burn
+/// power at their previous mode's level without retiring instructions.
+///
+/// [`advance_explore`]: TraceCmpSim::advance_explore
+#[derive(Debug, Clone)]
+pub struct TraceCmpSim {
+    traces: Vec<Arc<BenchmarkTraces>>,
+    params: SimParams,
+    modes: ModeCombination,
+    positions: Vec<f64>,
+    now: f64,
+    finished: bool,
+    history: SimHistory,
+    noise: SmallRng,
+}
+
+impl TraceCmpSim {
+    /// Builds a simulator over one trace set per core. All cores start at
+    /// Turbo at position 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] for an empty core list or invalid
+    /// `params`.
+    pub fn new(traces: Vec<Arc<BenchmarkTraces>>, params: SimParams) -> Result<Self> {
+        params.validate()?;
+        if traces.is_empty() {
+            return Err(GpmError::InvalidConfig {
+                parameter: "traces",
+                reason: "need at least one core".into(),
+            });
+        }
+        let cores = traces.len();
+        let delta = params.delta;
+        let noise = SmallRng::seed_from_u64(params.sensor.seed);
+        Ok(Self {
+            traces,
+            params,
+            modes: ModeCombination::uniform(cores, PowerMode::Turbo),
+            positions: vec![0.0; cores],
+            now: 0.0,
+            finished: false,
+            history: SimHistory {
+                chip_power: Some(TimeSeries::new(delta)),
+                per_core_power: vec![TimeSeries::new(delta); cores],
+                per_core_bips: vec![TimeSeries::new(delta); cores],
+                mode_changes: Vec::new(),
+            },
+            noise,
+        })
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Micros {
+        Micros::new(self.now)
+    }
+
+    /// Current per-core modes.
+    #[must_use]
+    pub fn modes(&self) -> &ModeCombination {
+        &self.modes
+    }
+
+    /// Current per-core instruction positions.
+    #[must_use]
+    pub fn positions(&self) -> Vec<u64> {
+        // Positions accumulate fractional instruction gains; round to the
+        // nearest instruction (float noise of ~1e-10 per delta otherwise
+        // truncates 1 000 000.0-ε down to 999 999).
+        self.positions.iter().map(|&p| p.round() as u64).collect()
+    }
+
+    /// The per-core trace sets.
+    #[must_use]
+    pub fn traces(&self) -> &[Arc<BenchmarkTraces>] {
+        &self.traces
+    }
+
+    /// The simulation parameters.
+    #[must_use]
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// `true` once a benchmark has completed (or the time cap was hit).
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Time-series record of the run so far.
+    #[must_use]
+    pub fn history(&self) -> &SimHistory {
+        &self.history
+    }
+
+    /// The chip's maximum power envelope: the sum over cores of each
+    /// benchmark's peak Turbo power. Budgets are quoted as fractions of
+    /// this value, matching the paper's "% of maximum chip power".
+    #[must_use]
+    pub fn power_envelope(&self) -> Watts {
+        self.traces
+            .iter()
+            .map(|t| t.trace(PowerMode::Turbo).peak_power())
+            .sum()
+    }
+
+    /// What `core` would deliver over the next explore interval if run in
+    /// `mode`, ignoring transition costs: `(average BIPS, average power)`.
+    ///
+    /// This is *future knowledge* — it reads the actual trace — and exists
+    /// for the oracle policy's matrices. Predictive policies must not use
+    /// it; they scale current observations instead.
+    #[must_use]
+    pub fn peek_future(&self, core: CoreId, mode: PowerMode) -> (Bips, Watts) {
+        let trace = self.traces[core.value()].trace(mode);
+        let delta_s = self.params.delta.to_seconds().value();
+        let steps = self.params.deltas_per_explore();
+        let mut pos = self.positions[core.value()];
+        let (mut bips_sum, mut power_sum) = (0.0, 0.0);
+        for _ in 0..steps {
+            let sample = trace.at(pos as u64);
+            bips_sum += sample.bips;
+            power_sum += sample.power_w;
+            pos += sample.bips * 1.0e9 * delta_s;
+        }
+        (
+            Bips::new(bips_sum / steps as f64),
+            Watts::new(power_sum / steps as f64),
+        )
+    }
+
+    /// Applies `new_modes` (paying the GALS transition stall if any core
+    /// changes mode) and advances the simulation by one explore interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::CoreCountMismatch`] if `new_modes` covers the
+    /// wrong number of cores, and [`GpmError::InvalidConfig`] if the run has
+    /// already finished.
+    pub fn advance_explore(&mut self, new_modes: &ModeCombination) -> Result<ExploreOutcome> {
+        if new_modes.len() != self.cores() {
+            return Err(GpmError::CoreCountMismatch {
+                expected: self.cores(),
+                actual: new_modes.len(),
+            });
+        }
+        if self.finished {
+            return Err(GpmError::InvalidConfig {
+                parameter: "simulation",
+                reason: "the run has already finished".into(),
+            });
+        }
+
+        let old_modes = self.modes.clone();
+        let stall = match self.params.transition {
+            crate::TransitionBehavior::StallChip => (0..self.cores())
+                .map(|i| {
+                    self.params.dvfs.transition_time(
+                        old_modes.mode(CoreId::new(i)),
+                        new_modes.mode(CoreId::new(i)),
+                    )
+                })
+                .fold(Micros::ZERO, Micros::max),
+            crate::TransitionBehavior::Overlapped => Micros::ZERO,
+        };
+        self.modes = new_modes.clone();
+        self.history
+            .mode_changes
+            .push((Micros::new(self.now), new_modes.clone()));
+
+        let delta_us = self.params.delta.value();
+        let delta_s = self.params.delta.to_seconds().value();
+        let steps = self.params.deltas_per_explore();
+
+        let cores = self.cores();
+        let mut chip_power = Vec::with_capacity(steps);
+        let mut chip_bips = Vec::with_capacity(steps);
+        let mut core_energy = vec![0.0f64; cores]; // W·delta units
+        let mut core_instr = vec![0.0f64; cores];
+        let mut stall_left = stall.value();
+        let mut completed_steps = 0usize;
+
+        for _ in 0..steps {
+            let stall_this = stall_left.min(delta_us);
+            stall_left -= stall_this;
+            let work_frac = (delta_us - stall_this) / delta_us;
+
+            let mut chip_p = 0.0;
+            let mut chip_b = 0.0;
+            for i in 0..cores {
+                let id = CoreId::new(i);
+                let pos = self.positions[i] as u64;
+                let run_sample = self.traces[i].trace(self.modes.mode(id)).at(pos);
+                // During the stall the regulator is still slewing: charge
+                // power at the previous mode's level, retire nothing.
+                let stall_power = if stall_this > 0.0 {
+                    self.traces[i].trace(old_modes.mode(id)).at(pos).power_w
+                } else {
+                    0.0
+                };
+                let power = stall_power * (1.0 - work_frac) + run_sample.power_w * work_frac;
+                let bips = run_sample.bips * work_frac;
+                let gained = run_sample.bips * 1.0e9 * delta_s * work_frac;
+
+                self.positions[i] += gained;
+                core_energy[i] += power;
+                core_instr[i] += gained;
+                chip_p += power;
+                chip_b += bips;
+
+                self.history.per_core_power[i].push(power);
+                self.history.per_core_bips[i].push(bips);
+            }
+            if let Some(series) = self.history.chip_power.as_mut() {
+                series.push(chip_p);
+            }
+            chip_power.push(chip_p);
+            chip_bips.push(chip_b);
+            self.now += delta_us;
+            completed_steps += 1;
+
+            // Termination: first benchmark completes, or the time cap hits.
+            let done = (0..cores)
+                .any(|i| self.positions[i] + 0.5 >= self.traces[i].total_instructions() as f64);
+            let capped = self
+                .params
+                .max_duration
+                .is_some_and(|cap| self.now >= cap.value());
+            if done || capped {
+                self.finished = true;
+                break;
+            }
+        }
+
+        let duration = Micros::new(completed_steps as f64 * delta_us);
+        let duration_s = duration.to_seconds().value().max(f64::MIN_POSITIVE);
+        let noise_std = self.params.sensor.power_noise_std;
+        let observed = (0..cores)
+            .map(|i| {
+                let mean_power = core_energy[i] / completed_steps.max(1) as f64;
+                let noisy = if noise_std > 0.0 {
+                    mean_power * (1.0 + noise_std * self.gaussian())
+                } else {
+                    mean_power
+                };
+                CoreObservation {
+                    core: CoreId::new(i),
+                    mode: self.modes.mode(CoreId::new(i)),
+                    power: Watts::new(noisy.max(0.0)),
+                    bips: Bips::new(core_instr[i] / duration_s / 1.0e9),
+                    instructions: core_instr[i] as u64,
+                }
+            })
+            .collect();
+
+        Ok(ExploreOutcome {
+            observed,
+            chip_power,
+            chip_bips,
+            transition_stall: stall,
+            duration,
+            finished: self.finished,
+        })
+    }
+
+    /// Approximate standard normal via the Irwin–Hall sum of 12 uniforms
+    /// (keeps `rand` as the only dependency).
+    fn gaussian(&mut self) -> f64 {
+        (0..12).map(|_| self.noise.gen::<f64>()).sum::<f64>() - 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_trace::{ModeTrace, TraceSample};
+
+    /// Builds a synthetic constant-rate trace set: `bips` at Turbo, linear
+    /// frequency scaling across modes, cubic power scaling.
+    fn constant_traces(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
+        let delta = Micros::new(50.0);
+        let delta_s = delta.to_seconds().value();
+        let traces = PowerMode::ALL
+            .map(|mode| {
+                let b = bips * mode.bips_scale_bound();
+                let p = power * mode.power_scale();
+                let per_delta = b * 1.0e9 * delta_s;
+                let samples: Vec<TraceSample> = (1..=4000)
+                    .map(|k| TraceSample {
+                        instructions_end: (per_delta * k as f64) as u64,
+                        power_w: p,
+                        bips: b,
+                    })
+                    .collect();
+                ModeTrace::new(mode, delta, samples)
+            })
+            .to_vec();
+        Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+    }
+
+    fn two_core_sim() -> TraceCmpSim {
+        let traces = vec![
+            constant_traces("fast", 2_000_000, 2.0, 20.0),
+            constant_traces("slow", 2_000_000, 0.5, 12.0),
+        ];
+        TraceCmpSim::new(traces, SimParams::default()).unwrap()
+    }
+
+    #[test]
+    fn all_turbo_interval_accounting() {
+        let mut sim = two_core_sim();
+        let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
+        let out = sim.advance_explore(&turbo).unwrap();
+        assert_eq!(out.duration, Micros::new(500.0));
+        assert_eq!(out.transition_stall, Micros::ZERO);
+        assert!((out.average_chip_power().value() - 32.0).abs() < 1e-6);
+        assert!((out.total_bips().value() - 2.5).abs() < 1e-6);
+        // 2 BIPS × 500 µs = 1M instructions on core 0.
+        assert_eq!(sim.positions()[0], 1_000_000);
+        assert_eq!(sim.now(), Micros::new(500.0));
+    }
+
+    #[test]
+    fn eff2_scales_power_cubically_and_bips_linearly() {
+        let mut sim = two_core_sim();
+        // First interval establishes Turbo (no transition), second drops to
+        // Eff2; observe the third (transition-free Eff2 steady state).
+        let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
+        let eff2 = ModeCombination::uniform(2, PowerMode::Eff2);
+        sim.advance_explore(&turbo).unwrap();
+        sim.advance_explore(&eff2).unwrap();
+        let out = sim.advance_explore(&eff2).unwrap();
+        assert!((out.average_chip_power().value() - 32.0 * 0.614125).abs() < 1e-6);
+        assert!((out.total_bips().value() - 2.5 * 0.85).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transition_pays_stall_and_old_mode_power() {
+        let mut sim = two_core_sim();
+        let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
+        let eff2 = ModeCombination::uniform(2, PowerMode::Eff2);
+        sim.advance_explore(&turbo).unwrap();
+        let out = sim.advance_explore(&eff2).unwrap();
+        assert!((out.transition_stall.value() - 19.5).abs() < 1e-9);
+        // Throughput is de-rated by roughly explore/(explore + stall)…
+        // here the stall eats into the first delta: 19.5/500 of the work.
+        let expected_bips = 2.5 * 0.85 * (500.0 - 19.5) / 500.0;
+        assert!(
+            (out.total_bips().value() - expected_bips).abs() < 1e-6,
+            "got {}, expected {expected_bips}",
+            out.total_bips().value()
+        );
+        // First delta's power blends old-mode (Turbo) stall power with
+        // Eff2 run power and is therefore *higher* than steady Eff2.
+        let steady = 32.0 * 0.614125;
+        assert!(out.chip_power[0] > steady + 1.0);
+        assert!((out.chip_power[1] - steady).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapped_transitions_are_free() {
+        let params = SimParams {
+            transition: crate::TransitionBehavior::Overlapped,
+            ..SimParams::default()
+        };
+        let traces = vec![
+            constant_traces("fast", 100_000_000, 2.0, 20.0),
+            constant_traces("slow", 100_000_000, 0.5, 12.0),
+        ];
+        let mut sim = TraceCmpSim::new(traces, params).unwrap();
+        sim.advance_explore(&ModeCombination::uniform(2, PowerMode::Turbo))
+            .unwrap();
+        let out = sim
+            .advance_explore(&ModeCombination::uniform(2, PowerMode::Eff2))
+            .unwrap();
+        assert_eq!(out.transition_stall, Micros::ZERO);
+        // Full Eff2 throughput from the first delta: no de-rating at all.
+        assert!((out.total_bips().value() - 2.5 * 0.85).abs() < 1e-9);
+    }
+
+    #[test]
+    fn termination_on_first_completion() {
+        let traces = vec![
+            constant_traces("short", 300_000, 2.0, 20.0), // completes in 150 µs
+            constant_traces("long", 1_000_000_000, 0.5, 12.0),
+        ];
+        let mut sim = TraceCmpSim::new(traces, SimParams::default()).unwrap();
+        let out = sim
+            .advance_explore(&ModeCombination::uniform(2, PowerMode::Turbo))
+            .unwrap();
+        assert!(out.finished);
+        assert!(sim.finished());
+        // 300k instructions at 2 BIPS = 150 µs = 3 deltas.
+        assert_eq!(out.duration, Micros::new(150.0));
+        assert_eq!(out.chip_power.len(), 3);
+        // Advancing further is an error.
+        assert!(sim
+            .advance_explore(&ModeCombination::uniform(2, PowerMode::Turbo))
+            .is_err());
+    }
+
+    #[test]
+    fn max_duration_caps_run() {
+        let params = SimParams {
+            max_duration: Some(Micros::new(200.0)),
+            ..SimParams::default()
+        };
+        let traces = vec![constant_traces("x", u64::MAX / 2, 1.0, 10.0)];
+        let mut sim = TraceCmpSim::new(traces, params).unwrap();
+        let out = sim
+            .advance_explore(&ModeCombination::uniform(1, PowerMode::Turbo))
+            .unwrap();
+        assert!(out.finished);
+        assert_eq!(out.duration, Micros::new(200.0));
+    }
+
+    #[test]
+    fn wrong_core_count_is_rejected() {
+        let mut sim = two_core_sim();
+        let err = sim.advance_explore(&ModeCombination::uniform(3, PowerMode::Turbo));
+        assert!(matches!(err, Err(GpmError::CoreCountMismatch { expected: 2, actual: 3 })));
+    }
+
+    #[test]
+    fn peek_future_matches_actual_constant_trace() {
+        let sim = two_core_sim();
+        let (bips, power) = sim.peek_future(CoreId::new(0), PowerMode::Eff1);
+        assert!((bips.value() - 2.0 * 0.95).abs() < 1e-9);
+        assert!((power.value() - 20.0 * 0.857375).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_envelope_is_sum_of_turbo_peaks() {
+        let sim = two_core_sim();
+        assert!((sim.power_envelope().value() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn history_records_everything() {
+        let mut sim = two_core_sim();
+        let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
+        let eff1 = ModeCombination::uniform(2, PowerMode::Eff1);
+        sim.advance_explore(&turbo).unwrap();
+        sim.advance_explore(&eff1).unwrap();
+        let h = sim.history();
+        assert_eq!(h.mode_changes.len(), 2);
+        assert_eq!(h.mode_changes[1].0, Micros::new(500.0));
+        assert_eq!(h.chip_power.as_ref().unwrap().len(), 20);
+        assert_eq!(h.per_core_power.len(), 2);
+        assert_eq!(h.per_core_bips[0].len(), 20);
+    }
+
+    #[test]
+    fn sensor_noise_perturbs_power_only() {
+        let params = SimParams {
+            sensor: crate::SensorModel {
+                power_noise_std: 0.05,
+                seed: 7,
+            },
+            ..SimParams::default()
+        };
+        let traces = vec![constant_traces("x", u64::MAX / 2, 1.0, 10.0)];
+        let mut sim = TraceCmpSim::new(traces, params).unwrap();
+        let turbo = ModeCombination::uniform(1, PowerMode::Turbo);
+        let outs: Vec<f64> = (0..8)
+            .map(|_| {
+                sim.advance_explore(&turbo).unwrap().observed[0]
+                    .power
+                    .value()
+            })
+            .collect();
+        let distinct = outs.windows(2).any(|w| (w[0] - w[1]).abs() > 1e-9);
+        assert!(distinct, "noise should vary observations: {outs:?}");
+        // BIPS observations stay exact.
+        let (b, _) = sim.peek_future(CoreId::new(0), PowerMode::Turbo);
+        assert!((b.value() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cores_rejected() {
+        assert!(TraceCmpSim::new(vec![], SimParams::default()).is_err());
+    }
+}

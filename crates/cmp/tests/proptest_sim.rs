@@ -1,0 +1,152 @@
+//! Property tests over the trace-based CMP simulator: conservation laws,
+//! time bookkeeping, and mode-schedule independence of the trace data.
+
+use std::sync::Arc;
+
+use gpm_cmp::{SimParams, TraceCmpSim};
+use gpm_trace::{BenchmarkTraces, ModeTrace, TraceSample};
+use gpm_types::{Micros, ModeCombination, PowerMode};
+use proptest::prelude::*;
+
+/// Builds a synthetic trace set with smoothly-varying rate/power derived
+/// from a seed (bounded random walk — real 50 µs samples change gradually;
+/// step-function traces would expose per-delta Euler-integration leapfrog
+/// artifacts that no captured trace exhibits), with exact cubic/linear mode
+/// scaling.
+fn synthetic_traces(seed: u64, total: u64) -> Arc<BenchmarkTraces> {
+    let delta = Micros::new(50.0);
+    let delta_s = delta.to_seconds().value();
+    let mut x = seed | 1;
+    let mut segments = Vec::new();
+    let (mut bips, mut power) = (1.2f64, 17.0f64);
+    for _ in 0..2000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        bips = (bips + ((x % 41) as f64 - 20.0) / 200.0).clamp(0.2, 2.2);
+        power = (power + (((x >> 8) % 31) as f64 - 15.0) / 20.0).clamp(10.0, 24.0);
+        segments.push((bips, power));
+    }
+    let traces = PowerMode::ALL
+        .map(|mode| {
+            let mut cum = 0.0f64;
+            let samples: Vec<TraceSample> = segments
+                .iter()
+                .map(|&(b, p)| {
+                    let bips = b * mode.bips_scale_bound();
+                    cum += bips * 1.0e9 * delta_s;
+                    TraceSample {
+                        instructions_end: cum as u64,
+                        power_w: p * mode.power_scale(),
+                        bips,
+                    }
+                })
+                .collect();
+            ModeTrace::new(mode, delta, samples)
+        })
+        .to_vec();
+    Arc::new(BenchmarkTraces::new(format!("syn{seed}"), total, traces).unwrap())
+}
+
+fn mode_of(x: u8) -> PowerMode {
+    PowerMode::from_index(usize::from(x) % 3).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Conservation: the simulator's position advance equals the sum of the
+    /// per-interval observed instruction counts (within rounding), and time
+    /// advances by exactly the reported durations.
+    #[test]
+    fn instruction_and_time_conservation(
+        seeds in prop::collection::vec(any::<u64>(), 1..5),
+        schedule in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..5), 1..12),
+    ) {
+        let traces: Vec<_> = seeds.iter().map(|&s| synthetic_traces(s, u64::MAX / 4)).collect();
+        let cores = traces.len();
+        let mut sim = TraceCmpSim::new(traces, SimParams::default()).unwrap();
+
+        let mut observed_instr = vec![0u64; cores];
+        let mut observed_time = 0.0;
+        for step in schedule {
+            if sim.finished() { break; }
+            let modes: ModeCombination =
+                (0..cores).map(|i| mode_of(step[i % step.len()])).collect();
+            let out = sim.advance_explore(&modes).unwrap();
+            for obs in &out.observed {
+                observed_instr[obs.core.value()] += obs.instructions;
+            }
+            observed_time += out.duration.value();
+            prop_assert_eq!(out.chip_power.len(), out.chip_bips.len());
+            for p in &out.chip_power {
+                prop_assert!(*p > 0.0 && p.is_finite());
+            }
+        }
+        let positions = sim.positions();
+        for i in 0..cores {
+            let diff = positions[i].abs_diff(observed_instr[i]);
+            prop_assert!(
+                diff <= 1 + observed_time as u64 / 50, // one instruction per delta rounding
+                "core {i}: position {} vs observed {}",
+                positions[i],
+                observed_instr[i]
+            );
+        }
+        prop_assert!((sim.now().value() - observed_time).abs() < 1e-6);
+    }
+
+    /// Running entirely in one mode reproduces that mode's native trace
+    /// rates: faster modes never deliver less than slower ones.
+    #[test]
+    fn uniform_mode_ordering(seed in any::<u64>()) {
+        let ips_in = |mode: PowerMode| {
+            let traces = vec![synthetic_traces(seed, u64::MAX / 4)];
+            let mut sim = TraceCmpSim::new(traces, SimParams::default()).unwrap();
+            let modes = ModeCombination::uniform(1, mode);
+            let mut instr = 0u64;
+            let mut time = 0.0;
+            for _ in 0..8 {
+                let out = sim.advance_explore(&modes).unwrap();
+                instr += out.observed[0].instructions;
+                time += out.duration.value();
+            }
+            instr as f64 / time
+        };
+        let turbo = ips_in(PowerMode::Turbo);
+        let eff1 = ips_in(PowerMode::Eff1);
+        let eff2 = ips_in(PowerMode::Eff2);
+        // Small tolerance: the per-delta integrator samples each mode's
+        // trace at slightly different instruction positions.
+        prop_assert!(turbo >= eff1 * 0.99, "turbo {turbo} vs eff1 {eff1}");
+        prop_assert!(eff1 >= eff2 * 0.99, "eff1 {eff1} vs eff2 {eff2}");
+    }
+
+    /// The GALS stall only occurs when a mode actually changes, and equals
+    /// the worst per-core transition.
+    #[test]
+    fn stall_matches_worst_transition(
+        from in prop::collection::vec(0u8..3, 1..5),
+        to_raw in prop::collection::vec(0u8..3, 1..5),
+    ) {
+        let cores = from.len();
+        let traces: Vec<_> = (0..cores).map(|i| synthetic_traces(i as u64, u64::MAX / 4)).collect();
+        let mut sim = TraceCmpSim::new(traces, SimParams::default()).unwrap();
+        let first: ModeCombination = from.iter().map(|&x| mode_of(x)).collect();
+        let second: ModeCombination =
+            (0..cores).map(|i| mode_of(to_raw[i % to_raw.len()])).collect();
+
+        // Initial state is all-Turbo: first advance pays Turbo→first.
+        let _ = sim.advance_explore(&first).unwrap();
+        let out = sim.advance_explore(&second).unwrap();
+
+        let dvfs = gpm_power::DvfsParams::paper();
+        let expected = (0..cores)
+            .map(|i| {
+                dvfs.transition_time(
+                    first.mode(gpm_types::CoreId::new(i)),
+                    second.mode(gpm_types::CoreId::new(i)),
+                )
+            })
+            .fold(Micros::ZERO, Micros::max);
+        prop_assert!((out.transition_stall.value() - expected.value()).abs() < 1e-9);
+    }
+}

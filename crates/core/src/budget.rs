@@ -1,0 +1,136 @@
+//! Chip power-budget schedules.
+
+use gpm_types::Micros;
+use serde::{Deserialize, Serialize};
+
+/// A time-varying power budget, expressed as a fraction of the chip's
+/// maximum power envelope.
+///
+/// Most experiments use a constant budget; Figure 6 of the paper uses a
+/// step schedule (90% dropping to 70% mid-run — "part of the cooling
+/// solution fails or the ambient environment changes").
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::BudgetSchedule;
+/// use gpm_types::Micros;
+///
+/// let s = BudgetSchedule::steps(vec![(Micros::ZERO, 0.9), (Micros::new(7000.0), 0.7)]);
+/// assert_eq!(s.fraction_at(Micros::new(100.0)), 0.9);
+/// assert_eq!(s.fraction_at(Micros::new(8000.0)), 0.7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSchedule {
+    /// `(start time, fraction)` steps, sorted by time; the first entry must
+    /// start at 0.
+    steps: Vec<(Micros, f64)>,
+}
+
+impl BudgetSchedule {
+    /// A constant budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is within `(0, 1]`.
+    #[must_use]
+    pub fn constant(fraction: f64) -> Self {
+        Self::steps(vec![(Micros::ZERO, fraction)])
+    }
+
+    /// A piecewise-constant schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty, does not start at time 0, is not sorted,
+    /// or contains a fraction outside `(0, 1]`.
+    #[must_use]
+    pub fn steps(steps: Vec<(Micros, f64)>) -> Self {
+        assert!(!steps.is_empty(), "schedule needs at least one step");
+        assert_eq!(steps[0].0, Micros::ZERO, "first step must start at t = 0");
+        assert!(
+            steps.windows(2).all(|w| w[0].0 < w[1].0),
+            "steps must be strictly increasing in time"
+        );
+        for &(_, f) in &steps {
+            assert!(
+                f > 0.0 && f <= 1.0 + 1e-9,
+                "budget fraction {f} outside (0, 1]"
+            );
+        }
+        Self { steps }
+    }
+
+    /// The budget fraction in force at time `t`.
+    #[must_use]
+    pub fn fraction_at(&self, t: Micros) -> f64 {
+        self.steps
+            .iter()
+            .rev()
+            .find(|(start, _)| *start <= t)
+            .map(|&(_, f)| f)
+            .unwrap_or(self.steps[0].1)
+    }
+
+    /// The schedule's steps.
+    #[must_use]
+    pub fn as_steps(&self) -> &[(Micros, f64)] {
+        &self.steps
+    }
+
+    /// `true` when the schedule never changes.
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        self.steps.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let s = BudgetSchedule::constant(0.83);
+        assert!(s.is_constant());
+        assert_eq!(s.fraction_at(Micros::ZERO), 0.83);
+        assert_eq!(s.fraction_at(Micros::new(1e9)), 0.83);
+    }
+
+    #[test]
+    fn step_schedule_figure6() {
+        let s = BudgetSchedule::steps(vec![(Micros::ZERO, 0.9), (Micros::new(7000.0), 0.7)]);
+        assert!(!s.is_constant());
+        assert_eq!(s.fraction_at(Micros::new(6999.9)), 0.9);
+        assert_eq!(s.fraction_at(Micros::new(7000.0)), 0.7);
+        assert_eq!(s.as_steps().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn empty_rejected() {
+        let _ = BudgetSchedule::steps(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at t = 0")]
+    fn must_start_at_zero() {
+        let _ = BudgetSchedule::steps(vec![(Micros::new(5.0), 0.9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn must_be_sorted() {
+        let _ = BudgetSchedule::steps(vec![
+            (Micros::ZERO, 0.9),
+            (Micros::new(10.0), 0.8),
+            (Micros::new(10.0), 0.7),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn fraction_range_checked() {
+        let _ = BudgetSchedule::constant(1.5);
+    }
+}

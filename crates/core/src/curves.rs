@@ -1,0 +1,234 @@
+//! Policy and budget curves — the paper's primary result format
+//! (Section 5.4, Figures 4, 7, 8, 9, 10).
+
+use std::sync::Arc;
+
+use gpm_cmp::{SimParams, TraceCmpSim};
+use gpm_trace::BenchmarkTraces;
+use gpm_types::Result;
+
+use crate::{
+    metrics, BudgetSchedule, Constant, GlobalManager, Policy, RunResult,
+};
+
+/// The nine budget points the paper sweeps: 60% to 100% of maximum chip
+/// power in 5% steps.
+pub const DEFAULT_BUDGETS: [f64; 9] = [0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95, 1.00];
+
+/// One budget point of a policy curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Budget as a fraction of maximum chip power.
+    pub budget: f64,
+    /// Throughput degradation vs all-Turbo (policy-curve y-axis).
+    pub perf_degradation: f64,
+    /// Weighted slowdown vs all-Turbo (fairness metric).
+    pub weighted_slowdown: f64,
+    /// Average chip power / budget (budget-curve y-axis).
+    pub budget_utilization: f64,
+    /// Power saving vs all-Turbo (Figure 5 x-axis).
+    pub power_saving: f64,
+}
+
+/// A policy's curve across the budget sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyCurve {
+    /// Policy name.
+    pub policy: String,
+    /// One point per budget, in sweep order.
+    pub points: Vec<CurvePoint>,
+}
+
+impl PolicyCurve {
+    /// Mean performance degradation over all budget points — the quantity
+    /// Figure 11 averages "over the active range of power budgets".
+    #[must_use]
+    pub fn mean_degradation(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.perf_degradation).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Runs the all-Turbo baseline for a trace set.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn turbo_baseline(
+    traces: &[Arc<BenchmarkTraces>],
+    params: &SimParams,
+) -> Result<RunResult> {
+    let sim = TraceCmpSim::new(traces.to_vec(), params.clone())?;
+    let mut policy = Constant::all_turbo(traces.len());
+    GlobalManager::new().run(sim, &mut policy, &BudgetSchedule::constant(1.0))
+}
+
+/// Sweeps one policy across `budgets`, producing its policy curve. A fresh
+/// policy instance is created per budget via `make_policy`; the all-Turbo
+/// baseline is supplied by the caller so it can be shared across policies.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn sweep_policy(
+    traces: &[Arc<BenchmarkTraces>],
+    params: &SimParams,
+    budgets: &[f64],
+    baseline: &RunResult,
+    make_policy: &dyn Fn() -> Box<dyn Policy>,
+) -> Result<PolicyCurve> {
+    let mut points = Vec::with_capacity(budgets.len());
+    let mut name = String::new();
+    for &budget in budgets {
+        let sim = TraceCmpSim::new(traces.to_vec(), params.clone())?;
+        let mut policy = make_policy();
+        name = policy.name().to_owned();
+        let run =
+            GlobalManager::new().run(sim, &mut policy, &BudgetSchedule::constant(budget))?;
+        points.push(CurvePoint {
+            budget,
+            perf_degradation: metrics::throughput_degradation(&run, baseline),
+            weighted_slowdown: metrics::weighted_slowdown(&run, baseline),
+            budget_utilization: run.budget_utilization(),
+            power_saving: metrics::power_saving(&run, baseline),
+        });
+    }
+    Ok(PolicyCurve {
+        policy: name,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ChipWide, MaxBips};
+    use gpm_trace::{ModeTrace, TraceSample};
+    use gpm_types::{Micros, PowerMode};
+
+    /// A two-phase synthetic benchmark: alternates between a high-power
+    /// CPU-ish phase and a low-power memory-ish phase, so dynamic policies
+    /// have real temporal variation to exploit.
+    fn phased_traces(
+        name: &str,
+        total: u64,
+        bips_hi: f64,
+        bips_lo: f64,
+        power_hi: f64,
+        power_lo: f64,
+        mem_boundedness: f64,
+    ) -> Arc<BenchmarkTraces> {
+        let delta = Micros::new(50.0);
+        let delta_s = delta.to_seconds().value();
+        let traces = PowerMode::ALL
+            .map(|mode| {
+                // Memory-bound work degrades less than linearly.
+                let perf_scale =
+                    1.0 - (1.0 - mode.bips_scale_bound()) * (1.0 - mem_boundedness);
+                let mut cum = 0.0f64;
+                let samples: Vec<TraceSample> = (0..3000)
+                    .map(|k| {
+                        let hi = (k / 20) % 2 == 0; // 1 ms phases
+                        let bips = if hi { bips_hi } else { bips_lo } * perf_scale;
+                        let power =
+                            if hi { power_hi } else { power_lo } * mode.power_scale();
+                        cum += bips * 1.0e9 * delta_s;
+                        TraceSample {
+                            instructions_end: cum as u64,
+                            power_w: power,
+                            bips,
+                        }
+                    })
+                    .collect();
+                ModeTrace::new(mode, delta, samples)
+            })
+            .to_vec();
+        Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+    }
+
+    fn quad() -> Vec<Arc<BenchmarkTraces>> {
+        vec![
+            phased_traces("cpu1", 40_000_000, 2.2, 1.8, 21.0, 18.0, 0.05),
+            phased_traces("cpu2", 40_000_000, 1.9, 1.5, 19.0, 16.0, 0.1),
+            phased_traces("mem1", 12_000_000, 0.9, 0.4, 14.0, 11.0, 0.8),
+            phased_traces("mem2", 12_000_000, 0.6, 0.3, 12.0, 10.0, 0.9),
+        ]
+    }
+
+    #[test]
+    fn maxbips_beats_chipwide_across_budgets() {
+        let traces = quad();
+        let params = SimParams::default();
+        let baseline = turbo_baseline(&traces, &params).unwrap();
+        let budgets = [0.7, 0.8, 0.9];
+        let maxbips = sweep_policy(&traces, &params, &budgets, &baseline, &|| {
+            Box::new(MaxBips::new())
+        })
+        .unwrap();
+        let chipwide = sweep_policy(&traces, &params, &budgets, &baseline, &|| {
+            Box::new(ChipWide::new())
+        })
+        .unwrap();
+        assert_eq!(maxbips.policy, "MaxBIPS");
+        for (m, c) in maxbips.points.iter().zip(&chipwide.points) {
+            assert!(
+                m.perf_degradation <= c.perf_degradation + 1e-9,
+                "budget {}: MaxBIPS {} vs ChipWide {}",
+                m.budget,
+                m.perf_degradation,
+                c.perf_degradation
+            );
+        }
+        assert!(maxbips.mean_degradation() <= chipwide.mean_degradation());
+    }
+
+    #[test]
+    fn degradation_shrinks_with_budget() {
+        let traces = quad();
+        let params = SimParams::default();
+        let baseline = turbo_baseline(&traces, &params).unwrap();
+        let curve = sweep_policy(
+            &traces,
+            &params,
+            &[0.65, 0.80, 1.00],
+            &baseline,
+            &|| Box::new(MaxBips::new()),
+        )
+        .unwrap();
+        let d = &curve.points;
+        assert!(d[0].perf_degradation >= d[1].perf_degradation - 0.005);
+        assert!(d[1].perf_degradation >= d[2].perf_degradation - 0.005);
+        // At 100% budget the policy should be near-free.
+        assert!(
+            d[2].perf_degradation.abs() < 0.01,
+            "100% budget degradation {}",
+            d[2].perf_degradation
+        );
+    }
+
+    #[test]
+    fn budgets_are_respected_on_average() {
+        let traces = quad();
+        let params = SimParams::default();
+        let baseline = turbo_baseline(&traces, &params).unwrap();
+        let curve = sweep_policy(
+            &traces,
+            &params,
+            &[0.7, 0.8, 0.9],
+            &baseline,
+            &|| Box::new(MaxBips::new()),
+        )
+        .unwrap();
+        for p in &curve.points {
+            assert!(
+                p.budget_utilization <= 1.02,
+                "budget {} exceeded: {}",
+                p.budget,
+                p.budget_utilization
+            );
+            assert!(p.budget_utilization > 0.5, "far too much slack");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! The global CMP power manager — the primary contribution of Isci et al.,
+//! MICRO 2006: per-core DVFS mode selection under a chip-wide power budget.
+//!
+//! # Architecture
+//!
+//! The [`GlobalManager`] closes the paper's control loop: every
+//! `explore_time` (500 µs) it collects per-core power/performance
+//! observations from the local monitors (current sensors and performance
+//! counters, modelled by `gpm-cmp`), builds the predictive **Power and BIPS
+//! matrices** of Section 5.5 ([`PowerBipsMatrices`]) by cubic/linear
+//! scaling, asks a [`Policy`] for the next mode assignment, and applies it —
+//! paying DVFS transition and GALS synchronisation costs.
+//!
+//! # Policies
+//!
+//! * [`MaxBips`] — the paper's headline policy: exhaustively evaluates all
+//!   3^N mode combinations (with transition de-rating) and picks the
+//!   highest-throughput one that fits the budget.
+//! * [`Priority`] — fixed core priorities; slows the lowest-priority core
+//!   first, speeds the highest-priority core first.
+//! * [`PullHiPushLo`] — power balancing: slows the hottest core, speeds the
+//!   coolest.
+//! * [`ChipWide`] — uniform chip-wide DVFS, the monolithic baseline.
+//! * [`Oracle`] — MaxBIPS with *future* matrices read from the actual
+//!   traces (Section 5.6's upper bound).
+//! * [`GreedyMaxBips`] — an O(N·modes) incremental search for large core
+//!   counts (our scalability extension; the paper notes the superlinear
+//!   growth of exhaustive exploration).
+//! * [`MinPower`] — the paper's stated-but-unanalysed dual problem:
+//!   minimise power subject to a throughput target (our extension).
+//! * [`ThermalGuard`] — wraps any policy with per-core junction-temperature
+//!   throttling over an RC thermal model (our extension; the paper's
+//!   motivation is thermal but it manages power only).
+//! * [`Constant`] — a fixed assignment (baselines and static studies).
+//!
+//! The optimistic-static lower bound of Section 5.7 is an offline analysis,
+//! not a feedback policy: see [`static_oracle`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gpm_core::{BudgetSchedule, GlobalManager, MaxBips};
+//! use gpm_cmp::{SimParams, TraceCmpSim};
+//! use gpm_trace::{CaptureConfig, TraceStore};
+//! use gpm_workloads::combos;
+//!
+//! let store = TraceStore::new(CaptureConfig::default());
+//! let traces = store.combo(&combos::ammp_mcf_crafty_art())?;
+//! let sim = TraceCmpSim::new(traces, SimParams::default())?;
+//!
+//! let manager = GlobalManager::new();
+//! let result = manager.run(sim, &mut MaxBips::new(), &BudgetSchedule::constant(0.83))?;
+//! println!("avg chip power: {:.1}", result.average_chip_power());
+//! # Ok::<(), gpm_types::GpmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod curves;
+mod manager;
+mod matrices;
+mod metrics;
+mod policy;
+pub mod static_oracle;
+
+pub use budget::BudgetSchedule;
+pub use curves::{sweep_policy, turbo_baseline, CurvePoint, PolicyCurve, DEFAULT_BUDGETS};
+pub use manager::{ExploreRecord, GlobalManager, RunResult};
+pub use matrices::PowerBipsMatrices;
+pub use metrics::{throughput_degradation, weighted_slowdown, weighted_speedup_slowdown};
+pub use policy::{
+    ChipWide, Constant, GreedyMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext,
+    Priority, PullHiPushLo, ThermalGuard,
+};

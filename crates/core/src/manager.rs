@@ -1,0 +1,277 @@
+//! The global power manager's control loop.
+
+use gpm_cmp::{SimHistory, TraceCmpSim};
+use gpm_types::{Bips, Micros, ModeCombination, Result, Watts};
+
+use crate::{BudgetSchedule, Policy, PolicyContext, PowerBipsMatrices};
+
+/// One explore interval as the manager saw it.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExploreRecord {
+    /// Interval start time.
+    pub start: Micros,
+    /// Budget in force (absolute watts).
+    pub budget: Watts,
+    /// Mode assignment applied.
+    pub modes: ModeCombination,
+    /// Average chip power over the interval.
+    pub chip_power: Watts,
+    /// Average chip throughput over the interval.
+    pub chip_bips: Bips,
+    /// GALS transition stall paid at the interval start.
+    pub stall: Micros,
+    /// Wall time covered (shorter than `explore` only on termination).
+    pub duration: Micros,
+    /// `true` for the initial warm-up interval: the manager has no sensor
+    /// history yet, so the chip runs in its reset state (all Turbo).
+    /// Warm-up records are excluded from the aggregate metrics.
+    pub bootstrap: bool,
+}
+
+/// Everything a managed run produced.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunResult {
+    /// Name of the policy that drove the run.
+    pub policy: String,
+    /// Benchmark names, one per core.
+    pub benchmarks: Vec<String>,
+    /// The chip's maximum power envelope the budgets were quoted against.
+    pub envelope: Watts,
+    /// One record per explore interval.
+    pub records: Vec<ExploreRecord>,
+    /// Full delta-grained time series.
+    pub history: SimHistory,
+    /// Instructions each core completed by termination.
+    pub per_core_instructions: Vec<u64>,
+    /// Total wall time simulated.
+    pub duration: Micros,
+}
+
+impl RunResult {
+    /// The records the metrics aggregate over (warm-up excluded, unless the
+    /// run never got past warm-up).
+    fn measured(&self) -> &[ExploreRecord] {
+        let measured = &self.records[self.records.iter().take_while(|r| r.bootstrap).count()..];
+        if measured.is_empty() {
+            &self.records
+        } else {
+            measured
+        }
+    }
+
+    /// Duration-weighted average chip power (excluding warm-up).
+    #[must_use]
+    pub fn average_chip_power(&self) -> Watts {
+        let (mut energy, mut time) = (0.0, 0.0);
+        for r in self.measured() {
+            energy += r.chip_power.value() * r.duration.value();
+            time += r.duration.value();
+        }
+        if time == 0.0 {
+            Watts::ZERO
+        } else {
+            Watts::new(energy / time)
+        }
+    }
+
+    /// Average chip throughput over the measured (post-warm-up) window:
+    /// instructions over time.
+    #[must_use]
+    pub fn average_chip_bips(&self) -> Bips {
+        let instr: u64 = self.per_core_instructions.iter().sum();
+        let secs = self.duration.to_seconds().value();
+        if secs <= 0.0 {
+            Bips::ZERO
+        } else {
+            Bips::new(instr as f64 / secs / 1.0e9)
+        }
+    }
+
+    /// Per-core average instruction rates over the measured window
+    /// (instructions per second).
+    #[must_use]
+    pub fn per_core_ips(&self) -> Vec<f64> {
+        let secs = self.duration.to_seconds().value().max(f64::MIN_POSITIVE);
+        self.per_core_instructions
+            .iter()
+            .map(|&i| i as f64 / secs)
+            .collect()
+    }
+
+    /// Duration-weighted average budget over the measured window.
+    #[must_use]
+    pub fn average_budget(&self) -> Watts {
+        let (mut acc, mut time) = (0.0, 0.0);
+        for r in self.measured() {
+            acc += r.budget.value() * r.duration.value();
+            time += r.duration.value();
+        }
+        if time == 0.0 {
+            Watts::ZERO
+        } else {
+            Watts::new(acc / time)
+        }
+    }
+
+    /// Average chip power as a fraction of the average budget — the paper's
+    /// budget-curve quantity ("percentage of power consumed under a policy
+    /// with respect to the target budget").
+    #[must_use]
+    pub fn budget_utilization(&self) -> f64 {
+        self.average_chip_power().value() / self.average_budget().value()
+    }
+
+    /// Number of explore intervals in which the *measured* average chip
+    /// power exceeded the budget then in force (transient overshoots are
+    /// corrected at the next explore time, per Section 5.4).
+    #[must_use]
+    pub fn overshoot_intervals(&self) -> usize {
+        self.measured()
+            .iter()
+            .filter(|r| r.chip_power > r.budget)
+            .count()
+    }
+
+    /// Total transition stall time paid over the run.
+    #[must_use]
+    pub fn total_stall(&self) -> Micros {
+        self.records.iter().map(|r| r.stall).sum::<Micros>()
+    }
+
+    /// Serialises the whole run (records + time series) to JSON, for
+    /// external plotting or archival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpm_types::GpmError::TraceFormat`] on encoding failure.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| gpm_types::GpmError::TraceFormat(e.to_string()))
+    }
+
+    /// Parses a run back from [`to_json`](Self::to_json) output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`gpm_types::GpmError::TraceFormat`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| gpm_types::GpmError::TraceFormat(e.to_string()))
+    }
+}
+
+/// The hierarchical global power manager (Section 2): collects per-core
+/// sensor observations every explore interval, builds the predictive
+/// Power/BIPS matrices, consults a [`Policy`], and applies the chosen mode
+/// assignment to the chip.
+///
+/// The first interval runs in the simulator's initial state (all Turbo) to
+/// gather the observations the first real decision needs — a cold
+/// controller has no sensor history. That warm-up interval is recorded with
+/// [`ExploreRecord::bootstrap`] set and excluded from aggregate metrics: it
+/// is a measurement artifact of starting the observation window, not of the
+/// policy under test (the paper's controller runs in steady state).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalManager {
+    _priv: (),
+}
+
+impl GlobalManager {
+    /// Creates a manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drives `sim` to completion under `policy` and `schedule`, consuming
+    /// the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (core-count mismatches from a misbehaving
+    /// policy, advancing past termination).
+    pub fn run(
+        &self,
+        mut sim: TraceCmpSim,
+        policy: &mut dyn Policy,
+        schedule: &BudgetSchedule,
+    ) -> Result<RunResult> {
+        let envelope = sim.power_envelope();
+        let explore = sim.params().explore;
+        let dvfs = sim.params().dvfs;
+        let mut records = Vec::new();
+
+        // Interval 0 (warm-up): observe in the initial (all-Turbo) state.
+        let mut start = sim.now();
+        let mut budget = Watts::new(envelope.value() * schedule.fraction_at(start));
+        let mut outcome = sim.advance_explore(&sim.modes().clone())?;
+        records.push(ExploreRecord {
+            start,
+            budget,
+            modes: sim.modes().clone(),
+            chip_power: outcome.average_chip_power(),
+            chip_bips: outcome.total_bips(),
+            stall: outcome.transition_stall,
+            duration: outcome.duration,
+            bootstrap: true,
+        });
+        let warmup_positions = sim.positions();
+        let warmup_end = sim.now();
+
+        while !sim.finished() {
+            start = sim.now();
+            budget = Watts::new(envelope.value() * schedule.fraction_at(start));
+            let matrices = PowerBipsMatrices::predict(&outcome.observed);
+            let future = policy
+                .needs_future()
+                .then(|| PowerBipsMatrices::from_future(&sim));
+            let modes = {
+                let ctx = PolicyContext {
+                    current_modes: sim.modes(),
+                    matrices: &matrices,
+                    future: future.as_ref(),
+                    budget,
+                    dvfs: &dvfs,
+                    explore,
+                };
+                policy.decide(&ctx)
+            };
+            outcome = sim.advance_explore(&modes)?;
+            records.push(ExploreRecord {
+                start,
+                budget,
+                modes,
+                chip_power: outcome.average_chip_power(),
+                chip_bips: outcome.total_bips(),
+                stall: outcome.transition_stall,
+                duration: outcome.duration,
+                bootstrap: false,
+            });
+        }
+
+        // Aggregate metrics cover the measured (post-warm-up) window. If
+        // the run terminated inside warm-up, fall back to the whole run.
+        let (instructions, duration) = if sim.now() > warmup_end {
+            (
+                sim.positions()
+                    .iter()
+                    .zip(&warmup_positions)
+                    .map(|(end, warm)| end - warm)
+                    .collect(),
+                sim.now() - warmup_end,
+            )
+        } else {
+            (sim.positions(), sim.now())
+        };
+
+        Ok(RunResult {
+            policy: policy.name().to_owned(),
+            benchmarks: sim.traces().iter().map(|t| t.name().to_owned()).collect(),
+            envelope,
+            per_core_instructions: instructions,
+            duration,
+            history: sim.history().clone(),
+            records,
+        })
+    }
+}

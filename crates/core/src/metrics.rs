@@ -1,0 +1,127 @@
+//! Performance and fairness metrics (Section 5.4).
+
+use gpm_types::SummaryStats;
+
+use crate::RunResult;
+
+/// Overall system performance degradation of `run` with respect to the
+/// all-Turbo `baseline`: `1 − BIPS / BIPS_turbo` — the y-axis of every
+/// policy curve in the paper.
+#[must_use]
+pub fn throughput_degradation(run: &RunResult, baseline: &RunResult) -> f64 {
+    1.0 - run.average_chip_bips().value() / baseline.average_chip_bips().value()
+}
+
+/// Per-thread speedups of `run` relative to `baseline` (each ≤ ~1).
+///
+/// # Panics
+///
+/// Panics if the two runs cover different core counts.
+#[must_use]
+pub fn per_thread_speedups(run: &RunResult, baseline: &RunResult) -> Vec<f64> {
+    let a = run.per_core_ips();
+    let b = baseline.per_core_ips();
+    assert_eq!(a.len(), b.len(), "core count mismatch between runs");
+    a.iter().zip(&b).map(|(x, y)| x / y).collect()
+}
+
+/// Weighted slowdown (Section 5.4): `100% −` the harmonic mean of
+/// per-thread speedups with respect to all-Turbo execution — the
+/// fairness-aware companion to [`throughput_degradation`].
+#[must_use]
+pub fn weighted_slowdown(run: &RunResult, baseline: &RunResult) -> f64 {
+    1.0 - SummaryStats::harmonic_mean(per_thread_speedups(run, baseline))
+}
+
+/// The weighted-speedup variant using the arithmetic mean; the paper
+/// reports "negligible differences" between the two.
+#[must_use]
+pub fn weighted_speedup_slowdown(run: &RunResult, baseline: &RunResult) -> f64 {
+    1.0 - SummaryStats::arithmetic_mean(per_thread_speedups(run, baseline))
+}
+
+/// Power saving of `run` relative to `baseline` (x-axis of Figure 5).
+#[must_use]
+pub fn power_saving(run: &RunResult, baseline: &RunResult) -> f64 {
+    1.0 - run.average_chip_power().value() / baseline.average_chip_power().value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_cmp::SimHistory;
+    use gpm_types::{Micros, Watts};
+
+    fn result(instr: &[u64], duration_us: f64, power: f64) -> RunResult {
+        RunResult {
+            policy: "test".into(),
+            benchmarks: instr.iter().map(|_| "b".to_owned()).collect(),
+            envelope: Watts::new(100.0),
+            records: vec![crate::ExploreRecord {
+                start: Micros::ZERO,
+                budget: Watts::new(80.0),
+                modes: gpm_types::ModeCombination::uniform(
+                    instr.len(),
+                    gpm_types::PowerMode::Turbo,
+                ),
+                chip_power: Watts::new(power),
+                chip_bips: gpm_types::Bips::ZERO,
+                stall: Micros::ZERO,
+                duration: Micros::new(duration_us),
+                bootstrap: false,
+            }],
+            history: SimHistory::default(),
+            per_core_instructions: instr.to_vec(),
+            duration: Micros::new(duration_us),
+        }
+    }
+
+    #[test]
+    fn degradation_against_baseline() {
+        let base = result(&[1000, 1000], 1.0, 40.0);
+        let run = result(&[900, 900], 1.0, 30.0);
+        assert!((throughput_degradation(&run, &base) - 0.1).abs() < 1e-12);
+        assert!((power_saving(&run, &base) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_slowdown_harmonic_vs_arithmetic() {
+        let base = result(&[1000, 1000], 1.0, 40.0);
+        // Unbalanced slowdown: one thread at 50%, one untouched.
+        let run = result(&[500, 1000], 1.0, 40.0);
+        let hm = weighted_slowdown(&run, &base);
+        let am = weighted_speedup_slowdown(&run, &base);
+        assert!((am - 0.25).abs() < 1e-12);
+        assert!((hm - (1.0 - 2.0 / 3.0)).abs() < 1e-12);
+        assert!(hm > am, "harmonic mean punishes unfairness harder");
+    }
+
+    #[test]
+    fn balanced_slowdowns_agree() {
+        let base = result(&[1000, 1000], 1.0, 40.0);
+        let run = result(&[900, 900], 1.0, 40.0);
+        let hm = weighted_slowdown(&run, &base);
+        let am = weighted_speedup_slowdown(&run, &base);
+        assert!((hm - am).abs() < 1e-12);
+        assert!((hm - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "core count mismatch")]
+    fn mismatched_runs_panic() {
+        let base = result(&[1000], 1.0, 40.0);
+        let run = result(&[900, 900], 1.0, 40.0);
+        let _ = weighted_slowdown(&run, &base);
+    }
+
+    #[test]
+    fn run_result_aggregates() {
+        let r = result(&[2_000_000], 1000.0, 25.0);
+        assert!((r.average_chip_power().value() - 25.0).abs() < 1e-12);
+        // 2M instructions in 1 ms = 2 BIPS.
+        assert!((r.average_chip_bips().value() - 2.0).abs() < 1e-12);
+        assert!((r.budget_utilization() - 25.0 / 80.0).abs() < 1e-12);
+        assert_eq!(r.overshoot_intervals(), 0);
+        assert_eq!(r.total_stall(), Micros::ZERO);
+    }
+}

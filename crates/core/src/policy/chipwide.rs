@@ -1,0 +1,89 @@
+//! Chip-wide DVFS (Section 5.3) — the monolithic baseline.
+
+use gpm_types::{ModeCombination, PowerMode};
+
+use super::{Policy, PolicyContext};
+
+/// Chip-wide DVFS: every core transitions together into the fastest
+/// uniform mode whose predicted chip power satisfies the budget.
+///
+/// Attractive for its implementation simplicity (no cross-core
+/// synchronisation), but the paper's Figure 3 shows the cost: one
+/// memory-bound benchmark swapped for a CPU-bound one can force the whole
+/// chip from Eff1 to Eff2, "paying a huge penalty for small budget
+/// overshoots" — and the inefficiency grows linearly with core count.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::{ChipWide, Policy};
+///
+/// assert_eq!(ChipWide::new().name(), "ChipWideDVFS");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChipWide {
+    _priv: (),
+}
+
+impl ChipWide {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for ChipWide {
+    fn name(&self) -> &str {
+        "ChipWideDVFS"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> ModeCombination {
+        let n = ctx.matrices.cores();
+        for mode in PowerMode::ALL {
+            let combo = ModeCombination::uniform(n, mode);
+            if ctx.matrices.chip_power(&combo) <= ctx.budget {
+                return combo;
+            }
+        }
+        ModeCombination::uniform(n, PowerMode::Eff2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Fixture;
+    use super::*;
+
+    #[test]
+    fn steps_through_uniform_modes() {
+        let f = Fixture::new(&[(10.0, 1.0); 4]); // 40 W at Turbo
+        let cases = [
+            (45.0, PowerMode::Turbo),
+            (40.0, PowerMode::Turbo),
+            (36.0, PowerMode::Eff1),  // Eff1 = 34.3 W
+            (30.0, PowerMode::Eff2),  // Eff2 = 24.6 W
+            (10.0, PowerMode::Eff2),  // infeasible → floor
+        ];
+        for (budget, expected) in cases {
+            let combo = ChipWide::new().decide(&f.ctx(budget));
+            assert!(combo.is_uniform());
+            assert_eq!(combo.as_slice()[0], expected, "budget {budget}");
+        }
+    }
+
+    #[test]
+    fn huge_penalty_for_small_overshoot() {
+        // The Figure 3 effect: all-Eff1 power just above the budget forces
+        // the whole chip to Eff2 — a big slack is left unused.
+        let f = Fixture::new(&[(10.0, 1.0); 4]);
+        let eff1_power = 40.0 * 0.857375; // 34.295
+        let combo = ChipWide::new().decide(&f.ctx(eff1_power - 0.1));
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Eff2));
+        let used = f.matrices.chip_power(&combo).value();
+        assert!(
+            used < (eff1_power - 0.1) * 0.75,
+            "large power slack left on the table: {used}"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! A fixed mode assignment — baselines and static-configuration studies.
+
+use gpm_types::{ModeCombination, PowerMode};
+
+use super::{Policy, PolicyContext};
+
+/// Always returns the same mode combination, regardless of budget or
+/// observations.
+///
+/// This is the building block for the all-Turbo baseline every metric is
+/// normalised against, and for replaying the static assignments found by
+/// [`static_oracle`](crate::static_oracle) through the full simulator.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::{Constant, Policy};
+/// use gpm_types::{ModeCombination, PowerMode};
+///
+/// let p = Constant::all_turbo(4);
+/// assert_eq!(p.name(), "Static[Turbo, Turbo, Turbo, Turbo]");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Constant {
+    modes: ModeCombination,
+    name: String,
+}
+
+impl Constant {
+    /// Fixes the given assignment.
+    #[must_use]
+    pub fn new(modes: ModeCombination) -> Self {
+        let name = format!("Static{modes}");
+        Self { modes, name }
+    }
+
+    /// All cores at Turbo — the baseline configuration.
+    #[must_use]
+    pub fn all_turbo(cores: usize) -> Self {
+        Self::new(ModeCombination::uniform(cores, PowerMode::Turbo))
+    }
+
+    /// The fixed assignment.
+    #[must_use]
+    pub fn modes(&self) -> &ModeCombination {
+        &self.modes
+    }
+}
+
+impl Policy for Constant {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> ModeCombination {
+        self.modes.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Fixture;
+    use super::*;
+
+    #[test]
+    fn ignores_budget() {
+        let f = Fixture::new(&[(20.0, 2.0), (20.0, 2.0)]);
+        let mut p = Constant::all_turbo(2);
+        for budget in [1.0, 20.0, 100.0] {
+            let combo = p.decide(&f.ctx(budget));
+            assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Turbo));
+        }
+    }
+
+    #[test]
+    fn name_includes_assignment() {
+        let p = Constant::new(ModeCombination::new(vec![PowerMode::Eff2, PowerMode::Turbo]));
+        assert_eq!(p.name(), "Static[Eff2, Turbo]");
+        assert_eq!(p.modes().len(), 2);
+    }
+}

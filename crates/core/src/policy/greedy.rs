@@ -1,0 +1,144 @@
+//! Greedy MaxBIPS — our scalability extension for large core counts.
+
+use gpm_types::{CoreId, ModeCombination, PowerMode};
+
+use super::{Policy, PolicyContext};
+
+/// A greedy approximation of [`MaxBips`](crate::MaxBips) whose decision
+/// cost is O(N·modes·steps) instead of the exhaustive 3^N enumeration.
+///
+/// The paper limits itself to three modes precisely because "the number of
+/// required prediction or exploration steps has a superlinear dependence on
+/// the number of modes" — and exhaustive MaxBIPS grows as 3^N in cores. For
+/// the 16–64-core chips the paper's tool can model, enumeration is already
+/// 4.3×10⁷…3.4×10³⁰ combinations per decision. This policy instead:
+///
+/// 1. starts from all-Turbo,
+/// 2. while over budget, demotes one step the core with the best marginal
+///    power-saved-per-BIPS-lost ratio,
+/// 3. then promotes any cores that still fit (largest BIPS gain first).
+///
+/// The `ablation_search` bench quantifies the throughput it gives up
+/// relative to exhaustive MaxBIPS (typically none-to-negligible, because
+/// per-core contributions are additive and the marginal-ratio demotion is
+/// near-optimal for additive budgets).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::{GreedyMaxBips, Policy};
+///
+/// assert_eq!(GreedyMaxBips::new().name(), "GreedyMaxBIPS");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyMaxBips {
+    _priv: (),
+}
+
+impl GreedyMaxBips {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for GreedyMaxBips {
+    fn name(&self) -> &str {
+        "GreedyMaxBIPS"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> ModeCombination {
+        let m = ctx.matrices;
+        let n = m.cores();
+        let mut modes = ModeCombination::uniform(n, PowerMode::Turbo);
+
+        // Demote by best marginal ratio until the budget fits.
+        while m.chip_power(&modes) > ctx.budget {
+            let best = CoreId::all(n)
+                .filter_map(|id| {
+                    let cur = modes.mode(id);
+                    let slower = cur.slower()?;
+                    let d_power = (m.power(id, cur) - m.power(id, slower)).value();
+                    let d_bips = (m.bips(id, cur) - m.bips(id, slower)).value();
+                    // Higher saved-power-per-lost-BIPS is better; a zero
+                    // BIPS loss is infinitely good.
+                    let ratio = if d_bips <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        d_power / d_bips
+                    };
+                    Some((ratio, id, slower))
+                })
+                .max_by(|a, b| a.0.total_cmp(&b.0));
+            let Some((_, id, slower)) = best else { break };
+            modes.set(id, slower);
+        }
+
+        // Promotion pass: reclaim slack with the biggest BIPS gains.
+        'promote: loop {
+            let mut gains: Vec<(f64, CoreId, PowerMode)> = CoreId::all(n)
+                .filter_map(|id| {
+                    let faster = modes.mode(id).faster()?;
+                    let gain = (m.bips(id, faster) - m.bips(id, modes.mode(id))).value();
+                    Some((gain, id, faster))
+                })
+                .collect();
+            gains.sort_by(|a, b| b.0.total_cmp(&a.0));
+            for (_, id, faster) in gains {
+                let mut trial = modes.clone();
+                trial.set(id, faster);
+                if m.chip_power(&trial) <= ctx.budget {
+                    modes = trial;
+                    continue 'promote;
+                }
+            }
+            break;
+        }
+
+        modes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Fixture;
+    use super::*;
+    use crate::MaxBips;
+
+    #[test]
+    fn matches_exhaustive_on_small_chips() {
+        let f = Fixture::new(&[(20.0, 2.2), (18.0, 1.6), (14.0, 0.9), (11.0, 0.3)]);
+        for budget in [40.0, 45.0, 50.0, 55.0, 60.0, 63.0] {
+            let greedy = GreedyMaxBips::new().decide(&f.ctx(budget));
+            let exact = MaxBips::new().decide(&f.ctx(budget));
+            let g = f.matrices.chip_bips(&greedy).value();
+            let e = f.matrices.chip_bips(&exact).value();
+            assert!(
+                g >= e * 0.995,
+                "budget {budget}: greedy {g} vs exhaustive {e} ({greedy} vs {exact})"
+            );
+            assert!(f.matrices.chip_power(&greedy).value() <= budget);
+        }
+    }
+
+    #[test]
+    fn scales_to_many_cores() {
+        // 24 cores: exhaustive would need 3^24 ≈ 2.8×10¹¹ evaluations.
+        let turbo: Vec<(f64, f64)> = (0..24)
+            .map(|i| (10.0 + (i % 7) as f64, 0.5 + (i % 5) as f64 * 0.4))
+            .collect();
+        let f = Fixture::new(&turbo);
+        let total: f64 = turbo.iter().map(|&(p, _)| p).sum();
+        let combo = GreedyMaxBips::new().decide(&f.ctx(total * 0.8));
+        assert_eq!(combo.len(), 24);
+        assert!(f.matrices.chip_power(&combo).value() <= total * 0.8);
+    }
+
+    #[test]
+    fn infeasible_budget_floors_at_eff2() {
+        let f = Fixture::new(&[(20.0, 2.0), (20.0, 2.0)]);
+        let combo = GreedyMaxBips::new().decide(&f.ctx(1.0));
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Eff2));
+    }
+}

@@ -1,0 +1,164 @@
+//! The dual problem: minimise power for a given performance target.
+//!
+//! The paper's introduction singles this out as the open companion problem
+//! ("the other, related problem of minimizing the power for a given
+//! multi-core performance target has similarly not been analyzed in
+//! detail") — this policy is our extension covering it with the same
+//! matrix-prediction machinery.
+
+use gpm_types::{Bips, ModeCombination, PowerMode};
+
+use super::{Policy, PolicyContext};
+
+/// MinPower: pick the **lowest-power** mode combination whose predicted
+/// chip throughput (with transition de-rating) still meets a performance
+/// target, expressed as a fraction of the chip's predicted all-Turbo
+/// throughput.
+///
+/// The budget in the [`PolicyContext`] is treated as a hard safety net: a
+/// combination must also fit the budget, so MinPower composes with the
+/// chip's power envelope (set the budget to 100% to study the pure dual
+/// problem).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::{MinPower, Policy};
+///
+/// let p = MinPower::new(0.95); // allow at most 5% throughput loss
+/// assert_eq!(p.name(), "MinPower");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MinPower {
+    target_fraction: f64,
+}
+
+impl MinPower {
+    /// Creates the policy with a throughput target of
+    /// `target_fraction × predicted all-Turbo BIPS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `target_fraction` is within `(0, 1]`.
+    #[must_use]
+    pub fn new(target_fraction: f64) -> Self {
+        assert!(
+            target_fraction > 0.0 && target_fraction <= 1.0,
+            "target fraction {target_fraction} outside (0, 1]"
+        );
+        Self { target_fraction }
+    }
+
+    /// The configured throughput target fraction.
+    #[must_use]
+    pub fn target_fraction(&self) -> f64 {
+        self.target_fraction
+    }
+}
+
+impl Policy for MinPower {
+    fn name(&self) -> &str {
+        "MinPower"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> ModeCombination {
+        let m = ctx.matrices;
+        let cores = m.cores();
+        let all_turbo = ModeCombination::uniform(cores, PowerMode::Turbo);
+        let target: Bips = m.chip_bips(&all_turbo) * self.target_fraction;
+
+        let mut best: Option<(f64, ModeCombination)> = None;
+        let mut fastest_feasible: Option<(f64, ModeCombination)> = None;
+        for combo in ModeCombination::enumerate(cores) {
+            let power = m.chip_power(&combo);
+            if power > ctx.budget {
+                continue;
+            }
+            let bips = m.chip_bips_with_transition(ctx.current_modes, &combo, ctx.dvfs, ctx.explore);
+            if fastest_feasible
+                .as_ref()
+                .is_none_or(|(b, _)| bips.value() > *b)
+            {
+                fastest_feasible = Some((bips.value(), combo.clone()));
+            }
+            if bips < target {
+                continue;
+            }
+            if best.as_ref().is_none_or(|(p, _)| power.value() < *p) {
+                best = Some((power.value(), combo));
+            }
+        }
+        // If no combination meets the target (e.g. right after a deep mode
+        // switch whose transition de-rating eats the slack), deliver as
+        // much performance as the budget allows.
+        best.or(fastest_feasible)
+            .map_or_else(
+                || ModeCombination::uniform(cores, PowerMode::Eff2),
+                |(_, combo)| combo,
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Fixture;
+    use super::*;
+    use gpm_types::CoreId;
+
+    #[test]
+    fn loose_target_drops_everything_to_eff2() {
+        let f = Fixture::new(&[(20.0, 2.0), (12.0, 0.5)]);
+        // Eff2 costs 15% of each core's BIPS → chip keeps 85% ≥ 80% target.
+        let combo = MinPower::new(0.80).decide(&f.ctx(100.0));
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Eff2), "{combo}");
+    }
+
+    #[test]
+    fn tight_target_keeps_turbo() {
+        let f = Fixture::new(&[(20.0, 2.0), (12.0, 0.5)]);
+        // 99.9% target cannot be met by any demotion (and the all-Turbo
+        // self-transition costs nothing).
+        let combo = MinPower::new(0.999).decide(&f.ctx(100.0));
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Turbo), "{combo}");
+    }
+
+    #[test]
+    fn sacrifices_low_bips_core_first() {
+        // Meeting a 95% chip target is cheapest by slowing the slow core.
+        let f = Fixture::new(&[(20.0, 2.2), (12.0, 0.3)]);
+        let combo = MinPower::new(0.95).decide(&f.ctx(100.0));
+        assert_eq!(combo.mode(CoreId::new(0)), PowerMode::Turbo);
+        assert!(combo.mode(CoreId::new(1)) < PowerMode::Turbo, "{combo}");
+    }
+
+    #[test]
+    fn target_monotonicity() {
+        let f = Fixture::new(&[(20.0, 2.0), (16.0, 1.4), (12.0, 0.6)]);
+        let mut last_power = f64::INFINITY;
+        for target in [0.99, 0.95, 0.90, 0.85] {
+            let combo = MinPower::new(target).decide(&f.ctx(100.0));
+            let power = f.matrices.chip_power(&combo).value();
+            assert!(
+                power <= last_power + 1e-9,
+                "looser target {target} must not cost more power"
+            );
+            last_power = power;
+        }
+    }
+
+    #[test]
+    fn budget_still_binds() {
+        let f = Fixture::new(&[(20.0, 2.0), (20.0, 2.0)]);
+        // Target wants all-Turbo (40 W) but the budget only allows 36 W:
+        // the policy must fall back to the fastest feasible combination.
+        let combo = MinPower::new(0.999).decide(&f.ctx(36.0));
+        assert!(f.matrices.chip_power(&combo).value() <= 36.0);
+        assert!(combo.as_slice().iter().any(|&m| m < PowerMode::Turbo));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_bad_target() {
+        let _ = MinPower::new(1.5);
+    }
+}

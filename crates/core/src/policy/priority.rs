@@ -1,0 +1,202 @@
+//! The Priority policy (Section 5.2.1).
+
+use gpm_types::{CoreId, ModeCombination};
+
+use super::{Policy, PolicyContext};
+
+/// Priority: fixed per-core priorities, highest core id first.
+///
+/// On a four-core CMP, core 4 (index 3) has the highest priority and core 1
+/// (index 0) the lowest. The policy tries to run the highest-priority core
+/// as fast as possible, preferring to slow down the lowest-priority core
+/// first on a budget overshoot. As the budget increases, cores are released
+/// toward Turbo in priority order — and, as the paper notes, promotion "can
+/// operate out of order" in small budget steps: when the highest-priority
+/// core's next mode does not fit, the first core in priority order whose
+/// promotion *does* satisfy the budget is moved instead.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::{Policy, Priority};
+///
+/// assert_eq!(Priority::new().name(), "Priority");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Priority {
+    /// Core ids from lowest to highest priority; empty = the paper's
+    /// default (ascending core id).
+    order: Vec<CoreId>,
+}
+
+impl Priority {
+    /// Creates the policy with the paper's ordering: the highest core id
+    /// has the highest priority.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the policy with an explicit priority ordering, lowest
+    /// priority first — e.g. to protect a latency-critical thread pinned to
+    /// core 0, pass an order that lists core 0 last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation (contains duplicates).
+    #[must_use]
+    pub fn with_priorities(order: Vec<CoreId>) -> Self {
+        let mut seen = order.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), order.len(), "priority order contains duplicates");
+        Self { order }
+    }
+
+    /// The effective low-to-high priority order for an `n`-core chip.
+    fn order_for(&self, n: usize) -> Vec<CoreId> {
+        if self.order.len() == n {
+            self.order.clone()
+        } else {
+            CoreId::all(n).collect()
+        }
+    }
+}
+
+impl Policy for Priority {
+    fn name(&self) -> &str {
+        "Priority"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> ModeCombination {
+        let m = ctx.matrices;
+        let n = m.cores();
+        let order = self.order_for(n);
+        let mut modes = ctx.current_modes.clone();
+
+        // Overshoot: demote one step at a time, lowest priority first.
+        'demote: while m.chip_power(&modes) > ctx.budget {
+            for &id in &order {
+                if let Some(slower) = modes.mode(id).slower() {
+                    modes.set(id, slower);
+                    continue 'demote;
+                }
+            }
+            break; // everything already at Eff2
+        }
+
+        // Slack: promote, highest priority first, falling through to lower
+        // priorities when the preferred promotion does not fit.
+        'promote: loop {
+            for &id in order.iter().rev() {
+                if let Some(faster) = modes.mode(id).faster() {
+                    let mut trial = modes.clone();
+                    trial.set(id, faster);
+                    if m.chip_power(&trial) <= ctx.budget {
+                        modes = trial;
+                        continue 'promote;
+                    }
+                }
+            }
+            break;
+        }
+
+        modes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Fixture;
+    use super::*;
+    use gpm_types::PowerMode;
+
+    fn uniform_cores() -> Fixture {
+        // Four identical cores, 10 W / 1 BIPS each at Turbo.
+        Fixture::new(&[(10.0, 1.0); 4])
+    }
+
+    #[test]
+    fn generous_budget_all_turbo() {
+        let f = uniform_cores();
+        let combo = Priority::new().decide(&f.ctx(100.0));
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Turbo));
+    }
+
+    #[test]
+    fn highest_priority_core_protected() {
+        let f = uniform_cores();
+        // Budget forces roughly one core's worth of savings: the
+        // lowest-priority core (index 0) is sacrificed; core 3 stays Turbo.
+        let combo = Priority::new().decide(&f.ctx(37.0));
+        assert_eq!(combo.mode(CoreId::new(3)), PowerMode::Turbo);
+        assert!(combo.mode(CoreId::new(0)) < PowerMode::Turbo);
+        // Power fits.
+        assert!(f.matrices.chip_power(&combo).value() <= 37.0);
+    }
+
+    #[test]
+    fn priority_is_lexicographic_under_tight_budget() {
+        let f = uniform_cores();
+        // All-Eff2 chip power = 40 × 0.614 = 24.6 W. At 26 W only a little
+        // headroom exists — it must go to core 3 first.
+        let combo = Priority::new().decide(&f.ctx(26.0));
+        let m3 = combo.mode(CoreId::new(3));
+        for i in 0..3 {
+            assert!(
+                combo.mode(CoreId::new(i)) <= m3,
+                "core {i} must not outrank core 3: {combo}"
+            );
+        }
+        assert!(f.matrices.chip_power(&combo).value() <= 26.0);
+    }
+
+    #[test]
+    fn infeasible_budget_goes_all_eff2() {
+        let f = uniform_cores();
+        let combo = Priority::new().decide(&f.ctx(5.0));
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Eff2));
+    }
+
+    #[test]
+    fn custom_priority_order_is_respected() {
+        let f = uniform_cores();
+        // Reverse of the default: core 0 highest priority, core 3 lowest.
+        let order: Vec<CoreId> = (0..4).rev().map(CoreId::new).collect();
+        let combo = Priority::with_priorities(order).decide(&f.ctx(37.0));
+        assert_eq!(combo.mode(CoreId::new(0)), PowerMode::Turbo);
+        assert!(combo.mode(CoreId::new(3)) < PowerMode::Turbo);
+    }
+
+    #[test]
+    fn wrong_length_order_falls_back_to_default() {
+        let f = uniform_cores();
+        let combo = Priority::with_priorities(vec![CoreId::new(0)]).decide(&f.ctx(37.0));
+        // Falls back to the paper's ordering on a 4-core chip.
+        assert_eq!(combo.mode(CoreId::new(3)), PowerMode::Turbo);
+        assert!(combo.mode(CoreId::new(0)) < PowerMode::Turbo);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn duplicate_priorities_rejected() {
+        let _ = Priority::with_priorities(vec![CoreId::new(1), CoreId::new(1)]);
+    }
+
+    #[test]
+    fn out_of_order_promotion() {
+        // Core 1 (high priority) is hot: promoting it from Eff1 to Turbo
+        // costs more than the slack allows, but promoting cheap core 0
+        // fits. The paper's "first core in priority order that satisfies
+        // the budget" rule promotes core 0.
+        let f = Fixture::new(&[(6.0, 0.6), (30.0, 3.0)]);
+        // Chip Turbo power is 36 W. Budget 32 demotes core 0 to Eff2 then
+        // core 1 to Eff1 (29.4 W). Promotion: core 1 → Turbo (33.7 W) never
+        // fits, so the slack goes to core 0 instead — out of priority
+        // order — stepping it Eff2 → Eff1 (30.9 W) → Turbo (31.7 W).
+        let combo = Priority::new().decide(&f.ctx(32.0));
+        assert_eq!(combo.mode(CoreId::new(1)), PowerMode::Eff1);
+        assert_eq!(combo.mode(CoreId::new(0)), PowerMode::Turbo);
+        assert!(f.matrices.chip_power(&combo).value() <= 32.0);
+    }
+}

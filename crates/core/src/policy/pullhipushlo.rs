@@ -1,0 +1,153 @@
+//! The pullHipushLo policy (Section 5.2.2).
+
+use gpm_types::{CoreId, ModeCombination, Watts};
+
+use super::{Policy, PolicyContext};
+
+/// PullHiPushLo: balance power across cores.
+///
+/// On a budget overshoot the core with the **highest** predicted power is
+/// slowed one step; with available slack the **lowest**-power core is sped
+/// up (when the promotion still fits the budget). Because memory-bound
+/// benchmarks draw the least power, the push side effectively prefers
+/// benchmarks "in their memory-boundedness order", exactly the
+/// prioritisation the paper attributes to this policy — and the inverse of
+/// MaxBIPS's CPU-boundedness preference. The resulting assignments can be
+/// non-monotonic in the budget, which the paper also observes.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::{Policy, PullHiPushLo};
+///
+/// assert_eq!(PullHiPushLo::new().name(), "pullHipushLo");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PullHiPushLo {
+    _priv: (),
+}
+
+impl PullHiPushLo {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Policy for PullHiPushLo {
+    fn name(&self) -> &str {
+        "pullHipushLo"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> ModeCombination {
+        let m = ctx.matrices;
+        let n = m.cores();
+        let mut modes = ctx.current_modes.clone();
+
+        // Pull high: demote the hottest demotable core until the budget
+        // fits (or everything is at Eff2).
+        while m.chip_power(&modes) > ctx.budget {
+            let hottest = CoreId::all(n)
+                .filter(|&id| modes.mode(id).slower().is_some())
+                .max_by(|&a, &b| {
+                    let pa = m.power(a, modes.mode(a));
+                    let pb = m.power(b, modes.mode(b));
+                    pa.value().total_cmp(&pb.value())
+                });
+            let Some(id) = hottest else { break };
+            let slower = modes.mode(id).slower().expect("filtered above");
+            modes.set(id, slower);
+        }
+
+        // Push low: promote the coolest promotable core whose promotion
+        // still fits; repeat until nothing fits.
+        'push: loop {
+            let mut candidates: Vec<CoreId> = CoreId::all(n)
+                .filter(|&id| modes.mode(id).faster().is_some())
+                .collect();
+            candidates.sort_by(|&a, &b| {
+                let pa: Watts = m.power(a, modes.mode(a));
+                let pb: Watts = m.power(b, modes.mode(b));
+                pa.value().total_cmp(&pb.value())
+            });
+            for id in candidates {
+                let mut trial = modes.clone();
+                trial.set(id, trial.mode(id).faster().expect("filtered above"));
+                if m.chip_power(&trial) <= ctx.budget {
+                    modes = trial;
+                    continue 'push;
+                }
+            }
+            break;
+        }
+
+        modes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Fixture;
+    use super::*;
+    use gpm_types::PowerMode;
+
+    #[test]
+    fn slows_the_hottest_core_first() {
+        // Core 1 is the hottest.
+        let f = Fixture::new(&[(12.0, 1.2), (24.0, 2.4), (16.0, 1.6)]);
+        // All-Turbo = 52 W; force one demotion's worth of savings.
+        let combo = PullHiPushLo::new().decide(&f.ctx(49.0));
+        assert!(combo.mode(CoreId::new(1)) < PowerMode::Turbo, "{combo}");
+        assert_eq!(combo.mode(CoreId::new(0)), PowerMode::Turbo);
+        assert_eq!(combo.mode(CoreId::new(2)), PowerMode::Turbo);
+    }
+
+    #[test]
+    fn balances_power_under_tight_budget() {
+        let f = Fixture::new(&[(20.0, 2.0), (20.0, 2.0), (20.0, 2.0)]);
+        // 60 W at Turbo; 47 W forces several demotions, spread across cores
+        // rather than stacked on one.
+        let combo = PullHiPushLo::new().decide(&f.ctx(47.0));
+        assert!(f.matrices.chip_power(&combo).value() <= 47.0);
+        let eff2_count = combo
+            .as_slice()
+            .iter()
+            .filter(|&&m| m == PowerMode::Eff2)
+            .count();
+        assert!(eff2_count <= 1, "demotions spread out: {combo}");
+    }
+
+    #[test]
+    fn promotes_coolest_core_with_slack() {
+        let f = Fixture::new(&[(8.0, 0.4), (22.0, 2.2)]);
+        // Turbo total 30 W. Budget 26: demote hot core → (T .. no wait) —
+        // policy slows core 1 (hottest): (8 + 18.9) = 26.9 > 26; again →
+        // (8 + 13.5) = 21.5 ≤ 26. Then push: coolest promotable is core 0
+        // at Turbo already? No: core 0 never demoted, it's Turbo; core 1 at
+        // Eff2. Promote core 1 → Eff1 = 26.9 > 26 fails. Stable.
+        let combo = PullHiPushLo::new().decide(&f.ctx(26.0));
+        assert_eq!(combo.mode(CoreId::new(0)), PowerMode::Turbo);
+        assert_eq!(combo.mode(CoreId::new(1)), PowerMode::Eff2);
+        assert!(f.matrices.chip_power(&combo).value() <= 26.0);
+    }
+
+    #[test]
+    fn all_eff2_when_infeasible() {
+        let f = Fixture::new(&[(20.0, 2.0), (20.0, 2.0)]);
+        let combo = PullHiPushLo::new().decide(&f.ctx(3.0));
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Eff2));
+    }
+
+    #[test]
+    fn fits_budget_across_sweep() {
+        let f = Fixture::new(&[(18.0, 1.8), (14.0, 1.0), (11.0, 0.5)]);
+        for budget in [27.0, 30.0, 33.0, 36.0, 39.0, 43.0] {
+            let combo = PullHiPushLo::new().decide(&f.ctx(budget));
+            assert!(
+                f.matrices.chip_power(&combo).value() <= budget,
+                "budget {budget}: {combo}"
+            );
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Optimistic static mode assignment — the lower bound of Section 5.7.
+//!
+//! For each target budget, pick one fixed mode per core and never change it.
+//! The paper makes the static case *optimistic*: the assignment is chosen
+//! with oracle knowledge of each benchmark's whole native execution at each
+//! mode (so it is the best achievable static configuration for that
+//! budget), yet it still loses to dynamic management because a fixed
+//! configuration cannot follow temporal phase variation.
+//!
+//! The evaluation is analytic over the native per-mode traces — no
+//! simulation, no transition costs (a static chip never transitions):
+//! termination is when the first benchmark completes, each core's progress
+//! is read off its mode's trace, and power is averaged over the run window.
+//!
+//! The paper does not say whether an assignment "satisfies budget
+//! requirements" by average or by worst-case power; [`BudgetCriterion`]
+//! exposes both. The default is the windowed peak: the chip's worst
+//! 500 µs-window average power must fit, which is exactly the granularity
+//! at which the dynamic policies enforce the budget (one explore interval).
+//! The pure whole-run average is available as the laxer alternative.
+
+use std::sync::Arc;
+
+use gpm_trace::BenchmarkTraces;
+use gpm_types::{Bips, CoreId, GpmError, Micros, ModeCombination, PowerMode, Result, Watts};
+
+/// How a static assignment must satisfy the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetCriterion {
+    /// Whole-run average chip power must fit — laxer than what the dynamic
+    /// policies are held to.
+    AveragePower,
+    /// The worst explore-window (500 µs) average chip power must fit —
+    /// the same granularity the dynamic policies enforce (default).
+    #[default]
+    PeakPower,
+}
+
+/// The budget-enforcement window for [`BudgetCriterion::PeakPower`],
+/// matching the paper's explore interval.
+const ENFORCEMENT_WINDOW: Micros = Micros::new(500.0);
+
+/// The evaluated outcome of one static mode assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticAssignment {
+    /// The fixed per-core modes.
+    pub modes: ModeCombination,
+    /// Run duration (first benchmark's completion).
+    pub duration: Micros,
+    /// Whole-run average chip power.
+    pub average_power: Watts,
+    /// Worst 500 µs-window average chip power (time-aligned across cores).
+    pub peak_power: Watts,
+    /// Chip throughput over the run.
+    pub chip_bips: Bips,
+    /// Per-core average instruction rates (instructions per second).
+    pub per_core_ips: Vec<f64>,
+}
+
+/// Evaluates one fixed assignment analytically from the native traces.
+///
+/// # Errors
+///
+/// Returns [`GpmError::CoreCountMismatch`] if `modes` does not cover
+/// `traces`.
+pub fn evaluate(
+    traces: &[Arc<BenchmarkTraces>],
+    modes: &ModeCombination,
+) -> Result<StaticAssignment> {
+    if modes.len() != traces.len() {
+        return Err(GpmError::CoreCountMismatch {
+            expected: traces.len(),
+            actual: modes.len(),
+        });
+    }
+
+    // Termination: the first core to finish its region, natively in its
+    // assigned mode.
+    let duration = traces
+        .iter()
+        .zip(modes.iter())
+        .map(|(t, (_, mode))| {
+            t.completion_time(mode)
+                .unwrap_or_else(|| t.trace(mode).duration())
+        })
+        .fold(Micros::new(f64::INFINITY), Micros::min);
+
+    let secs = duration.to_seconds().value();
+    let mut total_instr = 0.0f64;
+    let mut avg_power = 0.0f64;
+    let mut per_core_ips = Vec::with_capacity(traces.len());
+    for (t, (_, mode)) in traces.iter().zip(modes.iter()) {
+        let trace = t.trace(mode);
+        let instr = trace.instructions_by(duration).min(t.total_instructions()) as f64;
+        total_instr += instr;
+        per_core_ips.push(instr / secs);
+        avg_power += trace.average_power_until(duration).value();
+    }
+
+    // Time-aligned chip power series (all cores start at t = 0 and never
+    // switch), reduced to the worst explore-window average.
+    let delta = traces[0].trace(PowerMode::Turbo).delta();
+    let steps = ((duration.value() / delta.value()).ceil() as usize).max(1);
+    let chip_series: Vec<f64> = (0..steps)
+        .map(|k| {
+            traces
+                .iter()
+                .zip(modes.iter())
+                .map(|(t, (_, mode))| {
+                    let samples = t.trace(mode).samples();
+                    samples[k.min(samples.len() - 1)].power_w
+                })
+                .sum()
+        })
+        .collect();
+    let window = ((ENFORCEMENT_WINDOW.value() / delta.value()).round() as usize).max(1);
+    let peak_power = chip_series
+        .windows(window.min(chip_series.len()))
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .fold(f64::NEG_INFINITY, f64::max);
+
+    Ok(StaticAssignment {
+        modes: modes.clone(),
+        duration,
+        average_power: Watts::new(avg_power),
+        peak_power: Watts::new(peak_power),
+        chip_bips: Bips::new(total_instr / secs / 1.0e9),
+        per_core_ips,
+    })
+}
+
+/// Exhaustively searches the 3^N static assignments for the
+/// highest-throughput one that satisfies `budget` under `criterion` — the
+/// "optimistic static management" bound.
+///
+/// Returns `None` when no assignment fits (not even all-Eff2).
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn best(
+    traces: &[Arc<BenchmarkTraces>],
+    budget: Watts,
+    criterion: BudgetCriterion,
+) -> Result<Option<StaticAssignment>> {
+    let mut best: Option<StaticAssignment> = None;
+    for modes in ModeCombination::enumerate(traces.len()) {
+        let candidate = evaluate(traces, &modes)?;
+        let power = match criterion {
+            BudgetCriterion::AveragePower => candidate.average_power,
+            BudgetCriterion::PeakPower => candidate.peak_power,
+        };
+        if power > budget {
+            continue;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.chip_bips > b.chip_bips)
+        {
+            best = Some(candidate);
+        }
+    }
+    Ok(best)
+}
+
+/// Like [`best`], but falling back to the all-Eff2 floor when nothing
+/// fits — convenient for sweeps where every budget needs *some* point.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn best_or_floor(
+    traces: &[Arc<BenchmarkTraces>],
+    budget: Watts,
+    criterion: BudgetCriterion,
+) -> Result<StaticAssignment> {
+    match best(traces, budget, criterion)? {
+        Some(a) => Ok(a),
+        None => evaluate(
+            traces,
+            &ModeCombination::uniform(traces.len(), PowerMode::Eff2),
+        ),
+    }
+}
+
+/// The all-Turbo reference point used to express static results as
+/// degradations.
+///
+/// # Errors
+///
+/// Propagates evaluation errors.
+pub fn all_turbo(traces: &[Arc<BenchmarkTraces>]) -> Result<StaticAssignment> {
+    evaluate(
+        traces,
+        &ModeCombination::uniform(traces.len(), PowerMode::Turbo),
+    )
+}
+
+impl StaticAssignment {
+    /// Throughput degradation relative to a baseline assignment
+    /// (typically [`all_turbo`]).
+    #[must_use]
+    pub fn degradation_vs(&self, baseline: &StaticAssignment) -> f64 {
+        1.0 - self.chip_bips.value() / baseline.chip_bips.value()
+    }
+
+    /// Weighted slowdown (harmonic mean of per-thread speedups) relative
+    /// to a baseline assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline covers a different core count.
+    #[must_use]
+    pub fn weighted_slowdown_vs(&self, baseline: &StaticAssignment) -> f64 {
+        assert_eq!(self.per_core_ips.len(), baseline.per_core_ips.len());
+        let speedups = self
+            .per_core_ips
+            .iter()
+            .zip(&baseline.per_core_ips)
+            .map(|(a, b)| a / b);
+        1.0 - gpm_types::SummaryStats::harmonic_mean(speedups)
+    }
+
+    /// `CoreId`-indexed access to the fixed mode of one core.
+    #[must_use]
+    pub fn mode(&self, core: CoreId) -> PowerMode {
+        self.modes.mode(core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_trace::{ModeTrace, TraceSample};
+
+    /// Constant-rate synthetic trace set (same helper shape as gpm-cmp's
+    /// tests): linear BIPS scaling, cubic power scaling across modes.
+    fn constant_traces(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
+        let delta = Micros::new(50.0);
+        let delta_s = delta.to_seconds().value();
+        let traces = PowerMode::ALL
+            .map(|mode| {
+                let b = bips * mode.bips_scale_bound();
+                let p = power * mode.power_scale();
+                let per_delta = b * 1.0e9 * delta_s;
+                let samples: Vec<TraceSample> = (1..=2000)
+                    .map(|k| TraceSample {
+                        instructions_end: (per_delta * k as f64).round() as u64,
+                        power_w: p,
+                        bips: b,
+                    })
+                    .collect();
+                ModeTrace::new(mode, delta, samples)
+            })
+            .to_vec();
+        Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+    }
+
+    fn pair() -> Vec<Arc<BenchmarkTraces>> {
+        vec![
+            constant_traces("fast", 10_000_000, 2.0, 20.0),
+            constant_traces("slow", 10_000_000, 0.5, 12.0),
+        ]
+    }
+
+    #[test]
+    fn evaluate_all_turbo() {
+        let traces = pair();
+        let a = all_turbo(&traces).unwrap();
+        assert!((a.average_power.value() - 32.0).abs() < 1e-9);
+        assert!((a.chip_bips.value() - 2.5).abs() < 0.01);
+        // "fast" finishes first: 10M instr at 2 BIPS = 5000 µs.
+        assert!((a.duration.value() - 5000.0).abs() < 50.0);
+        assert_eq!(a.per_core_ips.len(), 2);
+    }
+
+    #[test]
+    fn best_obeys_budget_and_maximises_bips() {
+        let traces = pair();
+        // All-Turbo needs 32 W. At 30 W the best static point demotes the
+        // slow core (cheap in BIPS).
+        let a = best(&traces, Watts::new(30.0), BudgetCriterion::AveragePower)
+            .unwrap()
+            .unwrap();
+        assert!(a.average_power.value() <= 30.0);
+        assert_eq!(a.mode(CoreId::new(0)), PowerMode::Turbo);
+        assert!(a.mode(CoreId::new(1)) < PowerMode::Turbo);
+    }
+
+    #[test]
+    fn nothing_fits_returns_none_and_floor_works() {
+        let traces = pair();
+        assert!(best(&traces, Watts::new(5.0), BudgetCriterion::AveragePower)
+            .unwrap()
+            .is_none());
+        let floor = best_or_floor(&traces, Watts::new(5.0), BudgetCriterion::AveragePower).unwrap();
+        assert!(floor.modes.as_slice().iter().all(|&m| m == PowerMode::Eff2));
+    }
+
+    #[test]
+    fn peak_criterion_is_stricter() {
+        // With a peaky core the windowed-peak criterion must reject more
+        // than the whole-run average.
+        let delta = Micros::new(50.0);
+        // 500 µs-long bursts (10 samples) alternating 22 W and 10 W: the
+        // whole-run average is 16 W but the worst explore window sees 22 W.
+        let spiky: Vec<TraceSample> = (1..=2000)
+            .map(|k| TraceSample {
+                instructions_end: k * 100_000,
+                power_w: if (k / 10) % 2 == 0 { 22.0 } else { 10.0 },
+                bips: 2.0,
+            })
+            .collect();
+        let traces = vec![Arc::new(
+            BenchmarkTraces::new(
+                "spiky",
+                10_000_000,
+                PowerMode::ALL
+                    .map(|m| {
+                        ModeTrace::new(
+                            m,
+                            delta,
+                            spiky
+                                .iter()
+                                .map(|s| TraceSample {
+                                    power_w: s.power_w * m.power_scale(),
+                                    bips: s.bips * m.bips_scale_bound(),
+                                    ..*s
+                                })
+                                .collect(),
+                        )
+                    })
+                    .to_vec(),
+            )
+            .unwrap(),
+        )];
+        let avg_ok = best(&traces, Watts::new(18.0), BudgetCriterion::AveragePower)
+            .unwrap()
+            .unwrap();
+        assert_eq!(avg_ok.mode(CoreId::new(0)), PowerMode::Turbo);
+        let peak = best(&traces, Watts::new(18.0), BudgetCriterion::PeakPower)
+            .unwrap()
+            .unwrap();
+        assert!(peak.mode(CoreId::new(0)) < PowerMode::Turbo);
+    }
+
+    #[test]
+    fn degradation_and_slowdown_metrics() {
+        let traces = pair();
+        let base = all_turbo(&traces).unwrap();
+        let a = best(&traces, Watts::new(28.0), BudgetCriterion::AveragePower)
+            .unwrap()
+            .unwrap();
+        let deg = a.degradation_vs(&base);
+        assert!((0.0..0.2).contains(&deg), "degradation {deg}");
+        let ws = a.weighted_slowdown_vs(&base);
+        assert!(ws >= deg - 1e-9, "weighted slowdown at least as harsh: {ws} vs {deg}");
+    }
+
+    #[test]
+    fn mismatched_modes_rejected() {
+        let traces = pair();
+        let err = evaluate(&traces, &ModeCombination::uniform(3, PowerMode::Turbo));
+        assert!(matches!(err, Err(GpmError::CoreCountMismatch { .. })));
+    }
+}

@@ -1,0 +1,155 @@
+//! Manager control-loop edge cases, driven through synthetic traces.
+
+use std::sync::Arc;
+
+use gpm_cmp::{SimParams, TraceCmpSim};
+use gpm_core::{
+    BudgetSchedule, Constant, GlobalManager, MaxBips, Policy, PolicyContext, RunResult,
+};
+use gpm_trace::{BenchmarkTraces, ModeTrace, TraceSample};
+use gpm_types::{GpmError, Micros, ModeCombination, PowerMode};
+
+fn constant_traces(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
+    let delta = Micros::new(50.0);
+    let delta_s = delta.to_seconds().value();
+    let traces = PowerMode::ALL
+        .map(|mode| {
+            let b = bips * mode.bips_scale_bound();
+            let p = power * mode.power_scale();
+            let per_delta = b * 1.0e9 * delta_s;
+            let samples: Vec<TraceSample> = (1..=4000)
+                .map(|k| TraceSample {
+                    instructions_end: (per_delta * k as f64).round() as u64,
+                    power_w: p,
+                    bips: b,
+                })
+                .collect();
+            ModeTrace::new(mode, delta, samples)
+        })
+        .to_vec();
+    Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+}
+
+fn sim(totals: &[(f64, f64, u64)]) -> TraceCmpSim {
+    let traces = totals
+        .iter()
+        .enumerate()
+        .map(|(i, &(bips, power, total))| constant_traces(&format!("b{i}"), total, bips, power))
+        .collect();
+    TraceCmpSim::new(traces, SimParams::default()).unwrap()
+}
+
+#[test]
+fn misbehaving_policy_is_surfaced_as_error() {
+    struct WrongWidth;
+    impl Policy for WrongWidth {
+        fn name(&self) -> &str {
+            "WrongWidth"
+        }
+        fn decide(&mut self, _ctx: &PolicyContext<'_>) -> ModeCombination {
+            ModeCombination::uniform(7, PowerMode::Turbo) // wrong core count
+        }
+    }
+    let err = GlobalManager::new()
+        .run(
+            sim(&[(2.0, 20.0, 50_000_000), (1.0, 12.0, 50_000_000)]),
+            &mut WrongWidth,
+            &BudgetSchedule::constant(0.8),
+        )
+        .unwrap_err();
+    assert!(matches!(err, GpmError::CoreCountMismatch { expected: 2, actual: 7 }));
+}
+
+#[test]
+fn warmup_interval_is_flagged_and_excluded() {
+    let run = GlobalManager::new()
+        .run(
+            sim(&[(2.0, 20.0, 4_000_000)]),
+            &mut Constant::new(ModeCombination::uniform(1, PowerMode::Eff2)),
+            &BudgetSchedule::constant(1.0),
+        )
+        .unwrap();
+    assert!(run.records[0].bootstrap);
+    assert!(run.records[1..].iter().all(|r| !r.bootstrap));
+    // Warm-up ran at Turbo; measured power must reflect the Eff2 steady
+    // state only.
+    let expected = 20.0 * PowerMode::Eff2.power_scale();
+    assert!(
+        (run.average_chip_power().value() - expected).abs() < 0.2,
+        "steady Eff2 power {} vs expected {expected}",
+        run.average_chip_power()
+    );
+    // Throughput likewise excludes the fast warm-up interval.
+    let expected_bips = 2.0 * 0.85;
+    assert!((run.average_chip_bips().value() - expected_bips).abs() < 0.02);
+}
+
+#[test]
+fn run_terminates_exactly_at_first_completion() {
+    // Core 0 finishes its 2M instructions at 2 BIPS in 1 ms.
+    let run = GlobalManager::new()
+        .run(
+            sim(&[(2.0, 20.0, 2_000_000), (0.5, 12.0, u64::MAX / 2)]),
+            &mut Constant::all_turbo(2),
+            &BudgetSchedule::constant(1.0),
+        )
+        .unwrap();
+    let total_time: f64 = run.records.iter().map(|r| r.duration.value()).sum();
+    assert!((total_time - 1000.0).abs() < 50.0 + 1e-9, "run length {total_time}");
+    assert_eq!(run.per_core_instructions.len(), 2);
+}
+
+#[test]
+fn stall_accounting_accumulates_only_on_changes() {
+    // MaxBIPS at a generous budget never leaves Turbo: no stalls after the
+    // initial (no-op) assignment.
+    let run: RunResult = GlobalManager::new()
+        .run(
+            sim(&[(2.0, 20.0, 20_000_000), (1.0, 12.0, 20_000_000)]),
+            &mut MaxBips::new(),
+            &BudgetSchedule::constant(1.0),
+        )
+        .unwrap();
+    assert_eq!(run.total_stall(), Micros::ZERO);
+    // A tight budget forces at least one transition.
+    let run = GlobalManager::new()
+        .run(
+            sim(&[(2.0, 20.0, 20_000_000), (1.0, 12.0, 20_000_000)]),
+            &mut MaxBips::new(),
+            &BudgetSchedule::constant(0.7),
+        )
+        .unwrap();
+    assert!(run.total_stall() > Micros::ZERO);
+}
+
+#[test]
+fn run_result_json_roundtrip() {
+    let run = GlobalManager::new()
+        .run(
+            sim(&[(2.0, 20.0, 3_000_000), (0.8, 11.0, 3_000_000)]),
+            &mut MaxBips::new(),
+            &BudgetSchedule::constant(0.85),
+        )
+        .unwrap();
+    let json = run.to_json().unwrap();
+    let back = RunResult::from_json(&json).unwrap();
+    assert_eq!(back.policy, run.policy);
+    assert_eq!(back.per_core_instructions, run.per_core_instructions);
+    assert_eq!(back.records.len(), run.records.len());
+    assert_eq!(back.records[0].modes, run.records[0].modes);
+    assert!(RunResult::from_json("nope").is_err());
+}
+
+#[test]
+fn benchmarks_and_envelope_are_reported() {
+    let run = GlobalManager::new()
+        .run(
+            sim(&[(2.0, 20.0, 5_000_000), (1.0, 10.0, 5_000_000)]),
+            &mut Constant::all_turbo(2),
+            &BudgetSchedule::constant(1.0),
+        )
+        .unwrap();
+    assert_eq!(run.benchmarks, vec!["b0", "b1"]);
+    assert!((run.envelope.value() - 30.0).abs() < 1e-9);
+    assert_eq!(run.policy, "Static[Turbo, Turbo]");
+}

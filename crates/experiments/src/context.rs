@@ -1,0 +1,289 @@
+//! Shared experiment context: trace store, sweep helpers, policy registry.
+
+use std::sync::{Arc, OnceLock};
+
+use gpm_cmp::SimParams;
+use gpm_core::{
+    static_oracle, sweep_policy, turbo_baseline, ChipWide, CurvePoint, GreedyMaxBips, MaxBips,
+    Oracle, Policy, PolicyCurve, Priority, PullHiPushLo, DEFAULT_BUDGETS,
+};
+use gpm_trace::{BenchmarkTraces, CaptureConfig, TraceStore};
+use gpm_types::{Result, Watts};
+use gpm_workloads::WorkloadCombo;
+
+/// Shared state for experiment runs: the (memoising) trace store and the
+/// simulation parameters.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    store: Arc<TraceStore>,
+    params: SimParams,
+    budgets: Vec<f64>,
+}
+
+impl ExperimentContext {
+    /// Full-fidelity context: complete benchmark regions, captures cached
+    /// on disk under `target/gpm-trace-cache` (override with the
+    /// `GPM_TRACE_CACHE` environment variable). This is what the bench
+    /// harness uses; the first run pays the capture cost once.
+    #[must_use]
+    pub fn full() -> Self {
+        let dir = std::env::var("GPM_TRACE_CACHE")
+            .unwrap_or_else(|_| "target/gpm-trace-cache".to_owned());
+        Self {
+            store: Arc::new(TraceStore::with_disk_cache(CaptureConfig::default(), dir)),
+            params: SimParams::default(),
+            budgets: DEFAULT_BUDGETS.to_vec(),
+        }
+    }
+
+    /// Reduced-fidelity context for tests and examples: every region is
+    /// truncated to ~6 ms of Turbo wall time (a dozen explore intervals),
+    /// with fewer budget points. The underlying store is shared
+    /// process-wide (and disk-cached), so repeated calls do not recapture.
+    #[must_use]
+    pub fn fast() -> Self {
+        static FAST_STORE: OnceLock<Arc<TraceStore>> = OnceLock::new();
+        let store = FAST_STORE.get_or_init(|| {
+            let dir = std::env::var("GPM_TRACE_CACHE_FAST")
+                .unwrap_or_else(|_| "target/gpm-trace-cache-fast".to_owned());
+            Arc::new(TraceStore::with_disk_cache(
+                CaptureConfig::fast_duration(gpm_types::Micros::from_millis(6.0)),
+                dir,
+            ))
+        });
+        Self {
+            store: Arc::clone(store),
+            params: SimParams::default(),
+            budgets: vec![0.65, 0.75, 0.85, 0.95],
+        }
+    }
+
+    /// Custom context.
+    #[must_use]
+    pub fn new(store: TraceStore, params: SimParams, budgets: Vec<f64>) -> Self {
+        Self {
+            store: Arc::new(store),
+            params,
+            budgets,
+        }
+    }
+
+    /// The trace store.
+    #[must_use]
+    pub fn store(&self) -> &TraceStore {
+        &self.store
+    }
+
+    /// The simulation parameters.
+    #[must_use]
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// The budget sweep (fractions of maximum chip power).
+    #[must_use]
+    pub fn budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// Per-core traces for a combo (captured or loaded on first use).
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture errors.
+    pub fn traces(&self, combo: &WorkloadCombo) -> Result<Vec<Arc<BenchmarkTraces>>> {
+        self.store.combo(combo)
+    }
+}
+
+/// The dynamic policies experiments can sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants mirror the policy type names
+pub enum PolicyKind {
+    MaxBips,
+    Priority,
+    PullHiPushLo,
+    ChipWide,
+    Oracle,
+    GreedyMaxBips,
+}
+
+impl PolicyKind {
+    /// Builds a fresh policy instance.
+    #[must_use]
+    pub fn make(self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::MaxBips => Box::new(MaxBips::new()),
+            PolicyKind::Priority => Box::new(Priority::new()),
+            PolicyKind::PullHiPushLo => Box::new(PullHiPushLo::new()),
+            PolicyKind::ChipWide => Box::new(ChipWide::new()),
+            PolicyKind::Oracle => Box::new(Oracle::new()),
+            PolicyKind::GreedyMaxBips => Box::new(GreedyMaxBips::new()),
+        }
+    }
+
+    /// The policy's display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::MaxBips => "MaxBIPS",
+            PolicyKind::Priority => "Priority",
+            PolicyKind::PullHiPushLo => "pullHipushLo",
+            PolicyKind::ChipWide => "ChipWideDVFS",
+            PolicyKind::Oracle => "Oracle",
+            PolicyKind::GreedyMaxBips => "GreedyMaxBIPS",
+        }
+    }
+}
+
+/// Policy curves for one workload combo, plus the optimistic-static bound.
+#[derive(Debug, Clone)]
+pub struct SuiteCurves {
+    /// The combo's label (`a|b|c|d`).
+    pub combo: String,
+    /// One curve per swept dynamic policy, in request order.
+    pub dynamic: Vec<PolicyCurve>,
+    /// The optimistic-static curve, when requested.
+    pub static_curve: Option<PolicyCurve>,
+}
+
+impl SuiteCurves {
+    /// Looks a curve up by policy name ("Static" finds the static bound).
+    #[must_use]
+    pub fn curve(&self, name: &str) -> Option<&PolicyCurve> {
+        if name == "Static" {
+            return self.static_curve.as_ref();
+        }
+        self.dynamic.iter().find(|c| c.policy == name)
+    }
+}
+
+/// Sweeps a set of dynamic policies (and optionally the static bound) over
+/// the context's budgets for one combo.
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors.
+pub fn suite_curves(
+    ctx: &ExperimentContext,
+    combo: &WorkloadCombo,
+    policies: &[PolicyKind],
+    include_static: bool,
+) -> Result<SuiteCurves> {
+    let traces = ctx.traces(combo)?;
+    let baseline = turbo_baseline(&traces, ctx.params())?;
+    let mut dynamic = Vec::with_capacity(policies.len());
+    for &kind in policies {
+        dynamic.push(sweep_policy(
+            &traces,
+            ctx.params(),
+            ctx.budgets(),
+            &baseline,
+            &|| kind.make(),
+        )?);
+    }
+    let static_curve = if include_static {
+        Some(static_curve(ctx, combo)?)
+    } else {
+        None
+    };
+    Ok(SuiteCurves {
+        combo: combo.label(),
+        dynamic,
+        static_curve,
+    })
+}
+
+/// The optimistic-static policy curve (Section 5.7): the best fixed
+/// assignment per budget, evaluated analytically against the static
+/// all-Turbo baseline.
+///
+/// # Errors
+///
+/// Propagates capture errors.
+pub fn static_curve(ctx: &ExperimentContext, combo: &WorkloadCombo) -> Result<PolicyCurve> {
+    let traces = ctx.traces(combo)?;
+    let baseline = static_oracle::all_turbo(&traces)?;
+    // Budgets are fractions of the same envelope the dynamic runs use:
+    // the sum of per-core peak Turbo powers.
+    let envelope: Watts = traces
+        .iter()
+        .map(|t| t.trace(gpm_types::PowerMode::Turbo).peak_power())
+        .sum();
+    let mut points = Vec::with_capacity(ctx.budgets().len());
+    for &budget in ctx.budgets() {
+        let assignment = static_oracle::best_or_floor(
+            &traces,
+            envelope * budget,
+            static_oracle::BudgetCriterion::PeakPower,
+        )?;
+        points.push(CurvePoint {
+            budget,
+            perf_degradation: assignment.degradation_vs(&baseline),
+            weighted_slowdown: assignment.weighted_slowdown_vs(&baseline),
+            budget_utilization: assignment.average_power.value() / (envelope.value() * budget),
+            power_saving: 1.0
+                - assignment.average_power.value() / baseline.average_power.value(),
+        });
+    }
+    Ok(PolicyCurve {
+        policy: "Static".to_owned(),
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_workloads::combos;
+
+    fn tiny_ctx() -> ExperimentContext {
+        ExperimentContext::new(
+            TraceStore::new(CaptureConfig::fast(400_000)),
+            SimParams::default(),
+            vec![0.7, 0.9],
+        )
+    }
+
+    #[test]
+    fn policy_kind_roundtrip() {
+        for kind in [
+            PolicyKind::MaxBips,
+            PolicyKind::Priority,
+            PolicyKind::PullHiPushLo,
+            PolicyKind::ChipWide,
+            PolicyKind::Oracle,
+            PolicyKind::GreedyMaxBips,
+        ] {
+            assert_eq!(kind.make().name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn suite_curves_cover_policies_and_static() {
+        let ctx = tiny_ctx();
+        let curves = suite_curves(
+            &ctx,
+            &combos::art_mcf(),
+            &[PolicyKind::MaxBips, PolicyKind::ChipWide],
+            true,
+        )
+        .unwrap();
+        assert_eq!(curves.combo, "art|mcf");
+        assert_eq!(curves.dynamic.len(), 2);
+        assert!(curves.curve("MaxBIPS").is_some());
+        assert!(curves.curve("Static").is_some());
+        assert!(curves.curve("nonsense").is_none());
+        for c in &curves.dynamic {
+            assert_eq!(c.points.len(), 2);
+        }
+    }
+
+    #[test]
+    fn static_curve_degradation_decreases_with_budget() {
+        let ctx = tiny_ctx();
+        let c = static_curve(&ctx, &combos::gcc_mesa()).unwrap();
+        assert_eq!(c.policy, "Static");
+        assert!(c.points[0].perf_degradation >= c.points[1].perf_degradation - 1e-9);
+    }
+}

@@ -1,0 +1,141 @@
+//! Figure 5 — achieved power saving vs performance degradation for each
+//! policy across the whole budget sweep, against the 3:1 target line.
+
+use gpm_types::Result;
+use gpm_workloads::combos;
+
+use crate::render::{pct2, TextTable};
+use crate::{suite_curves, ExperimentContext, SuiteCurves};
+
+/// One policy's scatter of `(power saving, perf degradation)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scatter {
+    /// Policy name.
+    pub policy: String,
+    /// `(power saving, perf degradation)` per budget point.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Scatter {
+    /// Fraction of points meeting the 3:1 ΔPower:ΔPerf target (points with
+    /// ~zero degradation trivially meet it).
+    #[must_use]
+    pub fn target_hit_rate(&self) -> f64 {
+        if self.points.is_empty() {
+            return 1.0;
+        }
+        let hits = self
+            .points
+            .iter()
+            .filter(|(saving, deg)| *deg <= 1e-4 || saving / deg >= 3.0)
+            .count();
+        hits as f64 / self.points.len() as f64
+    }
+}
+
+/// Figure 5's data.
+#[derive(Debug, Clone)]
+pub struct Fig5 {
+    /// One scatter per policy (pullHipushLo, Priority, MaxBIPS, chip-wide).
+    pub scatters: Vec<Scatter>,
+}
+
+/// Runs the Figure 5 experiment on the Figure 4 combo.
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors.
+pub fn run(ctx: &ExperimentContext) -> Result<Fig5> {
+    let curves: SuiteCurves = suite_curves(
+        ctx,
+        &combos::ammp_mcf_crafty_art(),
+        &crate::fig4::POLICIES,
+        false,
+    )?;
+    Ok(Fig5 {
+        scatters: curves
+            .dynamic
+            .iter()
+            .map(|c| Scatter {
+                policy: c.policy.clone(),
+                points: c
+                    .points
+                    .iter()
+                    .map(|p| (p.power_saving, p.perf_degradation))
+                    .collect(),
+            })
+            .collect(),
+    })
+}
+
+impl Fig5 {
+    /// One policy's scatter.
+    #[must_use]
+    pub fn scatter(&self, policy: &str) -> Option<&Scatter> {
+        self.scatters.iter().find(|s| s.policy == policy)
+    }
+
+    /// Paper-style text rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["policy", "ΔPower", "ΔPerf", "ratio"]);
+        for s in &self.scatters {
+            for &(saving, deg) in &s.points {
+                let ratio = if deg.abs() < 1e-4 {
+                    "inf".to_owned()
+                } else {
+                    format!("{:.1}", saving / deg)
+                };
+                t.row([s.policy.clone(), pct2(saving), pct2(deg), ratio]);
+            }
+        }
+        format!(
+            "Figure 5: power saving vs performance degradation (target ratio 3:1)\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_core_policies_meet_3_to_1() {
+        let ctx = ExperimentContext::fast();
+        let fig = run(&ctx).unwrap();
+        assert_eq!(fig.scatters.len(), 4);
+
+        // The per-core DVFS policies achieve very good ΔPower:ΔPerf ratios,
+        // matching the 3:1 target at (nearly) every budget; MaxBIPS does
+        // significantly better than 3:1 on most points.
+        let maxbips = fig.scatter("MaxBIPS").unwrap();
+        assert!(
+            maxbips.target_hit_rate() >= 0.75,
+            "MaxBIPS hit rate {}",
+            maxbips.target_hit_rate()
+        );
+        let priority = fig.scatter("Priority").unwrap();
+        assert!(
+            priority.target_hit_rate() >= 0.5,
+            "Priority hit rate {}",
+            priority.target_hit_rate()
+        );
+        // pullHipushLo balances *power*, so it demotes the hottest —
+        // CPU-bound — core first and pays more BIPS per watt saved; with
+        // our power model it sits below the 3:1 line (documented divergence
+        // in EXPERIMENTS.md). It must still stay above ~1.5:1.
+        let pull = fig.scatter("pullHipushLo").unwrap();
+        for &(saving, deg) in &pull.points {
+            if deg > 1e-4 {
+                assert!(saving / deg >= 1.5, "pullHipushLo ratio {}", saving / deg);
+            }
+        }
+        // MaxBIPS never does worse than chip-wide in ratio terms.
+        let cw = fig.scatter("ChipWideDVFS").unwrap();
+        assert!(maxbips.target_hit_rate() >= cw.target_hit_rate());
+
+        let text = fig.render();
+        assert!(text.contains("3:1"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Experiment drivers that regenerate **every table and figure** of the
+//! paper's evaluation.
+//!
+//! Each module corresponds to one table or figure and exposes a `run`
+//! function returning a structured result with a `render()` method that
+//! prints the same rows/series the paper reports. The `gpm-bench` crate
+//! wires each of them to a `cargo bench` target; `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`tables`] | Table 3 (mode targets), Table 4 (DVFS estimates), Table 5 (transition overheads) |
+//! | [`fig2`] | Figure 2 — measured ΔPower/ΔPerf per mode (sixtrack, mcf, overall SPEC) |
+//! | [`fig3`] | Figure 3 — chip-wide DVFS vs MaxBIPS power timelines at an 83% budget |
+//! | [`fig4`] | Figure 4 — policy curves, budget curves, weighted slowdowns |
+//! | [`fig5`] | Figure 5 — power-saving : performance-degradation scatter vs the 3:1 target |
+//! | [`fig6`] | Figure 6 — MaxBIPS timeline under a 90%→70% budget drop |
+//! | [`fig7`] | Figure 7 — oracle and optimistic-static bounds vs MaxBIPS and chip-wide |
+//! | [`scaling`] | Figures 8, 9, 10 (2/4/8-way suites) and Figure 11 (trends vs core count) |
+//! | [`validation`] | Section 3.1 trace-tool validation + Section 5.5 prediction-error audit |
+//! | [`ablation`] | Extensions: greedy-vs-exhaustive search, sensor noise, explore-interval sweeps |
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gpm_experiments::{fig4, ExperimentContext};
+//!
+//! let ctx = ExperimentContext::fast();
+//! let result = fig4::run(&ctx)?;
+//! println!("{}", result.render());
+//! # Ok::<(), gpm_types::GpmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+mod context;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+mod render;
+pub mod scaling;
+pub mod tables;
+pub mod validation;
+
+pub use context::{static_curve, suite_curves, ExperimentContext, PolicyKind, SuiteCurves};
+pub use render::TextTable;

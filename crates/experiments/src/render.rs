@@ -1,0 +1,132 @@
+//! Small fixed-width text-table renderer for experiment output.
+
+use std::fmt::Write as _;
+
+/// A plain-text table with right-aligned data columns.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_experiments::TextTable;
+///
+/// let mut t = TextTable::new(["bench", "IPC"]);
+/// t.row(["mcf".to_owned(), "0.30".to_owned()]);
+/// let s = t.render();
+/// assert!(s.contains("mcf"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<const N: usize>(header: [&str; N]) -> Self {
+        Self {
+            header: header.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row<const N: usize>(&mut self, cells: [String; N]) {
+        assert_eq!(N, self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a data row from an iterator (width-checked).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header.
+    pub fn row_vec(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table: header, rule, rows. First column left-aligned,
+    /// the rest right-aligned.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                } else {
+                    let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal ("83.0%").
+#[must_use]
+pub fn pct(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Formats a fraction as a signed percentage with two decimals.
+#[must_use]
+pub fn pct2(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["a".to_owned(), "1".to_owned()]);
+        t.row(["long-name".to_owned(), "12345".to_owned()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("long-name"));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("    1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row_vec(vec!["only-one".to_owned()]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.83), "83.0%");
+        assert_eq!(pct2(0.0123), "1.23%");
+    }
+}

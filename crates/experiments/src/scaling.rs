@@ -1,0 +1,247 @@
+//! Figures 8, 9, 10 (2/4/8-way CMP policy curves) and Figure 11 (policy
+//! trends under CMP scaling).
+
+use gpm_types::Result;
+use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
+
+use crate::render::pct2;
+use crate::{suite_curves, ExperimentContext, PolicyKind, SuiteCurves};
+
+/// The policies compared in the scaling figures.
+pub const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::ChipWide,
+    PolicyKind::MaxBips,
+    PolicyKind::Oracle,
+];
+
+/// One scaling figure: a set of combo panels at a fixed core count.
+#[derive(Debug, Clone)]
+pub struct ScalingFigure {
+    /// "Figure 8" / "Figure 9" / "Figure 10".
+    pub title: String,
+    /// One panel per combo, each with ChipWide/MaxBIPS/Oracle + Static.
+    pub panels: Vec<SuiteCurves>,
+}
+
+fn figure(ctx: &ExperimentContext, title: &str, suite: Vec<WorkloadCombo>) -> Result<ScalingFigure> {
+    let mut panels = Vec::with_capacity(suite.len());
+    for combo in &suite {
+        panels.push(suite_curves(ctx, combo, &POLICIES, true)?);
+    }
+    Ok(ScalingFigure {
+        title: title.to_owned(),
+        panels,
+    })
+}
+
+/// Figure 8: the four 2-way combinations of Table 2.
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors.
+pub fn fig8(ctx: &ExperimentContext) -> Result<ScalingFigure> {
+    figure(ctx, "Figure 8 (2-way CMP)", combos::two_way_suite())
+}
+
+/// Figure 9: the four 4-way combinations of Table 2.
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors.
+pub fn fig9(ctx: &ExperimentContext) -> Result<ScalingFigure> {
+    figure(ctx, "Figure 9 (4-way CMP)", combos::four_way_suite())
+}
+
+/// Figure 10: the two 8-way combinations.
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors.
+pub fn fig10(ctx: &ExperimentContext) -> Result<ScalingFigure> {
+    figure(ctx, "Figure 10 (8-way CMP)", combos::eight_way_suite())
+}
+
+impl ScalingFigure {
+    /// Mean degradation gap of `policy` over the oracle, averaged over all
+    /// panels and budgets.
+    #[must_use]
+    pub fn mean_gap_over_oracle(&self, policy: &str) -> f64 {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for panel in &self.panels {
+            let Some(curve) = panel.curve(policy) else {
+                continue;
+            };
+            let Some(oracle) = panel.curve("Oracle") else {
+                continue;
+            };
+            for (p, o) in curve.points.iter().zip(&oracle.points) {
+                sum += p.perf_degradation - o.perf_degradation;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Paper-style text rendering: one block per panel.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{}: performance degradation vs power budget\n", self.title);
+        for panel in &self.panels {
+            out.push_str(&format!("\n({})\n", panel.combo.replace('|', ", ")));
+            let budgets: Vec<f64> = panel
+                .dynamic
+                .first()
+                .map(|c| c.points.iter().map(|p| p.budget).collect())
+                .unwrap_or_default();
+            let mut header = vec![format!("{:<13}", "policy")];
+            header.extend(budgets.iter().map(|b| format!("{:>7.0}%", b * 100.0)));
+            out.push_str(&header.join("  "));
+            out.push('\n');
+            for name in ["ChipWideDVFS", "Static", "MaxBIPS", "Oracle"] {
+                let Some(curve) = panel.curve(name) else {
+                    continue;
+                };
+                let mut cells = vec![format!("{:<13}", curve.policy)];
+                for p in &curve.points {
+                    cells.push(format!("{:>8}", pct2(p.perf_degradation)));
+                }
+                out.push_str(&cells.join("  "));
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// One row of Figure 11: mean degradation over the oracle at one CMP scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig11Row {
+    /// Core count (1, 2, 4 or 8).
+    pub cores: usize,
+    /// MaxBIPS's mean gap over the oracle.
+    pub maxbips: f64,
+    /// Optimistic static's mean gap over the oracle.
+    pub static_gap: f64,
+    /// Chip-wide DVFS's mean gap over the oracle.
+    pub chipwide: f64,
+}
+
+/// Figure 11's data.
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    /// One row per CMP scale, smallest first.
+    pub rows: Vec<Fig11Row>,
+}
+
+/// The single-benchmark "combos" used for the 1-core reference point: the
+/// distinct benchmarks of the 2-way suite.
+#[must_use]
+pub fn single_core_workloads() -> Vec<WorkloadCombo> {
+    let benches = [
+        SpecBenchmark::Ammp,
+        SpecBenchmark::Art,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Mesa,
+        SpecBenchmark::Crafty,
+        SpecBenchmark::Facerec,
+        SpecBenchmark::Mcf,
+    ];
+    benches
+        .into_iter()
+        .map(|b| WorkloadCombo::new(vec![b]).expect("non-empty"))
+        .collect()
+}
+
+/// Runs the Figure 11 experiment across 1, 2, 4 and 8 cores.
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors.
+pub fn fig11(ctx: &ExperimentContext) -> Result<Fig11> {
+    let scales: Vec<(usize, Vec<WorkloadCombo>)> = vec![
+        (1, single_core_workloads()),
+        (2, combos::two_way_suite()),
+        (4, combos::four_way_suite()),
+        (8, combos::eight_way_suite()),
+    ];
+    let mut rows = Vec::with_capacity(scales.len());
+    for (cores, suite) in scales {
+        let fig = figure(ctx, "", suite)?;
+        rows.push(Fig11Row {
+            cores,
+            maxbips: fig.mean_gap_over_oracle("MaxBIPS"),
+            static_gap: fig.mean_gap_over_oracle("Static"),
+            chipwide: fig.mean_gap_over_oracle("ChipWideDVFS"),
+        });
+    }
+    Ok(Fig11 { rows })
+}
+
+impl Fig11 {
+    /// Paper-style text rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 11: mean perf degradation over oracle vs CMP scale\n",
+        );
+        out.push_str(&format!(
+            "{:<8}{:>10}{:>10}{:>14}\n",
+            "cores", "MaxBIPS", "Static", "ChipWideDVFS"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<8}{:>10}{:>10}{:>14}\n",
+                r.cores,
+                pct2(r.maxbips),
+                pct2(r.static_gap),
+                pct2(r.chipwide)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_maxbips_tracks_oracle() {
+        let ctx = ExperimentContext::fast();
+        let fig = fig8(&ctx).unwrap();
+        assert_eq!(fig.panels.len(), 4);
+        let gap = fig.mean_gap_over_oracle("MaxBIPS");
+        assert!(
+            (-0.003..=0.015).contains(&gap),
+            "2-way MaxBIPS-oracle gap {gap}"
+        );
+        assert!(fig.mean_gap_over_oracle("ChipWideDVFS") >= gap - 0.002);
+        assert!(fig.render().contains("2-way"));
+    }
+
+    #[test]
+    fn scaling_trends_match_figure11() {
+        let ctx = ExperimentContext::fast();
+        // 2- and 4-way scales are enough to check the trends cheaply.
+        let two = figure(&ctx, "", combos::two_way_suite()).unwrap();
+        let four = figure(&ctx, "", combos::four_way_suite()).unwrap();
+
+        let mb2 = two.mean_gap_over_oracle("MaxBIPS");
+        let mb4 = four.mean_gap_over_oracle("MaxBIPS");
+        let cw2 = two.mean_gap_over_oracle("ChipWideDVFS");
+        let cw4 = four.mean_gap_over_oracle("ChipWideDVFS");
+
+        // MaxBIPS approaches the oracle as cores increase; chip-wide gets
+        // relatively worse (both with small tolerances for noise).
+        assert!(mb4 <= mb2 + 0.004, "MaxBIPS gap should shrink: {mb2} -> {mb4}");
+        assert!(cw4 >= cw2 - 0.004, "chip-wide gap should grow: {cw2} -> {cw4}");
+        // And at each scale the ordering MaxBIPS < chip-wide holds.
+        assert!(mb2 <= cw2 + 0.002);
+        assert!(mb4 <= cw4 + 0.002);
+    }
+}

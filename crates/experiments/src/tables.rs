@@ -1,0 +1,152 @@
+//! Tables 3, 4 and 5: mode design targets, analytic DVFS estimates and
+//! transition overheads.
+
+use gpm_power::DvfsParams;
+use gpm_types::{Micros, PowerMode};
+
+use crate::render::{pct, TextTable};
+
+/// Table 3 — target ΔPower : ΔPerformance ratios for the three modes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3 {
+    /// `(mode, target power saving, target performance degradation)`.
+    pub rows: Vec<(PowerMode, f64, f64)>,
+}
+
+/// Reproduces Table 3 (design targets; constants from the paper).
+#[must_use]
+pub fn table3() -> Table3 {
+    Table3 {
+        rows: vec![
+            (PowerMode::Turbo, 0.0, 0.0),
+            (PowerMode::Eff1, 0.15, 0.05),
+            (PowerMode::Eff2, 0.45, 0.15),
+        ],
+    }
+}
+
+impl Table3 {
+    /// Paper-style text rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Mode", "Power Savings", "Perf Degradation"]);
+        for &(mode, power, perf) in &self.rows {
+            t.row([mode.to_string(), pct(power), pct(perf)]);
+        }
+        format!("Table 3: target ΔPower:ΔPerf per mode (3X:1X)\n{}", t.render())
+    }
+}
+
+/// Table 4 — estimated power savings and performance degradation bounds
+/// under linear DVFS (cubic power, linear performance).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4 {
+    /// `(mode, estimated power saving, perf degradation upper bound)`.
+    pub rows: Vec<(PowerMode, f64, f64)>,
+}
+
+/// Reproduces Table 4 from the DVFS parameters.
+#[must_use]
+pub fn table4(dvfs: &DvfsParams) -> Table4 {
+    Table4 {
+        rows: dvfs
+            .estimated_tradeoffs()
+            .into_iter()
+            .map(|e| (e.mode, e.power_saving, e.perf_degradation_bound))
+            .collect(),
+    }
+}
+
+impl Table4 {
+    /// Paper-style text rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Mode", "Est. Power Saving", "Perf Degradation (bound)"]);
+        for &(mode, power, perf) in &self.rows {
+            t.row([mode.to_string(), pct(power), pct(perf)]);
+        }
+        format!(
+            "Table 4: estimated DVFS power/performance (cubic power, linear perf)\n{}",
+            t.render()
+        )
+    }
+}
+
+/// Table 5 — DVFS transition overheads at the regulator slew rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5 {
+    /// `(from, to, ΔV in millivolts, transition time)`.
+    pub rows: Vec<(PowerMode, PowerMode, f64, Micros)>,
+}
+
+/// Reproduces Table 5 from the DVFS parameters.
+#[must_use]
+pub fn table5(dvfs: &DvfsParams) -> Table5 {
+    let pairs = [
+        (PowerMode::Turbo, PowerMode::Eff1),
+        (PowerMode::Eff1, PowerMode::Eff2),
+        (PowerMode::Turbo, PowerMode::Eff2),
+    ];
+    Table5 {
+        rows: pairs
+            .into_iter()
+            .map(|(a, b)| {
+                let dv_mv = a.voltage_distance(b) * dvfs.nominal_vdd.value() * 1000.0;
+                (a, b, dv_mv, dvfs.transition_time(a, b))
+            })
+            .collect(),
+    }
+}
+
+impl Table5 {
+    /// Paper-style text rendering.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(["Transition", "ΔV [mV]", "t [µs]"]);
+        for &(a, b, dv, time) in &self.rows {
+            t.row([
+                format!("{a} <-> {b}"),
+                format!("{dv:.0}"),
+                format!("{:.1}", time.value()),
+            ]);
+        }
+        format!("Table 5: DVFS transition overheads (10 mV/µs slew)\n{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_targets() {
+        let t = table3();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[2], (PowerMode::Eff2, 0.45, 0.15));
+        let s = t.render();
+        assert!(s.contains("45.0%"));
+        assert!(s.contains("Eff2"));
+    }
+
+    #[test]
+    fn table4_matches_cubic_linear() {
+        let t = table4(&DvfsParams::paper());
+        assert!((t.rows[1].1 - 0.142_625).abs() < 1e-6);
+        assert!((t.rows[2].1 - 0.385_875).abs() < 1e-6);
+        assert!((t.rows[1].2 - 0.05).abs() < 1e-12);
+        assert!(t.render().contains("14.3%"));
+    }
+
+    #[test]
+    fn table5_matches_paper() {
+        let t = table5(&DvfsParams::paper());
+        assert_eq!(t.rows.len(), 3);
+        assert!((t.rows[0].2 - 65.0).abs() < 1e-6);
+        assert!((t.rows[1].2 - 130.0).abs() < 1e-6);
+        assert!((t.rows[2].2 - 195.0).abs() < 1e-6);
+        assert!((t.rows[2].3.value() - 19.5).abs() < 1e-9);
+        let s = t.render();
+        assert!(s.contains("19.5"));
+        assert!(s.contains("65"));
+    }
+}

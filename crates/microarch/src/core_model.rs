@@ -1,0 +1,772 @@
+//! The out-of-order core timing model: a dataflow scoreboard with dispatch
+//! bandwidth, a ROB window, functional-unit contention, branch misprediction
+//! refills and a real cache hierarchy.
+
+use gpm_types::Hertz;
+
+use crate::{
+    AccessOutcome, BranchPredictor, CoreConfig, InstructionSource, IntervalStats, MicroOp,
+    OpKind, SetAssocCache, StreamPrefetcher,
+};
+
+/// The level of the hierarchy *below* the core's private L1s.
+///
+/// The single-core case uses [`PrivateMemory`] (an L2 plus fixed-latency
+/// DRAM). The full-CMP validation simulator substitutes a shared L2 with bus
+/// contention. Latencies are exchanged in nanoseconds because the L2 and
+/// memory live in asynchronous clock domains: their delay is constant in
+/// wall-clock time regardless of the core's DVFS state.
+pub trait MemorySubsystem {
+    /// Performs an access that missed in the core's L1, at absolute wall
+    /// time `now_ns`. Returns `(latency_ns, l2_hit)`.
+    fn access(&mut self, addr: u64, now_ns: f64) -> (f64, bool);
+}
+
+impl<T: MemorySubsystem + ?Sized> MemorySubsystem for &mut T {
+    fn access(&mut self, addr: u64, now_ns: f64) -> (f64, bool) {
+        (**self).access(addr, now_ns)
+    }
+}
+
+/// A private L2 backed by fixed-latency DRAM — the memory system of the
+/// paper's single-threaded Turandot runs.
+#[derive(Debug, Clone)]
+pub struct PrivateMemory {
+    l2: SetAssocCache,
+    l2_latency_ns: f64,
+    memory_latency_ns: f64,
+}
+
+impl PrivateMemory {
+    /// Builds the L2 + DRAM combination from a core configuration.
+    #[must_use]
+    pub fn new(config: &CoreConfig) -> Self {
+        Self {
+            l2: SetAssocCache::new(config.l2),
+            l2_latency_ns: config.memory.l2_latency_ns,
+            memory_latency_ns: config.memory.memory_latency_ns,
+        }
+    }
+
+    /// Read-only view of the L2 tag array (for tests and diagnostics).
+    #[must_use]
+    pub fn l2(&self) -> &SetAssocCache {
+        &self.l2
+    }
+}
+
+impl MemorySubsystem for PrivateMemory {
+    fn access(&mut self, addr: u64, _now_ns: f64) -> (f64, bool) {
+        match self.l2.access(addr) {
+            AccessOutcome::Hit => (self.l2_latency_ns, true),
+            AccessOutcome::Miss => (self.l2_latency_ns + self.memory_latency_ns, false),
+        }
+    }
+}
+
+/// Functional-unit classes tracked by the scoreboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FuClass {
+    Lsu,
+    Fxu,
+    Fpu,
+    Bru,
+}
+
+/// One core of the CMP at a concrete clock frequency.
+///
+/// The model keeps all microarchitectural state (cache contents, predictor
+/// tables, in-flight completion times) across [`run_cycles`] calls, so a
+/// benchmark can be simulated as a sequence of `delta_sim_time` intervals
+/// exactly as the paper's toolchain does.
+///
+/// [`run_cycles`]: CoreModel::run_cycles
+#[derive(Debug, Clone)]
+pub struct CoreModel {
+    // Static configuration (latencies in core cycles).
+    dispatch_width: u32,
+    rob_size: usize,
+    fxu_latency: u64,
+    fpu_latency: u64,
+    mispredict_penalty: u64,
+    l1_latency: u64,
+    load_use_penalty: u64,
+    freq: Hertz,
+    ns_per_cycle: f64,
+    l1i_block_shift: u32,
+    l1d_block_shift: u32,
+
+    // Microarchitectural structures.
+    l1i: SetAssocCache,
+    l1d: SetAssocCache,
+    predictor: BranchPredictor,
+    prefetcher: Option<StreamPrefetcher>,
+    memory: PrivateMemory,
+
+    // Scoreboard state.
+    cur_cycle: u64,
+    dispatched_in_cycle: u32,
+    last_busy_cycle: u64,
+    busy_cycles: u64,
+    completion_ring: Vec<u64>,
+    op_index: u64,
+    fu_free: [Vec<u64>; 4],
+    last_fetch_block: u64,
+}
+
+impl CoreModel {
+    /// Builds a core at clock frequency `freq` (the DVFS-scaled frequency of
+    /// its current power mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`CoreConfig::validate`] or `freq` is not
+    /// positive.
+    #[must_use]
+    pub fn new(config: &CoreConfig, freq: Hertz) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid core config: {e}"));
+        assert!(freq.value() > 0.0, "frequency must be positive");
+        Self {
+            dispatch_width: config.dispatch_width,
+            rob_size: config.rob_size,
+            fxu_latency: config.fxu_latency,
+            fpu_latency: config.fpu_latency,
+            mispredict_penalty: config.mispredict_penalty,
+            l1_latency: config.l1_latency,
+            load_use_penalty: config.load_use_penalty,
+            freq,
+            ns_per_cycle: 1.0e9 / freq.value(),
+            l1i_block_shift: config.l1i.block_bytes.trailing_zeros(),
+            l1d_block_shift: config.l1d.block_bytes.trailing_zeros(),
+            l1i: SetAssocCache::new(config.l1i),
+            l1d: SetAssocCache::new(config.l1d),
+            predictor: BranchPredictor::new(config.predictor),
+            prefetcher: (config.prefetch_streams > 0)
+                .then(|| StreamPrefetcher::new(config.prefetch_streams, config.l1d.block_bytes)),
+            memory: PrivateMemory::new(config),
+            cur_cycle: 0,
+            dispatched_in_cycle: 0,
+            last_busy_cycle: u64::MAX,
+            busy_cycles: 0,
+            completion_ring: vec![0; config.rob_size],
+            op_index: 0,
+            fu_free: [
+                vec![0; config.lsu_count],
+                vec![0; config.fxu_count],
+                vec![0; config.fpu_count],
+                vec![0; config.bru_count],
+            ],
+            last_fetch_block: u64::MAX,
+        }
+    }
+
+    /// The clock frequency this core instance runs at.
+    #[must_use]
+    pub fn frequency(&self) -> Hertz {
+        self.freq
+    }
+
+    /// Total core cycles elapsed since construction.
+    #[must_use]
+    pub fn now_cycles(&self) -> u64 {
+        self.cur_cycle
+    }
+
+    /// Absolute wall time in nanoseconds since construction.
+    #[must_use]
+    pub fn now_ns(&self) -> f64 {
+        self.cur_cycle as f64 * self.ns_per_cycle
+    }
+
+    /// Runs the core against `source` for (at least) `target_cycles` core
+    /// cycles using the core's private L2 and memory, returning the
+    /// statistics of exactly this interval.
+    pub fn run_cycles(
+        &mut self,
+        source: &mut impl InstructionSource,
+        target_cycles: u64,
+    ) -> IntervalStats {
+        // `self.memory` cannot be borrowed mutably while `self` methods run,
+        // so temporarily move it out (it is cheap: a tag array handle).
+        let mut memory = std::mem::replace(
+            &mut self.memory,
+            PrivateMemory {
+                l2: SetAssocCache::new(gpm_types_placeholder()),
+                l2_latency_ns: 0.0,
+                memory_latency_ns: 0.0,
+            },
+        );
+        let stats = self.run_cycles_with(source, &mut memory, target_cycles);
+        self.memory = memory;
+        stats
+    }
+
+    /// Like [`run_cycles`](Self::run_cycles) but resolving L1 misses through
+    /// an external [`MemorySubsystem`] (used by the full-CMP simulator's
+    /// shared L2).
+    pub fn run_cycles_with(
+        &mut self,
+        source: &mut impl InstructionSource,
+        memory: &mut dyn MemorySubsystem,
+        target_cycles: u64,
+    ) -> IntervalStats {
+        let mut stats = IntervalStats::default();
+        let start_cycle = self.cur_cycle;
+        let end_cycle = start_cycle.saturating_add(target_cycles);
+        let busy_start = self.busy_cycles;
+
+        while self.cur_cycle < end_cycle {
+            let op = source.next_op();
+            self.step(op, memory, &mut stats);
+        }
+
+        stats.cycles = self.cur_cycle - start_cycle;
+        stats.busy_cycles = self.busy_cycles - busy_start;
+        stats
+    }
+
+    /// Runs until `count` further instructions have been dispatched.
+    pub fn run_instructions(
+        &mut self,
+        source: &mut impl InstructionSource,
+        count: u64,
+    ) -> IntervalStats {
+        let mut memory = std::mem::replace(
+            &mut self.memory,
+            PrivateMemory {
+                l2: SetAssocCache::new(gpm_types_placeholder()),
+                l2_latency_ns: 0.0,
+                memory_latency_ns: 0.0,
+            },
+        );
+        let mut stats = IntervalStats::default();
+        let start_cycle = self.cur_cycle;
+        let busy_start = self.busy_cycles;
+        for _ in 0..count {
+            let op = source.next_op();
+            self.step(op, &mut memory, &mut stats);
+        }
+        self.memory = memory;
+        stats.cycles = self.cur_cycle - start_cycle;
+        stats.busy_cycles = self.busy_cycles - busy_start;
+        stats
+    }
+
+    /// Advances the scoreboard by one micro-op.
+    fn step(
+        &mut self,
+        op: MicroOp,
+        memory: &mut dyn MemorySubsystem,
+        stats: &mut IntervalStats,
+    ) {
+        // --- Instruction fetch: one L1I access per new code block. ---
+        let fetch_block = op.code_addr >> self.l1i_block_shift;
+        if fetch_block != self.last_fetch_block {
+            self.last_fetch_block = fetch_block;
+            stats.l1i_accesses += 1;
+            if self.l1i.access(op.code_addr).is_miss() {
+                stats.l1i_misses += 1;
+                let now_ns = self.cur_cycle as f64 * self.ns_per_cycle;
+                let (lat_ns, l2_hit) = memory.access(op.code_addr, now_ns);
+                stats.l2_accesses += 1;
+                if !l2_hit {
+                    stats.l2_misses += 1;
+                }
+                // An I-miss stalls the front end outright.
+                self.cur_cycle += self.ns_to_cycles(lat_ns);
+                self.dispatched_in_cycle = 0;
+            }
+        }
+
+        // --- ROB window: wait for the oldest in-flight op to complete. ---
+        let slot = (self.op_index % self.rob_size as u64) as usize;
+        let oldest = self.completion_ring[slot];
+        if oldest > self.cur_cycle {
+            self.cur_cycle = oldest;
+            self.dispatched_in_cycle = 0;
+        }
+
+        // --- Dispatch bandwidth. ---
+        if self.dispatched_in_cycle >= self.dispatch_width {
+            self.cur_cycle += 1;
+            self.dispatched_in_cycle = 0;
+        }
+        self.dispatched_in_cycle += 1;
+        if self.cur_cycle != self.last_busy_cycle {
+            self.last_busy_cycle = self.cur_cycle;
+            self.busy_cycles += 1;
+        }
+
+        // --- Operand readiness from the producer's completion time. ---
+        let mut ready = self.cur_cycle;
+        if let Some(dep) = op.dep {
+            let dep = u64::from(dep);
+            if dep > 0 && dep <= self.op_index && dep <= self.rob_size as u64 {
+                let producer = ((self.op_index - dep) % self.rob_size as u64) as usize;
+                ready = ready.max(self.completion_ring[producer]);
+            }
+        }
+
+        // --- Execute. ---
+        stats.instructions += 1;
+        let (class, latency, mispredicted) = match op.kind {
+            OpKind::IntAlu => {
+                stats.int_ops += 1;
+                (FuClass::Fxu, self.fxu_latency, false)
+            }
+            OpKind::FpAlu => {
+                stats.fp_ops += 1;
+                (FuClass::Fpu, self.fpu_latency, false)
+            }
+            OpKind::Load { addr } => {
+                stats.loads += 1;
+                let lat = self.data_access(addr, ready, memory, stats);
+                (FuClass::Lsu, lat + self.load_use_penalty, false)
+            }
+            OpKind::Store { addr } => {
+                stats.stores += 1;
+                // Stores update the hierarchy but retire through the store
+                // queue without stalling consumers.
+                let _ = self.data_access(addr, ready, memory, stats);
+                (FuClass::Lsu, 1, false)
+            }
+            OpKind::Branch { pc, taken } => {
+                stats.branches += 1;
+                let miss = self.predictor.predict_and_update(pc, taken);
+                if miss {
+                    stats.mispredictions += 1;
+                }
+                if taken {
+                    // POWER4 dispatch groups end at taken branches: the
+                    // redirected fetch stream starts a new group next cycle.
+                    self.dispatched_in_cycle = self.dispatch_width;
+                }
+                (FuClass::Bru, 1, miss)
+            }
+        };
+
+        // --- Functional-unit arbitration (pick the earliest-free unit). ---
+        let units = &mut self.fu_free[class as usize];
+        let unit = units
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &t)| t)
+            .map(|(i, _)| i)
+            .expect("unit counts validated >= 1");
+        let issue = ready.max(units[unit]);
+        units[unit] = issue + 1; // fully pipelined, initiation interval 1
+        let completion = issue + latency;
+        self.completion_ring[slot] = completion;
+        self.op_index += 1;
+
+        // --- Misprediction: the front end restarts after resolution. ---
+        if mispredicted {
+            let restart = completion + self.mispredict_penalty;
+            if restart > self.cur_cycle {
+                self.cur_cycle = restart;
+                self.dispatched_in_cycle = 0;
+            }
+        }
+    }
+
+    /// L1D access, falling through to the memory subsystem on a miss.
+    /// Returns the total load-to-use latency in core cycles.
+    fn data_access(
+        &mut self,
+        addr: u64,
+        at_cycle: u64,
+        memory: &mut dyn MemorySubsystem,
+        stats: &mut IntervalStats,
+    ) -> u64 {
+        stats.l1d_accesses += 1;
+        let mut latency = self.l1_latency;
+        if self.l1d.access(addr).is_miss() {
+            stats.l1d_misses += 1;
+            let now_ns = at_cycle as f64 * self.ns_per_cycle;
+            let (lat_ns, l2_hit) = memory.access(addr, now_ns);
+            stats.l2_accesses += 1;
+            if !l2_hit {
+                stats.l2_misses += 1;
+            }
+            latency += self.ns_to_cycles(lat_ns);
+
+            // Ascending-stream hardware prefetch: fill the predicted next
+            // blocks in the background (consumes L2 bandwidth, hides the
+            // following demand misses, charges nothing to this load).
+            if let Some(prefetcher) = self.prefetcher.as_mut() {
+                if let Some((pf_start, count)) = prefetcher.on_miss(addr) {
+                    let block_bytes = 1u64 << self.l1d_block_shift;
+                    for k in 0..u64::from(count) {
+                        let pf_addr = pf_start + k * block_bytes;
+                        if self.l1d.contains(pf_addr) {
+                            continue;
+                        }
+                        let (_, pf_l2_hit) = memory.access(pf_addr, now_ns);
+                        stats.l2_accesses += 1;
+                        if !pf_l2_hit {
+                            stats.l2_misses += 1;
+                        }
+                        let _ = self.l1d.install(pf_addr);
+                        stats.prefetches += 1;
+                    }
+                }
+            }
+        }
+        latency
+    }
+
+    #[inline]
+    fn ns_to_cycles(&self, ns: f64) -> u64 {
+        self.freq.cycles_for_ns(ns)
+    }
+
+    /// The branch predictor (for diagnostics).
+    #[must_use]
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.predictor
+    }
+
+    /// The L1 data cache (for diagnostics).
+    #[must_use]
+    pub fn l1d(&self) -> &SetAssocCache {
+        &self.l1d
+    }
+
+    /// The private memory subsystem (for diagnostics).
+    #[must_use]
+    pub fn private_memory(&self) -> &PrivateMemory {
+        &self.memory
+    }
+}
+
+/// Minimal valid cache geometry used for the temporary placeholder while the
+/// private memory is moved out during a run (1 set × 1 way × 64 B).
+fn gpm_types_placeholder() -> crate::CacheConfig {
+    crate::CacheConfig::new(64, 1, 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_types::Hertz;
+
+    /// A configurable synthetic stream for targeted timing tests.
+    struct TestStream {
+        ops: Vec<MicroOp>,
+        next: usize,
+    }
+
+    impl TestStream {
+        fn cycle(ops: Vec<MicroOp>) -> Self {
+            Self { ops, next: 0 }
+        }
+    }
+
+    impl InstructionSource for TestStream {
+        fn next_op(&mut self) -> MicroOp {
+            let op = self.ops[self.next % self.ops.len()];
+            self.next += 1;
+            op
+        }
+    }
+
+    fn core_at(ghz: f64) -> CoreModel {
+        CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz))
+    }
+
+    #[test]
+    fn independent_int_ops_are_fxu_bound() {
+        // 2 FXUs → IPC saturates at 2 for a pure integer stream.
+        let mut core = core_at(1.0);
+        let mut s = TestStream::cycle(vec![MicroOp::int_alu(None)]);
+        let stats = core.run_cycles(&mut s, 100_000);
+        let ipc = stats.ipc();
+        assert!((1.8..=2.05).contains(&ipc), "expected ~2 IPC, got {ipc}");
+    }
+
+    #[test]
+    fn mixed_stream_exceeds_fxu_limit() {
+        // Int + FP + mem mix spreads over 6 units; dispatch width 5 caps it.
+        let ops = vec![
+            MicroOp::int_alu(None),
+            MicroOp::int_alu(None),
+            MicroOp::fp_alu(None),
+            MicroOp::fp_alu(None),
+            MicroOp::load(0x100, None), // L1-resident
+        ];
+        let mut core = core_at(1.0);
+        let mut s = TestStream::cycle(ops);
+        let stats = core.run_cycles(&mut s, 100_000);
+        assert!(stats.ipc() > 3.5, "mixed stream IPC {}", stats.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_serialises() {
+        // Every op depends on the previous one: IPC ≤ 1.
+        let mut core = core_at(1.0);
+        let mut s = TestStream::cycle(vec![MicroOp::int_alu(Some(1))]);
+        let stats = core.run_cycles(&mut s, 50_000);
+        assert!(stats.ipc() <= 1.05, "chain IPC {}", stats.ipc());
+        assert!(stats.ipc() > 0.9);
+    }
+
+    #[test]
+    fn fp_chain_pays_fpu_latency() {
+        // Dependent FP chain: 1 op per fpu_latency (4) cycles.
+        let mut core = core_at(1.0);
+        let mut s = TestStream::cycle(vec![MicroOp::fp_alu(Some(1))]);
+        let stats = core.run_cycles(&mut s, 80_000);
+        let ipc = stats.ipc();
+        assert!((0.2..=0.3).contains(&ipc), "FP chain IPC {ipc}");
+    }
+
+    #[test]
+    fn pointer_chase_pays_memory_latency() {
+        // Dependent loads over a 16 MiB working set miss everywhere:
+        // ~1 + 9 + 77 = 87 cycles per op at 1 GHz.
+        struct Chase {
+            addr: u64,
+        }
+        impl InstructionSource for Chase {
+            fn next_op(&mut self) -> MicroOp {
+                self.addr = (self.addr.wrapping_mul(6364136223846793005).wrapping_add(1))
+                    % (16 * 1024 * 1024);
+                MicroOp::load(self.addr, Some(1))
+            }
+        }
+        let mut core = core_at(1.0);
+        let stats = core.run_cycles(&mut Chase { addr: 1 }, 500_000);
+        let cpi = 1.0 / stats.ipc();
+        assert!(
+            (60.0..=110.0).contains(&cpi),
+            "pointer chase CPI {cpi}, l2 miss rate {}",
+            stats.l2_misses as f64 / stats.l2_accesses.max(1) as f64
+        );
+    }
+
+    #[test]
+    fn memory_bound_code_degrades_less_under_dvfs() {
+        // The paper's key DVFS asymmetry (Figure 2): CPU-bound work slows
+        // down ∝ f, memory-bound work much less.
+        fn throughput(ghz: f64, memory_bound: bool) -> f64 {
+            struct Stream {
+                addr: u64,
+                memory_bound: bool,
+                i: u64,
+            }
+            impl InstructionSource for Stream {
+                fn next_op(&mut self) -> MicroOp {
+                    self.i += 1;
+                    if self.memory_bound {
+                        self.addr = (self.addr.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+                            % (32 * 1024 * 1024);
+                        MicroOp::load(self.addr, Some(1))
+                    } else {
+                        MicroOp::int_alu(None)
+                    }
+                }
+            }
+            let mut core = CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz));
+            let mut s = Stream {
+                addr: 1,
+                memory_bound,
+                i: 0,
+            };
+            let stats = core.run_cycles(&mut s, 400_000);
+            // Instructions per wall-clock second.
+            stats.instructions as f64 / (stats.cycles as f64 / (ghz * 1e9))
+        }
+
+        let cpu_slowdown = 1.0 - throughput(0.85, false) / throughput(1.0, false);
+        let mem_slowdown = 1.0 - throughput(0.85, true) / throughput(1.0, true);
+        assert!(
+            (0.12..=0.18).contains(&cpu_slowdown),
+            "CPU-bound slowdown should be ~15%, got {cpu_slowdown}"
+        );
+        assert!(
+            mem_slowdown < 0.06,
+            "memory-bound slowdown should be small, got {mem_slowdown}"
+        );
+    }
+
+    #[test]
+    fn mispredictions_cost_refill() {
+        // Random branches through a real predictor → large CPI penalty.
+        struct RandomBranches {
+            x: u64,
+        }
+        impl InstructionSource for RandomBranches {
+            fn next_op(&mut self) -> MicroOp {
+                self.x ^= self.x << 13;
+                self.x ^= self.x >> 7;
+                self.x ^= self.x << 17;
+                MicroOp::branch(0x40, self.x & 1 == 1)
+            }
+        }
+        let mut core = core_at(1.0);
+        let stats = core.run_cycles(&mut RandomBranches { x: 42 }, 100_000);
+        assert!(stats.mispredictions > 0);
+        let cpi = 1.0 / stats.ipc();
+        assert!(cpi > 3.0, "mispredict-heavy stream CPI {cpi}");
+    }
+
+    #[test]
+    fn predictable_branches_are_cheap() {
+        let mut core = core_at(1.0);
+        let mut s = TestStream::cycle(vec![
+            MicroOp::branch(0x40, true),
+            MicroOp::int_alu(None),
+            MicroOp::int_alu(None),
+        ]);
+        let stats = core.run_cycles(&mut s, 100_000);
+        assert!(
+            stats.mispredictions * 100 < stats.branches,
+            "biased branch should be >99% predicted"
+        );
+        assert!(stats.ipc() > 2.0);
+    }
+
+    #[test]
+    fn icache_fetch_counted_per_block() {
+        // Sequential code: one L1I access per 128-byte block (32 ops at 4 B).
+        struct Sequential {
+            pc: u64,
+        }
+        impl InstructionSource for Sequential {
+            fn next_op(&mut self) -> MicroOp {
+                self.pc += 4;
+                MicroOp::int_alu(None).at_code(self.pc)
+            }
+        }
+        let mut core = core_at(1.0);
+        // pc runs 4..=12800, touching blocks 0..=100 → 101 distinct blocks.
+        let stats = core.run_instructions(&mut Sequential { pc: 0 }, 3200);
+        assert_eq!(stats.l1i_accesses, 101);
+    }
+
+    #[test]
+    fn stats_cycles_match_interval() {
+        let mut core = core_at(1.0);
+        let mut s = TestStream::cycle(vec![MicroOp::int_alu(None)]);
+        let stats = core.run_cycles(&mut s, 12_345);
+        assert!(stats.cycles >= 12_345);
+        assert!(stats.cycles < 12_345 + 100, "only small overshoot allowed");
+    }
+
+    #[test]
+    fn state_persists_across_intervals() {
+        // Warm caches in interval 1 make interval 2 faster for a small
+        // working set. The loads are dependent so the latency is exposed
+        // rather than hidden by the ROB window.
+        struct Loop {
+            i: u64,
+        }
+        impl InstructionSource for Loop {
+            fn next_op(&mut self) -> MicroOp {
+                self.i += 1;
+                MicroOp::load((self.i * 64) % (16 * 1024), Some(1))
+            }
+        }
+        let mut core = core_at(1.0);
+        let mut s = Loop { i: 0 };
+        let cold = core.run_cycles(&mut s, 20_000);
+        let warm = core.run_cycles(&mut s, 20_000);
+        assert!(
+            warm.ipc() > cold.ipc(),
+            "warm {} should beat cold {}",
+            warm.ipc(),
+            cold.ipc()
+        );
+    }
+
+    #[test]
+    fn now_ns_tracks_frequency() {
+        let mut core = core_at(0.5);
+        let mut s = TestStream::cycle(vec![MicroOp::int_alu(None)]);
+        let _ = core.run_cycles(&mut s, 1000);
+        let ns = core.now_ns();
+        // 1000+ cycles at 0.5 GHz = 2000+ ns.
+        assert!((2000.0..2300.0).contains(&ns), "{ns}");
+    }
+
+    #[test]
+    fn stream_prefetcher_hides_sequential_misses() {
+        // A pure streaming sweep: with the 8-stream prefetcher the demand
+        // miss rate collapses and throughput rises.
+        struct Sweep {
+            addr: u64,
+        }
+        impl InstructionSource for Sweep {
+            fn next_op(&mut self) -> MicroOp {
+                self.addr += 16;
+                MicroOp::load(self.addr % (64 * 1024 * 1024), Some(1))
+            }
+        }
+        let run = |streams: usize| {
+            let mut config = CoreConfig::power4();
+            config.prefetch_streams = streams;
+            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+            core.run_cycles(&mut Sweep { addr: 0 }, 300_000)
+        };
+        let off = run(0);
+        let on = run(8);
+        assert_eq!(off.prefetches, 0);
+        assert!(on.prefetches > 100, "prefetches {}", on.prefetches);
+        assert!(
+            (on.l1d_misses as f64) < off.l1d_misses as f64 * 0.7,
+            "misses {} -> {}",
+            off.l1d_misses,
+            on.l1d_misses
+        );
+        assert!(on.ipc() > off.ipc() * 1.2, "{} vs {}", on.ipc(), off.ipc());
+    }
+
+    #[test]
+    fn prefetcher_is_harmless_on_pointer_chases() {
+        let run = |streams: usize| {
+            struct Chase {
+                addr: u64,
+            }
+            impl InstructionSource for Chase {
+                fn next_op(&mut self) -> MicroOp {
+                    self.addr = (self.addr.wrapping_mul(6364136223846793005).wrapping_add(1))
+                        % (16 * 1024 * 1024);
+                    MicroOp::load(self.addr, Some(1))
+                }
+            }
+            let mut config = CoreConfig::power4();
+            config.prefetch_streams = streams;
+            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+            core.run_cycles(&mut Chase { addr: 1 }, 300_000)
+        };
+        let off = run(0);
+        let on = run(8);
+        // Random chains neither benefit nor regress meaningfully.
+        assert!((on.ipc() - off.ipc()).abs() < off.ipc() * 0.05);
+    }
+
+    #[test]
+    fn store_misses_do_not_stall_consumers() {
+        // Stores to a huge region (all misses) with independent int ops:
+        // throughput should stay near dispatch-limited because stores retire
+        // through the store queue.
+        struct Stores {
+            i: u64,
+        }
+        impl InstructionSource for Stores {
+            fn next_op(&mut self) -> MicroOp {
+                self.i += 1;
+                if self.i.is_multiple_of(4) {
+                    MicroOp::store((self.i * 131) % (64 * 1024 * 1024), None)
+                } else {
+                    MicroOp::int_alu(None)
+                }
+            }
+        }
+        let mut core = core_at(1.0);
+        let stats = core.run_cycles(&mut Stores { i: 0 }, 100_000);
+        assert!(stats.ipc() > 1.5, "stores should not serialise: {}", stats.ipc());
+    }
+}

@@ -1,0 +1,217 @@
+//! Hardware stream prefetcher — an off-by-default extension.
+//!
+//! The real POWER4 shipped an 8-stream hardware prefetcher; the paper's
+//! Table 1 does not list one, so the default [`CoreConfig`] leaves it
+//! disabled to match the evaluated configuration. Enabling it
+//! ([`CoreConfig::prefetch_streams`] > 0) lets sensitivity studies ask how
+//! much of the memory-boundedness — and therefore of the DVFS
+//! insensitivity the policies exploit — survives a prefetcher
+//! (`ablation_prefetch` bench).
+//!
+//! The mechanism is the classic ascending-stream detector: a miss that hits
+//! a tracked stream's expected next block confirms the stream and issues a
+//! prefetch for the following block; unrecognised misses allocate a new
+//! stream (LRU replacement).
+//!
+//! [`CoreConfig`]: crate::CoreConfig
+//! [`CoreConfig::prefetch_streams`]: crate::CoreConfig::prefetch_streams
+
+/// One tracked ascending stream.
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    /// The block address expected to miss next.
+    next_block: u64,
+    /// LRU stamp.
+    stamp: u64,
+    /// Current prefetch degree (ramps 1 → 2 → 4 as the stream keeps
+    /// confirming, like POWER4's ramping stream engine).
+    depth: u32,
+}
+
+/// An N-stream ascending prefetch detector.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_microarch::StreamPrefetcher;
+///
+/// let mut p = StreamPrefetcher::new(4, 128);
+/// assert_eq!(p.on_miss(0x0000), None);           // becomes a candidate
+/// assert_eq!(p.on_miss(0x0080), Some((0x100, 1))); // confirmed: 1 block
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    streams: Vec<Stream>,
+    candidates: Vec<Stream>,
+    max_streams: usize,
+    block_bytes: u64,
+    clock: u64,
+    issued: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a detector tracking up to `streams` concurrent ascending
+    /// streams over `block_bytes`-sized cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams` is zero or `block_bytes` is not a power of two.
+    #[must_use]
+    pub fn new(streams: usize, block_bytes: usize) -> Self {
+        assert!(streams > 0, "need at least one stream");
+        assert!(
+            block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
+        Self {
+            streams: Vec::with_capacity(streams.min(64)),
+            candidates: Vec::with_capacity((streams * 4).min(256)),
+            max_streams: streams.min(64),
+            block_bytes: block_bytes as u64,
+            clock: 0,
+            issued: 0,
+        }
+    }
+
+    /// Reports a demand miss at byte address `addr`. Returns
+    /// `(first_prefetch_addr, block_count)` when the miss hit a confirmed
+    /// stream or promoted a candidate — the engine prefetches `block_count`
+    /// consecutive blocks ahead, ramping the degree 1 → 2 → 4 as the stream
+    /// keeps confirming.
+    pub fn on_miss(&mut self, addr: u64) -> Option<(u64, u32)> {
+        self.clock += 1;
+        let block = addr / self.block_bytes;
+
+        // Confirmed stream: ramp the degree and run further ahead.
+        if let Some(stream) = self.streams.iter_mut().find(|s| s.next_block == block) {
+            stream.depth = (stream.depth * 2).min(4);
+            stream.next_block = block + 1 + u64::from(stream.depth);
+            stream.stamp = self.clock;
+            self.issued += u64::from(stream.depth);
+            return Some(((block + 1) * self.block_bytes, stream.depth));
+        }
+
+        // Candidate confirmed: promote to a stream and issue the first
+        // prefetch.
+        if let Some(pos) = self.candidates.iter().position(|c| c.next_block == block) {
+            self.candidates.swap_remove(pos);
+            let stream = Stream {
+                next_block: block + 2,
+                stamp: self.clock,
+                depth: 1,
+            };
+            if self.streams.len() < self.max_streams {
+                self.streams.push(stream);
+            } else if let Some(victim) = self.streams.iter_mut().min_by_key(|s| s.stamp) {
+                *victim = stream;
+            }
+            self.issued += 1;
+            return Some(((block + 1) * self.block_bytes, 1));
+        }
+
+        // Unknown miss: remember it as a candidate only — random traffic
+        // churns this table without touching confirmed streams.
+        let candidate = Stream {
+            next_block: block + 1,
+            stamp: self.clock,
+            depth: 1,
+        };
+        if self.candidates.len() < self.candidates.capacity() {
+            self.candidates.push(candidate);
+        } else if let Some(victim) = self.candidates.iter_mut().min_by_key(|c| c.stamp) {
+            *victim = candidate;
+        }
+        None
+    }
+
+    /// Confirmed streams currently tracked.
+    #[must_use]
+    pub fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Prefetches issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_stream_confirms_and_ramps() {
+        let mut p = StreamPrefetcher::new(8, 128);
+        assert_eq!(p.on_miss(0), None);
+        // Promotion: prefetch 1 block, expect the next miss at block 3.
+        assert_eq!(p.on_miss(128), Some((256, 1)));
+        assert_eq!(p.active_streams(), 1);
+        // Confirmation ramps the degree to 2: prefetch blocks 4-5, next
+        // miss expected at block 6.
+        assert_eq!(p.on_miss(3 * 128), Some((4 * 128, 2)));
+        // And to 4.
+        assert_eq!(p.on_miss(6 * 128), Some((7 * 128, 4)));
+        // Saturates at 4.
+        assert_eq!(p.on_miss(11 * 128), Some((12 * 128, 4)));
+        assert_eq!(p.issued(), 1 + 2 + 4 + 4);
+    }
+
+    #[test]
+    fn random_misses_never_trigger() {
+        let mut p = StreamPrefetcher::new(8, 128);
+        let mut x = 12345u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            assert_eq!(p.on_miss((x % (1 << 30)) & !0x7f), None);
+        }
+        assert_eq!(p.issued(), 0);
+    }
+
+    #[test]
+    fn tracks_multiple_interleaved_streams() {
+        let mut p = StreamPrefetcher::new(4, 128);
+        let bases = [0u64, 1 << 20, 2 << 20, 3 << 20];
+        for &b in &bases {
+            assert_eq!(p.on_miss(b), None);
+        }
+        for &b in &bases {
+            assert_eq!(p.on_miss(b + 128), Some((b + 256, 1)), "base {b:#x}");
+        }
+    }
+
+    #[test]
+    fn confirmed_streams_survive_random_churn() {
+        let mut p = StreamPrefetcher::new(2, 128);
+        // Confirm a stream.
+        p.on_miss(0);
+        assert!(p.on_miss(128).is_some());
+        assert_eq!(p.active_streams(), 1);
+        // Flood with random misses: only candidates churn.
+        let mut x = 99u64;
+        for _ in 0..200 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let _ = p.on_miss(((x % (1 << 30)) | (1 << 32)) & !0x7f);
+        }
+        assert_eq!(p.active_streams(), 1, "confirmed stream survives");
+        // The stream still fires (ramped to degree 2).
+        assert_eq!(p.on_miss(384), Some((512, 2)));
+    }
+
+    #[test]
+    fn candidate_table_is_bounded() {
+        let mut p = StreamPrefetcher::new(2, 128);
+        for i in 0..1000u64 {
+            let _ = p.on_miss(i * 4096 * 7 + (1 << 33));
+        }
+        assert_eq!(p.issued(), 0);
+        assert_eq!(p.active_streams(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = StreamPrefetcher::new(0, 128);
+    }
+}

@@ -1,0 +1,237 @@
+//! Execution statistics and the activity factors consumed by the power
+//! model.
+
+use gpm_types::{Bips, Hertz, Micros};
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over one simulated interval.
+///
+/// These play the role of the paper's per-core performance-monitoring
+/// counters: the local monitors report retired instructions per sampling
+/// period to the global manager, and the power model converts the activity
+/// counts into watts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IntervalStats {
+    /// Committed instructions.
+    pub instructions: u64,
+    /// Elapsed core cycles.
+    pub cycles: u64,
+    /// Executed fixed-point ops.
+    pub int_ops: u64,
+    /// Executed floating-point ops.
+    pub fp_ops: u64,
+    /// Executed loads.
+    pub loads: u64,
+    /// Executed stores.
+    pub stores: u64,
+    /// Executed branches.
+    pub branches: u64,
+    /// Branch mispredictions (pipeline refills).
+    pub mispredictions: u64,
+    /// L1 data-cache accesses.
+    pub l1d_accesses: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L1 instruction-cache accesses.
+    pub l1i_accesses: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// L2 accesses (from both instruction and data sides).
+    pub l2_accesses: u64,
+    /// L2 misses, i.e. main-memory accesses.
+    pub l2_misses: u64,
+    /// Cycles during which at least one instruction dispatched (a busy
+    /// front-end burns more clock power than a stalled one).
+    pub busy_cycles: u64,
+    /// Prefetches issued by the hardware stream prefetcher (0 when
+    /// disabled).
+    pub prefetches: u64,
+}
+
+impl IntervalStats {
+    /// Instructions per cycle over the interval; 0 when no cycles elapsed.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Wall-clock duration of the interval at clock frequency `f`.
+    #[must_use]
+    pub fn duration_at(&self, f: Hertz) -> Micros {
+        Micros::new(self.cycles as f64 / f.value() * 1.0e6)
+    }
+
+    /// Throughput in BIPS at clock frequency `f`.
+    #[must_use]
+    pub fn bips_at(&self, f: Hertz) -> Bips {
+        if self.cycles == 0 {
+            return Bips::ZERO;
+        }
+        Bips::new(self.ipc() * f.as_ghz())
+    }
+
+    /// L2 misses per kilo-instruction — the canonical memory-boundedness
+    /// indicator.
+    #[must_use]
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    #[must_use]
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Accumulates another interval's counters into this one.
+    pub fn merge(&mut self, other: &IntervalStats) {
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.int_ops += other.int_ops;
+        self.fp_ops += other.fp_ops;
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.branches += other.branches;
+        self.mispredictions += other.mispredictions;
+        self.l1d_accesses += other.l1d_accesses;
+        self.l1d_misses += other.l1d_misses;
+        self.l1i_accesses += other.l1i_accesses;
+        self.l1i_misses += other.l1i_misses;
+        self.l2_accesses += other.l2_accesses;
+        self.l2_misses += other.l2_misses;
+        self.busy_cycles += other.busy_cycles;
+        self.prefetches += other.prefetches;
+    }
+
+    /// Per-cycle activity factors for the power model.
+    ///
+    /// Returns all-zero factors when no cycles elapsed.
+    #[must_use]
+    pub fn activity(&self) -> ActivityFactors {
+        if self.cycles == 0 {
+            return ActivityFactors::default();
+        }
+        let c = self.cycles as f64;
+        ActivityFactors {
+            dispatch: self.instructions as f64 / c,
+            int_issue: self.int_ops as f64 / c,
+            fp_issue: self.fp_ops as f64 / c,
+            mem_issue: (self.loads + self.stores) as f64 / c,
+            l2: self.l2_accesses as f64 / c,
+            busy: self.busy_cycles as f64 / c,
+        }
+    }
+}
+
+/// Per-cycle switching-activity factors (events per cycle), the α terms of
+/// the `P = C·α·V²·f` dynamic-power model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityFactors {
+    /// Instructions dispatched per cycle (front-end + rename + ROB).
+    pub dispatch: f64,
+    /// Fixed-point issues per cycle.
+    pub int_issue: f64,
+    /// Floating-point issues per cycle.
+    pub fp_issue: f64,
+    /// Memory issues per cycle (LSU + L1D).
+    pub mem_issue: f64,
+    /// L2 accesses per cycle.
+    pub l2: f64,
+    /// Fraction of cycles with dispatch activity (front-end busy).
+    pub busy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntervalStats {
+        IntervalStats {
+            instructions: 1000,
+            cycles: 500,
+            int_ops: 400,
+            fp_ops: 100,
+            loads: 300,
+            stores: 100,
+            branches: 100,
+            mispredictions: 10,
+            l1d_accesses: 400,
+            l1d_misses: 40,
+            l1i_accesses: 30,
+            l1i_misses: 2,
+            l2_accesses: 42,
+            l2_misses: 8,
+            busy_cycles: 450,
+            prefetches: 0,
+        }
+    }
+
+    #[test]
+    fn ipc_and_bips() {
+        let s = sample();
+        assert_eq!(s.ipc(), 2.0);
+        let b = s.bips_at(Hertz::from_ghz(1.0));
+        assert!((b.value() - 2.0).abs() < 1e-12);
+        let b85 = s.bips_at(Hertz::from_ghz(0.85));
+        assert!((b85.value() - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_are_safe() {
+        let s = IntervalStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.bips_at(Hertz::from_ghz(1.0)), Bips::ZERO);
+        assert_eq!(s.activity(), ActivityFactors::default());
+        assert_eq!(s.l2_mpki(), 0.0);
+        assert_eq!(s.branch_mpki(), 0.0);
+    }
+
+    #[test]
+    fn mpki() {
+        let s = sample();
+        assert_eq!(s.l2_mpki(), 8.0);
+        assert_eq!(s.branch_mpki(), 10.0);
+    }
+
+    #[test]
+    fn duration() {
+        let s = sample();
+        let d = s.duration_at(Hertz::from_ghz(1.0));
+        assert!((d.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.instructions, 2000);
+        assert_eq!(a.cycles, 1000);
+        assert_eq!(a.l2_misses, 16);
+        assert_eq!(a.busy_cycles, 900);
+        assert_eq!(a.ipc(), 2.0, "merging identical intervals keeps IPC");
+    }
+
+    #[test]
+    fn activity_factors() {
+        let s = sample();
+        let a = s.activity();
+        assert!((a.dispatch - 2.0).abs() < 1e-12);
+        assert!((a.int_issue - 0.8).abs() < 1e-12);
+        assert!((a.mem_issue - 0.8).abs() < 1e-12);
+        assert!((a.fp_issue - 0.2).abs() < 1e-12);
+        assert!((a.l2 - 0.084).abs() < 1e-12);
+        assert!((a.busy - 0.9).abs() < 1e-12);
+    }
+}

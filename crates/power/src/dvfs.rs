@@ -1,0 +1,239 @@
+//! DVFS operating points and the voltage-slew transition model.
+
+use gpm_types::{Hertz, Micros, PowerMode, Volts};
+use serde::{Deserialize, Serialize};
+
+/// The linear-DVFS scenario of Section 4: nominal operating point, per-mode
+/// voltage/frequency scaling, and the regulator slew rate that determines
+/// mode-transition overheads (Table 5).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_power::DvfsParams;
+/// use gpm_types::PowerMode;
+///
+/// let dvfs = DvfsParams::paper();
+/// assert!((dvfs.voltage(PowerMode::Eff1).value() - 1.235).abs() < 1e-9);
+/// assert!((dvfs.frequency(PowerMode::Eff2).as_ghz() - 0.85).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DvfsParams {
+    /// Nominal (Turbo) supply voltage. The paper uses 1.300 V.
+    pub nominal_vdd: Volts,
+    /// Nominal (Turbo) clock frequency. 1 GHz matches the paper's
+    /// granularity arithmetic (100K cycles ≈ 100 µs).
+    pub nominal_frequency: Hertz,
+    /// Regulator slew rate in volts per microsecond. The paper assumes a
+    /// realistic 10 mV/µs.
+    pub slew_rate_v_per_us: f64,
+}
+
+impl DvfsParams {
+    /// The paper's parameters: 1.300 V, 1 GHz, 10 mV/µs.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            nominal_vdd: Volts::new(1.300),
+            nominal_frequency: Hertz::from_ghz(1.0),
+            slew_rate_v_per_us: 0.010,
+        }
+    }
+
+    /// Supply voltage of `mode` (1.300, 1.235, 1.105 V for the paper's
+    /// parameters).
+    #[must_use]
+    pub fn voltage(&self, mode: PowerMode) -> Volts {
+        self.nominal_vdd * mode.voltage_scale()
+    }
+
+    /// Clock frequency of `mode`.
+    #[must_use]
+    pub fn frequency(&self, mode: PowerMode) -> Hertz {
+        self.nominal_frequency * mode.frequency_scale()
+    }
+
+    /// Time for the regulator to slew between two modes' voltages
+    /// (Table 5: 6.5 µs, 13 µs, 19.5 µs; zero for a self-transition).
+    #[must_use]
+    pub fn transition_time(&self, from: PowerMode, to: PowerMode) -> Micros {
+        let delta_v = from.voltage_distance(to) * self.nominal_vdd.value();
+        Micros::new(delta_v / self.slew_rate_v_per_us)
+    }
+
+    /// The BIPS de-rating factor for an explore interval that starts with a
+    /// `from → to` transition: `explore / (explore + t_transition)`.
+    ///
+    /// With the paper's 500 µs explore time these are the 500/507, 500/513
+    /// and 500/520 factors of Section 5.5 (the paper rounds the transition
+    /// times up to 7, 13 and 20 µs; we keep the exact 6.5/13/19.5 values).
+    #[must_use]
+    pub fn bips_transition_factor(&self, from: PowerMode, to: PowerMode, explore: Micros) -> f64 {
+        let t = self.transition_time(from, to);
+        explore.value() / (explore.value() + t.value())
+    }
+
+    /// The full 3×3 transition-time table (Table 5 plus zero diagonal).
+    #[must_use]
+    pub fn transition_table(&self) -> TransitionTable {
+        let mut times = [[Micros::ZERO; PowerMode::COUNT]; PowerMode::COUNT];
+        for from in PowerMode::ALL {
+            for to in PowerMode::ALL {
+                times[from.index()][to.index()] = self.transition_time(from, to);
+            }
+        }
+        TransitionTable { times }
+    }
+
+    /// First-order estimates of each mode's power saving and performance
+    /// degradation relative to Turbo (the paper's Table 4): cubic power,
+    /// linear performance. The performance figures are upper bounds — real
+    /// memory-bound workloads degrade less.
+    #[must_use]
+    pub fn estimated_tradeoffs(&self) -> [ModeEstimate; PowerMode::COUNT] {
+        [PowerMode::Turbo, PowerMode::Eff1, PowerMode::Eff2].map(|mode| ModeEstimate {
+            mode,
+            power_saving: 1.0 - mode.power_scale(),
+            perf_degradation_bound: 1.0 - mode.bips_scale_bound(),
+        })
+    }
+}
+
+impl Default for DvfsParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Precomputed mode-to-mode transition times (Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionTable {
+    times: [[Micros; PowerMode::COUNT]; PowerMode::COUNT],
+}
+
+impl TransitionTable {
+    /// Transition time between two modes.
+    #[must_use]
+    pub fn time(&self, from: PowerMode, to: PowerMode) -> Micros {
+        self.times[from.index()][to.index()]
+    }
+
+    /// The largest entry of the table — the worst-case GALS stall.
+    #[must_use]
+    pub fn worst_case(&self) -> Micros {
+        self.times
+            .iter()
+            .flatten()
+            .copied()
+            .fold(Micros::ZERO, Micros::max)
+    }
+}
+
+/// One row of the paper's Table 4: analytic power/performance bounds for a
+/// mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModeEstimate {
+    /// The mode described.
+    pub mode: PowerMode,
+    /// Estimated power saving vs Turbo (fraction, cubic scaling).
+    pub power_saving: f64,
+    /// Upper-bound performance degradation vs Turbo (fraction, linear
+    /// scaling).
+    pub perf_degradation_bound: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_voltages() {
+        let d = DvfsParams::paper();
+        assert!((d.voltage(PowerMode::Turbo).value() - 1.300).abs() < 1e-12);
+        assert!((d.voltage(PowerMode::Eff1).value() - 1.235).abs() < 1e-12);
+        assert!((d.voltage(PowerMode::Eff2).value() - 1.105).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_frequencies() {
+        let d = DvfsParams::paper();
+        assert_eq!(d.frequency(PowerMode::Turbo).as_ghz(), 1.0);
+        assert!((d.frequency(PowerMode::Eff1).as_ghz() - 0.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table5_transition_times() {
+        let d = DvfsParams::paper();
+        let t = |a, b| d.transition_time(a, b).value();
+        assert!((t(PowerMode::Turbo, PowerMode::Eff1) - 6.5).abs() < 1e-9);
+        assert!((t(PowerMode::Eff1, PowerMode::Eff2) - 13.0).abs() < 1e-9);
+        assert!((t(PowerMode::Turbo, PowerMode::Eff2) - 19.5).abs() < 1e-9);
+        // Symmetric and zero diagonal.
+        assert_eq!(t(PowerMode::Eff1, PowerMode::Turbo), t(PowerMode::Turbo, PowerMode::Eff1));
+        assert_eq!(t(PowerMode::Turbo, PowerMode::Turbo), 0.0);
+    }
+
+    #[test]
+    fn transition_factors_match_section_5_5() {
+        let d = DvfsParams::paper();
+        let explore = Micros::new(500.0);
+        let f = d.bips_transition_factor(PowerMode::Turbo, PowerMode::Eff2, explore);
+        assert!((f - 500.0 / 519.5).abs() < 1e-9);
+        let same = d.bips_transition_factor(PowerMode::Eff1, PowerMode::Eff1, explore);
+        assert_eq!(same, 1.0);
+    }
+
+    #[test]
+    fn transition_overheads_are_1_to_4_percent_of_explore() {
+        // Section 5.1: "relatively low overheads ranging from 1 to 4%".
+        let d = DvfsParams::paper();
+        let explore = 500.0;
+        for from in PowerMode::ALL {
+            for to in PowerMode::ALL {
+                if from == to {
+                    continue;
+                }
+                let frac = d.transition_time(from, to).value() / explore;
+                assert!((0.01..=0.04).contains(&frac), "{from}->{to}: {frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn transition_table_and_worst_case() {
+        let table = DvfsParams::paper().transition_table();
+        assert!((table.worst_case().value() - 19.5).abs() < 1e-9);
+        assert_eq!(
+            table.time(PowerMode::Eff2, PowerMode::Turbo),
+            DvfsParams::paper().transition_time(PowerMode::Eff2, PowerMode::Turbo)
+        );
+    }
+
+    #[test]
+    fn table4_estimates() {
+        let est = DvfsParams::paper().estimated_tradeoffs();
+        assert_eq!(est[0].mode, PowerMode::Turbo);
+        assert_eq!(est[0].power_saving, 0.0);
+        assert!((est[1].power_saving - 0.142_625).abs() < 1e-6);
+        assert!((est[1].perf_degradation_bound - 0.05).abs() < 1e-12);
+        assert!((est[2].power_saving - 0.385_875).abs() < 1e-6);
+        assert!((est[2].perf_degradation_bound - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimates_meet_3_to_1_target() {
+        // Table 3's design target: ΔPower : ΔPerf ≈ 3 : 1.
+        for est in DvfsParams::paper().estimated_tradeoffs() {
+            if est.mode == PowerMode::Turbo {
+                continue;
+            }
+            let ratio = est.power_saving / est.perf_degradation_bound;
+            assert!(ratio >= 2.5, "{:?} ratio {ratio}", est.mode);
+        }
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(DvfsParams::default(), DvfsParams::paper());
+    }
+}

@@ -1,0 +1,55 @@
+//! Activity-based core power modelling with DVFS scaling — the workspace's
+//! stand-in for IBM's PowerTimer methodology.
+//!
+//! Two pieces live here:
+//!
+//! * [`PowerModel`] converts the per-cycle activity factors reported by the
+//!   `gpm-microarch` timing model into watts, as a sum of per-unit dynamic
+//!   power terms (`P = C·α·V²·f`), a clock-gating-aware clock-grid term and
+//!   leakage.
+//! * [`DvfsParams`] defines the three operating modes of Section 4 of the
+//!   paper — Turbo (1.300 V, f), Eff1 (0.95 V·f), Eff2 (0.85 V·f) — and the
+//!   voltage-slew transition model of Table 5 (10 mV/µs, hence 6.5 µs,
+//!   13 µs and 19.5 µs transitions).
+//!
+//! Under the paper's linear-DVFS scenario total power scales cubically with
+//! the mode's scale factor `s = V/V₀ = f/f₀`. The model preserves that
+//! property by construction (leakage is given an effective cubic voltage
+//! sensitivity; see [`PowerParams::leakage`]), so the global manager's
+//! Power-matrix predictions achieve the sub-percent accuracy the paper
+//! reports in Section 5.5.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpm_microarch::ActivityFactors;
+//! use gpm_power::{DvfsParams, PowerModel};
+//! use gpm_types::PowerMode;
+//!
+//! let model = PowerModel::power4_calibrated();
+//! let busy = ActivityFactors {
+//!     dispatch: 2.0,
+//!     int_issue: 0.9,
+//!     fp_issue: 0.3,
+//!     mem_issue: 0.6,
+//!     l2: 0.01,
+//!     busy: 0.95,
+//! };
+//! let turbo = model.power(&busy, PowerMode::Turbo);
+//! let eff2 = model.power(&busy, PowerMode::Eff2);
+//! assert!((eff2 / turbo - 0.614).abs() < 0.001, "cubic scaling");
+//!
+//! let dvfs = DvfsParams::paper();
+//! assert!((dvfs.transition_time(PowerMode::Turbo, PowerMode::Eff2).value() - 19.5).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dvfs;
+mod model;
+mod thermal;
+
+pub use dvfs::{DvfsParams, ModeEstimate, TransitionTable};
+pub use model::{PowerModel, PowerParams};
+pub use thermal::{ThermalModel, ThermalParams};

@@ -1,0 +1,267 @@
+//! The per-core activity-to-watts power model.
+
+use gpm_microarch::ActivityFactors;
+use gpm_types::{PowerMode, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Unit weights of the power model, expressed in watts *at the Turbo
+/// operating point* per unit of per-cycle activity.
+///
+/// Dynamic terms scale cubically with the DVFS scale factor `s` (`V²f`
+/// under linear scaling). The leakage term is also given an effective cubic
+/// voltage sensitivity: over the paper's small voltage range (1.105–1.300 V)
+/// the exponential DIBL-driven leakage dependence is well approximated by a
+/// steep polynomial, and the paper's measured total-power behaviour
+/// ("power dissipations follow closely with our cubic estimates",
+/// Section 4) tells us the real platform behaved cubically end-to-end.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerParams {
+    /// Clock distribution + always-on front-end power at Turbo (watts).
+    /// Partially clock-gated: see `clock_gating_floor`.
+    pub clock_grid: f64,
+    /// Fraction of `clock_grid` burned even when the core dispatches
+    /// nothing (imperfect clock gating).
+    pub clock_gating_floor: f64,
+    /// Leakage power at Turbo voltage (watts).
+    pub leakage: f64,
+    /// Watts per dispatched instruction per cycle (front end, rename, ROB).
+    pub dispatch: f64,
+    /// Watts per fixed-point issue per cycle.
+    pub int_issue: f64,
+    /// Watts per floating-point issue per cycle (wider datapath).
+    pub fp_issue: f64,
+    /// Watts per memory issue per cycle (LSU + L1D).
+    pub mem_issue: f64,
+    /// Watts per L2 access per cycle.
+    pub l2_access: f64,
+}
+
+impl PowerParams {
+    /// Calibrated weights for the POWER4-class core of Table 1.
+    ///
+    /// The calibration targets (validated by the `gpm-trace` capture tests):
+    ///
+    /// * a CPU-bound SPEC-like benchmark sustains ≈ 18–20 W at Turbo,
+    /// * a memory-bound one ≈ 11–14 W,
+    /// * the synthetic design peak (all units saturated) is ≈ 32 W.
+    ///
+    /// The *chip* power envelope of an experiment is not this nameplate but
+    /// the peak all-Turbo chip power of the workload combination, exactly as
+    /// the paper normalises its budgets.
+    #[must_use]
+    pub fn power4_calibrated() -> Self {
+        Self {
+            clock_grid: 8.0,
+            clock_gating_floor: 0.70,
+            leakage: 4.0,
+            dispatch: 1.2,
+            int_issue: 1.5,
+            fp_issue: 2.5,
+            mem_issue: 2.5,
+            l2_access: 6.0,
+        }
+    }
+}
+
+impl Default for PowerParams {
+    fn default() -> Self {
+        Self::power4_calibrated()
+    }
+}
+
+/// Converts activity factors into core power at a given DVFS operating
+/// point.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_microarch::ActivityFactors;
+/// use gpm_power::PowerModel;
+/// use gpm_types::PowerMode;
+///
+/// let model = PowerModel::power4_calibrated();
+/// let idle = model.power(&ActivityFactors::default(), PowerMode::Turbo);
+/// // Idle floor: leakage + gated clock grid.
+/// assert!(idle.value() > 8.0 && idle.value() < 12.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    params: PowerParams,
+}
+
+impl PowerModel {
+    /// Builds a model from explicit weights.
+    #[must_use]
+    pub fn new(params: PowerParams) -> Self {
+        Self { params }
+    }
+
+    /// The calibrated POWER4-class model (see
+    /// [`PowerParams::power4_calibrated`]).
+    #[must_use]
+    pub fn power4_calibrated() -> Self {
+        Self::new(PowerParams::power4_calibrated())
+    }
+
+    /// The model's weights.
+    #[must_use]
+    pub fn params(&self) -> &PowerParams {
+        &self.params
+    }
+
+    /// Core power for the observed `activity` in `mode`.
+    ///
+    /// Equivalent to [`power_scaled`](Self::power_scaled) with the mode's
+    /// cubic scale factor.
+    #[must_use]
+    pub fn power(&self, activity: &ActivityFactors, mode: PowerMode) -> Watts {
+        self.power_scaled(activity, mode.power_scale())
+    }
+
+    /// Core power with an explicit cubic DVFS scale (1.0 = Turbo).
+    ///
+    /// All terms — including leakage, see [`PowerParams`] — scale by
+    /// `cubic_scale`, so a mode's power is exactly `s³` times its Turbo
+    /// power *for the same activity*. (Activity itself shifts slightly
+    /// across modes because memory latencies change in core cycles; that
+    /// drift is the 0.1–0.3% prediction error of Section 5.5.)
+    #[must_use]
+    pub fn power_scaled(&self, activity: &ActivityFactors, cubic_scale: f64) -> Watts {
+        let p = &self.params;
+        let clock = p.clock_grid
+            * (p.clock_gating_floor + (1.0 - p.clock_gating_floor) * activity.busy.min(1.0));
+        let units = p.dispatch * activity.dispatch
+            + p.int_issue * activity.int_issue
+            + p.fp_issue * activity.fp_issue
+            + p.mem_issue * activity.mem_issue
+            + p.l2_access * activity.l2;
+        Watts::new((clock + p.leakage + units) * cubic_scale)
+    }
+
+    /// The synthetic design peak: every unit saturated, at Turbo.
+    ///
+    /// Dispatch at full width (5), both FXUs, both FPUs, both LSUs busy
+    /// every cycle, plus a saturated L2 port. No real workload reaches this
+    /// point; it is the nameplate against which per-core power fractions can
+    /// be quoted.
+    #[must_use]
+    pub fn design_peak(&self) -> Watts {
+        self.power(
+            &ActivityFactors {
+                dispatch: 5.0,
+                int_issue: 2.0,
+                fp_issue: 2.0,
+                mem_issue: 2.0,
+                l2: 0.1,
+                busy: 1.0,
+            },
+            PowerMode::Turbo,
+        )
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        Self::power4_calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu_bound() -> ActivityFactors {
+        ActivityFactors {
+            dispatch: 2.0,
+            int_issue: 0.9,
+            fp_issue: 0.3,
+            mem_issue: 0.6,
+            l2: 0.01,
+            busy: 0.95,
+        }
+    }
+
+    fn mem_bound() -> ActivityFactors {
+        ActivityFactors {
+            dispatch: 0.3,
+            int_issue: 0.15,
+            fp_issue: 0.0,
+            mem_issue: 0.12,
+            l2: 0.05,
+            busy: 0.30,
+        }
+    }
+
+    #[test]
+    fn calibration_targets() {
+        let m = PowerModel::power4_calibrated();
+        let cpu = m.power(&cpu_bound(), PowerMode::Turbo).value();
+        let mem = m.power(&mem_bound(), PowerMode::Turbo).value();
+        assert!((16.0..=22.0).contains(&cpu), "cpu-bound Turbo power {cpu}");
+        assert!((10.0..=15.0).contains(&mem), "mem-bound Turbo power {mem}");
+        let peak = m.design_peak().value();
+        assert!((25.0..=35.0).contains(&peak), "design peak {peak}");
+        assert!(cpu < peak && mem < peak);
+    }
+
+    #[test]
+    fn cubic_scaling_is_exact_for_fixed_activity() {
+        let m = PowerModel::power4_calibrated();
+        for mode in PowerMode::ALL {
+            let p = m.power(&cpu_bound(), mode);
+            let expected = m.power(&cpu_bound(), PowerMode::Turbo) * mode.power_scale();
+            assert!((p.value() - expected.value()).abs() < 1e-9, "{mode}");
+        }
+    }
+
+    #[test]
+    fn idle_floor_is_clock_plus_leakage() {
+        let m = PowerModel::power4_calibrated();
+        let idle = m.power(&ActivityFactors::default(), PowerMode::Turbo).value();
+        let expected = 8.0 * 0.70 + 4.0;
+        assert!((idle - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_is_clamped() {
+        let m = PowerModel::power4_calibrated();
+        let mut a = cpu_bound();
+        a.busy = 1.5; // merged intervals can momentarily exceed 1
+        let p = m.power(&a, PowerMode::Turbo);
+        a.busy = 1.0;
+        assert_eq!(p, m.power(&a, PowerMode::Turbo));
+    }
+
+    #[test]
+    fn monotone_in_activity() {
+        let m = PowerModel::power4_calibrated();
+        let lo = m.power(&mem_bound(), PowerMode::Turbo);
+        let hi = m.power(&cpu_bound(), PowerMode::Turbo);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn power_scaled_general() {
+        let m = PowerModel::power4_calibrated();
+        let p1 = m.power_scaled(&cpu_bound(), 1.0);
+        let p2 = m.power_scaled(&cpu_bound(), 0.5);
+        assert!((p2.value() / p1.value() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_calibrated() {
+        assert_eq!(PowerModel::default().params(), &PowerParams::power4_calibrated());
+    }
+
+    #[test]
+    fn eff_modes_save_power_in_table3_band() {
+        // Table 3 targets: Eff1 ≈ 15%, Eff2 ≈ 45% savings; cubic scaling
+        // delivers 14.3% / 38.6% — the "measured" Figure 2 values.
+        let m = PowerModel::power4_calibrated();
+        let base = m.power(&cpu_bound(), PowerMode::Turbo);
+        let s1 = 1.0 - m.power(&cpu_bound(), PowerMode::Eff1) / base;
+        let s2 = 1.0 - m.power(&cpu_bound(), PowerMode::Eff2) / base;
+        assert!((s1 - 0.142_625).abs() < 1e-6, "{s1}");
+        assert!((s2 - 0.385_875).abs() < 1e-6, "{s2}");
+    }
+}

@@ -1,0 +1,192 @@
+//! First-order lumped RC thermal model — an extension beyond the paper.
+//!
+//! The paper motivates global power management with "power and peak
+//! temperature ... the key performance limiters" and its Figure 6 scenario
+//! is a cooling failure, but it manages power only. This module adds the
+//! minimal thermal substrate a temperature-aware policy needs: one RC node
+//! per core,
+//!
+//! ```text
+//! C·dT/dt = P − (T − T_amb)/R      ⇒      T′ = T_ss + (T − T_ss)·e^(−dt/RC)
+//! ```
+//!
+//! integrated exactly per step (`T_ss = T_amb + P·R`), so arbitrary step
+//! sizes are stable.
+
+use gpm_types::{Micros, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the per-core RC node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Junction-to-ambient thermal resistance per core, in K/W. With the
+    /// default 1.8 K/W a 20 W core settles ≈ 36 K above ambient.
+    pub resistance_k_per_w: f64,
+    /// RC time constant. A few milliseconds for the silicon + spreader
+    /// path local to a core.
+    pub time_constant: Micros,
+    /// Ambient (heatsink base) temperature, °C.
+    pub ambient_c: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        Self {
+            resistance_k_per_w: 1.8,
+            time_constant: Micros::from_millis(5.0),
+            ambient_c: 45.0,
+        }
+    }
+}
+
+/// Per-core junction temperatures driven by the observed core powers.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_power::{ThermalModel, ThermalParams};
+/// use gpm_types::{Micros, Watts};
+///
+/// let mut t = ThermalModel::new(2, ThermalParams::default());
+/// // A long 20 W step settles near ambient + P·R = 45 + 36 = 81 °C.
+/// t.step(&[Watts::new(20.0), Watts::new(5.0)], Micros::from_millis(100.0));
+/// assert!((t.temperatures()[0] - 81.0).abs() < 0.5);
+/// assert!(t.temperatures()[1] < t.temperatures()[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    params: ThermalParams,
+    temps_c: Vec<f64>,
+}
+
+impl ThermalModel {
+    /// Creates a model with every core at ambient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the parameters are non-positive.
+    #[must_use]
+    pub fn new(cores: usize, params: ThermalParams) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(
+            params.resistance_k_per_w > 0.0 && params.time_constant.value() > 0.0,
+            "thermal parameters must be positive"
+        );
+        Self {
+            temps_c: vec![params.ambient_c; cores],
+            params,
+        }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// Advances every core by `dt` under the given powers (exact
+    /// exponential integration, stable for any `dt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `powers` does not cover every core.
+    pub fn step(&mut self, powers: &[Watts], dt: Micros) {
+        assert_eq!(powers.len(), self.temps_c.len(), "one power per core");
+        let decay = (-dt.value() / self.params.time_constant.value()).exp();
+        for (temp, power) in self.temps_c.iter_mut().zip(powers) {
+            let steady = self.params.ambient_c + power.value() * self.params.resistance_k_per_w;
+            *temp = steady + (*temp - steady) * decay;
+        }
+    }
+
+    /// Current per-core junction temperatures, °C.
+    #[must_use]
+    pub fn temperatures(&self) -> &[f64] {
+        &self.temps_c
+    }
+
+    /// The hottest core's temperature, °C.
+    #[must_use]
+    pub fn hottest(&self) -> f64 {
+        self.temps_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Steady-state temperature a core would reach at `power`.
+    #[must_use]
+    pub fn steady_state(&self, power: Watts) -> f64 {
+        self.params.ambient_c + power.value() * self.params.resistance_k_per_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(cores: usize) -> ThermalModel {
+        ThermalModel::new(cores, ThermalParams::default())
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        let t = model(3);
+        assert!(t.temperatures().iter().all(|&c| (c - 45.0).abs() < 1e-12));
+        assert_eq!(t.hottest(), 45.0);
+    }
+
+    #[test]
+    fn approaches_steady_state_exponentially() {
+        let mut t = model(1);
+        let p = [Watts::new(20.0)];
+        // One time constant: 63.2% of the way to steady state.
+        t.step(&p, Micros::from_millis(5.0));
+        let target = t.steady_state(p[0]);
+        let progress = (t.temperatures()[0] - 45.0) / (target - 45.0);
+        assert!((progress - 0.632).abs() < 0.005, "progress {progress}");
+        // Many time constants: settled.
+        t.step(&p, Micros::from_millis(100.0));
+        assert!((t.temperatures()[0] - target).abs() < 0.01);
+    }
+
+    #[test]
+    fn cooling_follows_the_same_dynamics() {
+        let mut t = model(1);
+        t.step(&[Watts::new(25.0)], Micros::from_millis(100.0));
+        let hot = t.temperatures()[0];
+        t.step(&[Watts::ZERO], Micros::from_millis(5.0));
+        let cooled = t.temperatures()[0];
+        assert!(cooled < hot);
+        assert!(cooled > 45.0, "cannot cool below ambient");
+    }
+
+    #[test]
+    fn step_is_duration_consistent() {
+        // One 10 ms step equals two 5 ms steps under constant power.
+        let p = [Watts::new(15.0)];
+        let mut one = model(1);
+        one.step(&p, Micros::from_millis(10.0));
+        let mut two = model(1);
+        two.step(&p, Micros::from_millis(5.0));
+        two.step(&p, Micros::from_millis(5.0));
+        assert!((one.temperatures()[0] - two.temperatures()[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_core_independence() {
+        let mut t = model(2);
+        t.step(&[Watts::new(22.0), Watts::new(8.0)], Micros::from_millis(50.0));
+        assert!(t.temperatures()[0] > t.temperatures()[1] + 15.0);
+        assert_eq!(t.hottest(), t.temperatures()[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one power per core")]
+    fn power_count_checked() {
+        model(2).step(&[Watts::new(1.0)], Micros::new(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_rejected() {
+        let _ = ThermalModel::new(0, ThermalParams::default());
+    }
+}

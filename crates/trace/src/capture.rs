@@ -1,0 +1,276 @@
+//! Trace capture: single-threaded runs of each benchmark at each mode.
+
+use gpm_microarch::{CoreConfig, CoreModel};
+use gpm_power::{DvfsParams, PowerModel};
+use gpm_types::{Micros, PowerMode, Result};
+use gpm_workloads::{SpecBenchmark, WorkloadCombo};
+
+use crate::{BenchmarkTraces, ModeTrace, TraceSample};
+
+/// Parameters of a capture campaign.
+///
+/// The defaults reproduce the paper's setup: POWER4-class core (Table 1),
+/// calibrated PowerTimer-like power model, linear three-mode DVFS at 1.3 V /
+/// 1 GHz, 50 µs `delta_sim_time`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaptureConfig {
+    /// Core configuration shared by all cores.
+    pub core: CoreConfig,
+    /// Power model converting activity to watts.
+    pub power: PowerModel,
+    /// DVFS operating points.
+    pub dvfs: DvfsParams,
+    /// Sampling interval (`delta_sim_time`, 50 µs in the paper).
+    pub delta: Micros,
+    /// Optional cap on the simulated region, in instructions. `None` runs
+    /// each benchmark's full `total_instructions`; tests use small caps.
+    pub instruction_limit: Option<u64>,
+    /// Optional cap on the simulated region, as wall time of the *Turbo*
+    /// run. Unlike `instruction_limit`, this truncates every benchmark to a
+    /// comparable number of explore intervals regardless of its IPC.
+    pub duration_limit: Option<Micros>,
+    /// Extra instructions captured beyond the region end, as a fraction
+    /// (the CMP simulator can read slightly past completion).
+    pub margin: f64,
+    /// Cycles of cache/predictor warm-up simulated (and discarded) before
+    /// sample collection starts.
+    pub warmup_cycles: u64,
+}
+
+impl Default for CaptureConfig {
+    fn default() -> Self {
+        Self {
+            core: CoreConfig::power4(),
+            power: PowerModel::power4_calibrated(),
+            dvfs: DvfsParams::paper(),
+            delta: Micros::new(50.0),
+            instruction_limit: None,
+            duration_limit: None,
+            margin: 0.03,
+            warmup_cycles: 200_000,
+        }
+    }
+}
+
+impl CaptureConfig {
+    /// A configuration with a small instruction cap — fast captures for
+    /// tests and examples (the region is truncated, not sampled coarser).
+    #[must_use]
+    pub fn fast(limit: u64) -> Self {
+        Self {
+            instruction_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// A configuration truncating every benchmark's region to `limit` of
+    /// Turbo wall time — each benchmark then spans a comparable number of
+    /// explore intervals regardless of its IPC.
+    #[must_use]
+    pub fn fast_duration(limit: Micros) -> Self {
+        Self {
+            duration_limit: Some(limit),
+            ..Self::default()
+        }
+    }
+
+    /// The effective region length for `bench` under this configuration,
+    /// before any duration-based truncation.
+    #[must_use]
+    pub fn region_of(&self, bench: SpecBenchmark) -> u64 {
+        let total = bench.profile().total_instructions;
+        self.instruction_limit.map_or(total, |cap| cap.min(total))
+    }
+}
+
+/// Captures one benchmark at every power mode.
+///
+/// Each mode run replays the *same* deterministic instruction stream from
+/// the beginning through a fresh core model clocked at that mode's
+/// frequency, sampling `(cumulative instructions, power, BIPS)` every
+/// `delta`.
+///
+/// # Errors
+///
+/// Propagates configuration validation failures.
+pub fn capture_benchmark(bench: SpecBenchmark, config: &CaptureConfig) -> Result<BenchmarkTraces> {
+    config.core.validate()?;
+    let mut region = config.region_of(bench);
+    let margin_of = |r: u64| r + ((r as f64 * config.margin) as u64).max(1000);
+
+    // Capture Turbo first; a duration limit is resolved against it so that
+    // all three modes are truncated at the same *instruction* position.
+    let turbo_time_cap = config
+        .duration_limit
+        .map(|d| d * (1.0 + config.margin) + config.delta);
+    let turbo = capture_mode(bench, PowerMode::Turbo, margin_of(region), turbo_time_cap, config);
+    if let Some(limit) = config.duration_limit {
+        region = region.min(turbo.instructions_by(limit));
+    }
+    let target = margin_of(region);
+    let mut traces = vec![turbo];
+    for mode in [PowerMode::Eff1, PowerMode::Eff2] {
+        traces.push(capture_mode(bench, mode, target, None, config));
+    }
+    BenchmarkTraces::new(bench.name(), region, traces)
+}
+
+/// Captures every benchmark of `combo` (deduplicated by benchmark).
+///
+/// Returns one [`BenchmarkTraces`] per *core*, in combo order; duplicated
+/// benchmarks share the same capture via clone.
+///
+/// # Errors
+///
+/// Propagates capture failures.
+pub fn capture_combo(
+    combo: &WorkloadCombo,
+    config: &CaptureConfig,
+) -> Result<Vec<BenchmarkTraces>> {
+    let mut unique: Vec<(SpecBenchmark, BenchmarkTraces)> = Vec::new();
+    for &bench in combo.benchmarks() {
+        if !unique.iter().any(|(b, _)| *b == bench) {
+            unique.push((bench, capture_benchmark(bench, config)?));
+        }
+    }
+    Ok(combo
+        .benchmarks()
+        .iter()
+        .map(|b| {
+            unique
+                .iter()
+                .find(|(u, _)| u == b)
+                .expect("captured above")
+                .1
+                .clone()
+        })
+        .collect())
+}
+
+fn capture_mode(
+    bench: SpecBenchmark,
+    mode: PowerMode,
+    target_instructions: u64,
+    max_duration: Option<Micros>,
+    config: &CaptureConfig,
+) -> ModeTrace {
+    let freq = config.dvfs.frequency(mode);
+    let mut core = CoreModel::new(&config.core, freq);
+    let mut stream = bench.stream();
+    let delta_cycles = freq.cycles_in(config.delta).value();
+
+    // Warm up caches and predictors; discard the stats and restart the
+    // stream so instruction indices line up across modes.
+    if config.warmup_cycles > 0 {
+        let _ = core.run_cycles(&mut stream, config.warmup_cycles);
+        stream = bench.stream();
+    }
+
+    let max_samples = max_duration
+        .map(|d| (d.value() / config.delta.value()).ceil() as usize)
+        .unwrap_or(usize::MAX);
+    let mut samples = Vec::new();
+    let mut committed = 0u64;
+    while committed < target_instructions && samples.len() < max_samples {
+        let stats = core.run_cycles(&mut stream, delta_cycles);
+        committed += stats.instructions;
+        let power = config.power.power(&stats.activity(), mode);
+        samples.push(TraceSample {
+            instructions_end: committed,
+            power_w: power.value(),
+            bips: stats.bips_at(freq).value(),
+        });
+    }
+    ModeTrace::new(mode, config.delta, samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_workloads::combos;
+
+    fn fast_config() -> CaptureConfig {
+        CaptureConfig::fast(1_500_000)
+    }
+
+    #[test]
+    fn capture_produces_all_modes() {
+        let t = capture_benchmark(SpecBenchmark::Gcc, &fast_config()).unwrap();
+        assert_eq!(t.name(), "gcc");
+        for mode in PowerMode::ALL {
+            assert!(t.trace(mode).samples().len() > 10, "{mode}");
+            assert!(t.trace(mode).total_instructions() >= t.total_instructions());
+        }
+    }
+
+    #[test]
+    fn eff_modes_draw_less_power() {
+        let t = capture_benchmark(SpecBenchmark::Crafty, &fast_config()).unwrap();
+        let p_turbo = t.trace(PowerMode::Turbo).average_power();
+        let p_eff1 = t.trace(PowerMode::Eff1).average_power();
+        let p_eff2 = t.trace(PowerMode::Eff2).average_power();
+        assert!(p_turbo > p_eff1);
+        assert!(p_eff1 > p_eff2);
+        // Cubic scaling (within activity drift).
+        let ratio = p_eff2 / p_turbo;
+        assert!((ratio - 0.614).abs() < 0.02, "Eff2/Turbo power ratio {ratio}");
+    }
+
+    #[test]
+    fn cpu_bound_completion_slows_linearly_memory_bound_less() {
+        let cfg = fast_config();
+        let six = capture_benchmark(SpecBenchmark::Sixtrack, &cfg).unwrap();
+        let mcf = capture_benchmark(SpecBenchmark::Mcf, &cfg).unwrap();
+
+        let slow = |t: &BenchmarkTraces| {
+            let turbo = t.completion_time(PowerMode::Turbo).unwrap();
+            let eff2 = t.completion_time(PowerMode::Eff2).unwrap();
+            1.0 - turbo / eff2
+        };
+        let six_slow = slow(&six);
+        let mcf_slow = slow(&mcf);
+        assert!((0.10..=0.17).contains(&six_slow), "sixtrack {six_slow}");
+        assert!(mcf_slow < 0.07, "mcf {mcf_slow}");
+    }
+
+    #[test]
+    fn region_respects_instruction_limit() {
+        let cfg = CaptureConfig::fast(100_000);
+        let t = capture_benchmark(SpecBenchmark::Mesa, &cfg).unwrap();
+        assert_eq!(t.total_instructions(), 100_000);
+        assert!(t.trace(PowerMode::Turbo).total_instructions() >= 100_000);
+    }
+
+    #[test]
+    fn capture_combo_shares_duplicates() {
+        let cfg = CaptureConfig::fast(200_000);
+        let traces = capture_combo(&combos::mcf_mcf_art_art(), &cfg).unwrap();
+        assert_eq!(traces.len(), 4);
+        assert_eq!(traces[0], traces[1], "duplicate benchmarks share captures");
+        assert_eq!(traces[0].name(), "mcf");
+        assert_eq!(traces[2].name(), "art");
+    }
+
+    #[test]
+    fn captures_are_deterministic() {
+        let cfg = CaptureConfig::fast(300_000);
+        let a = capture_benchmark(SpecBenchmark::Art, &cfg).unwrap();
+        let b = capture_benchmark(SpecBenchmark::Art, &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_fluctuates_with_phases() {
+        // art has strong phases; its Turbo power trace should swing.
+        let cfg = CaptureConfig::fast(3_000_000);
+        let t = capture_benchmark(SpecBenchmark::Art, &cfg).unwrap();
+        let trace = t.trace(PowerMode::Turbo);
+        let spread = trace.peak_power().value()
+            - trace
+                .samples()
+                .iter()
+                .map(|s| s.power_w)
+                .fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.5, "phase power swing {spread}");
+    }
+}

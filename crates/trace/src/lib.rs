@@ -1,0 +1,42 @@
+//! Per-mode power/performance trace capture — the data that feeds the
+//! paper's "fast static trace-based CMP analysis tool".
+//!
+//! Section 3.1 of the paper: single-threaded Turandot runs are captured once
+//! per (benchmark, power mode); the CMP simulator then progresses these
+//! traces simultaneously for the benchmarks assigned to different cores.
+//! This crate is that capture stage:
+//!
+//! * [`capture_benchmark`] runs a `gpm-workloads` stream through the
+//!   `gpm-microarch` core model at each of the three DVFS operating points,
+//!   samples power (via `gpm-power`) and throughput every `delta_sim_time`
+//!   (50 µs), and indexes the samples by **cumulative instruction count** —
+//!   the alignment key that lets the CMP simulator switch a core between
+//!   modes mid-run and keep reading the right program phase.
+//! * [`TraceStore`] memoises captures in-process and optionally on disk, so
+//!   the experiment harness does not recapture 36 (benchmark × mode) runs
+//!   for every figure.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use gpm_trace::{CaptureConfig, TraceStore};
+//! use gpm_types::PowerMode;
+//! use gpm_workloads::SpecBenchmark;
+//!
+//! let store = TraceStore::new(CaptureConfig::default());
+//! let traces = store.get(SpecBenchmark::Mcf)?;
+//! let t = traces.trace(PowerMode::Turbo);
+//! println!("mcf Turbo avg power: {:.1}", t.average_power());
+//! # Ok::<(), gpm_types::GpmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod sample;
+mod store;
+
+pub use capture::{capture_benchmark, capture_combo, CaptureConfig};
+pub use sample::{BenchmarkTraces, ModeTrace, TraceSample};
+pub use store::TraceStore;

@@ -1,0 +1,407 @@
+//! Trace data structures: per-delta samples, per-mode traces, per-benchmark
+//! trace sets.
+
+use gpm_types::{Bips, GpmError, Micros, PowerMode, Result, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One `delta_sim_time` sample of a single-threaded run at a fixed mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Cumulative committed instructions at the *end* of this sample.
+    pub instructions_end: u64,
+    /// Average core power over the sample, in watts.
+    pub power_w: f64,
+    /// Throughput over the sample, in BIPS.
+    pub bips: f64,
+}
+
+impl TraceSample {
+    /// Power as a typed quantity.
+    #[must_use]
+    pub fn power(&self) -> Watts {
+        Watts::new(self.power_w)
+    }
+
+    /// Throughput as a typed quantity.
+    #[must_use]
+    pub fn throughput(&self) -> Bips {
+        Bips::new(self.bips)
+    }
+}
+
+/// The complete trace of one benchmark at one power mode: samples every
+/// `delta` microseconds, indexed by cumulative instruction count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeTrace {
+    mode: PowerMode,
+    delta: Micros,
+    samples: Vec<TraceSample>,
+}
+
+impl ModeTrace {
+    /// Assembles a trace from capture output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or not monotonically increasing in
+    /// `instructions_end`.
+    #[must_use]
+    pub fn new(mode: PowerMode, delta: Micros, samples: Vec<TraceSample>) -> Self {
+        assert!(!samples.is_empty(), "a trace needs at least one sample");
+        assert!(
+            samples
+                .windows(2)
+                .all(|w| w[0].instructions_end <= w[1].instructions_end),
+            "trace samples must be monotone in instruction count"
+        );
+        Self {
+            mode,
+            delta,
+            samples,
+        }
+    }
+
+    /// The power mode this trace was captured at.
+    #[must_use]
+    pub fn mode(&self) -> PowerMode {
+        self.mode
+    }
+
+    /// Sampling interval (`delta_sim_time`).
+    #[must_use]
+    pub fn delta(&self) -> Micros {
+        self.delta
+    }
+
+    /// All samples, in time order.
+    #[must_use]
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// The sample covering instruction position `instr` — the behaviour the
+    /// program exhibits around that point of its execution in this mode.
+    ///
+    /// Positions beyond the trace clamp to the last sample (the CMP
+    /// simulator may read a core slightly past its benchmark's completion
+    /// while waiting for the termination check).
+    #[must_use]
+    pub fn at(&self, instr: u64) -> &TraceSample {
+        let idx = self
+            .samples
+            .partition_point(|s| s.instructions_end < instr.saturating_add(1));
+        &self.samples[idx.min(self.samples.len() - 1)]
+    }
+
+    /// Total instructions covered by the trace.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.samples.last().map_or(0, |s| s.instructions_end)
+    }
+
+    /// Wall-clock duration of the whole captured trace.
+    #[must_use]
+    pub fn duration(&self) -> Micros {
+        self.delta * self.samples.len() as f64
+    }
+
+    /// Wall-clock time at which the run first reaches `instr` cumulative
+    /// instructions (linear interpolation inside a sample); `None` if the
+    /// trace never gets there.
+    #[must_use]
+    pub fn time_to_reach(&self, instr: u64) -> Option<Micros> {
+        if instr == 0 {
+            return Some(Micros::ZERO);
+        }
+        let idx = self.samples.partition_point(|s| s.instructions_end < instr);
+        if idx >= self.samples.len() {
+            return None;
+        }
+        let end = self.samples[idx].instructions_end;
+        let start = if idx == 0 {
+            0
+        } else {
+            self.samples[idx - 1].instructions_end
+        };
+        let frac = if end == start {
+            1.0
+        } else {
+            (instr - start) as f64 / (end - start) as f64
+        };
+        Some(self.delta * (idx as f64 + frac))
+    }
+
+    /// Cumulative instructions completed by wall time `t` (linear
+    /// interpolation inside a sample; clamps to the trace end).
+    #[must_use]
+    pub fn instructions_by(&self, t: Micros) -> u64 {
+        if self.samples.is_empty() || t.value() <= 0.0 {
+            return 0;
+        }
+        let steps = t.value() / self.delta.value();
+        let idx = steps.floor() as usize;
+        if idx >= self.samples.len() {
+            return self.total_instructions();
+        }
+        let start = if idx == 0 {
+            0
+        } else {
+            self.samples[idx - 1].instructions_end
+        };
+        let end = self.samples[idx].instructions_end;
+        let frac = steps - idx as f64;
+        start + ((end - start) as f64 * frac) as u64
+    }
+
+    /// Mean power over the window `[0, t)`; clamps to the trace end.
+    #[must_use]
+    pub fn average_power_until(&self, t: Micros) -> Watts {
+        let count = ((t.value() / self.delta.value()).ceil() as usize)
+            .clamp(1, self.samples.len());
+        let sum: f64 = self.samples[..count].iter().map(|s| s.power_w).sum();
+        Watts::new(sum / count as f64)
+    }
+
+    /// Peak sample power over the window `[0, t)`; clamps to the trace end.
+    #[must_use]
+    pub fn peak_power_until(&self, t: Micros) -> Watts {
+        let count = ((t.value() / self.delta.value()).ceil() as usize)
+            .clamp(1, self.samples.len());
+        Watts::new(
+            self.samples[..count]
+                .iter()
+                .map(|s| s.power_w)
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Mean power over the whole trace.
+    #[must_use]
+    pub fn average_power(&self) -> Watts {
+        let sum: f64 = self.samples.iter().map(|s| s.power_w).sum();
+        Watts::new(sum / self.samples.len() as f64)
+    }
+
+    /// Peak sample power over the whole trace.
+    #[must_use]
+    pub fn peak_power(&self) -> Watts {
+        Watts::new(
+            self.samples
+                .iter()
+                .map(|s| s.power_w)
+                .fold(f64::NEG_INFINITY, f64::max),
+        )
+    }
+
+    /// Mean throughput over the whole trace.
+    #[must_use]
+    pub fn average_bips(&self) -> Bips {
+        let sum: f64 = self.samples.iter().map(|s| s.bips).sum();
+        Bips::new(sum / self.samples.len() as f64)
+    }
+}
+
+/// The three per-mode traces of one benchmark, plus its region length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkTraces {
+    name: String,
+    total_instructions: u64,
+    traces: Vec<ModeTrace>,
+}
+
+impl BenchmarkTraces {
+    /// Assembles the per-benchmark trace set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::MissingTrace`] if any of the three modes is
+    /// absent, and [`GpmError::TraceFormat`] on duplicates.
+    pub fn new(
+        name: impl Into<String>,
+        total_instructions: u64,
+        traces: Vec<ModeTrace>,
+    ) -> Result<Self> {
+        let name = name.into();
+        for mode in PowerMode::ALL {
+            match traces.iter().filter(|t| t.mode() == mode).count() {
+                0 => {
+                    return Err(GpmError::MissingTrace {
+                        benchmark: name,
+                        mode,
+                    })
+                }
+                1 => {}
+                n => {
+                    return Err(GpmError::TraceFormat(format!(
+                        "{n} traces for mode {mode} of `{name}`"
+                    )))
+                }
+            }
+        }
+        Ok(Self {
+            name,
+            total_instructions,
+            traces,
+        })
+    }
+
+    /// Benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Instructions in the benchmark's region; the CMP run terminates when
+    /// the first core reaches its benchmark's total.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.total_instructions
+    }
+
+    /// The trace captured at `mode`.
+    #[must_use]
+    pub fn trace(&self, mode: PowerMode) -> &ModeTrace {
+        self.traces
+            .iter()
+            .find(|t| t.mode() == mode)
+            .expect("validated in constructor")
+    }
+
+    /// Native (uninterrupted, single-mode) completion time of the region at
+    /// `mode`; `None` if the capture was too short.
+    #[must_use]
+    pub fn completion_time(&self, mode: PowerMode) -> Option<Micros> {
+        self.trace(mode).time_to_reach(self.total_instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(mode: PowerMode, per_delta: &[(u64, f64, f64)]) -> ModeTrace {
+        let samples = per_delta
+            .iter()
+            .map(|&(instructions_end, power_w, bips)| TraceSample {
+                instructions_end,
+                power_w,
+                bips,
+            })
+            .collect();
+        ModeTrace::new(mode, Micros::new(50.0), samples)
+    }
+
+    fn simple() -> ModeTrace {
+        trace(
+            PowerMode::Turbo,
+            &[(100, 20.0, 2.0), (250, 18.0, 3.0), (300, 10.0, 1.0)],
+        )
+    }
+
+    #[test]
+    fn lookup_by_instruction_position() {
+        let t = simple();
+        assert_eq!(t.at(0).power_w, 20.0);
+        assert_eq!(t.at(99).power_w, 20.0);
+        // Position 100 is already covered by the second sample.
+        assert_eq!(t.at(100).power_w, 18.0);
+        assert_eq!(t.at(250).power_w, 10.0);
+        // Beyond the end clamps.
+        assert_eq!(t.at(10_000).power_w, 10.0);
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = simple();
+        assert!((t.average_power().value() - 16.0).abs() < 1e-12);
+        assert_eq!(t.peak_power().value(), 20.0);
+        assert!((t.average_bips().value() - 2.0).abs() < 1e-12);
+        assert_eq!(t.total_instructions(), 300);
+        assert_eq!(t.duration(), Micros::new(150.0));
+    }
+
+    #[test]
+    fn instructions_by_inverts_time_to_reach() {
+        let t = simple();
+        assert_eq!(t.instructions_by(Micros::ZERO), 0);
+        assert_eq!(t.instructions_by(Micros::new(50.0)), 100);
+        // Halfway through the second sample: 100 + 75 = 175.
+        assert_eq!(t.instructions_by(Micros::new(75.0)), 175);
+        assert_eq!(t.instructions_by(Micros::new(150.0)), 300);
+        assert_eq!(t.instructions_by(Micros::new(1e9)), 300);
+    }
+
+    #[test]
+    fn windowed_power_aggregates() {
+        let t = simple();
+        assert_eq!(t.average_power_until(Micros::new(50.0)).value(), 20.0);
+        assert_eq!(t.average_power_until(Micros::new(100.0)).value(), 19.0);
+        assert_eq!(t.peak_power_until(Micros::new(150.0)).value(), 20.0);
+        // Clamps beyond the end.
+        assert_eq!(t.average_power_until(Micros::new(1e9)).value(), 16.0);
+    }
+
+    #[test]
+    fn time_to_reach_interpolates() {
+        let t = simple();
+        assert_eq!(t.time_to_reach(0), Some(Micros::ZERO));
+        // 100 instructions = exactly the first 50 µs sample.
+        assert!((t.time_to_reach(100).unwrap().value() - 50.0).abs() < 1e-9);
+        // 175 = halfway through the second sample.
+        assert!((t.time_to_reach(175).unwrap().value() - 75.0).abs() < 1e-9);
+        assert!((t.time_to_reach(300).unwrap().value() - 150.0).abs() < 1e-9);
+        assert_eq!(t.time_to_reach(301), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_panics() {
+        let _ = ModeTrace::new(PowerMode::Turbo, Micros::new(50.0), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_panics() {
+        let _ = trace(PowerMode::Turbo, &[(100, 1.0, 1.0), (50, 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn benchmark_traces_requires_all_modes() {
+        let t = simple();
+        let err = BenchmarkTraces::new("x", 300, vec![t.clone()]);
+        assert!(matches!(err, Err(GpmError::MissingTrace { .. })));
+
+        let all = vec![
+            trace(PowerMode::Turbo, &[(100, 1.0, 2.0)]),
+            trace(PowerMode::Eff1, &[(95, 1.0, 1.9)]),
+            trace(PowerMode::Eff2, &[(85, 1.0, 1.7)]),
+        ];
+        let bt = BenchmarkTraces::new("x", 100, all.clone()).unwrap();
+        assert_eq!(bt.trace(PowerMode::Eff1).total_instructions(), 95);
+        assert_eq!(bt.name(), "x");
+
+        let mut dup = all;
+        dup.push(trace(PowerMode::Turbo, &[(1, 1.0, 1.0)]));
+        assert!(matches!(
+            BenchmarkTraces::new("x", 100, dup),
+            Err(GpmError::TraceFormat(_))
+        ));
+    }
+
+    #[test]
+    fn completion_time_uses_total() {
+        let bt = BenchmarkTraces::new(
+            "x",
+            100,
+            vec![
+                trace(PowerMode::Turbo, &[(100, 1.0, 2.0)]),
+                trace(PowerMode::Eff1, &[(95, 1.0, 1.9)]),
+                trace(PowerMode::Eff2, &[(85, 1.0, 1.7)]),
+            ],
+        )
+        .unwrap();
+        assert!(bt.completion_time(PowerMode::Turbo).is_some());
+        // Eff2 capture never reached 100 instructions.
+        assert_eq!(bt.completion_time(PowerMode::Eff2), None);
+    }
+}

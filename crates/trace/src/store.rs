@@ -1,0 +1,256 @@
+//! In-process (and optional on-disk) memoisation of trace captures.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use gpm_types::{GpmError, Result};
+use gpm_workloads::{SpecBenchmark, WorkloadCombo};
+
+use crate::{capture_benchmark, BenchmarkTraces, CaptureConfig};
+
+/// Bump when the trace format or the models feeding it change incompatibly;
+/// invalidates all disk-cached captures.
+const CACHE_FORMAT_VERSION: u32 = 2;
+
+/// A memoising facade over [`capture_benchmark`].
+///
+/// Captures are expensive (tens of millions of simulated instructions per
+/// benchmark and mode); every experiment shares them. The store is cheap to
+/// clone-by-reference via [`Arc`] values and is safe to use from multiple
+/// threads.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gpm_trace::{CaptureConfig, TraceStore};
+/// use gpm_workloads::combos;
+///
+/// let store = TraceStore::new(CaptureConfig::default());
+/// let per_core = store.combo(&combos::ammp_mcf_crafty_art())?;
+/// assert_eq!(per_core.len(), 4);
+/// # Ok::<(), gpm_types::GpmError>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceStore {
+    config: CaptureConfig,
+    cache: Mutex<HashMap<SpecBenchmark, Arc<BenchmarkTraces>>>,
+    disk_dir: Option<PathBuf>,
+}
+
+impl TraceStore {
+    /// Creates an in-memory store.
+    #[must_use]
+    pub fn new(config: CaptureConfig) -> Self {
+        Self {
+            config,
+            cache: Mutex::new(HashMap::new()),
+            disk_dir: None,
+        }
+    }
+
+    /// Creates a store that also persists captures as JSON under `dir`
+    /// (created on demand), so separate processes (tests, benches) reuse
+    /// them. Cache keys include a fingerprint of the capture configuration.
+    #[must_use]
+    pub fn with_disk_cache(config: CaptureConfig, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            config,
+            cache: Mutex::new(HashMap::new()),
+            disk_dir: Some(dir.into()),
+        }
+    }
+
+    /// The capture configuration used by this store.
+    #[must_use]
+    pub fn config(&self) -> &CaptureConfig {
+        &self.config
+    }
+
+    /// Returns the traces of `bench`, capturing them on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture errors; disk-cache I/O problems fall back to
+    /// recapture and only error if the capture itself fails.
+    pub fn get(&self, bench: SpecBenchmark) -> Result<Arc<BenchmarkTraces>> {
+        if let Some(hit) = self.cache.lock().expect("store poisoned").get(&bench) {
+            return Ok(Arc::clone(hit));
+        }
+        let traces = match self.load_from_disk(bench) {
+            Some(t) => Arc::new(t),
+            None => {
+                let t = Arc::new(capture_benchmark(bench, &self.config)?);
+                self.save_to_disk(bench, &t);
+                t
+            }
+        };
+        self.cache
+            .lock()
+            .expect("store poisoned")
+            .insert(bench, Arc::clone(&traces));
+        Ok(traces)
+    }
+
+    /// Returns the per-core traces of a combo (duplicates share the same
+    /// underlying capture).
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture errors.
+    pub fn combo(&self, combo: &WorkloadCombo) -> Result<Vec<Arc<BenchmarkTraces>>> {
+        combo.benchmarks().iter().map(|&b| self.get(b)).collect()
+    }
+
+    /// Drops all in-memory entries (disk cache untouched).
+    pub fn clear(&self) {
+        self.cache.lock().expect("store poisoned").clear();
+    }
+
+    fn fingerprint(&self, bench: SpecBenchmark) -> u64 {
+        let mut h = DefaultHasher::new();
+        CACHE_FORMAT_VERSION.hash(&mut h);
+        bench.name().hash(&mut h);
+        // The capture configuration is not `Hash`; hash its debug rendering,
+        // which covers every field.
+        format!("{:?}", self.config).hash(&mut h);
+        h.finish()
+    }
+
+    fn cache_path(&self, bench: SpecBenchmark) -> Option<PathBuf> {
+        self.disk_dir.as_ref().map(|dir| {
+            dir.join(format!(
+                "{}-{:016x}.json",
+                bench.name(),
+                self.fingerprint(bench)
+            ))
+        })
+    }
+
+    fn load_from_disk(&self, bench: SpecBenchmark) -> Option<BenchmarkTraces> {
+        let path = self.cache_path(bench)?;
+        let bytes = std::fs::read(path).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    fn save_to_disk(&self, bench: SpecBenchmark, traces: &BenchmarkTraces) {
+        let Some(path) = self.cache_path(bench) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        // Best effort: a failed write just means recapturing next time.
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        if let Ok(json) = serde_json::to_vec(traces) {
+            let _ = std::fs::write(path, json);
+        }
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        Self::new(CaptureConfig::default())
+    }
+}
+
+/// Serialisation helpers shared by tests.
+impl TraceStore {
+    /// Serialises a trace set to JSON (stable format for external tooling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::TraceFormat`] on encoding failure.
+    pub fn to_json(traces: &BenchmarkTraces) -> Result<String> {
+        serde_json::to_string(traces).map_err(|e| GpmError::TraceFormat(e.to_string()))
+    }
+
+    /// Parses a trace set from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::TraceFormat`] on malformed input.
+    pub fn from_json(json: &str) -> Result<BenchmarkTraces> {
+        serde_json::from_str(json).map_err(|e| GpmError::TraceFormat(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TraceStore {
+        TraceStore::new(CaptureConfig::fast(200_000))
+    }
+
+    #[test]
+    fn get_memoises() {
+        let s = store();
+        let a = s.get(SpecBenchmark::Gap).unwrap();
+        let b = s.get(SpecBenchmark::Gap).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second get must hit the cache");
+    }
+
+    #[test]
+    fn combo_returns_per_core_traces() {
+        let s = store();
+        let combo = gpm_workloads::combos::art_mcf();
+        let traces = s.combo(&combo).unwrap();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].name(), "art");
+        assert_eq!(traces[1].name(), "mcf");
+    }
+
+    #[test]
+    fn clear_drops_memoisation() {
+        let s = store();
+        let a = s.get(SpecBenchmark::Gap).unwrap();
+        s.clear();
+        let b = s.get(SpecBenchmark::Gap).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b, "recapture is deterministic");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = store();
+        let t = s.get(SpecBenchmark::Mcf).unwrap();
+        let json = TraceStore::to_json(&t).unwrap();
+        let back = TraceStore::from_json(&json).unwrap();
+        assert_eq!(*t, back);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            TraceStore::from_json("not json"),
+            Err(GpmError::TraceFormat(_))
+        ));
+    }
+
+    #[test]
+    fn disk_cache_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "gpm-trace-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let s1 = TraceStore::with_disk_cache(CaptureConfig::fast(150_000), &dir);
+        let a = s1.get(SpecBenchmark::Vortex).unwrap();
+
+        // A fresh store with the same config must load from disk and agree.
+        let s2 = TraceStore::with_disk_cache(CaptureConfig::fast(150_000), &dir);
+        let b = s2.get(SpecBenchmark::Vortex).unwrap();
+        assert_eq!(*a, *b);
+
+        // A different config must NOT reuse the file.
+        let s3 = TraceStore::with_disk_cache(CaptureConfig::fast(151_000), &dir);
+        let c = s3.get(SpecBenchmark::Vortex).unwrap();
+        assert_ne!(a.total_instructions(), c.total_instructions());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

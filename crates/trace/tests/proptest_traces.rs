@@ -1,0 +1,87 @@
+//! Property tests over the trace data structures: position lookups, time
+//! inversions and windowed aggregates.
+
+use gpm_trace::{ModeTrace, TraceSample};
+use gpm_types::{Micros, PowerMode};
+use proptest::prelude::*;
+
+/// Strategy: a monotone trace with random per-delta instruction gains and
+/// powers.
+fn trace_strategy() -> impl Strategy<Value = ModeTrace> {
+    prop::collection::vec((1u64..200_000, 5.0f64..30.0, 0.01f64..4.0), 1..300).prop_map(
+        |steps| {
+            let mut cum = 0u64;
+            let samples = steps
+                .into_iter()
+                .map(|(gain, power_w, bips)| {
+                    cum += gain;
+                    TraceSample {
+                        instructions_end: cum,
+                        power_w,
+                        bips,
+                    }
+                })
+                .collect();
+            ModeTrace::new(PowerMode::Turbo, Micros::new(50.0), samples)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// `at(pos)` always returns the sample whose interval covers `pos`.
+    #[test]
+    fn at_returns_covering_sample(trace in trace_strategy(), pos in any::<u64>()) {
+        let pos = pos % (trace.total_instructions() + 10);
+        let sample = trace.at(pos);
+        prop_assert!(sample.instructions_end >= pos.min(trace.total_instructions()));
+    }
+
+    /// `instructions_by` is monotone in time and bounded by the total.
+    #[test]
+    fn instructions_by_monotone(trace in trace_strategy(), a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let i_lo = trace.instructions_by(Micros::new(lo));
+        let i_hi = trace.instructions_by(Micros::new(hi));
+        prop_assert!(i_lo <= i_hi);
+        prop_assert!(i_hi <= trace.total_instructions());
+    }
+
+    /// `time_to_reach` inverts `instructions_by` (within one delta of
+    /// interpolation error).
+    #[test]
+    fn time_inverts_instructions(trace in trace_strategy(), t_us in 0.0f64..20_000.0) {
+        let t = Micros::new(t_us.min(trace.duration().value()));
+        let instr = trace.instructions_by(t);
+        if instr > 0 {
+            let back = trace.time_to_reach(instr).expect("within trace");
+            prop_assert!(
+                (back.value() - t.value()).abs() <= 50.0 + 1e-6,
+                "t {} -> {} instr -> {}",
+                t.value(),
+                instr,
+                back.value()
+            );
+        }
+    }
+
+    /// Windowed power averages are bounded by the sample extremes and the
+    /// full-trace average equals the mean of all samples.
+    #[test]
+    fn power_window_bounds(trace in trace_strategy(), t_us in 1.0f64..20_000.0) {
+        let (min, max) = trace.samples().iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), s| (lo.min(s.power_w), hi.max(s.power_w)),
+        );
+        let avg = trace.average_power_until(Micros::new(t_us)).value();
+        prop_assert!(avg >= min - 1e-9 && avg <= max + 1e-9);
+        let peak = trace.peak_power_until(Micros::new(t_us)).value();
+        prop_assert!(peak <= max + 1e-9);
+        prop_assert!(avg <= peak + 1e-9);
+        let full = trace.average_power().value();
+        let naive: f64 = trace.samples().iter().map(|s| s.power_w).sum::<f64>()
+            / trace.samples().len() as f64;
+        prop_assert!((full - naive).abs() < 1e-9);
+    }
+}

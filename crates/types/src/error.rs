@@ -1,0 +1,152 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced anywhere in the `gpm` workspace.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::GpmError;
+///
+/// let err = GpmError::UnknownBenchmark("quake".to_owned());
+/// assert!(err.to_string().contains("quake"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GpmError {
+    /// A benchmark name did not match any registered workload profile.
+    UnknownBenchmark(String),
+    /// A configuration value was invalid (wrong range, inconsistent, …).
+    InvalidConfig {
+        /// Which parameter was rejected.
+        parameter: &'static str,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A policy requested modes for the wrong number of cores.
+    CoreCountMismatch {
+        /// Number of cores the simulation runs.
+        expected: usize,
+        /// Number of per-core entries actually supplied.
+        actual: usize,
+    },
+    /// No mode combination can satisfy the requested power budget.
+    InfeasibleBudget {
+        /// Budget as a fraction of maximum chip power.
+        budget_fraction: f64,
+    },
+    /// A trace was requested for a (benchmark, mode) pair that was never
+    /// captured.
+    MissingTrace {
+        /// The benchmark whose trace is absent.
+        benchmark: String,
+        /// The power mode whose trace is absent.
+        mode: crate::PowerMode,
+    },
+    /// Trace data could not be encoded or decoded.
+    TraceFormat(String),
+    /// A simulation was asked to run for a region longer than its traces.
+    TraceExhausted {
+        /// The benchmark whose trace ran out.
+        benchmark: String,
+    },
+}
+
+impl fmt::Display for GpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpmError::UnknownBenchmark(name) => {
+                write!(f, "unknown benchmark `{name}`")
+            }
+            GpmError::InvalidConfig { parameter, reason } => {
+                write!(f, "invalid configuration for `{parameter}`: {reason}")
+            }
+            GpmError::CoreCountMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "core count mismatch: expected {expected} per-core entries, got {actual}"
+                )
+            }
+            GpmError::InfeasibleBudget { budget_fraction } => {
+                write!(
+                    f,
+                    "no mode combination satisfies the power budget ({:.1}% of max chip power)",
+                    budget_fraction * 100.0
+                )
+            }
+            GpmError::MissingTrace { benchmark, mode } => {
+                write!(f, "no trace captured for benchmark `{benchmark}` in mode {mode}")
+            }
+            GpmError::TraceFormat(msg) => write!(f, "trace format error: {msg}"),
+            GpmError::TraceExhausted { benchmark } => {
+                write!(f, "trace for benchmark `{benchmark}` exhausted before termination")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let cases: Vec<(GpmError, &str)> = vec![
+            (GpmError::UnknownBenchmark("x".into()), "unknown benchmark"),
+            (
+                GpmError::InvalidConfig {
+                    parameter: "explore_us",
+                    reason: "must be a multiple of delta_sim_us".into(),
+                },
+                "explore_us",
+            ),
+            (
+                GpmError::CoreCountMismatch {
+                    expected: 4,
+                    actual: 2,
+                },
+                "expected 4",
+            ),
+            (
+                GpmError::InfeasibleBudget {
+                    budget_fraction: 0.5,
+                },
+                "50.0%",
+            ),
+            (
+                GpmError::MissingTrace {
+                    benchmark: "mcf".into(),
+                    mode: crate::PowerMode::Eff1,
+                },
+                "mcf",
+            ),
+            (GpmError::TraceFormat("bad header".into()), "bad header"),
+            (
+                GpmError::TraceExhausted {
+                    benchmark: "art".into(),
+                },
+                "art",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg} should contain {needle}");
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GpmError>();
+    }
+
+    #[test]
+    fn implements_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(GpmError::TraceFormat("x".into()));
+        assert!(err.source().is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one core of the CMP chip, zero-indexed.
+///
+/// In the paper's Priority policy, larger ids have higher priority: on a
+/// four-core CMP, core 4 (id 3 here) has the highest priority and core 1
+/// (id 0) the lowest.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::CoreId;
+///
+/// let id = CoreId::new(2);
+/// assert_eq!(id.value(), 2);
+/// assert_eq!(id.to_string(), "core2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct CoreId(usize);
+
+impl CoreId {
+    /// Wraps a zero-based core index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        Self(index)
+    }
+
+    /// Returns the zero-based index.
+    #[must_use]
+    pub const fn value(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over the ids of the first `count` cores.
+    pub fn all(count: usize) -> impl ExactSizeIterator<Item = CoreId> {
+        (0..count).map(CoreId::new)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+impl From<CoreId> for usize {
+    fn from(id: CoreId) -> usize {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let id = CoreId::from(7usize);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(id.value(), 7);
+    }
+
+    #[test]
+    fn all_iterates_in_order() {
+        let ids: Vec<_> = CoreId::all(3).collect();
+        assert_eq!(ids, vec![CoreId::new(0), CoreId::new(1), CoreId::new(2)]);
+        assert_eq!(CoreId::all(5).len(), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(CoreId::new(0) < CoreId::new(1));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CoreId::new(3).to_string(), "core3");
+    }
+}

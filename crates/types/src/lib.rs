@@ -1,0 +1,46 @@
+//! Shared vocabulary types for the `gpm` workspace.
+//!
+//! This crate defines the strongly-typed units ([`Watts`], [`Volts`],
+//! [`Hertz`], [`Micros`], …), identifiers ([`CoreId`]), the per-core DVFS
+//! operating modes ([`PowerMode`]), fixed-rate [`TimeSeries`] containers and
+//! the workspace-wide error type [`GpmError`].
+//!
+//! Everything downstream — the core timing model, the power model, the CMP
+//! simulators and the global power-management policies — speaks in these
+//! types, which rules out entire classes of unit-confusion bugs (watts vs.
+//! percent-of-budget, microseconds vs. cycles) at compile time.
+//!
+//! # Examples
+//!
+//! ```
+//! use gpm_types::{PowerMode, Watts, Volts};
+//!
+//! let turbo = PowerMode::Turbo;
+//! assert_eq!(turbo.frequency_scale(), 1.0);
+//! assert!(PowerMode::Eff2.power_scale() < PowerMode::Eff1.power_scale());
+//!
+//! let chip = Watts::new(80.0);
+//! let budget = chip * 0.83;
+//! assert!(budget < chip);
+//! let _v = Volts::new(1.3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod ids;
+mod mode;
+mod series;
+mod stats;
+mod units;
+
+pub use error::GpmError;
+pub use ids::CoreId;
+pub use mode::{Enumerate, ModeCombination, PowerMode};
+pub use series::{Sample, TimeSeries};
+pub use stats::SummaryStats;
+pub use units::{Bips, Cycles, Hertz, Instructions, Joules, Micros, Seconds, Volts, Watts};
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, GpmError>;

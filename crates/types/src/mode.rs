@@ -1,0 +1,432 @@
+//! Per-core DVFS operating modes.
+//!
+//! The paper deliberately limits each core to three modes (Section 4): the
+//! global manager's state space grows linearly and its exploration space
+//! superlinearly in the number of modes, and contemporary CMP server parts
+//! (Sossaman, Woodcrest) exposed a similarly small number of global (V, f)
+//! levels.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A per-core DVFS power mode under the paper's linear-scaling scenario.
+///
+/// | Mode  | (V, f) scale | Dynamic-power scale (cubic) | Target (Table 3)      |
+/// |-------|--------------|------------------------------|-----------------------|
+/// | Turbo | 1.00         | 1.000                        | baseline              |
+/// | Eff1  | 0.95         | 0.857                        | −15% power, −5% perf  |
+/// | Eff2  | 0.85         | 0.614                        | −45% power, −15% perf |
+///
+/// The derived `Ord` ranks modes by performance: `Eff2 < Eff1 < Turbo`.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::PowerMode;
+///
+/// assert!(PowerMode::Eff2 < PowerMode::Turbo);
+/// assert_eq!(PowerMode::Turbo.slower(), Some(PowerMode::Eff1));
+/// assert_eq!(PowerMode::Eff2.slower(), None);
+/// let cubic = PowerMode::Eff1.power_scale();
+/// assert!((cubic - 0.95f64.powi(3)).abs() < 1e-12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum PowerMode {
+    /// High power saving, relatively significant performance degradation
+    /// (85% V, 85% f).
+    Eff2,
+    /// Medium power savings with minimal performance degradation
+    /// (95% V, 95% f).
+    Eff1,
+    /// Full-throttle execution at nominal voltage and frequency.
+    #[default]
+    Turbo,
+}
+
+impl PowerMode {
+    /// All modes, fastest first.
+    pub const ALL: [PowerMode; 3] = [PowerMode::Turbo, PowerMode::Eff1, PowerMode::Eff2];
+
+    /// Number of distinct modes.
+    pub const COUNT: usize = 3;
+
+    /// Dense index: Turbo = 0, Eff1 = 1, Eff2 = 2 (fastest first, matching
+    /// the paper's Power/BIPS matrix columns).
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            PowerMode::Turbo => 0,
+            PowerMode::Eff1 => 1,
+            PowerMode::Eff2 => 2,
+        }
+    }
+
+    /// Inverse of [`PowerMode::index`].
+    ///
+    /// Returns `None` for indices ≥ 3.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Option<Self> {
+        match index {
+            0 => Some(PowerMode::Turbo),
+            1 => Some(PowerMode::Eff1),
+            2 => Some(PowerMode::Eff2),
+            _ => None,
+        }
+    }
+
+    /// The linear voltage *and* frequency scale of this mode relative to
+    /// Turbo (Section 4's linear DVFS scenario).
+    #[must_use]
+    pub const fn frequency_scale(self) -> f64 {
+        match self {
+            PowerMode::Turbo => 1.0,
+            PowerMode::Eff1 => 0.95,
+            PowerMode::Eff2 => 0.85,
+        }
+    }
+
+    /// The voltage scale relative to Turbo. Identical to
+    /// [`frequency_scale`](Self::frequency_scale) under linear DVFS.
+    #[must_use]
+    pub const fn voltage_scale(self) -> f64 {
+        self.frequency_scale()
+    }
+
+    /// Cubic dynamic-power scale `(V/V₀)² · (f/f₀) = s³` relative to Turbo.
+    #[must_use]
+    pub fn power_scale(self) -> f64 {
+        let s = self.frequency_scale();
+        s * s * s
+    }
+
+    /// Upper-bound BIPS scale (linear in frequency) relative to Turbo.
+    ///
+    /// Actual performance is better for memory-bound workloads because
+    /// asynchronous memory latencies do not scale with DVFS.
+    #[must_use]
+    pub const fn bips_scale_bound(self) -> f64 {
+        self.frequency_scale()
+    }
+
+    /// The next faster mode, or `None` if already at Turbo.
+    #[must_use]
+    pub const fn faster(self) -> Option<Self> {
+        match self {
+            PowerMode::Turbo => None,
+            PowerMode::Eff1 => Some(PowerMode::Turbo),
+            PowerMode::Eff2 => Some(PowerMode::Eff1),
+        }
+    }
+
+    /// The next slower mode, or `None` if already at Eff2.
+    #[must_use]
+    pub const fn slower(self) -> Option<Self> {
+        match self {
+            PowerMode::Turbo => Some(PowerMode::Eff1),
+            PowerMode::Eff1 => Some(PowerMode::Eff2),
+            PowerMode::Eff2 => None,
+        }
+    }
+
+    /// Absolute voltage-scale distance between two modes, as a fraction of
+    /// nominal Vdd. Used to compute DVFS transition times (Table 5).
+    #[must_use]
+    pub fn voltage_distance(self, other: Self) -> f64 {
+        (self.voltage_scale() - other.voltage_scale()).abs()
+    }
+}
+
+impl fmt::Display for PowerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PowerMode::Turbo => "Turbo",
+            PowerMode::Eff1 => "Eff1",
+            PowerMode::Eff2 => "Eff2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An assignment of one [`PowerMode`] per core — one point in the global
+/// manager's 3^N search space.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::{ModeCombination, PowerMode};
+///
+/// let all_turbo = ModeCombination::uniform(4, PowerMode::Turbo);
+/// assert_eq!(all_turbo.len(), 4);
+/// assert!(all_turbo.is_uniform());
+///
+/// let mut c = all_turbo.clone();
+/// c.set(gpm_types::CoreId::new(2), PowerMode::Eff2);
+/// assert!(!c.is_uniform());
+/// assert_eq!(ModeCombination::enumerate(2).count(), 9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModeCombination {
+    modes: Vec<PowerMode>,
+}
+
+impl ModeCombination {
+    /// Creates a combination from explicit per-core modes.
+    #[must_use]
+    pub fn new(modes: Vec<PowerMode>) -> Self {
+        Self { modes }
+    }
+
+    /// Creates a combination with every core in the same `mode`.
+    #[must_use]
+    pub fn uniform(cores: usize, mode: PowerMode) -> Self {
+        Self {
+            modes: vec![mode; cores],
+        }
+    }
+
+    /// Number of cores covered by this combination.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Returns `true` if the combination covers no cores.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.modes.is_empty()
+    }
+
+    /// Mode of core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn mode(&self, core: crate::CoreId) -> PowerMode {
+        self.modes[core.value()]
+    }
+
+    /// Sets the mode of core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set(&mut self, core: crate::CoreId, mode: PowerMode) {
+        self.modes[core.value()] = mode;
+    }
+
+    /// Per-core modes as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[PowerMode] {
+        &self.modes
+    }
+
+    /// Iterates over `(CoreId, PowerMode)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (crate::CoreId, PowerMode)> + '_ {
+        self.modes
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (crate::CoreId::new(i), m))
+    }
+
+    /// Returns `true` if all cores share the same mode (the chip-wide DVFS
+    /// special case).
+    #[must_use]
+    pub fn is_uniform(&self) -> bool {
+        self.modes.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// Enumerates all `3^cores` combinations in lexicographic order
+    /// (core 0 varies slowest; Turbo before Eff1 before Eff2).
+    ///
+    /// This is the exhaustive search space of the MaxBIPS policy. The
+    /// iterator is lazy, so callers can prune early.
+    pub fn enumerate(cores: usize) -> Enumerate {
+        Enumerate {
+            cores,
+            next: 0,
+            total: 3usize.checked_pow(cores as u32).expect("3^cores overflow"),
+        }
+    }
+
+    /// Decodes the `rank`-th combination of `cores` cores in the
+    /// [`enumerate`](Self::enumerate) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= 3^cores`.
+    #[must_use]
+    pub fn from_rank(cores: usize, rank: usize) -> Self {
+        let total = 3usize.pow(cores as u32);
+        assert!(rank < total, "rank {rank} out of range for {cores} cores");
+        let mut modes = vec![PowerMode::Turbo; cores];
+        let mut r = rank;
+        for i in (0..cores).rev() {
+            modes[i] = PowerMode::from_index(r % 3).expect("index < 3");
+            r /= 3;
+        }
+        Self { modes }
+    }
+}
+
+impl fmt::Display for ModeCombination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, m) in self.modes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl FromIterator<PowerMode> for ModeCombination {
+    fn from_iter<T: IntoIterator<Item = PowerMode>>(iter: T) -> Self {
+        Self {
+            modes: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Iterator over all mode combinations; see [`ModeCombination::enumerate`].
+#[derive(Debug, Clone)]
+pub struct Enumerate {
+    cores: usize,
+    next: usize,
+    total: usize,
+}
+
+impl Iterator for Enumerate {
+    type Item = ModeCombination;
+
+    fn next(&mut self) -> Option<ModeCombination> {
+        if self.next >= self.total {
+            return None;
+        }
+        let combo = ModeCombination::from_rank(self.cores, self.next);
+        self.next += 1;
+        Some(combo)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.total - self.next;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Enumerate {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CoreId;
+
+    #[test]
+    fn mode_ordering_is_by_performance() {
+        assert!(PowerMode::Eff2 < PowerMode::Eff1);
+        assert!(PowerMode::Eff1 < PowerMode::Turbo);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for m in PowerMode::ALL {
+            assert_eq!(PowerMode::from_index(m.index()), Some(m));
+        }
+        assert_eq!(PowerMode::from_index(3), None);
+    }
+
+    #[test]
+    fn scales_match_paper_table4() {
+        // Table 4: Eff1 ~14.3% dynamic power saving, Eff2 ~38.6%.
+        assert!((PowerMode::Eff1.power_scale() - 0.857_375).abs() < 1e-6);
+        assert!((PowerMode::Eff2.power_scale() - 0.614_125).abs() < 1e-6);
+        assert_eq!(PowerMode::Turbo.power_scale(), 1.0);
+        assert_eq!(PowerMode::Eff1.bips_scale_bound(), 0.95);
+    }
+
+    #[test]
+    fn faster_slower_chain() {
+        assert_eq!(PowerMode::Turbo.faster(), None);
+        assert_eq!(PowerMode::Eff2.slower(), None);
+        assert_eq!(PowerMode::Eff1.faster(), Some(PowerMode::Turbo));
+        assert_eq!(PowerMode::Eff1.slower(), Some(PowerMode::Eff2));
+    }
+
+    #[test]
+    fn voltage_distance_matches_table5() {
+        // Table 5 at Vdd = 1.3 V: 65 mV, 130 mV, 195 mV.
+        let vdd = 1.3;
+        let d1 = PowerMode::Turbo.voltage_distance(PowerMode::Eff1) * vdd;
+        let d2 = PowerMode::Eff1.voltage_distance(PowerMode::Eff2) * vdd;
+        let d3 = PowerMode::Turbo.voltage_distance(PowerMode::Eff2) * vdd;
+        assert!((d1 - 0.065).abs() < 1e-9);
+        assert!((d2 - 0.130).abs() < 1e-9);
+        assert!((d3 - 0.195).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enumerate_counts_and_order() {
+        let combos: Vec<_> = ModeCombination::enumerate(2).collect();
+        assert_eq!(combos.len(), 9);
+        // First is all-Turbo, last is all-Eff2.
+        assert!(combos[0].as_slice().iter().all(|&m| m == PowerMode::Turbo));
+        assert!(combos[8].as_slice().iter().all(|&m| m == PowerMode::Eff2));
+        // Core 1 varies fastest.
+        assert_eq!(combos[1].as_slice(), &[PowerMode::Turbo, PowerMode::Eff1]);
+        // All distinct.
+        let mut unique = combos.clone();
+        unique.sort_by_key(|c| c.as_slice().iter().map(|m| m.index()).collect::<Vec<_>>());
+        unique.dedup();
+        assert_eq!(unique.len(), 9);
+    }
+
+    #[test]
+    fn enumerate_size_hint() {
+        let mut it = ModeCombination::enumerate(3);
+        assert_eq!(it.len(), 27);
+        it.next();
+        assert_eq!(it.len(), 26);
+    }
+
+    #[test]
+    fn uniform_detection() {
+        let mut c = ModeCombination::uniform(4, PowerMode::Eff1);
+        assert!(c.is_uniform());
+        c.set(CoreId::new(3), PowerMode::Turbo);
+        assert!(!c.is_uniform());
+        assert_eq!(c.mode(CoreId::new(3)), PowerMode::Turbo);
+    }
+
+    #[test]
+    fn from_rank_matches_enumerate() {
+        for (rank, combo) in ModeCombination::enumerate(3).enumerate() {
+            assert_eq!(ModeCombination::from_rank(3, rank), combo);
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = ModeCombination::new(vec![PowerMode::Turbo, PowerMode::Eff2]);
+        assert_eq!(c.to_string(), "[Turbo, Eff2]");
+        assert_eq!(PowerMode::Eff1.to_string(), "Eff1");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let c: ModeCombination = [PowerMode::Eff1, PowerMode::Eff1].into_iter().collect();
+        assert!(c.is_uniform());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn empty_combination() {
+        let c = ModeCombination::new(vec![]);
+        assert!(c.is_empty());
+        assert!(c.is_uniform());
+    }
+}

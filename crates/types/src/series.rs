@@ -1,0 +1,212 @@
+//! Fixed-rate time series used for power and performance telemetry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Micros, SummaryStats};
+
+/// One timestamped observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample<T> {
+    /// Time since the start of the run.
+    pub at: Micros,
+    /// The observed value.
+    pub value: T,
+}
+
+/// A time series sampled on a fixed grid (every `dt` microseconds), matching
+/// the paper's `delta_sim_time` bookkeeping: the simulator re-evaluates
+/// per-core and chip statistics every 50 µs.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::{Micros, TimeSeries};
+///
+/// let mut s = TimeSeries::new(Micros::new(50.0));
+/// s.push(1.0);
+/// s.push(3.0);
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.duration(), Micros::new(100.0));
+/// assert_eq!(s.stats().mean, 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries<T = f64> {
+    dt: Micros,
+    values: Vec<T>,
+}
+
+impl<T> TimeSeries<T> {
+    /// Creates an empty series sampled every `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    #[must_use]
+    pub fn new(dt: Micros) -> Self {
+        assert!(dt.value() > 0.0, "sampling interval must be positive");
+        Self {
+            dt,
+            values: Vec::new(),
+        }
+    }
+
+    /// The sampling interval.
+    #[must_use]
+    pub fn dt(&self) -> Micros {
+        self.dt
+    }
+
+    /// Number of samples collected so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no samples have been collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total time covered: `len × dt`.
+    #[must_use]
+    pub fn duration(&self) -> Micros {
+        self.dt * self.values.len() as f64
+    }
+
+    /// Appends the observation for the next interval.
+    pub fn push(&mut self, value: T) {
+        self.values.push(value);
+    }
+
+    /// The raw values, oldest first.
+    #[must_use]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Iterates over timestamped samples; the timestamp is the *end* of each
+    /// sampling interval.
+    pub fn iter(&self) -> impl Iterator<Item = Sample<&T>> + '_ {
+        self.values.iter().enumerate().map(move |(i, value)| Sample {
+            at: self.dt * (i + 1) as f64,
+            value,
+        })
+    }
+
+    /// Consumes the series, returning the raw values.
+    #[must_use]
+    pub fn into_values(self) -> Vec<T> {
+        self.values
+    }
+}
+
+impl<T: Copy + Into<f64>> TimeSeries<T> {
+    /// Summary statistics over the whole series.
+    ///
+    /// Returns all-zero statistics for an empty series.
+    #[must_use]
+    pub fn stats(&self) -> SummaryStats {
+        SummaryStats::from_iter(self.values.iter().map(|&v| v.into()))
+    }
+
+    /// Mean value over the window `[from, to)` (half-open, in microseconds).
+    ///
+    /// Partial overlaps are clamped to the available data; returns `None` if
+    /// the window covers no samples.
+    #[must_use]
+    pub fn window_mean(&self, from: Micros, to: Micros) -> Option<f64> {
+        let lo = (from.value() / self.dt.value()).floor().max(0.0) as usize;
+        let hi = ((to.value() / self.dt.value()).ceil() as usize).min(self.values.len());
+        if lo >= hi {
+            return None;
+        }
+        let slice = &self.values[lo..hi];
+        Some(slice.iter().map(|&v| v.into()).sum::<f64>() / slice.len() as f64)
+    }
+}
+
+impl<T> Extend<T> for TimeSeries<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        let mut s = TimeSeries::new(Micros::new(50.0));
+        s.extend(values.iter().copied());
+        s
+    }
+
+    #[test]
+    fn push_and_len() {
+        let s = series(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.duration(), Micros::new(150.0));
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn iter_timestamps_are_interval_ends() {
+        let s = series(&[1.0, 2.0]);
+        let ts: Vec<f64> = s.iter().map(|smp| smp.at.value()).collect();
+        assert_eq!(ts, vec![50.0, 100.0]);
+    }
+
+    #[test]
+    fn stats_basic() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        let st = s.stats();
+        assert_eq!(st.mean, 2.5);
+        assert_eq!(st.min, 1.0);
+        assert_eq!(st.max, 4.0);
+        assert_eq!(st.count, 4);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s: TimeSeries = TimeSeries::new(Micros::new(50.0));
+        assert!(s.is_empty());
+        assert_eq!(s.stats().count, 0);
+        assert_eq!(s.stats().mean, 0.0);
+    }
+
+    #[test]
+    fn window_mean_clamps() {
+        let s = series(&[10.0, 20.0, 30.0]);
+        // Full window.
+        assert_eq!(
+            s.window_mean(Micros::new(0.0), Micros::new(150.0)),
+            Some(20.0)
+        );
+        // Second sample only.
+        assert_eq!(
+            s.window_mean(Micros::new(50.0), Micros::new(100.0)),
+            Some(20.0)
+        );
+        // Past the end clamps.
+        assert_eq!(
+            s.window_mean(Micros::new(100.0), Micros::new(1e9)),
+            Some(30.0)
+        );
+        // Empty window.
+        assert_eq!(s.window_mean(Micros::new(150.0), Micros::new(150.0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval must be positive")]
+    fn zero_dt_panics() {
+        let _: TimeSeries = TimeSeries::new(Micros::ZERO);
+    }
+
+    #[test]
+    fn into_values() {
+        let s = series(&[5.0]);
+        assert_eq!(s.into_values(), vec![5.0]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Small summary-statistics helper shared by telemetry consumers.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / min / max / standard deviation over a set of observations.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::SummaryStats;
+///
+/// let s = SummaryStats::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+/// assert_eq!(s.mean, 5.0);
+/// assert_eq!(s.std_dev, 2.0);
+/// assert_eq!(s.min, 2.0);
+/// assert_eq!(s.max, 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Arithmetic mean; 0 when `count` is 0.
+    pub mean: f64,
+    /// Smallest observation; 0 when `count` is 0.
+    pub min: f64,
+    /// Largest observation; 0 when `count` is 0.
+    pub max: f64,
+    /// Population standard deviation; 0 when `count` is 0.
+    pub std_dev: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl SummaryStats {
+    /// Computes statistics from an iterator of observations.
+    ///
+    /// Uses Welford's online algorithm, so it is numerically stable even for
+    /// long power traces with a large mean.
+    ///
+    /// Named like `FromIterator::from_iter` deliberately — it *is* the
+    /// from-iterator constructor, but a trait impl cannot carry the
+    /// `f64`-only bound ergonomically.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            count += 1;
+            let delta = v - mean;
+            mean += delta / count as f64;
+            m2 += delta * (v - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if count == 0 {
+            return Self::default();
+        }
+        Self {
+            mean,
+            min,
+            max,
+            std_dev: (m2 / count as f64).sqrt(),
+            count,
+        }
+    }
+
+    /// Relative spread `(max − min) / mean`; 0 when the mean is 0.
+    #[must_use]
+    pub fn relative_range(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            (self.max - self.min) / self.mean
+        }
+    }
+}
+
+/// Harmonic mean of strictly positive values; returns 0 for an empty input.
+///
+/// Used for the paper's weighted-slowdown metric (Section 5.4): the harmonic
+/// mean of per-thread speedups relative to all-Turbo execution.
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive (a speedup of zero would be a
+/// thread that never ran, which the metric cannot represent).
+///
+/// # Examples
+///
+/// ```
+/// let hm = gpm_types::SummaryStats::harmonic_mean([1.0, 0.5]);
+/// assert!((hm - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+impl SummaryStats {
+    /// See the type-level docs: harmonic mean of positive values.
+    #[must_use]
+    pub fn harmonic_mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+        let mut count = 0usize;
+        let mut reciprocal_sum = 0.0f64;
+        for v in values {
+            assert!(v > 0.0, "harmonic mean requires strictly positive values, got {v}");
+            count += 1;
+            reciprocal_sum += 1.0 / v;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            count as f64 / reciprocal_sum
+        }
+    }
+
+    /// Arithmetic mean; returns 0 for an empty input. Companion to
+    /// [`harmonic_mean`](Self::harmonic_mean) for the weighted-speedup
+    /// variant of the fairness metric.
+    #[must_use]
+    pub fn arithmetic_mean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+        let mut count = 0usize;
+        let mut sum = 0.0f64;
+        for v in values {
+            count += 1;
+            sum += v;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [3.0, 7.0, 7.0, 19.0];
+        let s = SummaryStats::from_iter(data);
+        assert_eq!(s.mean, 9.0);
+        let var = data.iter().map(|v| (v - 9.0) * (v - 9.0)).sum::<f64>() / 4.0;
+        assert!((s.std_dev - var.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_default() {
+        let s = SummaryStats::from_iter(std::iter::empty());
+        assert_eq!(s, SummaryStats::default());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = SummaryStats::from_iter([42.0]);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.max, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn relative_range() {
+        let s = SummaryStats::from_iter([8.0, 12.0]);
+        assert!((s.relative_range() - 0.4).abs() < 1e-12);
+        assert_eq!(SummaryStats::default().relative_range(), 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_identical_values() {
+        assert!((SummaryStats::harmonic_mean([0.9, 0.9, 0.9]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_mean_is_below_arithmetic() {
+        let data = [0.5, 1.0];
+        assert!(
+            SummaryStats::harmonic_mean(data) < SummaryStats::arithmetic_mean(data)
+        );
+    }
+
+    #[test]
+    fn harmonic_mean_empty_is_zero() {
+        assert_eq!(SummaryStats::harmonic_mean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn harmonic_mean_rejects_zero() {
+        let _ = SummaryStats::harmonic_mean([1.0, 0.0]);
+    }
+}

@@ -1,0 +1,529 @@
+//! Numeric newtypes for physical and architectural quantities.
+//!
+//! All wrappers are thin `f64`/`u64` newtypes with the arithmetic that is
+//! physically meaningful for them (adding watts to watts, scaling watts by a
+//! dimensionless factor, multiplying power by time to get energy, …).
+//! Nonsensical combinations (adding volts to watts) simply do not compile.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! f64_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Zero value of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Wraps a raw value.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("let x = gpm_types::", stringify!($name), "::new(1.5);")]
+            /// assert_eq!(x.value(), 1.5);
+            /// ```
+            #[must_use]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` if the value is finite (neither NaN nor ±∞).
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+
+            /// Returns the larger of `self` and `other`.
+            ///
+            /// NaN handling follows [`f64::max`].
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            ///
+            /// NaN handling follows [`f64::min`].
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns `self / other` as a dimensionless ratio.
+            ///
+            /// Useful for normalisation, e.g. power as a fraction of a
+            /// budget, or slowdown relative to a baseline.
+            #[must_use]
+            pub fn ratio_of(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Dividing two like quantities yields a dimensionless ratio.
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(precision) = f.precision() {
+                    write!(f, "{:.*} {}", precision, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+    };
+}
+
+f64_unit!(
+    /// Electrical power in watts.
+    Watts,
+    "W"
+);
+f64_unit!(
+    /// Supply voltage in volts.
+    Volts,
+    "V"
+);
+f64_unit!(
+    /// Clock frequency in hertz.
+    Hertz,
+    "Hz"
+);
+f64_unit!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+f64_unit!(
+    /// A duration expressed in microseconds — the natural granularity of the
+    /// paper's simulation loop (`delta_sim_time` = 50 µs, `explore_time` =
+    /// 500 µs).
+    Micros,
+    "µs"
+);
+f64_unit!(
+    /// A duration in seconds.
+    Seconds,
+    "s"
+);
+f64_unit!(
+    /// Throughput in billions of instructions per second — the quantity the
+    /// MaxBIPS policy maximises.
+    Bips,
+    "BIPS"
+);
+
+impl Hertz {
+    /// Constructs a frequency from a gigahertz value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let f = gpm_types::Hertz::from_ghz(1.0);
+    /// assert_eq!(f.value(), 1.0e9);
+    /// ```
+    #[must_use]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::new(ghz * 1.0e9)
+    }
+
+    /// Returns the frequency in gigahertz.
+    #[must_use]
+    pub fn as_ghz(self) -> f64 {
+        self.value() / 1.0e9
+    }
+
+    /// Number of clock cycles elapsed in `duration` at this frequency,
+    /// rounded down.
+    #[must_use]
+    pub fn cycles_in(self, duration: Micros) -> Cycles {
+        // Epsilon absorbs floating-point noise (100 µs at 1 GHz is exactly
+        // 100 000 cycles, not 99 999.999…).
+        let exact = self.value() * duration.to_seconds().value();
+        Cycles::new((exact + 1.0e-6).floor() as u64)
+    }
+
+    /// Converts a latency given in nanoseconds to (rounded-up) clock cycles
+    /// at this frequency.
+    ///
+    /// This conversion is the key DVFS effect in the paper: L2 and memory
+    /// latencies are fixed in nanoseconds, so a slower core sees *fewer*
+    /// stall cycles, which is why memory-bound workloads degrade less.
+    #[must_use]
+    pub fn cycles_for_ns(self, nanoseconds: f64) -> u64 {
+        // The epsilon absorbs floating-point noise so that an exact cycle
+        // count (e.g. 77 ns at 1 GHz) does not ceil up to 78.
+        let exact = nanoseconds * 1.0e-9 * self.value();
+        (exact - 1.0e-6).ceil().max(0.0) as u64
+    }
+}
+
+impl Micros {
+    /// Converts to seconds.
+    #[must_use]
+    pub fn to_seconds(self) -> Seconds {
+        Seconds::new(self.value() * 1.0e-6)
+    }
+
+    /// Constructs a duration from milliseconds.
+    #[must_use]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::new(ms * 1.0e3)
+    }
+}
+
+impl Seconds {
+    /// Converts to microseconds.
+    #[must_use]
+    pub fn to_micros(self) -> Micros {
+        Micros::new(self.value() * 1.0e6)
+    }
+}
+
+/// Energy = power × time.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+/// Energy = power × time (microsecond flavour).
+impl Mul<Micros> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Micros) -> Joules {
+        self * rhs.to_seconds()
+    }
+}
+
+/// Average power = energy / time.
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+/// Average power = energy / time (microsecond flavour).
+impl Div<Micros> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Micros) -> Watts {
+        self / rhs.to_seconds()
+    }
+}
+
+impl Bips {
+    /// Computes a throughput from an instruction count over a duration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use gpm_types::{Bips, Instructions, Micros};
+    ///
+    /// // 1000 instructions in 1 µs = 1 BIPS.
+    /// let b = Bips::from_instructions(Instructions::new(1000), Micros::new(1.0));
+    /// assert!((b.value() - 1.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn from_instructions(instructions: Instructions, over: Micros) -> Self {
+        Self::new(instructions.value() as f64 / over.to_seconds().value() / 1.0e9)
+    }
+}
+
+macro_rules! u64_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(u64);
+
+        impl $name {
+            /// Zero value of this unit.
+            pub const ZERO: Self = Self(0);
+
+            /// Wraps a raw count.
+            #[must_use]
+            pub const fn new(value: u64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw count.
+            #[must_use]
+            pub const fn value(self) -> u64 {
+                self.0
+            }
+
+            /// Saturating subtraction.
+            #[must_use]
+            pub const fn saturating_sub(self, rhs: Self) -> Self {
+                Self(self.0.saturating_sub(rhs.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+
+        impl From<$name> for u64 {
+            fn from(v: $name) -> u64 {
+                v.0
+            }
+        }
+    };
+}
+
+u64_unit!(
+    /// A count of clock cycles.
+    Cycles,
+    "cycles"
+);
+u64_unit!(
+    /// A count of committed instructions.
+    Instructions,
+    "instr"
+);
+
+impl Cycles {
+    /// Duration of this many cycles at frequency `f`.
+    #[must_use]
+    pub fn at(self, f: Hertz) -> Seconds {
+        Seconds::new(self.0 as f64 / f.value())
+    }
+}
+
+impl Instructions {
+    /// Throughput achieved when committing this many instructions over
+    /// `duration`.
+    #[must_use]
+    pub fn bips_over(self, duration: Micros) -> Bips {
+        Bips::from_instructions(self, duration)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watts_arithmetic() {
+        let a = Watts::new(10.0);
+        let b = Watts::new(4.0);
+        assert_eq!((a + b).value(), 14.0);
+        assert_eq!((a - b).value(), 6.0);
+        assert_eq!((a * 2.0).value(), 20.0);
+        assert_eq!((2.0 * a).value(), 20.0);
+        assert_eq!((a / 2.0).value(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!(-a, Watts::new(-10.0));
+    }
+
+    #[test]
+    fn watts_sum_and_compare() {
+        let v = vec![Watts::new(1.0), Watts::new(2.5), Watts::new(3.5)];
+        let total: Watts = v.iter().sum();
+        assert_eq!(total.value(), 7.0);
+        let total2: Watts = v.into_iter().sum();
+        assert_eq!(total2, total);
+        assert!(Watts::new(1.0) < Watts::new(2.0));
+        assert_eq!(Watts::new(3.0).max(Watts::new(1.0)).value(), 3.0);
+        assert_eq!(Watts::new(3.0).min(Watts::new(1.0)).value(), 1.0);
+    }
+
+    #[test]
+    fn energy_power_time_roundtrip() {
+        let p = Watts::new(20.0);
+        let t = Micros::new(500.0);
+        let e = p * t;
+        assert!((e.value() - 20.0 * 500.0e-6).abs() < 1e-12);
+        let back = e / t;
+        assert!((back.value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hertz_conversions() {
+        let f = Hertz::from_ghz(1.0);
+        assert_eq!(f.as_ghz(), 1.0);
+        // 100 µs at 1 GHz = 100_000 cycles: the paper's DVFS granularity claim.
+        assert_eq!(f.cycles_in(Micros::new(100.0)).value(), 100_000);
+        // 77 ns memory latency at 1 GHz = 77 cycles (Table 1).
+        assert_eq!(f.cycles_for_ns(77.0), 77);
+        // At 0.85 GHz the same 77 ns is fewer core cycles.
+        assert_eq!(Hertz::from_ghz(0.85).cycles_for_ns(77.0), 66);
+    }
+
+    #[test]
+    fn bips_from_instructions() {
+        let b = Instructions::new(50_000).bips_over(Micros::new(50.0));
+        assert!((b.value() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micros_seconds_roundtrip() {
+        let us = Micros::new(1500.0);
+        assert!((us.to_seconds().to_micros().value() - 1500.0).abs() < 1e-9);
+        assert_eq!(Micros::from_millis(1.5).value(), 1500.0);
+    }
+
+    #[test]
+    fn cycles_duration() {
+        let d = Cycles::new(1_000_000).at(Hertz::from_ghz(1.0));
+        assert!((d.value() - 1.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn u64_units() {
+        let a = Instructions::new(10);
+        let b = Instructions::new(3);
+        assert_eq!((a + b).value(), 13);
+        assert_eq!((a - b).value(), 7);
+        assert_eq!(b.saturating_sub(a), Instructions::ZERO);
+        let total: Instructions = [a, b].into_iter().sum();
+        assert_eq!(total.value(), 13);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:.1}", Watts::new(12.34)), "12.3 W");
+        assert_eq!(format!("{}", Cycles::new(5)), "5 cycles");
+        assert_eq!(format!("{:.2}", Volts::new(1.235)), "1.24 V");
+    }
+
+    #[test]
+    fn ratio_of() {
+        assert_eq!(Watts::new(83.0).ratio_of(Watts::new(100.0)), 0.83);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(f64::from(Watts::new(2.0)), 2.0);
+        assert_eq!(u64::from(Cycles::new(9)), 9);
+    }
+}

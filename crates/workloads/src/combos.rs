@@ -1,0 +1,249 @@
+//! The benchmark combinations of the paper's Table 2, plus the 8-way
+//! combinations of Figure 10.
+
+use std::fmt;
+
+use gpm_types::{GpmError, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::SpecBenchmark;
+
+/// A multiprogrammed workload: one benchmark per core.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_workloads::combos;
+///
+/// let combo = combos::ammp_mcf_crafty_art();
+/// assert_eq!(combo.cores(), 4);
+/// assert_eq!(combo.label(), "ammp|mcf|crafty|art");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkloadCombo {
+    benchmarks: Vec<SpecBenchmark>,
+}
+
+impl WorkloadCombo {
+    /// Builds a combo from an explicit core→benchmark assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] when empty.
+    pub fn new(benchmarks: Vec<SpecBenchmark>) -> Result<Self> {
+        if benchmarks.is_empty() {
+            return Err(GpmError::InvalidConfig {
+                parameter: "benchmarks",
+                reason: "a workload combination needs at least one benchmark".into(),
+            });
+        }
+        Ok(Self { benchmarks })
+    }
+
+    /// Parses a `"ammp|mcf|crafty|art"`-style label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::UnknownBenchmark`] for unrecognised names and
+    /// [`GpmError::InvalidConfig`] for an empty label.
+    pub fn parse(label: &str) -> Result<Self> {
+        let benchmarks = label
+            .split('|')
+            .filter(|s| !s.is_empty())
+            .map(SpecBenchmark::from_name)
+            .collect::<Result<Vec<_>>>()?;
+        Self::new(benchmarks)
+    }
+
+    /// Number of cores (= benchmarks).
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Per-core benchmarks, core 0 first.
+    #[must_use]
+    pub fn benchmarks(&self) -> &[SpecBenchmark] {
+        &self.benchmarks
+    }
+
+    /// The paper's `a|b|c|d` notation.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.benchmarks
+            .iter()
+            .map(|b| b.name())
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// Concatenates two combos into a wider one (how the paper builds its
+    /// 8-way workloads from 4-way pairs).
+    #[must_use]
+    pub fn concat(&self, other: &WorkloadCombo) -> WorkloadCombo {
+        let mut benchmarks = self.benchmarks.clone();
+        benchmarks.extend_from_slice(&other.benchmarks);
+        WorkloadCombo { benchmarks }
+    }
+}
+
+impl fmt::Display for WorkloadCombo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.label().replace('|', ", "))
+    }
+}
+
+macro_rules! combo_fn {
+    ($(#[$meta:meta])* $name:ident, [$($bench:ident),+]) => {
+        $(#[$meta])*
+        #[must_use]
+        pub fn $name() -> WorkloadCombo {
+            WorkloadCombo {
+                benchmarks: vec![$(SpecBenchmark::$bench),+],
+            }
+        }
+    };
+}
+
+combo_fn!(
+    /// 2-way, Table 2: low CPU utilisation, high memory utilisation.
+    ammp_art,
+    [Ammp, Art]
+);
+combo_fn!(
+    /// 2-way, Table 2: high CPU utilisation, low memory utilisation.
+    gcc_mesa,
+    [Gcc, Mesa]
+);
+combo_fn!(
+    /// 2-way, Table 2: very high CPU utilisation, very low memory
+    /// utilisation.
+    crafty_facerec,
+    [Crafty, Facerec]
+);
+combo_fn!(
+    /// 2-way, Table 2: very low CPU utilisation, very high memory
+    /// utilisation.
+    art_mcf,
+    [Art, Mcf]
+);
+combo_fn!(
+    /// 4-way, Table 2: low CPU utilisation, high memory utilisation. The
+    /// running example of Figures 3, 4, 6 and 7.
+    ammp_mcf_crafty_art,
+    [Ammp, Mcf, Crafty, Art]
+);
+combo_fn!(
+    /// 4-way, Table 2: high CPU utilisation, low memory utilisation.
+    facerec_gcc_mesa_vortex,
+    [Facerec, Gcc, Mesa, Vortex]
+);
+combo_fn!(
+    /// 4-way, Table 2: very high CPU utilisation, very low memory
+    /// utilisation.
+    sixtrack_gap_perlbmk_wupwise,
+    [Sixtrack, Gap, Perlbmk, Wupwise]
+);
+combo_fn!(
+    /// 4-way, Table 2: very low CPU utilisation, very high memory
+    /// utilisation.
+    mcf_mcf_art_art,
+    [Mcf, Mcf, Art, Art]
+);
+combo_fn!(
+    /// The second Figure 3 combination: mcf replaced by sixtrack.
+    ammp_crafty_art_sixtrack,
+    [Ammp, Crafty, Art, Sixtrack]
+);
+
+/// 8-way combination (a) of Figure 10.
+#[must_use]
+pub fn eight_way_mixed() -> WorkloadCombo {
+    ammp_mcf_crafty_art().concat(&facerec_gcc_mesa_vortex())
+}
+
+/// 8-way combination (b) of Figure 10.
+#[must_use]
+pub fn eight_way_corners() -> WorkloadCombo {
+    sixtrack_gap_perlbmk_wupwise().concat(&mcf_mcf_art_art())
+}
+
+/// The four 2-way combinations of Table 2 (Figure 8, panels a–d).
+#[must_use]
+pub fn two_way_suite() -> Vec<WorkloadCombo> {
+    vec![ammp_art(), gcc_mesa(), crafty_facerec(), art_mcf()]
+}
+
+/// The four 4-way combinations of Table 2 (Figure 9, panels a–d).
+#[must_use]
+pub fn four_way_suite() -> Vec<WorkloadCombo> {
+    vec![
+        ammp_mcf_crafty_art(),
+        facerec_gcc_mesa_vortex(),
+        sixtrack_gap_perlbmk_wupwise(),
+        mcf_mcf_art_art(),
+    ]
+}
+
+/// The two 8-way combinations (Figure 10, panels a–b).
+#[must_use]
+pub fn eight_way_suite() -> Vec<WorkloadCombo> {
+    vec![eight_way_mixed(), eight_way_corners()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_labels() {
+        assert_eq!(ammp_art().label(), "ammp|art");
+        assert_eq!(ammp_mcf_crafty_art().label(), "ammp|mcf|crafty|art");
+        assert_eq!(
+            sixtrack_gap_perlbmk_wupwise().label(),
+            "sixtrack|gap|perlbmk|wupwise"
+        );
+        assert_eq!(mcf_mcf_art_art().cores(), 4);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for combo in two_way_suite().into_iter().chain(four_way_suite()) {
+            assert_eq!(WorkloadCombo::parse(&combo.label()).unwrap(), combo);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_empty() {
+        assert!(WorkloadCombo::parse("ammp|quake").is_err());
+        assert!(WorkloadCombo::parse("").is_err());
+    }
+
+    #[test]
+    fn concat_builds_eight_way() {
+        let eight = eight_way_mixed();
+        assert_eq!(eight.cores(), 8);
+        assert_eq!(eight.benchmarks()[0], SpecBenchmark::Ammp);
+        assert_eq!(eight.benchmarks()[7], SpecBenchmark::Vortex);
+        assert_eq!(eight_way_corners().cores(), 8);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(ammp_art().to_string(), "(ammp, art)");
+    }
+
+    #[test]
+    fn duplicate_benchmarks_allowed() {
+        // Table 2's mcf|mcf|art|art row.
+        let c = mcf_mcf_art_art();
+        assert_eq!(c.benchmarks()[0], c.benchmarks()[1]);
+    }
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(two_way_suite().len(), 4);
+        assert_eq!(four_way_suite().len(), 4);
+        assert_eq!(eight_way_suite().len(), 2);
+    }
+}

@@ -1,0 +1,391 @@
+//! The deterministic synthetic instruction-stream generator.
+
+use gpm_microarch::{InstructionSource, MicroOp};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::BenchmarkProfile;
+
+/// Base of the synthetic code address space.
+const CODE_BASE: u64 = 0x0040_0000;
+/// Separation between the code regions of a program.
+const CODE_REGION_STRIDE: u64 = 0x2_0000;
+/// Offsets of the three data regions inside a core's address slice.
+const HOT_BASE: u64 = 0x1000_0000;
+const WARM_BASE: u64 = 0x2000_0000;
+const COLD_BASE: u64 = 0x4000_0000;
+
+/// A deterministic, infinite micro-op stream realising a
+/// [`BenchmarkProfile`].
+///
+/// The stream is a pure function of `(profile.seed ^ seed_salt)` and the
+/// instruction index: simulating it at different DVFS frequencies (or
+/// interleaving it with other cores) replays exactly the same instructions,
+/// which is what lets per-mode traces be aligned by instruction position the
+/// way the paper's trace-based CMP tool requires.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_microarch::InstructionSource;
+/// use gpm_workloads::SpecBenchmark;
+///
+/// let mut a = SpecBenchmark::Gcc.stream();
+/// let mut b = SpecBenchmark::Gcc.stream();
+/// for _ in 0..1000 {
+///     assert_eq!(a.next_op(), b.next_op(), "streams are deterministic");
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadStream {
+    profile: BenchmarkProfile,
+    rng: SmallRng,
+    addr_base: u64,
+    instr_index: u64,
+    ops_since_load: u32,
+    // Sequential sweep cursors per data region (spatial locality).
+    hot_ptr: u64,
+    warm_ptr: u64,
+    cold_ptr: u64,
+    // Code-layout state.
+    region: u32,
+    ops_in_region: u64,
+    op_in_loop: u32,
+}
+
+impl WorkloadStream {
+    /// Builds the stream; see
+    /// [`BenchmarkProfile::stream_with`](crate::BenchmarkProfile::stream_with).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails validation.
+    #[must_use]
+    pub fn new(profile: BenchmarkProfile, addr_base: u64, seed_salt: u64) -> Self {
+        profile
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid profile `{}`: {e}", profile.name));
+        let rng = SmallRng::seed_from_u64(profile.seed ^ seed_salt);
+        Self {
+            profile,
+            rng,
+            addr_base,
+            instr_index: 0,
+            ops_since_load: 0,
+            hot_ptr: 0,
+            warm_ptr: 0,
+            cold_ptr: 0,
+            region: 0,
+            ops_in_region: 0,
+            op_in_loop: 0,
+        }
+    }
+
+    /// The profile driving this stream.
+    #[must_use]
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Number of micro-ops generated so far.
+    #[must_use]
+    pub fn generated(&self) -> u64 {
+        self.instr_index
+    }
+
+    /// Whether the benchmark's region (its `total_instructions`) has been
+    /// fully generated. The stream keeps producing ops past this point (the
+    /// CMP simulators stop all cores when the *first* benchmark completes).
+    #[must_use]
+    pub fn region_complete(&self) -> bool {
+        self.instr_index >= self.profile.total_instructions
+    }
+
+    /// Is the current instruction inside the memory-stressed phase?
+    fn in_memory_phase(&self) -> bool {
+        let p = &self.profile.phases;
+        if p.period_instructions == 0 {
+            return false;
+        }
+        let pos = self.instr_index % p.period_instructions;
+        (pos as f64) < p.memory_duty * p.period_instructions as f64
+    }
+
+    /// Picks a data address according to the working-set structure, applying
+    /// the current phase's stress. `force_jump` (pointer-chasing loads)
+    /// bypasses the sequential sweep.
+    fn data_address(&mut self, stressed: bool, force_jump: bool) -> u64 {
+        let m = self.profile.memory;
+        let (mut hot, mut warm) = (m.hot, m.warm);
+        if stressed {
+            // A memory phase shifts `intensity` probability mass from the
+            // hot/warm sets to the cold region, proportionally.
+            let pool = hot + warm;
+            if pool > 0.0 {
+                let scale = (1.0 - self.profile.phases.intensity / pool).max(0.0);
+                hot *= scale;
+                warm *= scale;
+            }
+        }
+        let roll: f64 = self.rng.gen();
+        let (base, size, ptr) = if roll < hot {
+            (HOT_BASE, m.hot_bytes, &mut self.hot_ptr)
+        } else if roll < hot + warm {
+            (WARM_BASE, m.warm_bytes, &mut self.warm_ptr)
+        } else {
+            (COLD_BASE, m.cold_bytes, &mut self.cold_ptr)
+        };
+        let offset = if force_jump || self.rng.gen::<f64>() < m.jump_probability {
+            // Random jump: a fresh cache line somewhere in the region.
+            self.rng.gen_range(0..size / 8) * 8
+        } else {
+            // Sequential sweep: advance by one to three words, wrapping.
+            *ptr = (*ptr + self.rng.gen_range(1..=3) * 8) % size;
+            *ptr
+        };
+        self.addr_base + base + offset
+    }
+
+    /// Advances the synthetic code layout and returns this op's code
+    /// address.
+    fn code_address(&mut self) -> u64 {
+        let c = self.profile.code;
+        if self.ops_in_region >= c.region_residency_ops {
+            self.ops_in_region = 0;
+            self.op_in_loop = 0;
+            self.region = (self.region + 1) % c.regions.max(1);
+        }
+        self.ops_in_region += 1;
+        self.op_in_loop = (self.op_in_loop + 1) % c.loop_body_ops.max(1);
+        CODE_BASE + u64::from(self.region) * CODE_REGION_STRIDE + u64::from(self.op_in_loop) * 4
+    }
+
+    /// Rolls a generic dependency on a recent producer. Half of the
+    /// dependencies target the most recent load when one is close by —
+    /// load-to-use chains dominate real integer code. Distances are clamped
+    /// so a dependency never points before the start of the stream.
+    fn generic_dep(&mut self) -> Option<u32> {
+        if self.instr_index == 0 || self.rng.gen::<f64>() >= self.profile.dep_probability {
+            return None;
+        }
+        if (1..=4).contains(&self.ops_since_load) && self.rng.gen::<bool>() {
+            Some(self.ops_since_load)
+        } else {
+            let max_distance = self.instr_index.min(3) as u32;
+            Some(self.rng.gen_range(1..=max_distance))
+        }
+    }
+}
+
+impl InstructionSource for WorkloadStream {
+    fn next_op(&mut self) -> MicroOp {
+        let stressed = self.in_memory_phase();
+        let code_addr = self.code_address();
+        let mix = self.profile.mix;
+        let roll: f64 = self.rng.gen();
+
+        let op = if roll < mix.load {
+            // Pointer-chasing loads depend on the previous load;
+            // `ops_since_load` is the dynamic distance back to it (0 = no
+            // load seen yet).
+            let chase = self.ops_since_load > 0
+                && self.rng.gen::<f64>() < self.profile.memory.pointer_chase;
+            let dep = chase.then_some(self.ops_since_load);
+            let addr = self.data_address(stressed, chase);
+            MicroOp::load(addr, dep)
+        } else if roll < mix.load + mix.store {
+            let addr = self.data_address(stressed, false);
+            MicroOp::store(addr, None)
+        } else if roll < mix.load + mix.store + mix.branch {
+            let b = self.profile.branches;
+            let site = self.rng.gen_range(0..b.sites.max(1));
+            let pc = CODE_BASE
+                + u64::from(self.region) * CODE_REGION_STRIDE
+                + 0x1_0000
+                + u64::from(site) * 32;
+            let taken = if self.rng.gen::<f64>() < b.random_fraction {
+                self.rng.gen::<f64>() < b.taken_bias
+            } else {
+                true // loop-back branch, fully predictable once learned
+            };
+            MicroOp::branch(pc, taken)
+        } else if roll < mix.load + mix.store + mix.branch + mix.fp_alu {
+            MicroOp::fp_alu(self.generic_dep())
+        } else {
+            MicroOp::int_alu(self.generic_dep())
+        };
+
+        self.ops_since_load = if matches!(op.kind, gpm_microarch::OpKind::Load { .. }) {
+            1
+        } else if self.ops_since_load > 0 {
+            self.ops_since_load.saturating_add(1)
+        } else {
+            0 // still no load seen
+        };
+        self.instr_index += 1;
+        op.at_code(code_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecBenchmark;
+    use gpm_microarch::OpKind;
+
+    fn count_kinds(bench: SpecBenchmark, n: usize) -> (f64, f64, f64, f64, f64) {
+        let mut s = bench.stream();
+        let (mut int_n, mut fp, mut ld, mut st, mut br) = (0, 0, 0, 0, 0);
+        for _ in 0..n {
+            match s.next_op().kind {
+                OpKind::IntAlu => int_n += 1,
+                OpKind::FpAlu => fp += 1,
+                OpKind::Load { .. } => ld += 1,
+                OpKind::Store { .. } => st += 1,
+                OpKind::Branch { .. } => br += 1,
+            }
+        }
+        let n = n as f64;
+        (
+            int_n as f64 / n,
+            fp as f64 / n,
+            ld as f64 / n,
+            st as f64 / n,
+            br as f64 / n,
+        )
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let p = SpecBenchmark::Gcc.profile();
+        let (int_f, fp, ld, st, br) = count_kinds(SpecBenchmark::Gcc, 200_000);
+        assert!((int_f - p.mix.int_alu).abs() < 0.01, "int {int_f}");
+        assert!((fp - p.mix.fp_alu).abs() < 0.01);
+        assert!((ld - p.mix.load).abs() < 0.01);
+        assert!((st - p.mix.store).abs() < 0.01);
+        assert!((br - p.mix.branch).abs() < 0.01);
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let mut a = SpecBenchmark::Art.stream();
+        let mut b = SpecBenchmark::Art.stream();
+        for _ in 0..10_000 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn seed_salt_changes_the_stream() {
+        let p = SpecBenchmark::Art.profile();
+        let mut a = p.stream_with(0, 0);
+        let mut b = p.stream_with(0, 1);
+        let differs = (0..1000).any(|_| a.next_op() != b.next_op());
+        assert!(differs);
+    }
+
+    #[test]
+    fn addr_base_offsets_all_data_addresses() {
+        let p = SpecBenchmark::Mcf.profile();
+        let base = 0x10_0000_0000u64;
+        let mut s = p.stream_with(base, 0);
+        let mut seen_mem = 0;
+        for _ in 0..10_000 {
+            match s.next_op().kind {
+                OpKind::Load { addr } | OpKind::Store { addr } => {
+                    assert!(addr >= base, "address {addr:#x} below base");
+                    seen_mem += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(seen_mem > 1000);
+    }
+
+    #[test]
+    fn region_complete_after_total_instructions() {
+        let mut p = SpecBenchmark::Mcf.profile();
+        p.total_instructions = 100;
+        let mut s = p.stream();
+        assert!(!s.region_complete());
+        for _ in 0..100 {
+            let _ = s.next_op();
+        }
+        assert!(s.region_complete());
+        assert_eq!(s.generated(), 100);
+        // Stream keeps producing beyond the region.
+        let _ = s.next_op();
+    }
+
+    #[test]
+    fn phases_modulate_cold_traffic() {
+        // art has strong phases: cold-region access rate must differ between
+        // the two phase halves.
+        let p = SpecBenchmark::Art.profile();
+        let period = p.phases.period_instructions;
+        let mut s = p.stream();
+        let mut cold_in_phase = [0u64; 2];
+        let mut mem_in_phase = [0u64; 2];
+        for i in 0..period * 2 {
+            let pos = i % period;
+            let phase_idx =
+                usize::from((pos as f64) < p.phases.memory_duty * period as f64);
+            if let OpKind::Load { addr } | OpKind::Store { addr } = s.next_op().kind {
+                mem_in_phase[phase_idx] += 1;
+                if addr >= COLD_BASE {
+                    cold_in_phase[phase_idx] += 1;
+                }
+            }
+        }
+        let rate_stressed = cold_in_phase[1] as f64 / mem_in_phase[1] as f64;
+        let rate_calm = cold_in_phase[0] as f64 / mem_in_phase[0] as f64;
+        assert!(
+            rate_stressed > rate_calm * 1.5,
+            "stressed {rate_stressed} vs calm {rate_calm}"
+        );
+    }
+
+    #[test]
+    fn pointer_chase_produces_dependent_loads() {
+        let mut s = SpecBenchmark::Mcf.stream();
+        let mut chased = 0;
+        let mut loads = 0;
+        for _ in 0..50_000 {
+            let op = s.next_op();
+            if let OpKind::Load { .. } = op.kind {
+                loads += 1;
+                if op.dep.is_some() {
+                    chased += 1;
+                }
+            }
+        }
+        let frac = chased as f64 / loads as f64;
+        let expected = SpecBenchmark::Mcf.profile().memory.pointer_chase;
+        assert!((frac - expected).abs() < 0.05, "chase fraction {frac}");
+    }
+
+    #[test]
+    fn sixtrack_has_no_chased_loads() {
+        let mut s = SpecBenchmark::Sixtrack.stream();
+        for _ in 0..20_000 {
+            let op = s.next_op();
+            if matches!(op.kind, OpKind::Load { .. }) {
+                assert!(op.dep.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn code_addresses_stay_in_region_footprint() {
+        let p = SpecBenchmark::Gcc.profile();
+        let mut s = p.stream();
+        for _ in 0..10_000 {
+            let op = s.next_op();
+            assert!(op.code_addr >= CODE_BASE);
+            assert!(
+                op.code_addr
+                    < CODE_BASE + u64::from(p.code.regions) * CODE_REGION_STRIDE
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Compare every built-in policy (plus the oracle and optimistic-static
+//! bounds) on a workload combination and budget of your choice.
+//!
+//! ```sh
+//! cargo run --release --example policy_shootout -- "art|mcf" 0.75
+//! cargo run --release --example policy_shootout            # defaults
+//! ```
+
+use gpm::cmp::{SimParams, TraceCmpSim};
+use gpm::core::{
+    static_oracle, throughput_degradation, turbo_baseline, weighted_slowdown, BudgetSchedule,
+    ChipWide, GlobalManager, GreedyMaxBips, MaxBips, Oracle, Policy, Priority, PullHiPushLo,
+};
+use gpm::trace::{CaptureConfig, TraceStore};
+use gpm::types::{Micros, PowerMode, Watts};
+use gpm::workloads::WorkloadCombo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let combo = match args.next() {
+        Some(label) => WorkloadCombo::parse(&label)?,
+        None => gpm::workloads::combos::ammp_mcf_crafty_art(),
+    };
+    let budget: f64 = args.next().map_or(Ok(0.8), |s| s.parse())?;
+    assert!((0.0..=1.0).contains(&budget), "budget must be in (0, 1]");
+
+    let store = TraceStore::new(CaptureConfig::fast_duration(Micros::from_millis(8.0)));
+    println!("capturing traces for {combo} ...");
+    let traces = store.combo(&combo)?;
+    let params = SimParams::default();
+    let baseline = turbo_baseline(&traces, &params)?;
+    let schedule = BudgetSchedule::constant(budget);
+
+    println!(
+        "\n{combo} at a {:.0}% budget (all-Turbo throughput {:.2}):\n",
+        budget * 100.0,
+        baseline.average_chip_bips()
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "policy", "ΔPerf", "w.slowdown", "power/budget", "stall"
+    );
+
+    let policies: Vec<Box<dyn Policy>> = vec![
+        Box::new(MaxBips::new()),
+        Box::new(GreedyMaxBips::new()),
+        Box::new(Priority::new()),
+        Box::new(PullHiPushLo::new()),
+        Box::new(ChipWide::new()),
+        Box::new(Oracle::new()),
+    ];
+    for mut policy in policies {
+        let sim = TraceCmpSim::new(traces.clone(), params.clone())?;
+        let run = GlobalManager::new().run(sim, &mut *policy, &schedule)?;
+        println!(
+            "{:<14} {:>9.2}% {:>11.2}% {:>11.1}% {:>9.1}",
+            run.policy,
+            throughput_degradation(&run, &baseline) * 100.0,
+            weighted_slowdown(&run, &baseline) * 100.0,
+            run.budget_utilization() * 100.0,
+            run.total_stall()
+        );
+    }
+
+    // The optimistic-static lower bound (no transitions, oracle choice).
+    let envelope: Watts = traces
+        .iter()
+        .map(|t| t.trace(PowerMode::Turbo).peak_power())
+        .sum();
+    let turbo_static = static_oracle::all_turbo(&traces)?;
+    let static_best = static_oracle::best_or_floor(
+        &traces,
+        envelope * budget,
+        static_oracle::BudgetCriterion::PeakPower,
+    )?;
+    println!(
+        "{:<14} {:>9.2}% {:>11.2}% {:>11.1}%        n/a   (modes {})",
+        "Static*",
+        static_best.degradation_vs(&turbo_static) * 100.0,
+        static_best.weighted_slowdown_vs(&turbo_static) * 100.0,
+        static_best.average_power.value() / (envelope.value() * budget) * 100.0,
+        static_best.modes,
+    );
+    println!("\n(* offline optimistic assignment, Section 5.7)");
+    Ok(())
+}

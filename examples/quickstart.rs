@@ -1,0 +1,68 @@
+//! Quickstart: run the MaxBIPS global power manager on a 4-way CMP under an
+//! 83% chip power budget and print what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gpm::cmp::{SimParams, TraceCmpSim};
+use gpm::core::{
+    throughput_degradation, turbo_baseline, BudgetSchedule, GlobalManager, MaxBips,
+};
+use gpm::trace::{CaptureConfig, TraceStore};
+use gpm::types::Micros;
+use gpm::workloads::combos;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Truncated (~8 ms) benchmark regions keep the example snappy; drop
+    // `fast_duration` for full-length runs.
+    let store = TraceStore::new(CaptureConfig::fast_duration(Micros::from_millis(8.0)));
+
+    let combo = combos::ammp_mcf_crafty_art();
+    println!("capturing per-mode traces for {combo} ...");
+    let traces = store.combo(&combo)?;
+
+    // Baseline: everything at full throttle.
+    let baseline = turbo_baseline(&traces, &SimParams::default())?;
+
+    // Managed: MaxBIPS under an 83% budget.
+    let sim = TraceCmpSim::new(traces, SimParams::default())?;
+    let run = GlobalManager::new().run(
+        sim,
+        &mut MaxBips::new(),
+        &BudgetSchedule::constant(0.83),
+    )?;
+
+    println!("\npolicy        : {}", run.policy);
+    println!("chip envelope : {:.1}", run.envelope);
+    println!("avg power     : {:.1}", run.average_chip_power());
+    println!(
+        "budget use    : {:.1}% of the 83% budget",
+        run.budget_utilization() * 100.0
+    );
+    println!("avg throughput: {:.2}", run.average_chip_bips());
+    println!(
+        "perf cost     : {:.2}% vs all-Turbo",
+        throughput_degradation(&run, &baseline) * 100.0
+    );
+    println!(
+        "transitions   : {} explore intervals, {:.1} total stall",
+        run.records.len(),
+        run.total_stall()
+    );
+
+    // Per-core mode dwell summary.
+    println!("\nper-core mode dwell (explore intervals):");
+    for core in 0..run.benchmarks.len() {
+        let id = gpm::types::CoreId::new(core);
+        let mut dwell = [0usize; 3];
+        for r in &run.records {
+            dwell[r.modes.mode(id).index()] += 1;
+        }
+        println!(
+            "  core{core} ({:<7}): Turbo {:>3}  Eff1 {:>3}  Eff2 {:>3}",
+            run.benchmarks[core], dwell[0], dwell[1], dwell[2]
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! A miniature Figure 11: how the MaxBIPS-vs-oracle gap and the chip-wide
+//! penalty evolve from 2 to 8 cores.
+//!
+//! ```sh
+//! cargo run --release --example scaling_study
+//! ```
+
+use gpm::cmp::{SimParams, TraceCmpSim};
+use gpm::core::{
+    throughput_degradation, turbo_baseline, BudgetSchedule, ChipWide, GlobalManager, MaxBips,
+    Oracle, Policy,
+};
+use gpm::trace::{CaptureConfig, TraceStore};
+use gpm::types::Micros;
+use gpm::workloads::{combos, WorkloadCombo};
+
+fn mean_degradation(
+    traces: &[std::sync::Arc<gpm::trace::BenchmarkTraces>],
+    make: &dyn Fn() -> Box<dyn Policy>,
+    budgets: &[f64],
+) -> Result<f64, gpm::types::GpmError> {
+    let params = SimParams::default();
+    let baseline = turbo_baseline(traces, &params)?;
+    let mut sum = 0.0;
+    for &b in budgets {
+        let sim = TraceCmpSim::new(traces.to_vec(), params.clone())?;
+        let run = GlobalManager::new().run(sim, &mut *make(), &BudgetSchedule::constant(b))?;
+        sum += throughput_degradation(&run, &baseline);
+    }
+    Ok(sum / budgets.len() as f64)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store = TraceStore::new(CaptureConfig::fast_duration(Micros::from_millis(6.0)));
+    let budgets = [0.7, 0.8, 0.9];
+    let scales: [(usize, Vec<WorkloadCombo>); 3] = [
+        (2, combos::two_way_suite()),
+        (4, combos::four_way_suite()),
+        (8, combos::eight_way_suite()),
+    ];
+
+    println!(
+        "{:<7} {:>14} {:>14} {:>16}",
+        "cores", "MaxBIPS ΔPerf", "Oracle ΔPerf", "ChipWide ΔPerf"
+    );
+    for (cores, suite) in scales {
+        let (mut mb, mut or, mut cw) = (0.0, 0.0, 0.0);
+        for combo in &suite {
+            let traces = store.combo(combo)?;
+            mb += mean_degradation(&traces, &|| Box::new(MaxBips::new()), &budgets)?;
+            or += mean_degradation(&traces, &|| Box::new(Oracle::new()), &budgets)?;
+            cw += mean_degradation(&traces, &|| Box::new(ChipWide::new()), &budgets)?;
+        }
+        let n = suite.len() as f64;
+        println!(
+            "{cores:<7} {:>13.2}% {:>13.2}% {:>15.2}%",
+            mb / n * 100.0,
+            or / n * 100.0,
+            cw / n * 100.0
+        );
+    }
+    println!("\nThe MaxBIPS-oracle gap closes with core count while the chip-wide");
+    println!("penalty grows — the paper's Figure 11 trends.");
+    Ok(())
+}

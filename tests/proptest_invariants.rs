@@ -1,0 +1,224 @@
+//! Property-based tests over the workspace's core data structures and the
+//! policy/budget invariants.
+
+use gpm::core::{
+    ChipWide, GreedyMaxBips, MaxBips, Policy, PolicyContext, PowerBipsMatrices, Priority,
+    PullHiPushLo,
+};
+use gpm::power::DvfsParams;
+use gpm::types::{
+    Micros, ModeCombination, PowerMode, SummaryStats, TimeSeries, Watts,
+};
+use proptest::prelude::*;
+
+/// Strategy: per-core Turbo (power, bips) rows.
+fn turbo_rows(max_cores: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((8.0f64..30.0, 0.1f64..3.0), 1..=max_cores)
+}
+
+/// Builds exact cubic/linear matrices from Turbo rows.
+fn matrices(rows: &[(f64, f64)]) -> PowerBipsMatrices {
+    PowerBipsMatrices::from_rows(
+        rows.iter()
+            .map(|&(p, _)| PowerMode::ALL.map(|m| p * m.power_scale()))
+            .collect(),
+        rows.iter()
+            .map(|&(_, b)| PowerMode::ALL.map(|m| b * m.bips_scale_bound()))
+            .collect(),
+    )
+}
+
+fn decide(policy: &mut dyn Policy, m: &PowerBipsMatrices, budget: f64) -> ModeCombination {
+    let current = ModeCombination::uniform(m.cores(), PowerMode::Turbo);
+    let dvfs = DvfsParams::paper();
+    let ctx = PolicyContext {
+        current_modes: &current,
+        matrices: m,
+        future: Some(m),
+        budget: Watts::new(budget),
+        dvfs: &dvfs,
+        explore: Micros::new(500.0),
+    };
+    policy.decide(&ctx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every policy's decision fits the budget whenever any combination
+    /// can, and always covers every core.
+    #[test]
+    fn policies_respect_feasible_budgets(
+        rows in turbo_rows(5),
+        budget_frac in 0.55f64..1.1,
+    ) {
+        let m = matrices(&rows);
+        let turbo_power: f64 = rows.iter().map(|&(p, _)| p).sum();
+        let budget = turbo_power * budget_frac;
+        let floor = m.chip_power(&ModeCombination::uniform(rows.len(), PowerMode::Eff2));
+
+        let mut policies: Vec<Box<dyn Policy>> = vec![
+            Box::new(MaxBips::new()),
+            Box::new(GreedyMaxBips::new()),
+            Box::new(Priority::new()),
+            Box::new(PullHiPushLo::new()),
+            Box::new(ChipWide::new()),
+        ];
+        for policy in &mut policies {
+            let combo = decide(&mut **policy, &m, budget);
+            prop_assert_eq!(combo.len(), rows.len());
+            if floor.value() <= budget {
+                prop_assert!(
+                    m.chip_power(&combo).value() <= budget + 1e-9,
+                    "{} overshoots: {} > {}",
+                    policy.name(),
+                    m.chip_power(&combo).value(),
+                    budget
+                );
+            }
+        }
+    }
+
+    /// MaxBIPS is the argmax: no other policy's feasible decision has
+    /// higher predicted throughput (same transition de-rating applies).
+    #[test]
+    fn maxbips_dominates_other_policies(
+        rows in turbo_rows(4),
+        budget_frac in 0.6f64..1.05,
+    ) {
+        let m = matrices(&rows);
+        let turbo_power: f64 = rows.iter().map(|&(p, _)| p).sum();
+        let budget = turbo_power * budget_frac;
+        let dvfs = DvfsParams::paper();
+        let current = ModeCombination::uniform(rows.len(), PowerMode::Turbo);
+        let explore = Micros::new(500.0);
+
+        let best = decide(&mut MaxBips::new(), &m, budget);
+        let best_bips = m.chip_bips_with_transition(&current, &best, &dvfs, explore);
+        let mut others: Vec<Box<dyn Policy>> = vec![
+            Box::new(Priority::new()),
+            Box::new(PullHiPushLo::new()),
+            Box::new(ChipWide::new()),
+            Box::new(GreedyMaxBips::new()),
+        ];
+        for policy in &mut others {
+            let combo = decide(&mut **policy, &m, budget);
+            if m.chip_power(&combo).value() <= budget {
+                let bips = m.chip_bips_with_transition(&current, &combo, &dvfs, explore);
+                prop_assert!(
+                    best_bips.value() >= bips.value() - 1e-9,
+                    "{} beat MaxBIPS: {} > {}",
+                    policy.name(),
+                    bips.value(),
+                    best_bips.value()
+                );
+            }
+        }
+    }
+
+    /// MaxBIPS's objective — transition-de-rated chip BIPS — is monotone
+    /// non-decreasing in the budget: a larger budget only enlarges the
+    /// feasible set. (Raw, un-de-rated BIPS is *not* guaranteed monotone:
+    /// a larger budget can admit a combination with two shallow transitions
+    /// that beats one deep transition after de-rating.)
+    #[test]
+    fn maxbips_monotone_in_budget(rows in turbo_rows(4), lo in 0.6f64..0.9) {
+        let m = matrices(&rows);
+        let turbo_power: f64 = rows.iter().map(|&(p, _)| p).sum();
+        let hi = lo + 0.1;
+        let combo_lo = decide(&mut MaxBips::new(), &m, turbo_power * lo);
+        let combo_hi = decide(&mut MaxBips::new(), &m, turbo_power * hi);
+        let dvfs = DvfsParams::paper();
+        let current = ModeCombination::uniform(m.cores(), PowerMode::Turbo);
+        let explore = Micros::new(500.0);
+        let objective = |c: &ModeCombination| {
+            m.chip_bips_with_transition(&current, c, &dvfs, explore).value()
+        };
+        prop_assert!(objective(&combo_hi) >= objective(&combo_lo) - 1e-9);
+    }
+
+    /// Rank encoding of mode combinations round-trips and enumeration is
+    /// exhaustive and duplicate-free.
+    #[test]
+    fn mode_combination_rank_roundtrip(cores in 1usize..6, seed in any::<u64>()) {
+        let total = 3usize.pow(cores as u32);
+        let rank = (seed as usize) % total;
+        let combo = ModeCombination::from_rank(cores, rank);
+        let recovered = ModeCombination::enumerate(cores).nth(rank).unwrap();
+        prop_assert_eq!(combo, recovered);
+        prop_assert_eq!(ModeCombination::enumerate(cores).count(), total);
+    }
+
+    /// Transition times are symmetric, zero on the diagonal, and satisfy
+    /// the triangle property for the three-point voltage ladder.
+    #[test]
+    fn transition_times_are_consistent(_x in 0..1i32) {
+        let dvfs = DvfsParams::paper();
+        for a in PowerMode::ALL {
+            for b in PowerMode::ALL {
+                let t_ab = dvfs.transition_time(a, b);
+                let t_ba = dvfs.transition_time(b, a);
+                prop_assert!((t_ab.value() - t_ba.value()).abs() < 1e-12);
+                if a == b {
+                    prop_assert_eq!(t_ab.value(), 0.0);
+                }
+            }
+        }
+        // Ladder: Turbo→Eff2 equals Turbo→Eff1 + Eff1→Eff2.
+        let direct = dvfs.transition_time(PowerMode::Turbo, PowerMode::Eff2).value();
+        let hop = dvfs.transition_time(PowerMode::Turbo, PowerMode::Eff1).value()
+            + dvfs.transition_time(PowerMode::Eff1, PowerMode::Eff2).value();
+        prop_assert!((direct - hop).abs() < 1e-9);
+    }
+
+    /// Summary statistics: min ≤ mean ≤ max; harmonic ≤ arithmetic mean.
+    #[test]
+    fn summary_stats_bounds(values in prop::collection::vec(0.01f64..100.0, 1..50)) {
+        let s = SummaryStats::from_iter(values.iter().copied());
+        prop_assert!(s.min <= s.mean + 1e-9);
+        prop_assert!(s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.count, values.len());
+        let hm = SummaryStats::harmonic_mean(values.iter().copied());
+        let am = SummaryStats::arithmetic_mean(values.iter().copied());
+        prop_assert!(hm <= am + 1e-9);
+    }
+
+    /// TimeSeries window means never leave the [min, max] envelope of the
+    /// data, for arbitrary (clamped) windows.
+    #[test]
+    fn window_mean_bounded(
+        values in prop::collection::vec(-50.0f64..50.0, 1..100),
+        a in 0.0f64..5000.0,
+        len in 1.0f64..5000.0,
+    ) {
+        let mut series = TimeSeries::new(Micros::new(50.0));
+        series.extend(values.iter().copied());
+        let stats = series.stats();
+        if let Some(mean) = series.window_mean(Micros::new(a), Micros::new(a + len)) {
+            prop_assert!(mean >= stats.min - 1e-9);
+            prop_assert!(mean <= stats.max + 1e-9);
+        }
+    }
+
+    /// The power model's cubic property holds for arbitrary activity.
+    #[test]
+    fn power_model_cubic_for_any_activity(
+        dispatch in 0.0f64..5.0,
+        int_issue in 0.0f64..2.0,
+        fp_issue in 0.0f64..2.0,
+        mem_issue in 0.0f64..2.0,
+        l2 in 0.0f64..0.2,
+        busy in 0.0f64..1.0,
+    ) {
+        let model = gpm::power::PowerModel::power4_calibrated();
+        let activity = gpm::microarch::ActivityFactors {
+            dispatch, int_issue, fp_issue, mem_issue, l2, busy,
+        };
+        let p_turbo = model.power(&activity, PowerMode::Turbo);
+        for mode in PowerMode::ALL {
+            let p = model.power(&activity, mode);
+            let expected = p_turbo.value() * mode.power_scale();
+            prop_assert!((p.value() - expected).abs() < 1e-9);
+        }
+    }
+}
