@@ -26,7 +26,37 @@ use gpm_experiments::{ExperimentContext, PolicyKind};
 use gpm_types::{GpmError, Result};
 use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
 
-/// A parsed invocation.
+/// A fully parsed command line: the subcommand plus the global options
+/// that apply to every subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand to execute.
+    pub command: Command,
+    /// Worker-pool width from `--threads N` (`None` = `GPM_THREADS` or the
+    /// detected hardware parallelism; see [`gpm_par::max_threads`]).
+    pub threads: Option<usize>,
+}
+
+impl Invocation {
+    /// Applies the `--threads` override to the process-wide worker pool.
+    /// A no-op when the flag was not given.
+    pub fn apply_thread_override(&self) {
+        if self.threads.is_some() {
+            gpm_par::set_max_threads(self.threads);
+        }
+    }
+}
+
+impl From<Command> for Invocation {
+    fn from(command: Command) -> Self {
+        Self {
+            command,
+            threads: None,
+        }
+    }
+}
+
+/// A parsed subcommand.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run one policy at one budget and report the outcome.
@@ -151,7 +181,11 @@ pub fn parse_budgets(s: &str) -> Result<Vec<f64>> {
         Ok(out)
     } else {
         s.split(',')
-            .map(|p| p.trim().parse().map_err(|_| bad(format!("bad number `{p}`"))))
+            .map(|p| {
+                p.trim()
+                    .parse()
+                    .map_err(|_| bad(format!("bad number `{p}`")))
+            })
             .collect()
     }
 }
@@ -161,14 +195,14 @@ pub fn parse_budgets(s: &str) -> Result<Vec<f64>> {
 /// # Errors
 ///
 /// Returns [`GpmError::InvalidConfig`] on unknown commands, flags or values.
-pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
+pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation> {
     let mut args = args.into_iter().peekable();
     let bad = |reason: String| GpmError::InvalidConfig {
         parameter: "arguments",
         reason,
     };
     let Some(cmd) = args.next() else {
-        return Ok(Command::Help);
+        return Ok(Command::Help.into());
     };
 
     // Collect `--key value` pairs and bare flags.
@@ -177,6 +211,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
     let mut policies = None;
     let mut budget = None;
     let mut budgets = None;
+    let mut threads = None;
     let mut fast = false;
     let mut json = false;
     let mut positional = Vec::new();
@@ -184,12 +219,26 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
         match arg.as_str() {
             "--fast" => fast = true,
             "--json" => json = true,
+            "--threads" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--threads needs a value".into()))?;
+                let n =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        bad(format!("bad thread count `{v}` (need an integer ≥ 1)"))
+                    })?;
+                threads = Some(n);
+            }
             "--combo" => {
-                let v = args.next().ok_or_else(|| bad("--combo needs a value".into()))?;
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--combo needs a value".into()))?;
                 combo = Some(WorkloadCombo::parse(&v)?);
             }
             "--policy" => {
-                let v = args.next().ok_or_else(|| bad("--policy needs a value".into()))?;
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--policy needs a value".into()))?;
                 policy = Some(PolicySpec::parse(&v)?);
             }
             "--policies" => {
@@ -203,8 +252,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
                 );
             }
             "--budget" => {
-                let v = args.next().ok_or_else(|| bad("--budget needs a value".into()))?;
-                budget = Some(v.parse::<f64>().map_err(|_| bad(format!("bad budget `{v}`")))?);
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--budget needs a value".into()))?;
+                budget = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| bad(format!("bad budget `{v}`")))?,
+                );
             }
             "--budgets" => {
                 let v = args
@@ -219,15 +273,15 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
         }
     }
 
-    match cmd.as_str() {
-        "run" => Ok(Command::Run {
+    let command = match cmd.as_str() {
+        "run" => Command::Run {
             combo: combo.unwrap_or_else(combos::ammp_mcf_crafty_art),
             policy: policy.unwrap_or(PolicySpec::Kind(PolicyKind::MaxBips)),
             budget: budget.unwrap_or(0.8),
             json,
             fast,
-        }),
-        "sweep" => Ok(Command::Sweep {
+        },
+        "sweep" => Command::Sweep {
             combo: combo.unwrap_or_else(combos::ammp_mcf_crafty_art),
             policies: policies.unwrap_or_else(|| {
                 vec![
@@ -237,18 +291,19 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Command> {
             }),
             budgets: budgets.unwrap_or_else(|| gpm_core::DEFAULT_BUDGETS.to_vec()),
             fast,
-        }),
+        },
         "figure" | "experiment" => {
             let name = positional
                 .first()
                 .cloned()
                 .ok_or_else(|| bad("figure needs an experiment name (e.g. fig4)".into()))?;
-            Ok(Command::Figure { name, fast })
+            Command::Figure { name, fast }
         }
-        "list" => Ok(Command::List),
-        "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(bad(format!("unknown command `{other}`"))),
-    }
+        "list" => Command::List,
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(bad(format!("unknown command `{other}`"))),
+    };
+    Ok(Invocation { command, threads })
 }
 
 /// Usage text.
@@ -260,6 +315,11 @@ USAGE:
   gpm figure NAME [--fast]      regenerate a paper experiment (see `gpm list`)
   gpm list                      benchmarks, combos, policies, experiments
   gpm help
+
+GLOBAL OPTIONS:
+  --threads N    worker-pool width for capture/sweep/figure parallelism
+                 (default: GPM_THREADS env var, else the detected core
+                 count; results are identical for any value)
 
 POLICIES: maxbips, priority, pullhipushlo, chipwide, oracle, greedy,
           minpower:<target>, static (sweep only)
@@ -320,7 +380,9 @@ fn list_text() -> String {
         "\npolicies: maxbips priority pullhipushlo chipwide oracle greedy minpower:<t> static\n",
     );
     out.push_str("\nexperiments: table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8\n");
-    out.push_str("             fig9 fig10 fig11 validation prediction minpower thermal transition\n");
+    out.push_str(
+        "             fig9 fig10 fig11 validation prediction minpower thermal transition\n",
+    );
     out
 }
 
@@ -457,12 +519,9 @@ fn run_figure(name: &str, fast: bool) -> Result<String> {
             &ctx,
             gpm_types::Micros::from_millis(2.0),
         )?),
-        "prediction" => exp::validation::prediction_error(
-            &ctx,
-            &combos::ammp_mcf_crafty_art(),
-            0.8,
-        )?
-        .render(),
+        "prediction" => {
+            exp::validation::prediction_error(&ctx, &combos::ammp_mcf_crafty_art(), 0.8)?.render()
+        }
         "minpower" => exp::ablation::dual_problem(&ctx)?.render(),
         "thermal" => exp::ablation::thermal(&ctx, 72.0)?.render(),
         "transition" => exp::ablation::transition_overlap(&ctx)?.render(),
@@ -475,13 +534,13 @@ mod tests {
     use super::*;
 
     fn parse(line: &str) -> Result<Command> {
-        parse_args(line.split_whitespace().map(str::to_owned))
+        parse_args(line.split_whitespace().map(str::to_owned)).map(|inv| inv.command)
     }
 
     #[test]
     fn parses_run_with_all_flags() {
-        let cmd = parse("run --combo art|mcf --policy maxbips --budget 0.75 --fast --json")
-            .unwrap();
+        let cmd =
+            parse("run --combo art|mcf --policy maxbips --budget 0.75 --fast --json").unwrap();
         match cmd {
             Command::Run {
                 combo,
@@ -501,8 +560,8 @@ mod tests {
 
     #[test]
     fn parses_sweep_with_budget_range() {
-        let cmd = parse("sweep --policies maxbips,static,minpower:0.95 --budgets 0.6:0.8:0.1")
-            .unwrap();
+        let cmd =
+            parse("sweep --policies maxbips,static,minpower:0.95 --budgets 0.6:0.8:0.1").unwrap();
         match cmd {
             Command::Sweep {
                 policies, budgets, ..
@@ -537,12 +596,21 @@ mod tests {
     }
 
     #[test]
+    fn parses_threads_flag() {
+        let inv = parse_args("list --threads 3".split_whitespace().map(str::to_owned)).unwrap();
+        assert_eq!(inv.threads, Some(3));
+        assert_eq!(inv.command, Command::List);
+        let inv = parse_args(["list".to_owned()]).unwrap();
+        assert_eq!(inv.threads, None);
+        assert!(parse("list --threads 0").is_err());
+        assert!(parse("list --threads many").is_err());
+        assert!(parse("list --threads").is_err());
+    }
+
+    #[test]
     fn budget_parsing() {
         assert_eq!(parse_budgets("0.7,0.8").unwrap(), vec![0.7, 0.8]);
-        assert_eq!(
-            parse_budgets("0.6:0.7:0.05").unwrap(),
-            vec![0.6, 0.65, 0.7]
-        );
+        assert_eq!(parse_budgets("0.6:0.7:0.05").unwrap(), vec![0.6, 0.65, 0.7]);
         assert!(parse_budgets("0.9:0.6:0.1").is_err());
         assert!(parse_budgets("a:b:c").is_err());
         assert!(parse_budgets("xyz").is_err());
@@ -568,7 +636,14 @@ mod tests {
     #[test]
     fn run_rejects_bad_budget() {
         let combo = combos::art_mcf();
-        assert!(run_one(&combo, &PolicySpec::Kind(PolicyKind::MaxBips), 1.5, false, true).is_err());
+        assert!(run_one(
+            &combo,
+            &PolicySpec::Kind(PolicyKind::MaxBips),
+            1.5,
+            false,
+            true
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! The `gpm` binary: parse, execute, print.
 
 fn main() {
-    let command = match gpm_cli::parse_args(std::env::args().skip(1)) {
-        Ok(cmd) => cmd,
+    let invocation = match gpm_cli::parse_args(std::env::args().skip(1)) {
+        Ok(inv) => inv,
         Err(e) => {
             eprintln!("error: {e}\n\n{}", gpm_cli::USAGE);
             std::process::exit(2);
         }
     };
-    match gpm_cli::execute(command) {
+    invocation.apply_thread_override();
+    match gpm_cli::execute(invocation.command) {
         Ok(output) => println!("{output}"),
         Err(e) => {
             eprintln!("error: {e}");

@@ -236,8 +236,13 @@ mod tests {
 
         // Single-core reference for mcf (core 0).
         use gpm_microarch::CoreModel;
-        let mut solo = CoreModel::new(&CoreConfig::power4(), DvfsParams::paper().frequency(PowerMode::Turbo));
-        let mut stream = gpm_workloads::SpecBenchmark::Mcf.profile().stream_with(0, 0);
+        let mut solo = CoreModel::new(
+            &CoreConfig::power4(),
+            DvfsParams::paper().frequency(PowerMode::Turbo),
+        );
+        let mut stream = gpm_workloads::SpecBenchmark::Mcf
+            .profile()
+            .stream_with(0, 0);
         let stats = solo.run_cycles(&mut stream, 1_000_000);
         let solo_bips = stats.bips_at(DvfsParams::paper().frequency(PowerMode::Turbo));
 

@@ -95,8 +95,7 @@ impl SharedL2 {
         let demand = self.window_accesses as f64 * self.config.service_ns;
         let utilization = (demand / window_ns).min(0.98);
         self.current_utilization = utilization;
-        self.current_queue_ns =
-            self.config.service_ns * utilization / (2.0 * (1.0 - utilization));
+        self.current_queue_ns = self.config.service_ns * utilization / (2.0 * (1.0 - utilization));
         self.windows += 1;
         self.utilization_sum += utilization;
         self.peak_utilization = self.peak_utilization.max(utilization);

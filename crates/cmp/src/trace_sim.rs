@@ -49,6 +49,21 @@ pub struct ExploreOutcome {
 }
 
 impl ExploreOutcome {
+    /// An empty outcome suitable as the target of
+    /// [`TraceCmpSim::advance_explore_into`]; its buffers grow on first use
+    /// and are reused on every subsequent interval.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            observed: Vec::new(),
+            chip_power: Vec::new(),
+            chip_bips: Vec::new(),
+            transition_stall: Micros::ZERO,
+            duration: Micros::ZERO,
+            finished: false,
+        }
+    }
+
     /// Mean chip power over the interval.
     #[must_use]
     pub fn average_chip_power(&self) -> Watts {
@@ -233,6 +248,24 @@ impl TraceCmpSim {
     /// wrong number of cores, and [`GpmError::InvalidConfig`] if the run has
     /// already finished.
     pub fn advance_explore(&mut self, new_modes: &ModeCombination) -> Result<ExploreOutcome> {
+        let mut outcome = ExploreOutcome::empty();
+        self.advance_explore_into(new_modes, &mut outcome)?;
+        Ok(outcome)
+    }
+
+    /// Like [`advance_explore`](Self::advance_explore), but writes into a
+    /// caller-owned [`ExploreOutcome`] so the per-delta and per-core buffers
+    /// are reused across intervals instead of reallocated — the control loop
+    /// calls this thousands of times per run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`advance_explore`](Self::advance_explore).
+    pub fn advance_explore_into(
+        &mut self,
+        new_modes: &ModeCombination,
+        out: &mut ExploreOutcome,
+    ) -> Result<()> {
         if new_modes.len() != self.cores() {
             return Err(GpmError::CoreCountMismatch {
                 expected: self.cores(),
@@ -246,7 +279,7 @@ impl TraceCmpSim {
             });
         }
 
-        let old_modes = self.modes.clone();
+        let old_modes = std::mem::replace(&mut self.modes, new_modes.clone());
         let stall = match self.params.transition {
             crate::TransitionBehavior::StallChip => (0..self.cores())
                 .map(|i| {
@@ -258,18 +291,19 @@ impl TraceCmpSim {
                 .fold(Micros::ZERO, Micros::max),
             crate::TransitionBehavior::Overlapped => Micros::ZERO,
         };
-        self.modes = new_modes.clone();
         self.history
             .mode_changes
-            .push((Micros::new(self.now), new_modes.clone()));
+            .push((Micros::new(self.now), self.modes.clone()));
 
         let delta_us = self.params.delta.value();
         let delta_s = self.params.delta.to_seconds().value();
         let steps = self.params.deltas_per_explore();
 
         let cores = self.cores();
-        let mut chip_power = Vec::with_capacity(steps);
-        let mut chip_bips = Vec::with_capacity(steps);
+        out.chip_power.clear();
+        out.chip_bips.clear();
+        out.chip_power.reserve(steps);
+        out.chip_bips.reserve(steps);
         let mut core_energy = vec![0.0f64; cores]; // W·delta units
         let mut core_instr = vec![0.0f64; cores];
         let mut stall_left = stall.value();
@@ -309,8 +343,8 @@ impl TraceCmpSim {
             if let Some(series) = self.history.chip_power.as_mut() {
                 series.push(chip_p);
             }
-            chip_power.push(chip_p);
-            chip_bips.push(chip_b);
+            out.chip_power.push(chip_p);
+            out.chip_bips.push(chip_b);
             self.now += delta_us;
             completed_steps += 1;
 
@@ -330,32 +364,28 @@ impl TraceCmpSim {
         let duration = Micros::new(completed_steps as f64 * delta_us);
         let duration_s = duration.to_seconds().value().max(f64::MIN_POSITIVE);
         let noise_std = self.params.sensor.power_noise_std;
-        let observed = (0..cores)
-            .map(|i| {
-                let mean_power = core_energy[i] / completed_steps.max(1) as f64;
-                let noisy = if noise_std > 0.0 {
-                    mean_power * (1.0 + noise_std * self.gaussian())
-                } else {
-                    mean_power
-                };
-                CoreObservation {
-                    core: CoreId::new(i),
-                    mode: self.modes.mode(CoreId::new(i)),
-                    power: Watts::new(noisy.max(0.0)),
-                    bips: Bips::new(core_instr[i] / duration_s / 1.0e9),
-                    instructions: core_instr[i] as u64,
-                }
-            })
-            .collect();
+        out.observed.clear();
+        out.observed.reserve(cores);
+        for i in 0..cores {
+            let mean_power = core_energy[i] / completed_steps.max(1) as f64;
+            let noisy = if noise_std > 0.0 {
+                mean_power * (1.0 + noise_std * self.gaussian())
+            } else {
+                mean_power
+            };
+            out.observed.push(CoreObservation {
+                core: CoreId::new(i),
+                mode: self.modes.mode(CoreId::new(i)),
+                power: Watts::new(noisy.max(0.0)),
+                bips: Bips::new(core_instr[i] / duration_s / 1.0e9),
+                instructions: core_instr[i] as u64,
+            });
+        }
 
-        Ok(ExploreOutcome {
-            observed,
-            chip_power,
-            chip_bips,
-            transition_stall: stall,
-            duration,
-            finished: self.finished,
-        })
+        out.transition_stall = stall;
+        out.duration = duration;
+        out.finished = self.finished;
+        Ok(())
     }
 
     /// Approximate standard normal via the Irwin–Hall sum of 12 uniforms
@@ -513,7 +543,13 @@ mod tests {
     fn wrong_core_count_is_rejected() {
         let mut sim = two_core_sim();
         let err = sim.advance_explore(&ModeCombination::uniform(3, PowerMode::Turbo));
-        assert!(matches!(err, Err(GpmError::CoreCountMismatch { expected: 2, actual: 3 })));
+        assert!(matches!(
+            err,
+            Err(GpmError::CoreCountMismatch {
+                expected: 2,
+                actual: 3
+            })
+        ));
     }
 
     #[test]

@@ -20,7 +20,9 @@ fn synthetic_traces(seed: u64, total: u64) -> Arc<BenchmarkTraces> {
     let mut segments = Vec::new();
     let (mut bips, mut power) = (1.2f64, 17.0f64);
     for _ in 0..2000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         bips = (bips + ((x % 41) as f64 - 20.0) / 200.0).clamp(0.2, 2.2);
         power = (power + (((x >> 8) % 31) as f64 - 15.0) / 20.0).clamp(10.0, 24.0);
         segments.push((bips, power));

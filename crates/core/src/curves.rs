@@ -7,9 +7,7 @@ use gpm_cmp::{SimParams, TraceCmpSim};
 use gpm_trace::BenchmarkTraces;
 use gpm_types::Result;
 
-use crate::{
-    metrics, BudgetSchedule, Constant, GlobalManager, Policy, RunResult,
-};
+use crate::{metrics, BudgetSchedule, Constant, GlobalManager, Policy, RunResult};
 
 /// The nine budget points the paper sweeps: 60% to 100% of maximum chip
 /// power in 5% steps.
@@ -56,45 +54,60 @@ impl PolicyCurve {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn turbo_baseline(
-    traces: &[Arc<BenchmarkTraces>],
-    params: &SimParams,
-) -> Result<RunResult> {
+pub fn turbo_baseline(traces: &[Arc<BenchmarkTraces>], params: &SimParams) -> Result<RunResult> {
     let sim = TraceCmpSim::new(traces.to_vec(), params.clone())?;
     let mut policy = Constant::all_turbo(traces.len());
     GlobalManager::new().run(sim, &mut policy, &BudgetSchedule::constant(1.0))
+}
+
+/// Runs one policy at one budget point and condenses the run into a
+/// [`CurvePoint`]. This is the unit of work [`sweep_policy`] fans out.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn evaluate_policy_point(
+    traces: &[Arc<BenchmarkTraces>],
+    params: &SimParams,
+    budget: f64,
+    baseline: &RunResult,
+    make_policy: &(dyn Fn() -> Box<dyn Policy> + Sync),
+) -> Result<CurvePoint> {
+    let sim = TraceCmpSim::new(traces.to_vec(), params.clone())?;
+    let mut policy = make_policy();
+    let run = GlobalManager::new().run(sim, &mut policy, &BudgetSchedule::constant(budget))?;
+    Ok(CurvePoint {
+        budget,
+        perf_degradation: metrics::throughput_degradation(&run, baseline),
+        weighted_slowdown: metrics::weighted_slowdown(&run, baseline),
+        budget_utilization: run.budget_utilization(),
+        power_saving: metrics::power_saving(&run, baseline),
+    })
 }
 
 /// Sweeps one policy across `budgets`, producing its policy curve. A fresh
 /// policy instance is created per budget via `make_policy`; the all-Turbo
 /// baseline is supplied by the caller so it can be shared across policies.
 ///
+/// Budget points are independent runs, so they are evaluated across the
+/// [`gpm_par`] worker pool. Results land in sweep order and each point is
+/// bit-identical to the serial loop's (see the `gpm-par` crate docs).
+///
 /// # Errors
 ///
-/// Propagates simulation errors.
+/// Propagates simulation errors; with multiple failing budgets, the error
+/// reported is the lowest-budget-index one, as in the serial sweep.
 pub fn sweep_policy(
     traces: &[Arc<BenchmarkTraces>],
     params: &SimParams,
     budgets: &[f64],
     baseline: &RunResult,
-    make_policy: &dyn Fn() -> Box<dyn Policy>,
+    make_policy: &(dyn Fn() -> Box<dyn Policy> + Sync),
 ) -> Result<PolicyCurve> {
-    let mut points = Vec::with_capacity(budgets.len());
-    let mut name = String::new();
-    for &budget in budgets {
-        let sim = TraceCmpSim::new(traces.to_vec(), params.clone())?;
-        let mut policy = make_policy();
-        name = policy.name().to_owned();
-        let run =
-            GlobalManager::new().run(sim, &mut policy, &BudgetSchedule::constant(budget))?;
-        points.push(CurvePoint {
-            budget,
-            perf_degradation: metrics::throughput_degradation(&run, baseline),
-            weighted_slowdown: metrics::weighted_slowdown(&run, baseline),
-            budget_utilization: run.budget_utilization(),
-            power_saving: metrics::power_saving(&run, baseline),
-        });
-    }
+    let name = make_policy().name().to_owned();
+    let points = gpm_par::try_parallel_map(budgets, |&budget| {
+        evaluate_policy_point(traces, params, budget, baseline, make_policy)
+    })?;
     Ok(PolicyCurve {
         policy: name,
         points,
@@ -125,15 +138,13 @@ mod tests {
         let traces = PowerMode::ALL
             .map(|mode| {
                 // Memory-bound work degrades less than linearly.
-                let perf_scale =
-                    1.0 - (1.0 - mode.bips_scale_bound()) * (1.0 - mem_boundedness);
+                let perf_scale = 1.0 - (1.0 - mode.bips_scale_bound()) * (1.0 - mem_boundedness);
                 let mut cum = 0.0f64;
                 let samples: Vec<TraceSample> = (0..3000)
                     .map(|k| {
                         let hi = (k / 20) % 2 == 0; // 1 ms phases
                         let bips = if hi { bips_hi } else { bips_lo } * perf_scale;
-                        let power =
-                            if hi { power_hi } else { power_lo } * mode.power_scale();
+                        let power = if hi { power_hi } else { power_lo } * mode.power_scale();
                         cum += bips * 1.0e9 * delta_s;
                         TraceSample {
                             instructions_end: cum as u64,
@@ -189,13 +200,9 @@ mod tests {
         let traces = quad();
         let params = SimParams::default();
         let baseline = turbo_baseline(&traces, &params).unwrap();
-        let curve = sweep_policy(
-            &traces,
-            &params,
-            &[0.65, 0.80, 1.00],
-            &baseline,
-            &|| Box::new(MaxBips::new()),
-        )
+        let curve = sweep_policy(&traces, &params, &[0.65, 0.80, 1.00], &baseline, &|| {
+            Box::new(MaxBips::new())
+        })
         .unwrap();
         let d = &curve.points;
         assert!(d[0].perf_degradation >= d[1].perf_degradation - 0.005);
@@ -213,13 +220,9 @@ mod tests {
         let traces = quad();
         let params = SimParams::default();
         let baseline = turbo_baseline(&traces, &params).unwrap();
-        let curve = sweep_policy(
-            &traces,
-            &params,
-            &[0.7, 0.8, 0.9],
-            &baseline,
-            &|| Box::new(MaxBips::new()),
-        )
+        let curve = sweep_policy(&traces, &params, &[0.7, 0.8, 0.9], &baseline, &|| {
+            Box::new(MaxBips::new())
+        })
         .unwrap();
         for p in &curve.points {
             assert!(

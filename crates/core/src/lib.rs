@@ -66,11 +66,13 @@ mod policy;
 pub mod static_oracle;
 
 pub use budget::BudgetSchedule;
-pub use curves::{sweep_policy, turbo_baseline, CurvePoint, PolicyCurve, DEFAULT_BUDGETS};
+pub use curves::{
+    evaluate_policy_point, sweep_policy, turbo_baseline, CurvePoint, PolicyCurve, DEFAULT_BUDGETS,
+};
 pub use manager::{ExploreRecord, GlobalManager, RunResult};
 pub use matrices::PowerBipsMatrices;
 pub use metrics::{throughput_degradation, weighted_slowdown, weighted_speedup_slowdown};
 pub use policy::{
-    ChipWide, Constant, GreedyMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext,
-    Priority, PullHiPushLo, ThermalGuard,
+    ChipWide, Constant, GreedyMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext, Priority,
+    PullHiPushLo, ThermalGuard,
 };

@@ -145,8 +145,7 @@ impl RunResult {
     ///
     /// Returns [`gpm_types::GpmError::TraceFormat`] on encoding failure.
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string(self)
-            .map_err(|e| gpm_types::GpmError::TraceFormat(e.to_string()))
+        serde_json::to_string(self).map_err(|e| gpm_types::GpmError::TraceFormat(e.to_string()))
     }
 
     /// Parses a run back from [`to_json`](Self::to_json) output.
@@ -155,8 +154,7 @@ impl RunResult {
     ///
     /// Returns [`gpm_types::GpmError::TraceFormat`] on malformed input.
     pub fn from_json(json: &str) -> Result<Self> {
-        serde_json::from_str(json)
-            .map_err(|e| gpm_types::GpmError::TraceFormat(e.to_string()))
+        serde_json::from_str(json).map_err(|e| gpm_types::GpmError::TraceFormat(e.to_string()))
     }
 }
 
@@ -202,9 +200,12 @@ impl GlobalManager {
         let mut records = Vec::new();
 
         // Interval 0 (warm-up): observe in the initial (all-Turbo) state.
+        // One ExploreOutcome is reused across the whole loop so its per-delta
+        // buffers are allocated once per run, not once per interval.
         let mut start = sim.now();
         let mut budget = Watts::new(envelope.value() * schedule.fraction_at(start));
-        let mut outcome = sim.advance_explore(&sim.modes().clone())?;
+        let mut outcome = gpm_cmp::ExploreOutcome::empty();
+        sim.advance_explore_into(&sim.modes().clone(), &mut outcome)?;
         records.push(ExploreRecord {
             start,
             budget,
@@ -236,7 +237,7 @@ impl GlobalManager {
                 };
                 policy.decide(&ctx)
             };
-            outcome = sim.advance_explore(&modes)?;
+            sim.advance_explore_into(&modes, &mut outcome)?;
             records.push(ExploreRecord {
                 start,
                 budget,

@@ -61,9 +61,9 @@ mod tests {
         let cases = [
             (45.0, PowerMode::Turbo),
             (40.0, PowerMode::Turbo),
-            (36.0, PowerMode::Eff1),  // Eff1 = 34.3 W
-            (30.0, PowerMode::Eff2),  // Eff2 = 24.6 W
-            (10.0, PowerMode::Eff2),  // infeasible → floor
+            (36.0, PowerMode::Eff1), // Eff1 = 34.3 W
+            (30.0, PowerMode::Eff2), // Eff2 = 24.6 W
+            (10.0, PowerMode::Eff2), // infeasible → floor
         ];
         for (budget, expected) in cases {
             let combo = ChipWide::new().decide(&f.ctx(budget));

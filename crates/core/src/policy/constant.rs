@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn name_includes_assignment() {
-        let p = Constant::new(ModeCombination::new(vec![PowerMode::Eff2, PowerMode::Turbo]));
+        let p = Constant::new(ModeCombination::new(vec![
+            PowerMode::Eff2,
+            PowerMode::Turbo,
+        ]));
         assert_eq!(p.name(), "Static[Eff2, Turbo]");
         assert_eq!(p.modes().len(), 2);
     }

@@ -74,7 +74,8 @@ impl Policy for MinPower {
             if power > ctx.budget {
                 continue;
             }
-            let bips = m.chip_bips_with_transition(ctx.current_modes, &combo, ctx.dvfs, ctx.explore);
+            let bips =
+                m.chip_bips_with_transition(ctx.current_modes, &combo, ctx.dvfs, ctx.explore);
             if fastest_feasible
                 .as_ref()
                 .is_none_or(|(b, _)| bips.value() > *b)
@@ -91,11 +92,10 @@ impl Policy for MinPower {
         // If no combination meets the target (e.g. right after a deep mode
         // switch whose transition de-rating eats the slack), deliver as
         // much performance as the budget allows.
-        best.or(fastest_feasible)
-            .map_or_else(
-                || ModeCombination::uniform(cores, PowerMode::Eff2),
-                |(_, combo)| combo,
-            )
+        best.or(fastest_feasible).map_or_else(
+            || ModeCombination::uniform(cores, PowerMode::Eff2),
+            |(_, combo)| combo,
+        )
     }
 }
 
@@ -110,7 +110,10 @@ mod tests {
         let f = Fixture::new(&[(20.0, 2.0), (12.0, 0.5)]);
         // Eff2 costs 15% of each core's BIPS → chip keeps 85% ≥ 80% target.
         let combo = MinPower::new(0.80).decide(&f.ctx(100.0));
-        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Eff2), "{combo}");
+        assert!(
+            combo.as_slice().iter().all(|&m| m == PowerMode::Eff2),
+            "{combo}"
+        );
     }
 
     #[test]
@@ -119,7 +122,10 @@ mod tests {
         // 99.9% target cannot be met by any demotion (and the all-Turbo
         // self-transition costs nothing).
         let combo = MinPower::new(0.999).decide(&f.ctx(100.0));
-        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Turbo), "{combo}");
+        assert!(
+            combo.as_slice().iter().all(|&m| m == PowerMode::Turbo),
+            "{combo}"
+        );
     }
 
     #[test]

@@ -46,7 +46,13 @@ impl Policy for Oracle {
         let matrices = ctx
             .future
             .expect("the manager supplies future matrices when needs_future() is true");
-        best_under_budget(matrices, ctx.current_modes, ctx.budget, ctx.dvfs, ctx.explore)
+        best_under_budget(
+            matrices,
+            ctx.current_modes,
+            ctx.budget,
+            ctx.dvfs,
+            ctx.explore,
+        )
     }
 }
 

@@ -49,7 +49,11 @@ impl Priority {
         let mut seen = order.clone();
         seen.sort_unstable();
         seen.dedup();
-        assert_eq!(seen.len(), order.len(), "priority order contains duplicates");
+        assert_eq!(
+            seen.len(),
+            order.len(),
+            "priority order contains duplicates"
+        );
         Self { order }
     }
 

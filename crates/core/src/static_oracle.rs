@@ -143,21 +143,40 @@ pub fn best(
     budget: Watts,
     criterion: BudgetCriterion,
 ) -> Result<Option<StaticAssignment>> {
-    let mut best: Option<StaticAssignment> = None;
-    for modes in ModeCombination::enumerate(traces.len()) {
-        let candidate = evaluate(traces, &modes)?;
-        let power = match criterion {
-            BudgetCriterion::AveragePower => candidate.average_power,
-            BudgetCriterion::PeakPower => candidate.peak_power,
-        };
-        if power > budget {
-            continue;
+    // The 3^N assignments are evaluated in enumeration-order chunks across
+    // the worker pool; each chunk keeps its first strict maximum, and the
+    // ordered merge below then selects the same assignment the serial scan
+    // would (ties resolve to the earliest-enumerated candidate).
+    let combos: Vec<ModeCombination> = ModeCombination::enumerate(traces.len()).collect();
+    let chunk_size = combos
+        .len()
+        .div_ceil(gpm_par::max_threads().saturating_mul(4))
+        .max(1);
+    let chunks: Vec<&[ModeCombination]> = combos.chunks(chunk_size).collect();
+    let local_bests = gpm_par::try_parallel_map(&chunks, |chunk| {
+        let mut best: Option<StaticAssignment> = None;
+        for modes in *chunk {
+            let candidate = evaluate(traces, modes)?;
+            let power = match criterion {
+                BudgetCriterion::AveragePower => candidate.average_power,
+                BudgetCriterion::PeakPower => candidate.peak_power,
+            };
+            if power > budget {
+                continue;
+            }
+            if best
+                .as_ref()
+                .is_none_or(|b| candidate.chip_bips > b.chip_bips)
+            {
+                best = Some(candidate);
+            }
         }
-        if best
-            .as_ref()
-            .is_none_or(|b| candidate.chip_bips > b.chip_bips)
-        {
-            best = Some(candidate);
+        Ok(best)
+    })?;
+    let mut best: Option<StaticAssignment> = None;
+    for local in local_bests.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| local.chip_bips > b.chip_bips) {
+            best = Some(local);
         }
     }
     Ok(best)
@@ -290,9 +309,11 @@ mod tests {
     #[test]
     fn nothing_fits_returns_none_and_floor_works() {
         let traces = pair();
-        assert!(best(&traces, Watts::new(5.0), BudgetCriterion::AveragePower)
-            .unwrap()
-            .is_none());
+        assert!(
+            best(&traces, Watts::new(5.0), BudgetCriterion::AveragePower)
+                .unwrap()
+                .is_none()
+        );
         let floor = best_or_floor(&traces, Watts::new(5.0), BudgetCriterion::AveragePower).unwrap();
         assert!(floor.modes.as_slice().iter().all(|&m| m == PowerMode::Eff2));
     }
@@ -354,7 +375,10 @@ mod tests {
         let deg = a.degradation_vs(&base);
         assert!((0.0..0.2).contains(&deg), "degradation {deg}");
         let ws = a.weighted_slowdown_vs(&base);
-        assert!(ws >= deg - 1e-9, "weighted slowdown at least as harsh: {ws} vs {deg}");
+        assert!(
+            ws >= deg - 1e-9,
+            "weighted slowdown at least as harsh: {ws} vs {deg}"
+        );
     }
 
     #[test]

@@ -57,7 +57,13 @@ fn misbehaving_policy_is_surfaced_as_error() {
             &BudgetSchedule::constant(0.8),
         )
         .unwrap_err();
-    assert!(matches!(err, GpmError::CoreCountMismatch { expected: 2, actual: 7 }));
+    assert!(matches!(
+        err,
+        GpmError::CoreCountMismatch {
+            expected: 2,
+            actual: 7
+        }
+    ));
 }
 
 #[test]
@@ -95,7 +101,10 @@ fn run_terminates_exactly_at_first_completion() {
         )
         .unwrap();
     let total_time: f64 = run.records.iter().map(|r| r.duration.value()).sum();
-    assert!((total_time - 1000.0).abs() < 50.0 + 1e-9, "run length {total_time}");
+    assert!(
+        (total_time - 1000.0).abs() < 50.0 + 1e-9,
+        "run length {total_time}"
+    );
     assert_eq!(run.per_core_instructions.len(), 2);
 }
 

@@ -2,11 +2,11 @@
 //! strategy (exhaustive vs greedy), sensor noise, and explore-interval
 //! length.
 
+use gpm_cmp::{SensorModel, SimParams, TraceCmpSim, TransitionBehavior};
 use gpm_core::{
     sweep_policy, turbo_baseline, BudgetSchedule, GlobalManager, MaxBips, MinPower, PolicyCurve,
     RunResult, ThermalGuard,
 };
-use gpm_cmp::{SensorModel, SimParams, TraceCmpSim, TransitionBehavior};
 use gpm_power::{ThermalModel, ThermalParams};
 use gpm_types::{Micros, Result, Watts};
 use gpm_workloads::{combos, WorkloadCombo};
@@ -637,12 +637,14 @@ impl TransitionAblation {
 pub fn transition_overlap(ctx: &ExperimentContext) -> Result<TransitionAblation> {
     let combo = combos::ammp_mcf_crafty_art();
     let traces = ctx.traces(&combo)?;
-    let mut points = Vec::new();
-    for &budget in ctx.budgets() {
+    let points = gpm_par::try_parallel_map(ctx.budgets(), |&budget| {
         let mut degradations = [0.0f64; 2];
-        for (slot, behaviour) in [TransitionBehavior::StallChip, TransitionBehavior::Overlapped]
-            .into_iter()
-            .enumerate()
+        for (slot, behaviour) in [
+            TransitionBehavior::StallChip,
+            TransitionBehavior::Overlapped,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let params = SimParams {
                 transition: behaviour,
@@ -657,12 +659,12 @@ pub fn transition_overlap(ctx: &ExperimentContext) -> Result<TransitionAblation>
             )?;
             degradations[slot] = gpm_core::throughput_degradation(&run, &baseline);
         }
-        points.push(TransitionPoint {
+        Ok::<_, gpm_types::GpmError>(TransitionPoint {
             budget,
             stall_chip: degradations[0],
             overlapped: degradations[1],
-        });
-    }
+        })
+    })?;
     Ok(TransitionAblation { points })
 }
 
@@ -739,20 +741,25 @@ pub fn prefetch(measure_cycles: u64) -> PrefetchAblation {
         (stats.ipc(), stats.l2_mpki(), ips)
     };
 
-    let points = [SpecBenchmark::Art, SpecBenchmark::Mcf, SpecBenchmark::Gcc, SpecBenchmark::Sixtrack]
-        .into_iter()
-        .map(|bench| {
-            let (ipc_off, mpki_off, ips_off_t) = run(bench, 0, 1.0);
-            let (ipc_on, mpki_on, ips_on_t) = run(bench, 8, 1.0);
-            let (_, _, ips_off_e2) = run(bench, 0, 0.85);
-            let (_, _, ips_on_e2) = run(bench, 8, 0.85);
-            PrefetchPoint {
-                benchmark: bench.name().to_owned(),
-                mpki: (mpki_off, mpki_on),
-                ipc: (ipc_off, ipc_on),
-                eff2_slowdown: (1.0 - ips_off_e2 / ips_off_t, 1.0 - ips_on_e2 / ips_on_t),
-            }
-        })
-        .collect();
+    let points = [
+        SpecBenchmark::Art,
+        SpecBenchmark::Mcf,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Sixtrack,
+    ]
+    .into_iter()
+    .map(|bench| {
+        let (ipc_off, mpki_off, ips_off_t) = run(bench, 0, 1.0);
+        let (ipc_on, mpki_on, ips_on_t) = run(bench, 8, 1.0);
+        let (_, _, ips_off_e2) = run(bench, 0, 0.85);
+        let (_, _, ips_on_e2) = run(bench, 8, 0.85);
+        PrefetchPoint {
+            benchmark: bench.name().to_owned(),
+            mpki: (mpki_off, mpki_on),
+            ipc: (ipc_off, ipc_on),
+            eff2_slowdown: (1.0 - ips_off_e2 / ips_off_t, 1.0 - ips_on_e2 / ips_on_t),
+        }
+    })
+    .collect();
     PrefetchAblation { points }
 }

@@ -4,8 +4,8 @@ use std::sync::{Arc, OnceLock};
 
 use gpm_cmp::SimParams;
 use gpm_core::{
-    static_oracle, sweep_policy, turbo_baseline, ChipWide, CurvePoint, GreedyMaxBips, MaxBips,
-    Oracle, Policy, PolicyCurve, Priority, PullHiPushLo, DEFAULT_BUDGETS,
+    evaluate_policy_point, static_oracle, turbo_baseline, ChipWide, CurvePoint, GreedyMaxBips,
+    MaxBips, Oracle, Policy, PolicyCurve, Priority, PullHiPushLo, DEFAULT_BUDGETS,
 };
 use gpm_trace::{BenchmarkTraces, CaptureConfig, TraceStore};
 use gpm_types::{Result, Watts};
@@ -94,6 +94,14 @@ impl ExperimentContext {
     pub fn traces(&self, combo: &WorkloadCombo) -> Result<Vec<Arc<BenchmarkTraces>>> {
         self.store.combo(combo)
     }
+
+    /// The worker-pool width experiment runs launched from this context
+    /// will use. The pool is process-wide (see [`gpm_par::max_threads`]);
+    /// this accessor just surfaces it where experiments are configured.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        gpm_par::max_threads()
+    }
 }
 
 /// The dynamic policies experiments can sweep.
@@ -172,16 +180,25 @@ pub fn suite_curves(
 ) -> Result<SuiteCurves> {
     let traces = ctx.traces(combo)?;
     let baseline = turbo_baseline(&traces, ctx.params())?;
-    let mut dynamic = Vec::with_capacity(policies.len());
-    for &kind in policies {
-        dynamic.push(sweep_policy(
-            &traces,
-            ctx.params(),
-            ctx.budgets(),
-            &baseline,
-            &|| kind.make(),
-        )?);
-    }
+    // The whole policy × budget grid is one flat parallel region, so a
+    // short budget list still keeps every worker busy. Cells land in grid
+    // order and are regrouped into per-policy curves below.
+    let cells: Vec<(PolicyKind, f64)> = policies
+        .iter()
+        .flat_map(|&kind| ctx.budgets().iter().map(move |&b| (kind, b)))
+        .collect();
+    let points = gpm_par::try_parallel_map(&cells, |&(kind, budget)| {
+        evaluate_policy_point(&traces, ctx.params(), budget, &baseline, &|| kind.make())
+    })?;
+    let per_policy = ctx.budgets().len();
+    let dynamic = policies
+        .iter()
+        .enumerate()
+        .map(|(i, &kind)| PolicyCurve {
+            policy: kind.name().to_owned(),
+            points: points[i * per_policy..(i + 1) * per_policy].to_vec(),
+        })
+        .collect();
     let static_curve = if include_static {
         Some(static_curve(ctx, combo)?)
     } else {
@@ -210,22 +227,20 @@ pub fn static_curve(ctx: &ExperimentContext, combo: &WorkloadCombo) -> Result<Po
         .iter()
         .map(|t| t.trace(gpm_types::PowerMode::Turbo).peak_power())
         .sum();
-    let mut points = Vec::with_capacity(ctx.budgets().len());
-    for &budget in ctx.budgets() {
+    let points = gpm_par::try_parallel_map(ctx.budgets(), |&budget| {
         let assignment = static_oracle::best_or_floor(
             &traces,
             envelope * budget,
             static_oracle::BudgetCriterion::PeakPower,
         )?;
-        points.push(CurvePoint {
+        Ok::<_, gpm_types::GpmError>(CurvePoint {
             budget,
             perf_degradation: assignment.degradation_vs(&baseline),
             weighted_slowdown: assignment.weighted_slowdown_vs(&baseline),
             budget_utilization: assignment.average_power.value() / (envelope.value() * budget),
-            power_saving: 1.0
-                - assignment.average_power.value() / baseline.average_power.value(),
-        });
-    }
+            power_saving: 1.0 - assignment.average_power.value() / baseline.average_power.value(),
+        })
+    })?;
     Ok(PolicyCurve {
         policy: "Static".to_owned(),
         points,

@@ -126,7 +126,10 @@ mod tests {
             .zip(&maxbips.points)
             .map(|(c, m)| c.perf_degradation - m.perf_degradation)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(worst_gap > 0.01, "chip-wide should pay ≥1% extra somewhere, gap {worst_gap}");
+        assert!(
+            worst_gap > 0.01,
+            "chip-wide should pay ≥1% extra somewhere, gap {worst_gap}"
+        );
 
         // (b) Every policy meets the budget on average; per-core policies
         // track it tighter than chip-wide at the worst point.

@@ -2,8 +2,8 @@
 //! the power budget drops from 90% to 70% mid-run (a cooling failure or
 //! ambient change).
 
-use gpm_core::{BudgetSchedule, GlobalManager, MaxBips, RunResult};
 use gpm_cmp::TraceCmpSim;
+use gpm_core::{BudgetSchedule, GlobalManager, MaxBips, RunResult};
 use gpm_types::{Micros, PowerMode, Result};
 use gpm_workloads::combos;
 
@@ -56,16 +56,12 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig6> {
                 .unwrap_or_else(|| t.trace(PowerMode::Turbo).duration())
         })
         .fold(Micros::new(f64::INFINITY), Micros::min);
-    let drop_at = Micros::new(
-        (expected_end.value() * DROP_FRACTION / 500.0).floor() * 500.0,
-    );
+    let drop_at = Micros::new((expected_end.value() * DROP_FRACTION / 500.0).floor() * 500.0);
 
     let sim = TraceCmpSim::new(traces, ctx.params().clone())?;
     let envelope = sim.power_envelope().value();
-    let schedule = BudgetSchedule::steps(vec![
-        (Micros::ZERO, BUDGET_BEFORE),
-        (drop_at, BUDGET_AFTER),
-    ]);
+    let schedule =
+        BudgetSchedule::steps(vec![(Micros::ZERO, BUDGET_BEFORE), (drop_at, BUDGET_AFTER)]);
     let run = GlobalManager::new().run(sim, &mut MaxBips::new(), &schedule)?;
 
     let turbo_bips = baseline.average_chip_bips().value();
@@ -96,10 +92,7 @@ impl Fig6 {
     /// Total chip power fraction per delta step.
     #[must_use]
     pub fn chip_power_fraction(&self) -> Vec<f64> {
-        let steps = self
-            .per_core_power_fraction
-            .first()
-            .map_or(0, Vec::len);
+        let steps = self.per_core_power_fraction.first().map_or(0, Vec::len);
         (0..steps)
             .map(|k| self.per_core_power_fraction.iter().map(|c| c[k]).sum())
             .collect()

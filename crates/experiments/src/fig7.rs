@@ -25,7 +25,11 @@ pub fn run(ctx: &ExperimentContext) -> Result<Fig7> {
         curves: suite_curves(
             ctx,
             &combos::ammp_mcf_crafty_art(),
-            &[PolicyKind::ChipWide, PolicyKind::MaxBips, PolicyKind::Oracle],
+            &[
+                PolicyKind::ChipWide,
+                PolicyKind::MaxBips,
+                PolicyKind::Oracle,
+            ],
             true,
         )?,
     })

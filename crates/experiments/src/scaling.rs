@@ -23,11 +23,17 @@ pub struct ScalingFigure {
     pub panels: Vec<SuiteCurves>,
 }
 
-fn figure(ctx: &ExperimentContext, title: &str, suite: Vec<WorkloadCombo>) -> Result<ScalingFigure> {
-    let mut panels = Vec::with_capacity(suite.len());
-    for combo in &suite {
-        panels.push(suite_curves(ctx, combo, &POLICIES, true)?);
-    }
+fn figure(
+    ctx: &ExperimentContext,
+    title: &str,
+    suite: Vec<WorkloadCombo>,
+) -> Result<ScalingFigure> {
+    // Combos fan out across the pool; the per-combo sweeps inside
+    // `suite_curves` then run inline on their worker (nested regions are
+    // serialised), and the store's single-flight cache dedups any
+    // benchmark shared between concurrently-captured combos.
+    let panels =
+        gpm_par::try_parallel_map(&suite, |combo| suite_curves(ctx, combo, &POLICIES, true))?;
     Ok(ScalingFigure {
         title: title.to_owned(),
         panels,
@@ -186,9 +192,7 @@ impl Fig11 {
     /// Paper-style text rendering.
     #[must_use]
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Figure 11: mean perf degradation over oracle vs CMP scale\n",
-        );
+        let mut out = String::from("Figure 11: mean perf degradation over oracle vs CMP scale\n");
         out.push_str(&format!(
             "{:<8}{:>10}{:>10}{:>14}\n",
             "cores", "MaxBIPS", "Static", "ChipWideDVFS"
@@ -238,8 +242,14 @@ mod tests {
 
         // MaxBIPS approaches the oracle as cores increase; chip-wide gets
         // relatively worse (both with small tolerances for noise).
-        assert!(mb4 <= mb2 + 0.004, "MaxBIPS gap should shrink: {mb2} -> {mb4}");
-        assert!(cw4 >= cw2 - 0.004, "chip-wide gap should grow: {cw2} -> {cw4}");
+        assert!(
+            mb4 <= mb2 + 0.004,
+            "MaxBIPS gap should shrink: {mb2} -> {mb4}"
+        );
+        assert!(
+            cw4 >= cw2 - 0.004,
+            "chip-wide gap should grow: {cw2} -> {cw4}"
+        );
         // And at each scale the ordering MaxBIPS < chip-wide holds.
         assert!(mb2 <= cw2 + 0.002);
         assert!(mb4 <= cw4 + 0.002);

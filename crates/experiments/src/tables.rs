@@ -33,7 +33,10 @@ impl Table3 {
         for &(mode, power, perf) in &self.rows {
             t.row([mode.to_string(), pct(power), pct(perf)]);
         }
-        format!("Table 3: target ΔPower:ΔPerf per mode (3X:1X)\n{}", t.render())
+        format!(
+            "Table 3: target ΔPower:ΔPerf per mode (3X:1X)\n{}",
+            t.render()
+        )
     }
 }
 
@@ -110,7 +113,10 @@ impl Table5 {
                 format!("{:.1}", time.value()),
             ]);
         }
-        format!("Table 5: DVFS transition overheads (10 mV/µs slew)\n{}", t.render())
+        format!(
+            "Table 5: DVFS transition overheads (10 mV/µs slew)\n{}",
+            t.render()
+        )
     }
 }
 

@@ -8,8 +8,8 @@
 //! * [`prediction_error`] — Section 5.5: accuracy of the predictive
 //!   Power/BIPS matrices (paper: 0.1–0.3% power error, 2–4% BIPS error).
 
-use gpm_core::MaxBips;
 use gpm_cmp::{FullCmpSim, TraceCmpSim};
+use gpm_core::MaxBips;
 use gpm_types::{Micros, ModeCombination, PowerMode, Result};
 use gpm_workloads::{combos, WorkloadCombo};
 
@@ -296,7 +296,11 @@ mod tests {
     fn matrix_predictions_are_accurate() {
         let ctx = ExperimentContext::fast();
         let err = prediction_error(&ctx, &combos::ammp_mcf_crafty_art(), 0.8).unwrap();
-        assert!(err.samples >= 12, "need enough samples, got {}", err.samples);
+        assert!(
+            err.samples >= 12,
+            "need enough samples, got {}",
+            err.samples
+        );
         // Power predictions are very tight (cubic scaling is exact up to
         // activity drift); BIPS sees phase-change noise.
         assert!(

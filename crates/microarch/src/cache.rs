@@ -47,7 +47,10 @@ impl CacheConfig {
             return Err("size, ways and block size must be non-zero".into());
         }
         if !self.block_bytes.is_power_of_two() {
-            return Err(format!("block size {} is not a power of two", self.block_bytes));
+            return Err(format!(
+                "block size {} is not a power of two",
+                self.block_bytes
+            ));
         }
         if !self.size_bytes.is_multiple_of(self.ways * self.block_bytes) {
             return Err("size must be divisible by ways × block".into());
@@ -331,7 +334,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(misses, 3 * 64, "LRU with a circular sweep evicts everything");
+        assert_eq!(
+            misses,
+            3 * 64,
+            "LRU with a circular sweep evicts everything"
+        );
     }
 
     #[test]

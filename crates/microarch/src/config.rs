@@ -187,7 +187,10 @@ mod tests {
         let c = CoreConfig::power4();
         assert_eq!(c.dispatch_width, 5);
         assert_eq!(c.rob_size, 256);
-        assert_eq!((c.lsu_count, c.fxu_count, c.fpu_count, c.bru_count), (2, 2, 2, 1));
+        assert_eq!(
+            (c.lsu_count, c.fxu_count, c.fpu_count, c.bru_count),
+            (2, 2, 2, 1)
+        );
         assert_eq!(c.l1d.size_bytes, 32 * 1024);
         assert_eq!(c.l1i.size_bytes, 64 * 1024);
         assert_eq!(c.l2.size_bytes, 2 * 1024 * 1024);
@@ -195,7 +198,11 @@ mod tests {
         assert_eq!(c.l1d.block_bytes, 128);
         // 9 / 77 cycles at the 1 GHz nominal clock.
         assert_eq!(c.nominal_frequency.cycles_for_ns(c.memory.l2_latency_ns), 9);
-        assert_eq!(c.nominal_frequency.cycles_for_ns(c.memory.memory_latency_ns), 77);
+        assert_eq!(
+            c.nominal_frequency
+                .cycles_for_ns(c.memory.memory_latency_ns),
+            77
+        );
         c.validate().unwrap();
     }
 
@@ -210,7 +217,10 @@ mod tests {
         c.dispatch_width = 0;
         assert!(matches!(
             c.validate(),
-            Err(GpmError::InvalidConfig { parameter: "dispatch_width", .. })
+            Err(GpmError::InvalidConfig {
+                parameter: "dispatch_width",
+                ..
+            })
         ));
     }
 
@@ -234,7 +244,10 @@ mod tests {
         c.l1d.ways = 0;
         assert!(matches!(
             c.validate(),
-            Err(GpmError::InvalidConfig { parameter: "l1d", .. })
+            Err(GpmError::InvalidConfig {
+                parameter: "l1d",
+                ..
+            })
         ));
     }
 }

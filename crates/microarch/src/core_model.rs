@@ -5,8 +5,8 @@
 use gpm_types::Hertz;
 
 use crate::{
-    AccessOutcome, BranchPredictor, CoreConfig, InstructionSource, IntervalStats, MicroOp,
-    OpKind, SetAssocCache, StreamPrefetcher,
+    AccessOutcome, BranchPredictor, CoreConfig, InstructionSource, IntervalStats, MicroOp, OpKind,
+    SetAssocCache, StreamPrefetcher,
 };
 
 /// The level of the hierarchy *below* the core's private L1s.
@@ -255,12 +255,7 @@ impl CoreModel {
     }
 
     /// Advances the scoreboard by one micro-op.
-    fn step(
-        &mut self,
-        op: MicroOp,
-        memory: &mut dyn MemorySubsystem,
-        stats: &mut IntervalStats,
-    ) {
+    fn step(&mut self, op: MicroOp, memory: &mut dyn MemorySubsystem, stats: &mut IntervalStats) {
         // --- Instruction fetch: one L1I access per new code block. ---
         let fetch_block = op.code_addr >> self.l1i_block_shift;
         if fetch_block != self.last_fetch_block {
@@ -560,7 +555,10 @@ mod tests {
                 fn next_op(&mut self) -> MicroOp {
                     self.i += 1;
                     if self.memory_bound {
-                        self.addr = (self.addr.wrapping_mul(2862933555777941757).wrapping_add(3037000493))
+                        self.addr = (self
+                            .addr
+                            .wrapping_mul(2862933555777941757)
+                            .wrapping_add(3037000493))
                             % (32 * 1024 * 1024);
                         MicroOp::load(self.addr, Some(1))
                     } else {
@@ -767,6 +765,10 @@ mod tests {
         }
         let mut core = core_at(1.0);
         let stats = core.run_cycles(&mut Stores { i: 0 }, 100_000);
-        assert!(stats.ipc() > 1.5, "stores should not serialise: {}", stats.ipc());
+        assert!(
+            stats.ipc() > 1.5,
+            "stores should not serialise: {}",
+            stats.ipc()
+        );
     }
 }

@@ -169,7 +169,10 @@ mod tests {
         assert!((t(PowerMode::Eff1, PowerMode::Eff2) - 13.0).abs() < 1e-9);
         assert!((t(PowerMode::Turbo, PowerMode::Eff2) - 19.5).abs() < 1e-9);
         // Symmetric and zero diagonal.
-        assert_eq!(t(PowerMode::Eff1, PowerMode::Turbo), t(PowerMode::Turbo, PowerMode::Eff1));
+        assert_eq!(
+            t(PowerMode::Eff1, PowerMode::Turbo),
+            t(PowerMode::Turbo, PowerMode::Eff1)
+        );
         assert_eq!(t(PowerMode::Turbo, PowerMode::Turbo), 0.0);
     }
 

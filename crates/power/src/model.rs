@@ -217,7 +217,9 @@ mod tests {
     #[test]
     fn idle_floor_is_clock_plus_leakage() {
         let m = PowerModel::power4_calibrated();
-        let idle = m.power(&ActivityFactors::default(), PowerMode::Turbo).value();
+        let idle = m
+            .power(&ActivityFactors::default(), PowerMode::Turbo)
+            .value();
         let expected = 8.0 * 0.70 + 4.0;
         assert!((idle - expected).abs() < 1e-9);
     }
@@ -250,7 +252,10 @@ mod tests {
 
     #[test]
     fn default_is_calibrated() {
-        assert_eq!(PowerModel::default().params(), &PowerParams::power4_calibrated());
+        assert_eq!(
+            PowerModel::default().params(),
+            &PowerParams::power4_calibrated()
+        );
     }
 
     #[test]

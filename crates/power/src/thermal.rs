@@ -108,7 +108,10 @@ impl ThermalModel {
     /// The hottest core's temperature, °C.
     #[must_use]
     pub fn hottest(&self) -> f64 {
-        self.temps_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.temps_c
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Steady-state temperature a core would reach at `power`.
@@ -173,7 +176,10 @@ mod tests {
     #[test]
     fn per_core_independence() {
         let mut t = model(2);
-        t.step(&[Watts::new(22.0), Watts::new(8.0)], Micros::from_millis(50.0));
+        t.step(
+            &[Watts::new(22.0), Watts::new(8.0)],
+            Micros::from_millis(50.0),
+        );
         assert!(t.temperatures()[0] > t.temperatures()[1] + 15.0);
         assert_eq!(t.hottest(), t.temperatures()[0]);
     }

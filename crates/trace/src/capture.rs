@@ -103,7 +103,13 @@ pub fn capture_benchmark(bench: SpecBenchmark, config: &CaptureConfig) -> Result
     let turbo_time_cap = config
         .duration_limit
         .map(|d| d * (1.0 + config.margin) + config.delta);
-    let turbo = capture_mode(bench, PowerMode::Turbo, margin_of(region), turbo_time_cap, config);
+    let turbo = capture_mode(
+        bench,
+        PowerMode::Turbo,
+        margin_of(region),
+        turbo_time_cap,
+        config,
+    );
     if let Some(limit) = config.duration_limit {
         region = region.min(turbo.instructions_by(limit));
     }
@@ -213,7 +219,10 @@ mod tests {
         assert!(p_eff1 > p_eff2);
         // Cubic scaling (within activity drift).
         let ratio = p_eff2 / p_turbo;
-        assert!((ratio - 0.614).abs() < 0.02, "Eff2/Turbo power ratio {ratio}");
+        assert!(
+            (ratio - 0.614).abs() < 0.02,
+            "Eff2/Turbo power ratio {ratio}"
+        );
     }
 
     #[test]

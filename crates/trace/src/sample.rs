@@ -156,8 +156,7 @@ impl ModeTrace {
     /// Mean power over the window `[0, t)`; clamps to the trace end.
     #[must_use]
     pub fn average_power_until(&self, t: Micros) -> Watts {
-        let count = ((t.value() / self.delta.value()).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let count = ((t.value() / self.delta.value()).ceil() as usize).clamp(1, self.samples.len());
         let sum: f64 = self.samples[..count].iter().map(|s| s.power_w).sum();
         Watts::new(sum / count as f64)
     }
@@ -165,8 +164,7 @@ impl ModeTrace {
     /// Peak sample power over the window `[0, t)`; clamps to the trace end.
     #[must_use]
     pub fn peak_power_until(&self, t: Micros) -> Watts {
-        let count = ((t.value() / self.delta.value()).ceil() as usize)
-            .clamp(1, self.samples.len());
+        let count = ((t.value() / self.delta.value()).ceil() as usize).clamp(1, self.samples.len());
         Watts::new(
             self.samples[..count]
                 .iter()

@@ -4,7 +4,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use gpm_types::{GpmError, Result};
 use gpm_workloads::{SpecBenchmark, WorkloadCombo};
@@ -15,12 +16,19 @@ use crate::{capture_benchmark, BenchmarkTraces, CaptureConfig};
 /// invalidates all disk-cached captures.
 const CACHE_FORMAT_VERSION: u32 = 2;
 
+/// One single-flight cache entry: the first thread to claim the slot runs
+/// the capture inside `OnceLock::get_or_init` while every other thread for
+/// the same benchmark blocks on the lock and then shares the result.
+type CacheSlot = Arc<OnceLock<Result<Arc<BenchmarkTraces>>>>;
+
 /// A memoising facade over [`capture_benchmark`].
 ///
 /// Captures are expensive (tens of millions of simulated instructions per
 /// benchmark and mode); every experiment shares them. The store is cheap to
 /// clone-by-reference via [`Arc`] values and is safe to use from multiple
-/// threads.
+/// threads: concurrent cold [`TraceStore::get`] calls for the same benchmark
+/// are single-flighted, so each benchmark is captured exactly once no matter
+/// how many threads race for it.
 ///
 /// # Examples
 ///
@@ -36,8 +44,12 @@ const CACHE_FORMAT_VERSION: u32 = 2;
 #[derive(Debug)]
 pub struct TraceStore {
     config: CaptureConfig,
-    cache: Mutex<HashMap<SpecBenchmark, Arc<BenchmarkTraces>>>,
+    cache: Mutex<HashMap<SpecBenchmark, CacheSlot>>,
     disk_dir: Option<PathBuf>,
+    /// Number of `capture_benchmark` runs (disk-cache loads excluded);
+    /// observable via [`TraceStore::captures_performed`] so tests can assert
+    /// the single-flight guarantee.
+    captures: AtomicUsize,
 }
 
 impl TraceStore {
@@ -48,6 +60,7 @@ impl TraceStore {
             config,
             cache: Mutex::new(HashMap::new()),
             disk_dir: None,
+            captures: AtomicUsize::new(0),
         }
     }
 
@@ -60,6 +73,7 @@ impl TraceStore {
             config,
             cache: Mutex::new(HashMap::new()),
             disk_dir: Some(dir.into()),
+            captures: AtomicUsize::new(0),
         }
     }
 
@@ -69,44 +83,82 @@ impl TraceStore {
         &self.config
     }
 
+    /// How many actual captures this store has run (cache hits and
+    /// disk-cache loads excluded). Tests use this to assert that concurrent
+    /// cold `get`s single-flight each benchmark.
+    #[must_use]
+    pub fn captures_performed(&self) -> usize {
+        self.captures.load(Ordering::SeqCst)
+    }
+
     /// Returns the traces of `bench`, capturing them on first use.
+    ///
+    /// Concurrent calls for the same cold benchmark are single-flighted:
+    /// one caller captures while the rest block and share the result, so
+    /// the multi-second capture never runs twice.
     ///
     /// # Errors
     ///
     /// Propagates capture errors; disk-cache I/O problems fall back to
-    /// recapture and only error if the capture itself fails.
+    /// recapture and only error if the capture itself fails. A failed
+    /// capture is cached: later calls return the same error without
+    /// re-running the capture (clear with [`TraceStore::clear`]).
     pub fn get(&self, bench: SpecBenchmark) -> Result<Arc<BenchmarkTraces>> {
-        if let Some(hit) = self.cache.lock().expect("store poisoned").get(&bench) {
-            return Ok(Arc::clone(hit));
-        }
-        let traces = match self.load_from_disk(bench) {
-            Some(t) => Arc::new(t),
-            None => {
-                let t = Arc::new(capture_benchmark(bench, &self.config)?);
-                self.save_to_disk(bench, &t);
-                t
-            }
+        let slot = {
+            let mut cache = self.cache.lock().expect("store poisoned");
+            Arc::clone(cache.entry(bench).or_default())
         };
-        self.cache
-            .lock()
-            .expect("store poisoned")
-            .insert(bench, Arc::clone(&traces));
-        Ok(traces)
+        slot.get_or_init(|| self.load_or_capture(bench))
+            .as_ref()
+            .map(Arc::clone)
+            .map_err(Clone::clone)
     }
 
     /// Returns the per-core traces of a combo (duplicates share the same
-    /// underlying capture).
+    /// underlying capture). Distinct cold benchmarks are captured in
+    /// parallel across the worker pool (see `gpm_par`).
     ///
     /// # Errors
     ///
-    /// Propagates capture errors.
+    /// Propagates capture errors; with several failures, the error of the
+    /// first (combo-order) failing benchmark is returned, as in the serial
+    /// path.
     pub fn combo(&self, combo: &WorkloadCombo) -> Result<Vec<Arc<BenchmarkTraces>>> {
+        self.warm_up(combo.benchmarks())?;
         combo.benchmarks().iter().map(|&b| self.get(b)).collect()
+    }
+
+    /// Ensures every benchmark in `benches` is captured, fanning distinct
+    /// cold benchmarks out across the worker pool. Duplicates are captured
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates capture errors (first failing benchmark in input order).
+    pub fn warm_up(&self, benches: &[SpecBenchmark]) -> Result<()> {
+        let mut unique: Vec<SpecBenchmark> = Vec::new();
+        for &bench in benches {
+            if !unique.contains(&bench) {
+                unique.push(bench);
+            }
+        }
+        gpm_par::try_parallel_map(&unique, |&bench| self.get(bench).map(drop))?;
+        Ok(())
     }
 
     /// Drops all in-memory entries (disk cache untouched).
     pub fn clear(&self) {
         self.cache.lock().expect("store poisoned").clear();
+    }
+
+    fn load_or_capture(&self, bench: SpecBenchmark) -> Result<Arc<BenchmarkTraces>> {
+        if let Some(traces) = self.load_from_disk(bench) {
+            return Ok(Arc::new(traces));
+        }
+        self.captures.fetch_add(1, Ordering::SeqCst);
+        let traces = Arc::new(capture_benchmark(bench, &self.config)?);
+        self.save_to_disk(bench, &traces);
+        Ok(traces)
     }
 
     fn fingerprint(&self, bench: SpecBenchmark) -> u64 {
@@ -135,6 +187,10 @@ impl TraceStore {
         serde_json::from_slice(&bytes).ok()
     }
 
+    /// Best-effort persistence: serialise to a uniquely named temp file in
+    /// the cache directory, then rename into place. The rename is atomic on
+    /// POSIX filesystems, so a concurrent reader never observes a torn JSON
+    /// file (which would silently cost it a full recapture).
     fn save_to_disk(&self, bench: SpecBenchmark, traces: &BenchmarkTraces) {
         let Some(path) = self.cache_path(bench) else {
             return;
@@ -144,8 +200,17 @@ impl TraceStore {
         if std::fs::create_dir_all(dir).is_err() {
             return;
         }
-        if let Ok(json) = serde_json::to_vec(traces) {
-            let _ = std::fs::write(path, json);
+        let Ok(json) = serde_json::to_vec(traces) else {
+            return;
+        };
+        static TMP_COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let tmp = path.with_extension(format!(
+            "tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
         }
     }
 }
@@ -191,6 +256,7 @@ mod tests {
         let a = s.get(SpecBenchmark::Gap).unwrap();
         let b = s.get(SpecBenchmark::Gap).unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second get must hit the cache");
+        assert_eq!(s.captures_performed(), 1);
     }
 
     #[test]
@@ -204,6 +270,19 @@ mod tests {
     }
 
     #[test]
+    fn combo_captures_duplicates_once() {
+        let s = store();
+        let traces = s.combo(&gpm_workloads::combos::mcf_mcf_art_art()).unwrap();
+        assert_eq!(traces.len(), 4);
+        assert!(Arc::ptr_eq(&traces[0], &traces[1]));
+        assert_eq!(
+            s.captures_performed(),
+            2,
+            "one capture per distinct benchmark"
+        );
+    }
+
+    #[test]
     fn clear_drops_memoisation() {
         let s = store();
         let a = s.get(SpecBenchmark::Gap).unwrap();
@@ -211,6 +290,44 @@ mod tests {
         let b = s.get(SpecBenchmark::Gap).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(*a, *b, "recapture is deterministic");
+    }
+
+    #[test]
+    fn concurrent_cold_gets_capture_once() {
+        // Regression test for the cold-miss race: the pre-single-flight
+        // store dropped its lock between lookup and insert, so N racing
+        // threads all ran the multi-second capture. Now exactly one does.
+        let s = store();
+        let results: Vec<Arc<BenchmarkTraces>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| s.get(SpecBenchmark::Gap).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(
+            s.captures_performed(),
+            1,
+            "concurrent cold gets must single-flight the capture"
+        );
+        for traces in &results[1..] {
+            assert!(
+                Arc::ptr_eq(&results[0], traces),
+                "all callers share one Arc"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_up_is_equivalent_to_gets() {
+        let s = store();
+        s.warm_up(&[SpecBenchmark::Art, SpecBenchmark::Mcf, SpecBenchmark::Art])
+            .unwrap();
+        assert_eq!(s.captures_performed(), 2);
+        let a = s.get(SpecBenchmark::Art).unwrap();
+        let b = TraceStore::new(CaptureConfig::fast(200_000))
+            .get(SpecBenchmark::Art)
+            .unwrap();
+        assert_eq!(*a, *b, "warmed-up capture matches a direct one");
     }
 
     #[test]
@@ -232,19 +349,25 @@ mod tests {
 
     #[test]
     fn disk_cache_roundtrip() {
-        let dir = std::env::temp_dir().join(format!(
-            "gpm-trace-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("gpm-trace-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
 
         let s1 = TraceStore::with_disk_cache(CaptureConfig::fast(150_000), &dir);
         let a = s1.get(SpecBenchmark::Vortex).unwrap();
 
+        // No stray temp files: the atomic save renamed its staging file.
+        let leftovers = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|ext| ext != "json"))
+            .count();
+        assert_eq!(leftovers, 0, "temp files must be renamed into place");
+
         // A fresh store with the same config must load from disk and agree.
         let s2 = TraceStore::with_disk_cache(CaptureConfig::fast(150_000), &dir);
         let b = s2.get(SpecBenchmark::Vortex).unwrap();
         assert_eq!(*a, *b);
+        assert_eq!(s2.captures_performed(), 0, "disk hit must not recapture");
 
         // A different config must NOT reuse the file.
         let s3 = TraceStore::with_disk_cache(CaptureConfig::fast(151_000), &dir);

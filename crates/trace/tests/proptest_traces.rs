@@ -8,23 +8,21 @@ use proptest::prelude::*;
 /// Strategy: a monotone trace with random per-delta instruction gains and
 /// powers.
 fn trace_strategy() -> impl Strategy<Value = ModeTrace> {
-    prop::collection::vec((1u64..200_000, 5.0f64..30.0, 0.01f64..4.0), 1..300).prop_map(
-        |steps| {
-            let mut cum = 0u64;
-            let samples = steps
-                .into_iter()
-                .map(|(gain, power_w, bips)| {
-                    cum += gain;
-                    TraceSample {
-                        instructions_end: cum,
-                        power_w,
-                        bips,
-                    }
-                })
-                .collect();
-            ModeTrace::new(PowerMode::Turbo, Micros::new(50.0), samples)
-        },
-    )
+    prop::collection::vec((1u64..200_000, 5.0f64..30.0, 0.01f64..4.0), 1..300).prop_map(|steps| {
+        let mut cum = 0u64;
+        let samples = steps
+            .into_iter()
+            .map(|(gain, power_w, bips)| {
+                cum += gain;
+                TraceSample {
+                    instructions_end: cum,
+                    power_w,
+                    bips,
+                }
+            })
+            .collect();
+        ModeTrace::new(PowerMode::Turbo, Micros::new(50.0), samples)
+    })
 }
 
 proptest! {

@@ -76,11 +76,17 @@ impl fmt::Display for GpmError {
                 )
             }
             GpmError::MissingTrace { benchmark, mode } => {
-                write!(f, "no trace captured for benchmark `{benchmark}` in mode {mode}")
+                write!(
+                    f,
+                    "no trace captured for benchmark `{benchmark}` in mode {mode}"
+                )
             }
             GpmError::TraceFormat(msg) => write!(f, "trace format error: {msg}"),
             GpmError::TraceExhausted { benchmark } => {
-                write!(f, "trace for benchmark `{benchmark}` exhausted before termination")
+                write!(
+                    f,
+                    "trace for benchmark `{benchmark}` exhausted before termination"
+                )
             }
         }
     }

@@ -88,10 +88,13 @@ impl<T> TimeSeries<T> {
     /// Iterates over timestamped samples; the timestamp is the *end* of each
     /// sampling interval.
     pub fn iter(&self) -> impl Iterator<Item = Sample<&T>> + '_ {
-        self.values.iter().enumerate().map(move |(i, value)| Sample {
-            at: self.dt * (i + 1) as f64,
-            value,
-        })
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, value)| Sample {
+                at: self.dt * (i + 1) as f64,
+                value,
+            })
     }
 
     /// Consumes the series, returning the raw values.

@@ -100,7 +100,10 @@ impl SummaryStats {
         let mut count = 0usize;
         let mut reciprocal_sum = 0.0f64;
         for v in values {
-            assert!(v > 0.0, "harmonic mean requires strictly positive values, got {v}");
+            assert!(
+                v > 0.0,
+                "harmonic mean requires strictly positive values, got {v}"
+            );
             count += 1;
             reciprocal_sum += 1.0 / v;
         }
@@ -174,9 +177,7 @@ mod tests {
     #[test]
     fn harmonic_mean_is_below_arithmetic() {
         let data = [0.5, 1.0];
-        assert!(
-            SummaryStats::harmonic_mean(data) < SummaryStats::arithmetic_mean(data)
-        );
+        assert!(SummaryStats::harmonic_mean(data) < SummaryStats::arithmetic_mean(data));
     }
 
     #[test]

@@ -67,7 +67,13 @@ impl InstructionMix {
     ///
     /// Returns [`GpmError::InvalidConfig`] otherwise.
     pub fn validate(&self) -> Result<()> {
-        let parts = [self.int_alu, self.fp_alu, self.load, self.store, self.branch];
+        let parts = [
+            self.int_alu,
+            self.fp_alu,
+            self.load,
+            self.store,
+            self.branch,
+        ];
         if parts.iter().any(|&p| p < 0.0) {
             return Err(GpmError::InvalidConfig {
                 parameter: "mix",
@@ -232,9 +238,7 @@ impl BenchmarkProfile {
                 });
             }
         }
-        if self.memory.hot_bytes == 0
-            || self.memory.warm_bytes == 0
-            || self.memory.cold_bytes == 0
+        if self.memory.hot_bytes == 0 || self.memory.warm_bytes == 0 || self.memory.cold_bytes == 0
         {
             return Err(GpmError::InvalidConfig {
                 parameter: "memory",
@@ -812,9 +816,7 @@ impl SpecBenchmark {
             Art | Mcf => UtilizationClass::VeryLowCpu,
             Ammp => UtilizationClass::LowCpu,
             Gcc | Mesa | Vortex => UtilizationClass::HighCpu,
-            Crafty | Facerec | Sixtrack | Gap | Perlbmk | Wupwise => {
-                UtilizationClass::VeryHighCpu
-            }
+            Crafty | Facerec | Sixtrack | Gap | Perlbmk | Wupwise => UtilizationClass::VeryHighCpu,
         }
     }
 }
@@ -832,7 +834,9 @@ mod tests {
     #[test]
     fn all_profiles_validate() {
         for b in SpecBenchmark::ALL {
-            b.profile().validate().unwrap_or_else(|e| panic!("{b}: {e}"));
+            b.profile()
+                .validate()
+                .unwrap_or_else(|e| panic!("{b}: {e}"));
         }
     }
 
@@ -916,7 +920,10 @@ mod tests {
 
     #[test]
     fn seeds_are_distinct() {
-        let mut seeds: Vec<u64> = SpecBenchmark::ALL.iter().map(|b| b.profile().seed).collect();
+        let mut seeds: Vec<u64> = SpecBenchmark::ALL
+            .iter()
+            .map(|b| b.profile().seed)
+            .collect();
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 12);

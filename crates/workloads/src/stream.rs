@@ -140,7 +140,7 @@ impl WorkloadStream {
             self.rng.gen_range(0..size / 8) * 8
         } else {
             // Sequential sweep: advance by one to three words, wrapping.
-            *ptr = (*ptr + self.rng.gen_range(1..=3) * 8) % size;
+            *ptr = (*ptr + self.rng.gen_range(1u64..=3) * 8) % size;
             *ptr
         };
         self.addr_base + base + offset
@@ -328,8 +328,7 @@ mod tests {
         let mut mem_in_phase = [0u64; 2];
         for i in 0..period * 2 {
             let pos = i % period;
-            let phase_idx =
-                usize::from((pos as f64) < p.phases.memory_duty * period as f64);
+            let phase_idx = usize::from((pos as f64) < p.phases.memory_duty * period as f64);
             if let OpKind::Load { addr } | OpKind::Store { addr } = s.next_op().kind {
                 mem_in_phase[phase_idx] += 1;
                 if addr >= COLD_BASE {
@@ -382,10 +381,7 @@ mod tests {
         for _ in 0..10_000 {
             let op = s.next_op();
             assert!(op.code_addr >= CODE_BASE);
-            assert!(
-                op.code_addr
-                    < CODE_BASE + u64::from(p.code.regions) * CODE_REGION_STRIDE
-            );
+            assert!(op.code_addr < CODE_BASE + u64::from(p.code.regions) * CODE_REGION_STRIDE);
         }
     }
 }

@@ -42,7 +42,11 @@ const VERY_HIGH_CPU: [SpecBenchmark; 6] = [
     SpecBenchmark::Perlbmk,
     SpecBenchmark::Wupwise,
 ];
-const HIGH_CPU: [SpecBenchmark; 3] = [SpecBenchmark::Gcc, SpecBenchmark::Mesa, SpecBenchmark::Vortex];
+const HIGH_CPU: [SpecBenchmark; 3] = [
+    SpecBenchmark::Gcc,
+    SpecBenchmark::Mesa,
+    SpecBenchmark::Vortex,
+];
 const VERY_MEM_BOUND: [SpecBenchmark; 2] = [SpecBenchmark::Art, SpecBenchmark::Mcf];
 
 #[test]
@@ -68,7 +72,11 @@ fn benchmark_classes_match_table2() {
 
     // very high CPU / very low memory utilisation
     for b in VERY_HIGH_CPU {
-        assert!(ipc_of(b) > 2.0, "{b} should be CPU bound, ipc {}", ipc_of(b));
+        assert!(
+            ipc_of(b) > 2.0,
+            "{b} should be CPU bound, ipc {}",
+            ipc_of(b)
+        );
         assert!(mpki_of(b) < 1.0, "{b} mpki {}", mpki_of(b));
     }
     // high CPU / low memory utilisation
@@ -84,7 +92,11 @@ fn benchmark_classes_match_table2() {
     assert!((8.0..=45.0).contains(&ammp_mpki), "ammp mpki {ammp_mpki}");
     // very low CPU / very high memory utilisation
     for b in VERY_MEM_BOUND {
-        assert!(ipc_of(b) < 0.7, "{b} should be memory bound, ipc {}", ipc_of(b));
+        assert!(
+            ipc_of(b) < 0.7,
+            "{b} should be memory bound, ipc {}",
+            ipc_of(b)
+        );
         assert!(mpki_of(b) > 30.0, "{b} mpki {}", mpki_of(b));
     }
     // mcf has the lowest IPC of the suite.
@@ -138,7 +150,11 @@ fn dvfs_slowdowns_split_by_class() {
 
 #[test]
 fn eff1_slowdowns_are_between_turbo_and_eff2() {
-    for b in [SpecBenchmark::Sixtrack, SpecBenchmark::Gcc, SpecBenchmark::Mcf] {
+    for b in [
+        SpecBenchmark::Sixtrack,
+        SpecBenchmark::Gcc,
+        SpecBenchmark::Mcf,
+    ] {
         let (_, _, turbo) = measure(b, 1.0);
         let (_, _, eff1) = measure(b, 0.95);
         let (_, _, eff2) = measure(b, 0.85);

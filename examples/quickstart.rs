@@ -6,9 +6,7 @@
 //! ```
 
 use gpm::cmp::{SimParams, TraceCmpSim};
-use gpm::core::{
-    throughput_degradation, turbo_baseline, BudgetSchedule, GlobalManager, MaxBips,
-};
+use gpm::core::{throughput_degradation, turbo_baseline, BudgetSchedule, GlobalManager, MaxBips};
 use gpm::trace::{CaptureConfig, TraceStore};
 use gpm::types::Micros;
 use gpm::workloads::combos;
@@ -27,11 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Managed: MaxBIPS under an 83% budget.
     let sim = TraceCmpSim::new(traces, SimParams::default())?;
-    let run = GlobalManager::new().run(
-        sim,
-        &mut MaxBips::new(),
-        &BudgetSchedule::constant(0.83),
-    )?;
+    let run =
+        GlobalManager::new().run(sim, &mut MaxBips::new(), &BudgetSchedule::constant(0.83))?;
 
     println!("\npolicy        : {}", run.policy);
     println!("chip envelope : {:.1}", run.envelope);

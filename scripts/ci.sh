@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local CI: format, lint, build, test.
+#
+# Everything runs offline against the vendored dependency subsets; no
+# network access is required. Set GPM_THREADS=1 to exercise the serial
+# paths (results are identical for any worker-pool width).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace"
+cargo test --workspace --quiet
+
+echo "CI OK"

@@ -60,6 +60,7 @@ pub use gpm_cmp as cmp;
 pub use gpm_core as core;
 pub use gpm_experiments as experiments;
 pub use gpm_microarch as microarch;
+pub use gpm_par as par;
 pub use gpm_power as power;
 pub use gpm_trace as trace;
 pub use gpm_types as types;

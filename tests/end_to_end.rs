@@ -56,7 +56,11 @@ fn headline_maxbips_tracks_oracle_and_beats_baselines() {
             "budget {budget}: MaxBIPS {d_max} vs chip-wide {d_cw}"
         );
         // Budgets respected on (post-warm-up) average.
-        assert!(maxbips.budget_utilization() <= 1.02, "{}", maxbips.budget_utilization());
+        assert!(
+            maxbips.budget_utilization() <= 1.02,
+            "{}",
+            maxbips.budget_utilization()
+        );
         assert!(chipwide.budget_utilization() <= 1.02);
     }
     // The paper's headline: within ~1% of the oracle across budgets.
@@ -84,8 +88,16 @@ fn all_policies_complete_and_are_ranked_sanely() {
         let run = run_policy(&traces, &mut *p, budget);
         let deg = throughput_degradation(&run, &baseline);
         let ws = weighted_slowdown(&run, &baseline);
-        assert!((0.0..0.25).contains(&deg), "{}: degradation {deg}", run.policy);
-        assert!(ws >= deg - 0.02, "{}: slowdown {ws} vs degradation {deg}", run.policy);
+        assert!(
+            (0.0..0.25).contains(&deg),
+            "{}: degradation {deg}",
+            run.policy
+        );
+        assert!(
+            ws >= deg - 0.02,
+            "{}: slowdown {ws} vs degradation {deg}",
+            run.policy
+        );
         results.push((run.policy.clone(), deg));
     }
     let maxbips = results.iter().find(|(n, _)| n == "MaxBIPS").unwrap().1;
@@ -138,10 +150,8 @@ fn budget_schedule_drop_is_honoured_end_to_end() {
     let traces = store().combo(&combos::ammp_mcf_crafty_art()).unwrap();
     let sim = TraceCmpSim::new(traces, SimParams::default()).unwrap();
     let envelope = sim.power_envelope();
-    let schedule = BudgetSchedule::steps(vec![
-        (Micros::ZERO, 0.9),
-        (Micros::from_millis(3.0), 0.7),
-    ]);
+    let schedule =
+        BudgetSchedule::steps(vec![(Micros::ZERO, 0.9), (Micros::from_millis(3.0), 0.7)]);
     let run = GlobalManager::new()
         .run(sim, &mut MaxBips::new(), &schedule)
         .unwrap();

@@ -1,0 +1,142 @@
+//! The parallel execution layer's contract: results are bit-identical for
+//! any worker-pool width, and the shared state it fans out over really is
+//! thread-safe.
+
+use std::sync::{Arc, Mutex};
+
+use gpm::cmp::{SimParams, TraceCmpSim};
+use gpm::core::{BudgetSchedule, GlobalManager, MaxBips};
+use gpm::experiments::{suite_curves, ExperimentContext, PolicyKind};
+use gpm::trace::{BenchmarkTraces, CaptureConfig, ModeTrace, TraceSample, TraceStore};
+use gpm::types::{Micros, PowerMode};
+use gpm::workloads::combos;
+
+/// Serialises the tests that touch the process-wide thread override (the
+/// integration-test harness runs `#[test]` functions concurrently).
+static THREADS_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    gpm::par::set_max_threads(Some(n));
+    let out = f();
+    gpm::par::set_max_threads(None);
+    out
+}
+
+/// The types the pool shares across workers must be `Send + Sync`; keeping
+/// the assertions here turns an accidental `Rc`/`Cell` addition into a
+/// compile error instead of a latent data race.
+#[test]
+fn shared_experiment_state_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TraceStore>();
+    assert_send_sync::<BenchmarkTraces>();
+    assert_send_sync::<SimParams>();
+    assert_send_sync::<ExperimentContext>();
+    assert_send_sync::<PolicyKind>();
+    assert_send_sync::<gpm::core::MaxBips>();
+    assert_send_sync::<gpm::core::ChipWide>();
+    assert_send_sync::<gpm::core::Oracle>();
+    assert_send_sync::<gpm::core::GreedyMaxBips>();
+    assert_send_sync::<gpm::core::Priority>();
+    assert_send_sync::<gpm::core::PullHiPushLo>();
+    assert_send_sync::<gpm::core::RunResult>();
+}
+
+#[test]
+fn cold_capture_is_identical_for_any_thread_count() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let combo = combos::art_mcf();
+    let serial = with_threads(1, || {
+        TraceStore::new(CaptureConfig::fast(300_000))
+            .combo(&combo)
+            .unwrap()
+    });
+    let parallel = with_threads(4, || {
+        TraceStore::new(CaptureConfig::fast(300_000))
+            .combo(&combo)
+            .unwrap()
+    });
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(**s, **p, "capture of {} diverged across pools", s.name());
+    }
+}
+
+#[test]
+fn suite_curves_match_serial_bit_for_bit() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let ctx = ExperimentContext::new(
+        TraceStore::new(CaptureConfig::fast(400_000)),
+        SimParams::default(),
+        vec![0.7, 0.85],
+    );
+    let combo = combos::art_mcf();
+    let policies = [PolicyKind::MaxBips, PolicyKind::ChipWide];
+    let serial = with_threads(1, || suite_curves(&ctx, &combo, &policies, true).unwrap());
+    let parallel = with_threads(4, || suite_curves(&ctx, &combo, &policies, true).unwrap());
+    // PolicyCurve's PartialEq compares every f64 exactly — no tolerance.
+    assert_eq!(serial.dynamic, parallel.dynamic);
+    assert_eq!(serial.static_curve, parallel.static_curve);
+}
+
+/// Synthetic constant-rate trace set, so the 8-core test below needs no
+/// capture: linear BIPS scaling, cubic power scaling across modes.
+fn synthetic(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
+    let delta = Micros::new(50.0);
+    let delta_s = delta.to_seconds().value();
+    let traces = PowerMode::ALL
+        .map(|mode| {
+            let b = bips * mode.bips_scale_bound();
+            let p = power * mode.power_scale();
+            let per_delta = b * 1.0e9 * delta_s;
+            let samples: Vec<TraceSample> = (1..=400)
+                .map(|k| TraceSample {
+                    instructions_end: (per_delta * k as f64).round() as u64,
+                    power_w: p,
+                    bips: b,
+                })
+                .collect();
+            ModeTrace::new(mode, delta, samples)
+        })
+        .to_vec();
+    Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+}
+
+/// On an 8-way chip MaxBIPS's 3^8 search takes the chunked parallel arm;
+/// the run it produces must match the serial scan record for record.
+#[test]
+fn eight_core_policy_decisions_match_serial() {
+    let _guard = THREADS_LOCK.lock().unwrap();
+    let specs: [(f64, f64); 8] = [
+        (2.4, 22.0),
+        (2.0, 20.0),
+        (1.7, 18.5),
+        (1.4, 17.0),
+        (1.1, 15.0),
+        (0.8, 13.0),
+        (0.6, 12.0),
+        (0.4, 10.0),
+    ];
+    let traces: Vec<Arc<BenchmarkTraces>> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(bips, power))| {
+            // ~4 ms of work per core so the run spans several intervals.
+            let total = (bips * 1.0e9 * 0.004) as u64;
+            synthetic(&format!("core{i}"), total, bips, power)
+        })
+        .collect();
+    let run_with = |threads: usize| {
+        with_threads(threads, || {
+            let sim = TraceCmpSim::new(traces.clone(), SimParams::default()).unwrap();
+            GlobalManager::new()
+                .run(sim, &mut MaxBips::new(), &BudgetSchedule::constant(0.75))
+                .unwrap()
+        })
+    };
+    let serial = run_with(1);
+    let parallel = run_with(4);
+    assert_eq!(serial.records, parallel.records);
+    assert_eq!(serial.per_core_instructions, parallel.per_core_instructions);
+    assert_eq!(serial.duration, parallel.duration);
+}

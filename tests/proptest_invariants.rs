@@ -6,9 +6,7 @@ use gpm::core::{
     PullHiPushLo,
 };
 use gpm::power::DvfsParams;
-use gpm::types::{
-    Micros, ModeCombination, PowerMode, SummaryStats, TimeSeries, Watts,
-};
+use gpm::types::{Micros, ModeCombination, PowerMode, SummaryStats, TimeSeries, Watts};
 use proptest::prelude::*;
 
 /// Strategy: per-core Turbo (power, bips) rows.

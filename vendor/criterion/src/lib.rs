@@ -1,0 +1,168 @@
+//! Offline micro-benchmark shim for the gpm workspace.
+//!
+//! Exposes the `criterion 0.5` API subset used by `gpm-bench`
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`) without the real
+//! crate's statistics engine: each benchmark runs a short warm-up plus a
+//! fixed number of timed iterations and prints the mean per-iteration time.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Entry point holding benchmark-wide settings.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always uses a fixed count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id rendered as `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`, keeping its return value alive.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const WARMUP: u32 = 1;
+        const MEASURED: u32 = 10;
+        for _ in 0..WARMUP {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURED {
+            std::hint::black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iters_done += u64::from(MEASURED);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iters_done: 0,
+        total_nanos: 0,
+    };
+    f(&mut bencher);
+    let mean_nanos = if bencher.iters_done > 0 {
+        bencher.total_nanos / u128::from(bencher.iters_done)
+    } else {
+        0
+    };
+    println!(
+        "bench {label}: {mean_nanos} ns/iter ({} iters)",
+        bencher.iters_done
+    );
+}
+
+/// Re-export of `std::hint::black_box` for call sites that import it from
+/// criterion.
+pub use std::hint::black_box;
+
+/// Declares a group function invoking each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion__ = $crate::Criterion::default();
+            $( $target(&mut criterion__); )+
+        }
+    };
+}
+
+/// Declares `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

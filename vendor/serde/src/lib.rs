@@ -1,0 +1,308 @@
+//! Offline, API-compatible subset of `serde` for the gpm workspace.
+//!
+//! The container image has no crates.io access, so the workspace vendors the
+//! narrow serde surface it actually uses: derived `Serialize`/`Deserialize`
+//! on plain structs and enums, serialised as JSON via the sibling
+//! `serde_json` facade. Both traits convert through [`json::Value`] rather
+//! than the real serde's visitor machinery — call sites and derives are
+//! source-compatible, the wire format matches serde_json's default
+//! (externally-tagged enums, objects for named fields, arrays for tuples).
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be converted into a [`json::Value`].
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_value(&self) -> json::Value;
+}
+
+/// Types that can be reconstructed from a [`json::Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`json::Error`] when the value has the wrong shape.
+    fn from_value(value: &json::Value) -> Result<Self, json::Error>;
+}
+
+use json::{Error, Number, Value};
+
+fn expected(kind: &str, value: &Value) -> Error {
+    Error::msg(format!("expected {kind}, found {}", value.kind()))
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(u64::from(*self)))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_u64().ok_or_else(|| expected("unsigned integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::PosInt(*self as u64))
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = value
+            .as_u64()
+            .ok_or_else(|| expected("unsigned integer", value))?;
+        usize::try_from(n).map_err(|_| Error::msg(format!("integer {n} out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = i64::from(*self);
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let n = value.as_i64().ok_or_else(|| expected("integer", value))?;
+                <$t>::try_from(n).map_err(|_| Error::msg(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let n = value.as_i64().ok_or_else(|| expected("integer", value))?;
+        isize::try_from(n).map_err(|_| Error::msg(format!("integer {n} out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| expected("number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.as_f64().ok_or_else(|| expected("number", value))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value.as_bool().ok_or_else(|| expected("bool", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| expected("string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| expected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = value.as_array().ok_or_else(|| expected("array", value))?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::msg("array length mismatch"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(std::sync::Arc::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value.as_array().ok_or_else(|| expected("array", value))?;
+                let expected_len = [$($idx),+].len();
+                if items.len() != expected_len {
+                    return Err(Error::msg(format!(
+                        "expected array of {expected_len}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let v = 42u64.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), 42);
+        let v = (-3i64).to_value();
+        assert_eq!(i64::from_value(&v).unwrap(), -3);
+        let v = 1.5f64.to_value();
+        assert_eq!(f64::from_value(&v).unwrap(), 1.5);
+        let v = Some(vec![1u32, 2]).to_value();
+        assert_eq!(
+            Option::<Vec<u32>>::from_value(&v).unwrap(),
+            Some(vec![1, 2])
+        );
+        let v = (1u64, 2.5f64).to_value();
+        assert_eq!(<(u64, f64)>::from_value(&v).unwrap(), (1, 2.5));
+    }
+
+    #[test]
+    fn f64_from_integer_representation() {
+        // The writer prints `1.0f64` as `1`, which parses back as an
+        // integer; numeric deserialisation must coerce.
+        let v = json::parse("1").unwrap();
+        assert_eq!(f64::from_value(&v).unwrap(), 1.0);
+    }
+}

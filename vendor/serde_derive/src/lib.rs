@@ -1,0 +1,442 @@
+//! Derive macros for the workspace's offline serde subset.
+//!
+//! Parses the deriving item's token stream directly (no `syn`/`quote`, which
+//! are unavailable offline) and emits `impl ::serde::Serialize` /
+//! `::serde::Deserialize` blocks that convert through `::serde::json::Value`.
+//!
+//! Supported shapes — exactly what the gpm workspace derives on:
+//! named-field structs (including generic ones like `TimeSeries<T = f64>`),
+//! tuple structs (newtypes serialise transparently, wider tuples as arrays),
+//! and enums with unit, named-field, or tuple variants (externally tagged,
+//! matching real serde_json's default format). `#[serde(...)]` attributes
+//! are accepted and ignored; the only one used in-tree is `transparent` on
+//! newtypes, which is already this derive's newtype behaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `::serde::Serialize` by conversion to `::serde::json::Value`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = serialize_body(&input);
+    render_impl("Serialize", &input, &body)
+}
+
+/// Derives `::serde::Deserialize` by conversion from `::serde::json::Value`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = deserialize_body(&input);
+    render_impl("Deserialize", &input, &body)
+}
+
+// --- code generation ------------------------------------------------------
+
+fn render_impl(trait_name: &str, input: &Input, body: &str) -> TokenStream {
+    let name = &input.name;
+    let code = if input.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{ {body} }}")
+    } else {
+        let bounded = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let plain = input.generics.join(", ");
+        format!("impl<{bounded}> ::serde::{trait_name} for {name}<{plain}> {{ {body} }}")
+    };
+    code.parse().expect("generated impl should parse")
+}
+
+fn serialize_body(input: &Input) -> String {
+    let expr = match &input.body {
+        Body::NamedStruct(fields) => object_expr(fields, "self."),
+        Body::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Body::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::json::Value::Array(vec![{items}])")
+        }
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => format!(
+                            "Self::{vname} => ::serde::json::Value::String(\"{vname}\".to_string()),"
+                        ),
+                        VariantFields::Named(fields) => {
+                            let bindings = fields.join(", ");
+                            let inner = object_expr(fields, "");
+                            format!(
+                                "Self::{vname} {{ {bindings} }} => ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), {inner})]),"
+                            )
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "Self::{vname}(field0__) => ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(field0__))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let bindings = (0..*n)
+                                .map(|i| format!("field{i}__"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            let items = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(field{i}__)"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                "Self::{vname}({bindings}) => ::serde::json::Value::Object(vec![(\"{vname}\".to_string(), ::serde::json::Value::Array(vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!("fn to_value(&self) -> ::serde::json::Value {{ {expr} }}")
+}
+
+fn object_expr(fields: &[String], access_prefix: &str) -> String {
+    let pairs = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{access_prefix}{f}))")
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::serde::json::Value::Object(vec![{pairs}])")
+}
+
+fn deserialize_body(input: &Input) -> String {
+    let name = &input.name;
+    let expr = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inits = named_field_inits(fields, "value__");
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Body::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(value__)?))".to_owned()
+        }
+        Body::TupleStruct(n) => {
+            let inits = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items__[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let items__ = value__.as_array().ok_or_else(|| ::serde::json::Error::msg(\"expected array for {name}\"))?;\n\
+                 if items__.len() != {n} {{ return ::std::result::Result::Err(::serde::json::Error::msg(\"wrong tuple arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok(Self({inits}))"
+            )
+        }
+        Body::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok(Self::{0}),", v.name))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Named(fields) => {
+                            let inits = named_field_inits(fields, "inner__");
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok(Self::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                        VariantFields::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(Self::{vname}(::serde::Deserialize::from_value(inner__)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let inits = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&items__[{i}])?")
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let items__ = inner__.as_array().ok_or_else(|| ::serde::json::Error::msg(\"expected array for {name}::{vname}\"))?;\n\
+                                 if items__.len() != {n} {{ return ::std::result::Result::Err(::serde::json::Error::msg(\"wrong tuple arity for {name}::{vname}\")); }}\n\
+                                 ::std::result::Result::Ok(Self::{vname}({inits}))\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match value__ {{\n\
+                 ::serde::json::Value::String(tag__) => match tag__.as_str() {{\n\
+                 {unit_arms}\n\
+                 other__ => ::std::result::Result::Err(::serde::json::Error::msg(format!(\"unknown variant `{{other__}}` of {name}\"))),\n\
+                 }},\n\
+                 ::serde::json::Value::Object(pairs__) if pairs__.len() == 1 => {{\n\
+                 let (tag__, inner__) = &pairs__[0];\n\
+                 let _ = inner__;\n\
+                 match tag__.as_str() {{\n\
+                 {data_arms}\n\
+                 other__ => ::std::result::Result::Err(::serde::json::Error::msg(format!(\"unknown variant `{{other__}}` of {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other__ => ::std::result::Result::Err(::serde::json::Error::msg(format!(\"invalid value for enum {name}: {{}}\", other__.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "fn from_value(value__: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{ {expr} }}"
+    )
+}
+
+fn named_field_inits(fields: &[String], source: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value({source}.field(\"{f}\")?)?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+// --- token-stream parsing -------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    let generics = parse_generics(&tokens, &mut i);
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_top_level(g.stream()))
+            }
+            other => panic!("serde derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde derive supports only structs and enums, found `{other}`"),
+    };
+    Input {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `<...>` after the type name, returning type-parameter names with
+/// bounds and defaults stripped (`<T: Clone = f64>` yields `["T"]`).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    let Some(TokenTree::Punct(p)) = tokens.get(*i) else {
+        return params;
+    };
+    if p.as_char() != '<' {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1u32;
+    let mut current: Option<String> = None;
+    let mut capture_done = false;
+    let mut after_lifetime_tick = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                if let Some(name) = current.take() {
+                    params.push(name);
+                }
+                capture_done = false;
+            }
+            TokenTree::Punct(p) if (p.as_char() == ':' || p.as_char() == '=') && depth == 1 => {
+                capture_done = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '\'' => after_lifetime_tick = true,
+            TokenTree::Ident(id) => {
+                if after_lifetime_tick {
+                    after_lifetime_tick = false;
+                } else if !capture_done && current.is_none() {
+                    current = Some(id.to_string());
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    if let Some(name) = current.take() {
+        params.push(name);
+    }
+    params
+}
+
+/// Counts comma-separated entries at the top level of a token stream,
+/// treating `<...>` spans as nested (their commas don't separate entries).
+fn count_top_level(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_token = false;
+    let mut angle_depth = 0u32;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if saw_token {
+                    count += 1;
+                }
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        count += 1;
+    }
+    count
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        // Skip the `:` and the type, up to the next top-level comma.
+        debug_assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        i += 1;
+        let mut angle_depth = 0u32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_top_level(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}

@@ -1,0 +1,55 @@
+//! Offline `serde_json` facade for the gpm workspace.
+//!
+//! Thin wrappers over the document model in [`serde::json`]. Numbers
+//! round-trip exactly: `u64`/`i64` stay integers and `f64` uses Rust's
+//! shortest-round-trip formatting, which is what the real crate's
+//! `float_roundtrip` feature guarantees.
+
+pub use serde::json::{Error, Number, Value};
+
+/// Serialises `value` to a JSON string.
+///
+/// # Errors
+///
+/// Infallible for the supported types; the `Result` mirrors the real API.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialises `value` to JSON bytes.
+///
+/// # Errors
+///
+/// Infallible for the supported types; the `Result` mirrors the real API.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Parses a `T` from a JSON string.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(input)?)
+}
+
+/// Parses a `T` from JSON bytes.
+///
+/// # Errors
+///
+/// Returns an [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: serde::Deserialize>(input: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(input).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn string_round_trip() {
+        let v: Vec<u64> = super::from_str("[1,2,3]").unwrap();
+        assert_eq!(super::to_string(&v).unwrap(), "[1,2,3]");
+    }
+}
