@@ -1,0 +1,121 @@
+//! Simulator-throughput baseline: simulated MIPS of the single-core hot
+//! loop on a CPU-bound (sixtrack-like) and a memory-bound (mcf-like)
+//! stream, plus end-to-end trace-capture throughput.
+//!
+//! Unlike the figure/table targets this bench measures the *simulator*, not
+//! the simulated system: its unit is millions of simulated instructions per
+//! wall-clock second. Run it before and after touching the
+//! `CoreModel::run_cycles` hot path and record the numbers in
+//! `BENCH_sim_throughput.json` at the repo root (see DESIGN.md, "Hot path &
+//! performance") so the perf trajectory stays visible across PRs.
+//!
+//! Set `GPM_BENCH_QUICK=1` for a bounded smoke run (used by `scripts/ci.sh`
+//! to keep this target from bit-rotting; it fails on panic, not on
+//! regression).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use gpm_microarch::{CoreConfig, CoreModel};
+use gpm_trace::{capture_benchmark, CaptureConfig};
+use gpm_types::Hertz;
+use gpm_workloads::SpecBenchmark;
+
+/// One measured throughput figure.
+struct Measurement {
+    name: &'static str,
+    instructions: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn mips(&self) -> f64 {
+        self.instructions as f64 / self.seconds / 1.0e6
+    }
+}
+
+/// Simulates `bench` through a fresh 1 GHz core until at least
+/// `min_instructions` have committed, returning the wall time spent inside
+/// the simulator.
+fn core_stream_mips(bench: SpecBenchmark, min_instructions: u64) -> Measurement {
+    let config = CoreConfig::power4();
+    let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+    let mut stream = bench.stream();
+    // Warm caches and predictors outside the timed region.
+    let _ = core.run_cycles(&mut stream, 200_000);
+
+    let mut simulated = 0u64;
+    let start = Instant::now();
+    while simulated < min_instructions {
+        simulated += core.run_cycles(&mut stream, 100_000).instructions;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        name: match bench {
+            SpecBenchmark::Sixtrack => "core_cpu_bound_sixtrack",
+            SpecBenchmark::Mcf => "core_mem_bound_mcf",
+            _ => "core_other",
+        },
+        instructions: simulated,
+        seconds,
+    }
+}
+
+/// Full `capture_benchmark` throughput (all three power modes, warm-up and
+/// sampling included) — the end-to-end number every experiment depends on.
+///
+/// Measured at steady state: one untimed capture first, so the recording
+/// tape's storage pool is mapped and faulted in. Experiments capture all
+/// 12 benchmarks in one process, so steady state is the representative
+/// regime; the first capture in a process pays roughly one extra page
+/// fault per 4 KiB of tape.
+fn capture_mips(bench: SpecBenchmark, limit: u64) -> Measurement {
+    let config = CaptureConfig::fast(limit);
+    let _ = capture_benchmark(bench, &config).expect("warm capture");
+    let start = Instant::now();
+    let traces = capture_benchmark(bench, &config).expect("capture");
+    let seconds = start.elapsed().as_secs_f64();
+    let instructions: u64 = gpm_types::PowerMode::ALL
+        .iter()
+        .map(|&m| traces.trace(m).total_instructions())
+        .sum();
+    Measurement {
+        name: match bench {
+            SpecBenchmark::Sixtrack => "capture_cpu_bound_sixtrack",
+            SpecBenchmark::Mcf => "capture_mem_bound_mcf",
+            _ => "capture_other",
+        },
+        instructions,
+        seconds,
+    }
+}
+
+fn main() {
+    let quick = std::env::var("GPM_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let (core_target, capture_limit) = if quick {
+        (2_000_000, 300_000)
+    } else {
+        (40_000_000, 8_000_000)
+    };
+
+    let measurements = [
+        core_stream_mips(SpecBenchmark::Sixtrack, core_target),
+        core_stream_mips(SpecBenchmark::Mcf, core_target),
+        capture_mips(SpecBenchmark::Sixtrack, capture_limit),
+        capture_mips(SpecBenchmark::Mcf, capture_limit),
+    ];
+
+    let mut json = String::from("{\n");
+    for (i, m) in measurements.iter().enumerate() {
+        println!("{:<28} {:>9.2} simulated MIPS", m.name, m.mips());
+        let comma = if i + 1 < measurements.len() { "," } else { "" };
+        let _ = writeln!(json, "  \"{}\": {:.2}{}", m.name, m.mips(), comma);
+    }
+    json.push('}');
+
+    let dir = std::path::Path::new("target").join("gpm-results");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("sim_throughput.json"), &json);
+    }
+    println!("{json}");
+}

@@ -154,6 +154,9 @@ impl FullCmpSim {
                 let mode = self.modes.mode(gpm_types::CoreId::new(i));
                 let freq = self.dvfs.frequency(mode);
                 let cycles = freq.cycles_in(self.quantum).value();
+                // `run_cycles_with` is generic over the memory subsystem:
+                // passing the shared L2 concretely monomorphizes the access
+                // path (no per-miss virtual dispatch).
                 let stats =
                     self.cores[i].run_cycles_with(&mut self.streams[i], &mut self.shared, cycles);
                 let power = self.power.power(&stats.activity(), mode);

@@ -65,6 +65,11 @@ pub struct BranchPredictor {
     bimodal: Vec<u8>,
     gshare: Vec<u8>,
     selector: Vec<u8>,
+    // Index masks (len - 1), precomputed so the per-branch hot path does no
+    // table-length loads.
+    bi_mask: usize,
+    gs_mask: usize,
+    sel_mask: usize,
     history: u64,
     predictions: u64,
     mispredictions: u64,
@@ -93,6 +98,9 @@ impl BranchPredictor {
             bimodal: vec![2; config.bimodal_entries],
             gshare: vec![2; config.gshare_entries],
             selector: vec![2; config.selector_entries],
+            bi_mask: config.bimodal_entries - 1,
+            gs_mask: config.gshare_entries - 1,
+            sel_mask: config.selector_entries - 1,
             history: 0,
             predictions: 0,
             mispredictions: 0,
@@ -101,10 +109,11 @@ impl BranchPredictor {
 
     /// Predicts branch at `pc`, then updates all tables with the actual
     /// `taken` outcome. Returns `true` if the branch was **mispredicted**.
+    #[inline]
     pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
-        let bi_idx = (pc as usize) & (self.bimodal.len() - 1);
-        let gs_idx = ((pc ^ self.history) as usize) & (self.gshare.len() - 1);
-        let sel_idx = (pc as usize) & (self.selector.len() - 1);
+        let bi_idx = (pc as usize) & self.bi_mask;
+        let gs_idx = ((pc ^ self.history) as usize) & self.gs_mask;
+        let sel_idx = (pc as usize) & self.sel_mask;
 
         let bi_pred = counter_predict(self.bimodal[bi_idx]);
         let gs_pred = counter_predict(self.gshare[gs_idx]);

@@ -80,10 +80,13 @@ impl AccessOutcome {
     }
 }
 
+/// One tag-array entry, packed to 16 bytes for cache-friendly set scans.
+/// `stamp == 0` means invalid: valid lines always carry a stamp ≥ 1 (the
+/// stamp counter is pre-incremented before any fill), which also makes an
+/// invalid way the automatic least-recently-used victim.
 #[derive(Debug, Clone, Copy, Default)]
 struct Line {
     tag: u64,
-    valid: bool,
     stamp: u64,
 }
 
@@ -110,6 +113,7 @@ pub struct SetAssocCache {
     lines: Vec<Line>,
     set_mask: u64,
     block_shift: u32,
+    tag_shift: u32,
     next_stamp: u64,
     accesses: u64,
     misses: u64,
@@ -127,11 +131,13 @@ impl SetAssocCache {
             .validate()
             .unwrap_or_else(|reason| panic!("invalid cache config: {reason}"));
         let sets = config.sets();
+        let set_mask = sets as u64 - 1;
         Self {
             config,
             lines: vec![Line::default(); sets * config.ways],
-            set_mask: sets as u64 - 1,
+            set_mask,
             block_shift: config.block_bytes.trailing_zeros(),
+            tag_shift: set_mask.count_ones(),
             next_stamp: 0,
             accesses: 0,
             misses: 0,
@@ -145,31 +151,39 @@ impl SetAssocCache {
     }
 
     /// Accesses byte address `addr`, allocating the line on a miss.
+    ///
+    /// A single pass over the (2–4 entry) set serves both the hit fast path
+    /// and LRU victim selection: the scan returns as soon as the tag
+    /// matches, and otherwise has already found the first minimum-stamp way
+    /// (invalid ways carry stamp 0, so they win automatically — the same
+    /// ordering `min_by_key` on `valid → stamp, invalid → 0` produced).
+    #[inline]
     pub fn access(&mut self, addr: u64) -> AccessOutcome {
         self.accesses += 1;
         self.next_stamp += 1;
+        let stamp = self.next_stamp;
         let block = addr >> self.block_shift;
         let set = (block & self.set_mask) as usize;
-        let tag = block >> self.set_mask.count_ones();
+        let tag = block >> self.tag_shift;
         let ways = self.config.ways;
         let base = set * ways;
         let set_lines = &mut self.lines[base..base + ways];
 
-        // Hit path: refresh the LRU stamp.
-        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.stamp = self.next_stamp;
-            return AccessOutcome::Hit;
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (i, line) in set_lines.iter_mut().enumerate() {
+            if line.tag == tag && line.stamp != 0 {
+                line.stamp = stamp;
+                return AccessOutcome::Hit;
+            }
+            if line.stamp < victim_stamp {
+                victim_stamp = line.stamp;
+                victim = i;
+            }
         }
 
-        // Miss path: fill the invalid or least-recently-used way.
         self.misses += 1;
-        let victim = set_lines
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.stamp } else { 0 })
-            .expect("ways >= 1");
-        victim.tag = tag;
-        victim.valid = true;
-        victim.stamp = self.next_stamp;
+        set_lines[victim] = Line { tag, stamp };
         AccessOutcome::Miss
     }
 
@@ -186,14 +200,15 @@ impl SetAssocCache {
     /// Probes whether `addr` is resident without touching LRU state or
     /// counters.
     #[must_use]
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
         let block = addr >> self.block_shift;
         let set = (block & self.set_mask) as usize;
-        let tag = block >> self.set_mask.count_ones();
+        let tag = block >> self.tag_shift;
         let base = set * self.config.ways;
         self.lines[base..base + self.config.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|l| l.tag == tag && l.stamp != 0)
     }
 
     /// Total accesses since construction or the last [`reset_counters`].

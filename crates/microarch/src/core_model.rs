@@ -1,6 +1,30 @@
 //! The out-of-order core timing model: a dataflow scoreboard with dispatch
 //! bandwidth, a ROB window, functional-unit contention, branch misprediction
 //! refills and a real cache hierarchy.
+//!
+//! # Hot-path structure
+//!
+//! Every experiment in the workspace funnels through [`CoreModel::step`]'s
+//! per-instruction loop, so this module is written for raw simulation
+//! throughput while keeping results bit-identical across delivery and
+//! dispatch strategies:
+//!
+//! * **Batched instruction delivery** — ops are pulled from the
+//!   [`InstructionSource`] in blocks (via
+//!   [`fill_ops`](InstructionSource::fill_ops)) into a reusable buffer, so a
+//!   boxed/dynamic source pays one virtual call per block instead of one per
+//!   op. Unconsumed ops carry over between `run_*` calls; callers that swap
+//!   sources mid-run must call [`CoreModel::discard_pending_ops`].
+//! * **Monomorphized memory path** — `run_cycles_with` and the internal
+//!   stepping are generic over `M: MemorySubsystem + ?Sized`, so the
+//!   private-L2 common case ([`PrivateMemory`]) inlines completely; dynamic
+//!   users keep working through the `&mut dyn MemorySubsystem` blanket impl
+//!   (see [`CoreModel::run_cycles_dyn`]).
+//! * **No per-op division or float math** — the ROB ring is walked with a
+//!   wrapping cursor instead of `%`, functional-unit arbitration is an O(1)
+//!   scan specialised for the paper's 1- and 2-unit classes, and ns→cycles
+//!   conversions are served from a tiny exact-result memo (the private
+//!   memory system only ever produces two distinct latencies).
 
 use gpm_types::Hertz;
 
@@ -8,6 +32,10 @@ use crate::{
     AccessOutcome, BranchPredictor, CoreConfig, InstructionSource, IntervalStats, MicroOp, OpKind,
     SetAssocCache, StreamPrefetcher,
 };
+
+/// Number of micro-ops fetched from an [`InstructionSource`] per refill of
+/// the core's delivery buffer.
+const OP_BATCH: usize = 256;
 
 /// The level of the hierarchy *below* the core's private L1s.
 ///
@@ -56,6 +84,7 @@ impl PrivateMemory {
 }
 
 impl MemorySubsystem for PrivateMemory {
+    #[inline]
     fn access(&mut self, addr: u64, _now_ns: f64) -> (f64, bool) {
         match self.l2.access(addr) {
             AccessOutcome::Hit => (self.l2_latency_ns, true),
@@ -80,9 +109,22 @@ enum FuClass {
 /// benchmark can be simulated as a sequence of `delta_sim_time` intervals
 /// exactly as the paper's toolchain does.
 ///
+/// Internally the scoreboard lives in a separate [`Engine`] struct from the
+/// private memory system, so `run_cycles` can borrow both halves disjointly
+/// — no placeholder memory object is ever constructed.
+///
 /// [`run_cycles`]: CoreModel::run_cycles
 #[derive(Debug, Clone)]
 pub struct CoreModel {
+    engine: Engine,
+    memory: PrivateMemory,
+}
+
+/// The scoreboard half of [`CoreModel`]: everything except the private
+/// memory subsystem, so stepping can mutably borrow the engine and an
+/// external [`MemorySubsystem`] at the same time.
+#[derive(Debug, Clone)]
+struct Engine {
     // Static configuration (latencies in core cycles).
     dispatch_width: u32,
     rob_size: usize,
@@ -101,7 +143,6 @@ pub struct CoreModel {
     l1d: SetAssocCache,
     predictor: BranchPredictor,
     prefetcher: Option<StreamPrefetcher>,
-    memory: PrivateMemory,
 
     // Scoreboard state.
     cur_cycle: u64,
@@ -110,8 +151,22 @@ pub struct CoreModel {
     busy_cycles: u64,
     completion_ring: Vec<u64>,
     op_index: u64,
+    /// `op_index % rob_size`, maintained incrementally (no per-op `%`).
+    rob_slot: usize,
     fu_free: [Vec<u64>; 4],
     last_fetch_block: u64,
+
+    /// Exact-result memo for ns→cycles conversions: the private memory
+    /// system produces only two distinct latencies, so this two-entry
+    /// MRU cache hits almost always. Results are computed by
+    /// [`Hertz::cycles_for_ns`] on miss, so cached conversions are
+    /// bit-identical to uncached ones.
+    ns_cache: [(f64, u64); 2],
+
+    // Batched instruction delivery: ops fetched ahead of execution.
+    op_buf: Vec<MicroOp>,
+    op_buf_pos: usize,
+    op_buf_len: usize,
 }
 
 impl CoreModel {
@@ -129,55 +184,75 @@ impl CoreModel {
             .unwrap_or_else(|e| panic!("invalid core config: {e}"));
         assert!(freq.value() > 0.0, "frequency must be positive");
         Self {
-            dispatch_width: config.dispatch_width,
-            rob_size: config.rob_size,
-            fxu_latency: config.fxu_latency,
-            fpu_latency: config.fpu_latency,
-            mispredict_penalty: config.mispredict_penalty,
-            l1_latency: config.l1_latency,
-            load_use_penalty: config.load_use_penalty,
-            freq,
-            ns_per_cycle: 1.0e9 / freq.value(),
-            l1i_block_shift: config.l1i.block_bytes.trailing_zeros(),
-            l1d_block_shift: config.l1d.block_bytes.trailing_zeros(),
-            l1i: SetAssocCache::new(config.l1i),
-            l1d: SetAssocCache::new(config.l1d),
-            predictor: BranchPredictor::new(config.predictor),
-            prefetcher: (config.prefetch_streams > 0)
-                .then(|| StreamPrefetcher::new(config.prefetch_streams, config.l1d.block_bytes)),
+            engine: Engine {
+                dispatch_width: config.dispatch_width,
+                rob_size: config.rob_size,
+                fxu_latency: config.fxu_latency,
+                fpu_latency: config.fpu_latency,
+                mispredict_penalty: config.mispredict_penalty,
+                l1_latency: config.l1_latency,
+                load_use_penalty: config.load_use_penalty,
+                freq,
+                ns_per_cycle: 1.0e9 / freq.value(),
+                l1i_block_shift: config.l1i.block_bytes.trailing_zeros(),
+                l1d_block_shift: config.l1d.block_bytes.trailing_zeros(),
+                l1i: SetAssocCache::new(config.l1i),
+                l1d: SetAssocCache::new(config.l1d),
+                predictor: BranchPredictor::new(config.predictor),
+                prefetcher: (config.prefetch_streams > 0).then(|| {
+                    StreamPrefetcher::new(config.prefetch_streams, config.l1d.block_bytes)
+                }),
+                cur_cycle: 0,
+                dispatched_in_cycle: 0,
+                last_busy_cycle: u64::MAX,
+                busy_cycles: 0,
+                completion_ring: vec![0; config.rob_size],
+                op_index: 0,
+                rob_slot: 0,
+                fu_free: [
+                    vec![0; config.lsu_count],
+                    vec![0; config.fxu_count],
+                    vec![0; config.fpu_count],
+                    vec![0; config.bru_count],
+                ],
+                last_fetch_block: u64::MAX,
+                ns_cache: [(f64::NAN, 0); 2],
+                op_buf: vec![MicroOp::int_alu(None); OP_BATCH],
+                op_buf_pos: 0,
+                op_buf_len: 0,
+            },
             memory: PrivateMemory::new(config),
-            cur_cycle: 0,
-            dispatched_in_cycle: 0,
-            last_busy_cycle: u64::MAX,
-            busy_cycles: 0,
-            completion_ring: vec![0; config.rob_size],
-            op_index: 0,
-            fu_free: [
-                vec![0; config.lsu_count],
-                vec![0; config.fxu_count],
-                vec![0; config.fpu_count],
-                vec![0; config.bru_count],
-            ],
-            last_fetch_block: u64::MAX,
         }
     }
 
     /// The clock frequency this core instance runs at.
     #[must_use]
     pub fn frequency(&self) -> Hertz {
-        self.freq
+        self.engine.freq
     }
 
     /// Total core cycles elapsed since construction.
     #[must_use]
     pub fn now_cycles(&self) -> u64 {
-        self.cur_cycle
+        self.engine.cur_cycle
     }
 
     /// Absolute wall time in nanoseconds since construction.
     #[must_use]
     pub fn now_ns(&self) -> f64 {
-        self.cur_cycle as f64 * self.ns_per_cycle
+        self.engine.cur_cycle as f64 * self.engine.ns_per_cycle
+    }
+
+    /// Drops any instructions that were fetched from a source but not yet
+    /// executed.
+    ///
+    /// The core prefetches ops in blocks of [`OP_BATCH`]; callers that swap
+    /// instruction sources on a live core (e.g. trace capture restarting a
+    /// stream after cache warm-up) must discard the stale tail so the next
+    /// run starts at the new source's first op.
+    pub fn discard_pending_ops(&mut self) {
+        self.engine.op_buf_pos = 0;
+        self.engine.op_buf_len = 0;
     }
 
     /// Runs the core against `source` for (at least) `target_cycles` core
@@ -188,43 +263,41 @@ impl CoreModel {
         source: &mut impl InstructionSource,
         target_cycles: u64,
     ) -> IntervalStats {
-        // `self.memory` cannot be borrowed mutably while `self` methods run,
-        // so temporarily move it out (it is cheap: a tag array handle).
-        let mut memory = std::mem::replace(
-            &mut self.memory,
-            PrivateMemory {
-                l2: SetAssocCache::new(gpm_types_placeholder()),
-                l2_latency_ns: 0.0,
-                memory_latency_ns: 0.0,
-            },
-        );
-        let stats = self.run_cycles_with(source, &mut memory, target_cycles);
-        self.memory = memory;
-        stats
+        // Disjoint field borrows: the engine steps against the private
+        // memory without any placeholder swap.
+        self.engine
+            .run_cycles_with(source, &mut self.memory, target_cycles)
     }
 
     /// Like [`run_cycles`](Self::run_cycles) but resolving L1 misses through
     /// an external [`MemorySubsystem`] (used by the full-CMP simulator's
     /// shared L2).
-    pub fn run_cycles_with(
+    ///
+    /// This method is generic over the memory subsystem so concrete callers
+    /// monomorphize and inline the access path; trait objects still work
+    /// (`M = dyn MemorySubsystem`), or use
+    /// [`run_cycles_dyn`](Self::run_cycles_dyn) to name the dynamic
+    /// boundary explicitly.
+    pub fn run_cycles_with<M: MemorySubsystem + ?Sized>(
         &mut self,
         source: &mut impl InstructionSource,
+        memory: &mut M,
+        target_cycles: u64,
+    ) -> IntervalStats {
+        self.engine.run_cycles_with(source, memory, target_cycles)
+    }
+
+    /// Thin dynamic-dispatch wrapper over
+    /// [`run_cycles_with`](Self::run_cycles_with) for callers that hold the
+    /// memory system (and/or the source) as trait objects.
+    pub fn run_cycles_dyn(
+        &mut self,
+        mut source: &mut dyn InstructionSource,
         memory: &mut dyn MemorySubsystem,
         target_cycles: u64,
     ) -> IntervalStats {
-        let mut stats = IntervalStats::default();
-        let start_cycle = self.cur_cycle;
-        let end_cycle = start_cycle.saturating_add(target_cycles);
-        let busy_start = self.busy_cycles;
-
-        while self.cur_cycle < end_cycle {
-            let op = source.next_op();
-            self.step(op, memory, &mut stats);
-        }
-
-        stats.cycles = self.cur_cycle - start_cycle;
-        stats.busy_cycles = self.busy_cycles - busy_start;
-        stats
+        self.engine
+            .run_cycles_with(&mut source, memory, target_cycles)
     }
 
     /// Runs until `count` further instructions have been dispatched.
@@ -233,29 +306,93 @@ impl CoreModel {
         source: &mut impl InstructionSource,
         count: u64,
     ) -> IntervalStats {
-        let mut memory = std::mem::replace(
-            &mut self.memory,
-            PrivateMemory {
-                l2: SetAssocCache::new(gpm_types_placeholder()),
-                l2_latency_ns: 0.0,
-                memory_latency_ns: 0.0,
-            },
-        );
+        self.engine
+            .run_instructions_with(source, &mut self.memory, count)
+    }
+
+    /// The branch predictor (for diagnostics).
+    #[must_use]
+    pub fn predictor(&self) -> &BranchPredictor {
+        &self.engine.predictor
+    }
+
+    /// The L1 data cache (for diagnostics).
+    #[must_use]
+    pub fn l1d(&self) -> &SetAssocCache {
+        &self.engine.l1d
+    }
+
+    /// The private memory subsystem (for diagnostics).
+    #[must_use]
+    pub fn private_memory(&self) -> &PrivateMemory {
+        &self.memory
+    }
+}
+
+impl Engine {
+    fn run_cycles_with<M: MemorySubsystem + ?Sized>(
+        &mut self,
+        source: &mut impl InstructionSource,
+        memory: &mut M,
+        target_cycles: u64,
+    ) -> IntervalStats {
         let mut stats = IntervalStats::default();
         let start_cycle = self.cur_cycle;
+        let end_cycle = start_cycle.saturating_add(target_cycles);
         let busy_start = self.busy_cycles;
-        for _ in 0..count {
-            let op = source.next_op();
-            self.step(op, &mut memory, &mut stats);
+
+        while self.cur_cycle < end_cycle {
+            let op = self.next_buffered_op(source);
+            self.step(op, memory, &mut stats);
         }
-        self.memory = memory;
+
         stats.cycles = self.cur_cycle - start_cycle;
         stats.busy_cycles = self.busy_cycles - busy_start;
         stats
     }
 
+    fn run_instructions_with<M: MemorySubsystem + ?Sized>(
+        &mut self,
+        source: &mut impl InstructionSource,
+        memory: &mut M,
+        count: u64,
+    ) -> IntervalStats {
+        let mut stats = IntervalStats::default();
+        let start_cycle = self.cur_cycle;
+        let busy_start = self.busy_cycles;
+        for _ in 0..count {
+            let op = self.next_buffered_op(source);
+            self.step(op, memory, &mut stats);
+        }
+        stats.cycles = self.cur_cycle - start_cycle;
+        stats.busy_cycles = self.busy_cycles - busy_start;
+        stats
+    }
+
+    /// Pops the next op from the delivery buffer, refilling it from the
+    /// source in [`OP_BATCH`]-sized blocks when drained.
+    #[inline]
+    fn next_buffered_op(&mut self, source: &mut impl InstructionSource) -> MicroOp {
+        if self.op_buf_pos == self.op_buf_len {
+            self.op_buf_len = source.fill_ops(&mut self.op_buf);
+            assert!(
+                self.op_buf_len > 0 && self.op_buf_len <= self.op_buf.len(),
+                "InstructionSource::fill_ops must deliver 1..=buf.len() ops"
+            );
+            self.op_buf_pos = 0;
+        }
+        let op = self.op_buf[self.op_buf_pos];
+        self.op_buf_pos += 1;
+        op
+    }
+
     /// Advances the scoreboard by one micro-op.
-    fn step(&mut self, op: MicroOp, memory: &mut dyn MemorySubsystem, stats: &mut IntervalStats) {
+    fn step<M: MemorySubsystem + ?Sized>(
+        &mut self,
+        op: MicroOp,
+        memory: &mut M,
+        stats: &mut IntervalStats,
+    ) {
         // --- Instruction fetch: one L1I access per new code block. ---
         let fetch_block = op.code_addr >> self.l1i_block_shift;
         if fetch_block != self.last_fetch_block {
@@ -276,7 +413,7 @@ impl CoreModel {
         }
 
         // --- ROB window: wait for the oldest in-flight op to complete. ---
-        let slot = (self.op_index % self.rob_size as u64) as usize;
+        let slot = self.rob_slot;
         let oldest = self.completion_ring[slot];
         if oldest > self.cur_cycle {
             self.cur_cycle = oldest;
@@ -295,14 +432,24 @@ impl CoreModel {
         }
 
         // --- Operand readiness from the producer's completion time. ---
+        //
+        // Dependency presence is close to a coin flip in the synthetic
+        // streams, so this is computed branch-free (`&` instead of `&&`,
+        // selects instead of an `if let` body) to spare the host branch
+        // predictor: a dep of 0 stands in for "none" and resolves to the
+        // already-read oldest slot.
         let mut ready = self.cur_cycle;
-        if let Some(dep) = op.dep {
-            let dep = u64::from(dep);
-            if dep > 0 && dep <= self.op_index && dep <= self.rob_size as u64 {
-                let producer = ((self.op_index - dep) % self.rob_size as u64) as usize;
-                ready = ready.max(self.completion_ring[producer]);
-            }
-        }
+        let dep = op.dep.map_or(0, |d| d as usize);
+        let valid = (dep > 0) & (dep as u64 <= self.op_index) & (dep <= self.rob_size);
+        let dep = if valid { dep } else { 0 };
+        // (op_index - dep) % rob_size, via the wrapping cursor.
+        let producer = if slot >= dep {
+            slot - dep
+        } else {
+            slot + self.rob_size - dep
+        };
+        let produced = self.completion_ring[producer];
+        ready = ready.max(if valid { produced } else { 0 });
 
         // --- Execute. ---
         stats.instructions += 1;
@@ -343,18 +490,14 @@ impl CoreModel {
         };
 
         // --- Functional-unit arbitration (pick the earliest-free unit). ---
-        let units = &mut self.fu_free[class as usize];
-        let unit = units
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &t)| t)
-            .map(|(i, _)| i)
-            .expect("unit counts validated >= 1");
-        let issue = ready.max(units[unit]);
-        units[unit] = issue + 1; // fully pipelined, initiation interval 1
+        let issue = take_earliest_unit(&mut self.fu_free[class as usize], ready);
         let completion = issue + latency;
         self.completion_ring[slot] = completion;
         self.op_index += 1;
+        self.rob_slot += 1;
+        if self.rob_slot == self.rob_size {
+            self.rob_slot = 0;
+        }
 
         // --- Misprediction: the front end restarts after resolution. ---
         if mispredicted {
@@ -368,11 +511,11 @@ impl CoreModel {
 
     /// L1D access, falling through to the memory subsystem on a miss.
     /// Returns the total load-to-use latency in core cycles.
-    fn data_access(
+    fn data_access<M: MemorySubsystem + ?Sized>(
         &mut self,
         addr: u64,
         at_cycle: u64,
-        memory: &mut dyn MemorySubsystem,
+        memory: &mut M,
         stats: &mut IntervalStats,
     ) -> u64 {
         stats.l1d_accesses += 1;
@@ -412,34 +555,54 @@ impl CoreModel {
         latency
     }
 
+    /// Converts a wall-clock latency to core cycles through the memo cache.
+    ///
+    /// The cached result is exactly what [`Hertz::cycles_for_ns`] returns
+    /// for the same input, so hits and misses are indistinguishable in the
+    /// produced timing.
     #[inline]
-    fn ns_to_cycles(&self, ns: f64) -> u64 {
-        self.freq.cycles_for_ns(ns)
-    }
-
-    /// The branch predictor (for diagnostics).
-    #[must_use]
-    pub fn predictor(&self) -> &BranchPredictor {
-        &self.predictor
-    }
-
-    /// The L1 data cache (for diagnostics).
-    #[must_use]
-    pub fn l1d(&self) -> &SetAssocCache {
-        &self.l1d
-    }
-
-    /// The private memory subsystem (for diagnostics).
-    #[must_use]
-    pub fn private_memory(&self) -> &PrivateMemory {
-        &self.memory
+    fn ns_to_cycles(&mut self, ns: f64) -> u64 {
+        if ns == self.ns_cache[0].0 {
+            return self.ns_cache[0].1;
+        }
+        if ns == self.ns_cache[1].0 {
+            self.ns_cache.swap(0, 1);
+            return self.ns_cache[0].1;
+        }
+        let cycles = self.freq.cycles_for_ns(ns);
+        self.ns_cache[1] = self.ns_cache[0];
+        self.ns_cache[0] = (ns, cycles);
+        cycles
     }
 }
 
-/// Minimal valid cache geometry used for the temporary placeholder while the
-/// private memory is moved out during a run (1 set × 1 way × 64 B).
-fn gpm_types_placeholder() -> crate::CacheConfig {
-    crate::CacheConfig::new(64, 1, 64)
+/// Picks the earliest-free unit (lowest index on ties, matching
+/// `min_by_key`), issues at `max(ready, unit_free)`, and occupies the unit
+/// for one cycle (fully pipelined, initiation interval 1). Returns the
+/// issue cycle.
+///
+/// The paper's configuration has 1 or 2 units per class, so those arities
+/// are branchless; larger pools fall back to a linear first-minimum scan.
+#[inline]
+fn take_earliest_unit(units: &mut [u64], ready: u64) -> u64 {
+    let chosen = match units {
+        [_] => 0,
+        [a, b] => usize::from(*b < *a),
+        _ => {
+            let mut best = 0;
+            let mut best_t = units[0];
+            for (i, &t) in units.iter().enumerate().skip(1) {
+                if t < best_t {
+                    best_t = t;
+                    best = i;
+                }
+            }
+            best
+        }
+    };
+    let issue = ready.max(units[chosen]);
+    units[chosen] = issue + 1;
+    issue
 }
 
 #[cfg(test)]
@@ -770,5 +933,68 @@ mod tests {
             "stores should not serialise: {}",
             stats.ipc()
         );
+    }
+
+    #[test]
+    fn buffered_delivery_is_invisible_to_results() {
+        // A source that delivers one op per fill_ops call (the old
+        // one-virtual-call-per-op regime) must produce the same timing as
+        // the default full-batch delivery.
+        struct OneAtATime(TestStream);
+        impl InstructionSource for OneAtATime {
+            fn next_op(&mut self) -> MicroOp {
+                self.0.next_op()
+            }
+            fn fill_ops(&mut self, buf: &mut [MicroOp]) -> usize {
+                buf[0] = self.0.next_op();
+                1
+            }
+        }
+        let ops = vec![
+            MicroOp::int_alu(Some(1)),
+            MicroOp::load(0x40, None),
+            MicroOp::branch(0x10, true),
+            MicroOp::fp_alu(None),
+        ];
+        let mut batched_core = core_at(1.0);
+        let mut one_core = core_at(1.0);
+        let mut batched = TestStream::cycle(ops.clone());
+        let mut one = OneAtATime(TestStream::cycle(ops));
+        for _ in 0..4 {
+            let a = batched_core.run_cycles(&mut batched, 10_000);
+            let b = one_core.run_cycles(&mut one, 10_000);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn discard_pending_ops_restarts_from_new_source() {
+        // After swapping sources mid-run, the next executed op must come
+        // from the new source, not the stale buffered tail.
+        let mut core = core_at(1.0);
+        let mut ints = TestStream::cycle(vec![MicroOp::int_alu(None)]);
+        let _ = core.run_cycles(&mut ints, 1_000);
+        core.discard_pending_ops();
+        let mut fps = TestStream::cycle(vec![MicroOp::fp_alu(None)]);
+        let stats = core.run_instructions(&mut fps, 100);
+        assert_eq!(stats.fp_ops, 100);
+        assert_eq!(stats.int_ops, 0, "stale buffered ops must not execute");
+    }
+
+    #[test]
+    fn earliest_unit_matches_min_by_key_semantics() {
+        // First-minimum tie-breaking, all arities.
+        let mut two = [5u64, 5];
+        assert_eq!(take_earliest_unit(&mut two, 0), 5);
+        assert_eq!(two, [6, 5], "tie picks unit 0");
+        let mut two = [7u64, 3];
+        assert_eq!(take_earliest_unit(&mut two, 0), 3);
+        assert_eq!(two, [7, 4]);
+        let mut three = [4u64, 2, 2];
+        assert_eq!(take_earliest_unit(&mut three, 10), 10);
+        assert_eq!(three, [4, 11, 2], "first minimum wins");
+        let mut one = [9u64];
+        assert_eq!(take_earliest_unit(&mut one, 1), 9);
+        assert_eq!(one, [10]);
     }
 }

@@ -138,17 +138,46 @@ impl MicroOp {
 pub trait InstructionSource {
     /// Produces the next micro-op in program order.
     fn next_op(&mut self) -> MicroOp;
+
+    /// Fills `buf` with the next micro-ops in program order and returns how
+    /// many were written (always starting at `buf[0]`).
+    ///
+    /// This is the batched delivery path: the core pulls ops in blocks so a
+    /// boxed/dynamic source pays one virtual call per block rather than one
+    /// per op. The contract for a non-empty `buf` is to deliver between 1
+    /// and `buf.len()` ops — delivering fewer than requested is allowed
+    /// (e.g. a source that produces ops in fixed-size chunks), delivering 0
+    /// is a violation and the core panics on it.
+    ///
+    /// Batching must not change the op sequence: `fill_ops` followed by
+    /// `next_op` yields exactly the ops `next_op` alone would have yielded.
+    /// The default implementation guarantees this by delegating to
+    /// [`next_op`](Self::next_op) for every slot.
+    fn fill_ops(&mut self, buf: &mut [MicroOp]) -> usize {
+        for slot in buf.iter_mut() {
+            *slot = self.next_op();
+        }
+        buf.len()
+    }
 }
 
 impl<T: InstructionSource + ?Sized> InstructionSource for &mut T {
     fn next_op(&mut self) -> MicroOp {
         (**self).next_op()
     }
+
+    fn fill_ops(&mut self, buf: &mut [MicroOp]) -> usize {
+        (**self).fill_ops(buf)
+    }
 }
 
 impl<T: InstructionSource + ?Sized> InstructionSource for Box<T> {
     fn next_op(&mut self) -> MicroOp {
         (**self).next_op()
+    }
+
+    fn fill_ops(&mut self, buf: &mut [MicroOp]) -> usize {
+        (**self).fill_ops(buf)
     }
 }
 
@@ -186,5 +215,27 @@ mod tests {
         let mut b: Box<dyn InstructionSource> = Box::new(S(0));
         let _ = b.next_op();
         assert_eq!(s.0, 1);
+    }
+
+    #[test]
+    fn default_fill_ops_matches_next_op() {
+        struct Counting(u64);
+        impl InstructionSource for Counting {
+            fn next_op(&mut self) -> MicroOp {
+                self.0 += 1;
+                MicroOp::load(self.0 * 8, None)
+            }
+        }
+        let mut by_batch = Counting(0);
+        let mut buf = [MicroOp::int_alu(None); 7];
+        assert_eq!(by_batch.fill_ops(&mut buf), 7);
+        let mut one_by_one = Counting(0);
+        for op in buf {
+            assert_eq!(op, one_by_one.next_op());
+        }
+        // Boxed dynamic sources forward the batched path.
+        let mut boxed: Box<dyn InstructionSource> = Box::new(Counting(0));
+        assert_eq!(boxed.fill_ops(&mut buf), 7);
+        assert_eq!(buf[0], MicroOp::load(8, None));
     }
 }

@@ -41,6 +41,7 @@
 pub mod combos;
 mod profile;
 mod stream;
+mod tape;
 
 pub use combos::WorkloadCombo;
 pub use profile::{
@@ -48,3 +49,4 @@ pub use profile::{
     SpecBenchmark, Suite, UtilizationClass,
 };
 pub use stream::WorkloadStream;
+pub use tape::{SharedTape, TapeReader};

@@ -10,10 +10,30 @@ use crate::BenchmarkProfile;
 const CODE_BASE: u64 = 0x0040_0000;
 /// Separation between the code regions of a program.
 const CODE_REGION_STRIDE: u64 = 0x2_0000;
-/// Offsets of the three data regions inside a core's address slice.
-const HOT_BASE: u64 = 0x1000_0000;
-const WARM_BASE: u64 = 0x2000_0000;
-const COLD_BASE: u64 = 0x4000_0000;
+/// Offsets of the three data regions inside a core's address slice,
+/// indexed hot/warm/cold.
+const REGION_BASES: [u64; 3] = [0x1000_0000, 0x2000_0000, 0x4000_0000];
+
+/// Converts a probability threshold to the integer domain of the RNG's
+/// 53-bit mantissa draws.
+///
+/// `rng.gen::<f64>()` is exactly `m * 2⁻⁵³` for the integer
+/// `m = next_u64() >> 11`, so `gen::<f64>() < t  ⟺  m < t·2⁵³` in real
+/// arithmetic. Both `m as f64` and `t * 2⁵³` are power-of-two scalings and
+/// therefore exact in f64, and for integer `m`, `m < T ⟺ m < ⌈T⌉`. The
+/// integer compare is thus bit-for-bit the same predicate as the float
+/// compare it replaces, without the int→float conversion per draw.
+fn threshold_bits(t: f64) -> u64 {
+    (t * (1u64 << 53) as f64).ceil() as u64
+}
+
+/// One `gen::<f64>()`-equivalent draw, in the integer domain.
+/// Consumes exactly one `next_u64`, like `gen::<f64>()`.
+#[inline]
+fn draw53(rng: &mut SmallRng) -> u64 {
+    use rand::RngCore;
+    rng.next_u64() >> 11
+}
 
 /// A deterministic, infinite micro-op stream realising a
 /// [`BenchmarkProfile`].
@@ -39,18 +59,103 @@ const COLD_BASE: u64 = 0x4000_0000;
 #[derive(Debug, Clone)]
 pub struct WorkloadStream {
     profile: BenchmarkProfile,
+    pre: Precomputed,
     rng: SmallRng,
     addr_base: u64,
     instr_index: u64,
     ops_since_load: u32,
-    // Sequential sweep cursors per data region (spatial locality).
-    hot_ptr: u64,
-    warm_ptr: u64,
-    cold_ptr: u64,
+    // Sequential sweep cursors per data region (spatial locality),
+    // indexed hot/warm/cold like [`REGION_BASES`].
+    region_ptrs: [u64; 3],
     // Code-layout state.
     region: u32,
     ops_in_region: u64,
     op_in_loop: u32,
+    /// `instr_index % phases.period_instructions`, maintained incrementally.
+    phase_pos: u64,
+    /// `CODE_BASE + region * CODE_REGION_STRIDE`, updated on region change.
+    region_code_base: u64,
+}
+
+/// Hot-path constants derived from the profile once at construction.
+///
+/// `next_op` runs once per simulated instruction across every experiment, so
+/// everything that is a pure function of the (immutable) profile — mix
+/// thresholds, phase-stressed region probabilities, word counts — is folded
+/// here. Each value is computed with exactly the arithmetic the generator
+/// previously performed per op, so the produced streams are bit-identical.
+#[derive(Debug, Clone)]
+struct Precomputed {
+    // Cumulative mix thresholds in roll order, as [`threshold_bits`]
+    // integers compared against [`draw53`] draws.
+    t_load: u64,
+    t_store: u64,
+    t_branch: u64,
+    t_fp: u64,
+    // Phase structure. The threshold is `⌈memory_duty · period⌉`: for the
+    // integer `phase_pos` the compare is identical to the old
+    // `(phase_pos as f64) < memory_duty * period as f64`.
+    phase_enabled: bool,
+    phase_period: u64,
+    phase_threshold: u64,
+    // Region-select thresholds: (hot, hot + warm), calm and stressed.
+    calm_hot: u64,
+    calm_hot_warm: u64,
+    stress_hot: u64,
+    stress_hot_warm: u64,
+    // Region geometry, indexed hot/warm/cold.
+    region_bytes: [u64; 3],
+    region_words: [u64; 3],
+    jump_probability: u64,
+    pointer_chase: u64,
+    dep_probability: u64,
+    // Code layout (`.max(1)` folded in).
+    regions: u32,
+    region_residency_ops: u64,
+    loop_body_ops: u32,
+    branch_sites: u32,
+    branch_random_fraction: u64,
+    branch_taken_bias: u64,
+}
+
+impl Precomputed {
+    fn from_profile(p: &BenchmarkProfile) -> Self {
+        let m = p.memory;
+        // A memory phase shifts `intensity` probability mass from the
+        // hot/warm sets to the cold region, proportionally.
+        let pool = m.hot + m.warm;
+        let (stress_hot, stress_warm) = if pool > 0.0 {
+            let scale = (1.0 - p.phases.intensity / pool).max(0.0);
+            (m.hot * scale, m.warm * scale)
+        } else {
+            (m.hot, m.warm)
+        };
+        Self {
+            t_load: threshold_bits(p.mix.load),
+            t_store: threshold_bits(p.mix.load + p.mix.store),
+            t_branch: threshold_bits(p.mix.load + p.mix.store + p.mix.branch),
+            t_fp: threshold_bits(p.mix.load + p.mix.store + p.mix.branch + p.mix.fp_alu),
+            phase_enabled: p.phases.period_instructions != 0,
+            phase_period: p.phases.period_instructions,
+            phase_threshold: (p.phases.memory_duty * p.phases.period_instructions as f64).ceil()
+                as u64,
+            calm_hot: threshold_bits(m.hot),
+            calm_hot_warm: threshold_bits(m.hot + m.warm),
+            stress_hot: threshold_bits(stress_hot),
+            stress_hot_warm: threshold_bits(stress_hot + stress_warm),
+            region_bytes: [m.hot_bytes, m.warm_bytes, m.cold_bytes],
+            region_words: [m.hot_bytes / 8, m.warm_bytes / 8, m.cold_bytes / 8],
+            jump_probability: threshold_bits(m.jump_probability),
+            pointer_chase: threshold_bits(m.pointer_chase),
+            dep_probability: threshold_bits(p.dep_probability),
+            regions: p.code.regions.max(1),
+            region_residency_ops: p.code.region_residency_ops,
+            loop_body_ops: p.code.loop_body_ops.max(1),
+            branch_sites: p.branches.sites.max(1),
+            branch_random_fraction: threshold_bits(p.branches.random_fraction),
+            branch_taken_bias: threshold_bits(p.branches.taken_bias),
+        }
+    }
 }
 
 impl WorkloadStream {
@@ -66,18 +171,20 @@ impl WorkloadStream {
             .validate()
             .unwrap_or_else(|e| panic!("invalid profile `{}`: {e}", profile.name));
         let rng = SmallRng::seed_from_u64(profile.seed ^ seed_salt);
+        let pre = Precomputed::from_profile(&profile);
         Self {
             profile,
+            pre,
             rng,
             addr_base,
             instr_index: 0,
             ops_since_load: 0,
-            hot_ptr: 0,
-            warm_ptr: 0,
-            cold_ptr: 0,
+            region_ptrs: [0; 3],
             region: 0,
             ops_in_region: 0,
             op_in_loop: 0,
+            phase_pos: 0,
+            region_code_base: CODE_BASE,
         }
     }
 
@@ -102,70 +209,81 @@ impl WorkloadStream {
     }
 
     /// Is the current instruction inside the memory-stressed phase?
+    /// `phase_pos` tracks `instr_index % period` incrementally.
+    #[inline]
     fn in_memory_phase(&self) -> bool {
-        let p = &self.profile.phases;
-        if p.period_instructions == 0 {
-            return false;
-        }
-        let pos = self.instr_index % p.period_instructions;
-        (pos as f64) < p.memory_duty * p.period_instructions as f64
+        self.pre.phase_enabled && self.phase_pos < self.pre.phase_threshold
     }
 
     /// Picks a data address according to the working-set structure, applying
     /// the current phase's stress. `force_jump` (pointer-chasing loads)
     /// bypasses the sequential sweep.
+    #[inline]
     fn data_address(&mut self, stressed: bool, force_jump: bool) -> u64 {
-        let m = self.profile.memory;
-        let (mut hot, mut warm) = (m.hot, m.warm);
-        if stressed {
-            // A memory phase shifts `intensity` probability mass from the
-            // hot/warm sets to the cold region, proportionally.
-            let pool = hot + warm;
-            if pool > 0.0 {
-                let scale = (1.0 - self.profile.phases.intensity / pool).max(0.0);
-                hot *= scale;
-                warm *= scale;
-            }
-        }
-        let roll: f64 = self.rng.gen();
-        let (base, size, ptr) = if roll < hot {
-            (HOT_BASE, m.hot_bytes, &mut self.hot_ptr)
-        } else if roll < hot + warm {
-            (WARM_BASE, m.warm_bytes, &mut self.warm_ptr)
+        let (hot, hot_warm) = if stressed {
+            (self.pre.stress_hot, self.pre.stress_hot_warm)
         } else {
-            (COLD_BASE, m.cold_bytes, &mut self.cold_ptr)
+            (self.pre.calm_hot, self.pre.calm_hot_warm)
         };
-        let offset = if force_jump || self.rng.gen::<f64>() < m.jump_probability {
+        // Hot/warm/cold select as index arithmetic: `roll < hot` picked hot,
+        // `roll < hot_warm` warm, else cold — so the index is the count of
+        // thresholds at or below the roll, with no data-dependent branch.
+        let roll = draw53(&mut self.rng);
+        let region = usize::from(roll >= hot) + usize::from(roll >= hot_warm);
+        let words = self.pre.region_words[region];
+        let bytes = self.pre.region_bytes[region];
+        let offset = if force_jump || draw53(&mut self.rng) < self.pre.jump_probability {
             // Random jump: a fresh cache line somewhere in the region.
-            self.rng.gen_range(0..size / 8) * 8
+            self.rng.gen_range(0..words) * 8
         } else {
             // Sequential sweep: advance by one to three words, wrapping.
-            *ptr = (*ptr + self.rng.gen_range(1u64..=3) * 8) % size;
-            *ptr
+            // The cursor stays `< bytes` and the step is at most 24, so one
+            // conditional subtract replaces the `%` for any region of at
+            // least 24 bytes; the division only runs for degenerate tiny
+            // regions.
+            let ptr = &mut self.region_ptrs[region];
+            let mut next = *ptr + self.rng.gen_range(1u64..=3) * 8;
+            if next >= bytes {
+                next -= bytes;
+                if next >= bytes {
+                    next %= bytes;
+                }
+            }
+            *ptr = next;
+            next
         };
-        self.addr_base + base + offset
+        self.addr_base + REGION_BASES[region] + offset
     }
 
     /// Advances the synthetic code layout and returns this op's code
-    /// address.
+    /// address. The counters wrap by comparison instead of `%`, and the
+    /// region's code base is cached across ops.
+    #[inline]
     fn code_address(&mut self) -> u64 {
-        let c = self.profile.code;
-        if self.ops_in_region >= c.region_residency_ops {
+        if self.ops_in_region >= self.pre.region_residency_ops {
             self.ops_in_region = 0;
             self.op_in_loop = 0;
-            self.region = (self.region + 1) % c.regions.max(1);
+            self.region += 1;
+            if self.region == self.pre.regions {
+                self.region = 0;
+            }
+            self.region_code_base = CODE_BASE + u64::from(self.region) * CODE_REGION_STRIDE;
         }
         self.ops_in_region += 1;
-        self.op_in_loop = (self.op_in_loop + 1) % c.loop_body_ops.max(1);
-        CODE_BASE + u64::from(self.region) * CODE_REGION_STRIDE + u64::from(self.op_in_loop) * 4
+        self.op_in_loop += 1;
+        if self.op_in_loop == self.pre.loop_body_ops {
+            self.op_in_loop = 0;
+        }
+        self.region_code_base + u64::from(self.op_in_loop) * 4
     }
 
     /// Rolls a generic dependency on a recent producer. Half of the
     /// dependencies target the most recent load when one is close by —
     /// load-to-use chains dominate real integer code. Distances are clamped
     /// so a dependency never points before the start of the stream.
+    #[inline]
     fn generic_dep(&mut self) -> Option<u32> {
-        if self.instr_index == 0 || self.rng.gen::<f64>() >= self.profile.dep_probability {
+        if self.instr_index == 0 || draw53(&mut self.rng) >= self.pre.dep_probability {
             return None;
         }
         if (1..=4).contains(&self.ops_since_load) && self.rng.gen::<bool>() {
@@ -181,35 +299,29 @@ impl InstructionSource for WorkloadStream {
     fn next_op(&mut self) -> MicroOp {
         let stressed = self.in_memory_phase();
         let code_addr = self.code_address();
-        let mix = self.profile.mix;
-        let roll: f64 = self.rng.gen();
+        let roll = draw53(&mut self.rng);
 
-        let op = if roll < mix.load {
+        let op = if roll < self.pre.t_load {
             // Pointer-chasing loads depend on the previous load;
             // `ops_since_load` is the dynamic distance back to it (0 = no
             // load seen yet).
-            let chase = self.ops_since_load > 0
-                && self.rng.gen::<f64>() < self.profile.memory.pointer_chase;
+            let chase = self.ops_since_load > 0 && draw53(&mut self.rng) < self.pre.pointer_chase;
             let dep = chase.then_some(self.ops_since_load);
             let addr = self.data_address(stressed, chase);
             MicroOp::load(addr, dep)
-        } else if roll < mix.load + mix.store {
+        } else if roll < self.pre.t_store {
             let addr = self.data_address(stressed, false);
             MicroOp::store(addr, None)
-        } else if roll < mix.load + mix.store + mix.branch {
-            let b = self.profile.branches;
-            let site = self.rng.gen_range(0..b.sites.max(1));
-            let pc = CODE_BASE
-                + u64::from(self.region) * CODE_REGION_STRIDE
-                + 0x1_0000
-                + u64::from(site) * 32;
-            let taken = if self.rng.gen::<f64>() < b.random_fraction {
-                self.rng.gen::<f64>() < b.taken_bias
+        } else if roll < self.pre.t_branch {
+            let site = self.rng.gen_range(0..self.pre.branch_sites);
+            let pc = self.region_code_base + 0x1_0000 + u64::from(site) * 32;
+            let taken = if draw53(&mut self.rng) < self.pre.branch_random_fraction {
+                draw53(&mut self.rng) < self.pre.branch_taken_bias
             } else {
                 true // loop-back branch, fully predictable once learned
             };
             MicroOp::branch(pc, taken)
-        } else if roll < mix.load + mix.store + mix.branch + mix.fp_alu {
+        } else if roll < self.pre.t_fp {
             MicroOp::fp_alu(self.generic_dep())
         } else {
             MicroOp::int_alu(self.generic_dep())
@@ -223,7 +335,22 @@ impl InstructionSource for WorkloadStream {
             0 // still no load seen
         };
         self.instr_index += 1;
+        if self.pre.phase_enabled {
+            self.phase_pos += 1;
+            if self.phase_pos == self.pre.phase_period {
+                self.phase_pos = 0;
+            }
+        }
         op.at_code(code_addr)
+    }
+
+    /// Batched delivery: the whole buffer is filled through the inlined
+    /// generator, so a boxed stream pays one virtual call per block.
+    fn fill_ops(&mut self, buf: &mut [MicroOp]) -> usize {
+        for slot in buf.iter_mut() {
+            *slot = self.next_op();
+        }
+        buf.len()
     }
 }
 
@@ -331,7 +458,7 @@ mod tests {
             let phase_idx = usize::from((pos as f64) < p.phases.memory_duty * period as f64);
             if let OpKind::Load { addr } | OpKind::Store { addr } = s.next_op().kind {
                 mem_in_phase[phase_idx] += 1;
-                if addr >= COLD_BASE {
+                if addr >= REGION_BASES[2] {
                     cold_in_phase[phase_idx] += 1;
                 }
             }

@@ -1,0 +1,205 @@
+//! A shared, append-only recording of a deterministic instruction stream.
+//!
+//! Capturing a benchmark's per-mode traces replays the *same* op sequence
+//! through three differently-clocked cores (plus once more per warm-up).
+//! Generating that sequence is as expensive as simulating it, so paying it
+//! once and replaying from memory roughly halves end-to-end capture time:
+//! a [`SharedTape`] wraps the generator, materialises ops on first demand,
+//! and hands out any number of independent [`TapeReader`] cursors.
+//!
+//! Readers see exactly the ops the wrapped stream would have produced — the
+//! tape's content is determined by position alone, so concurrent readers
+//! (e.g. per-mode captures running on the `gpm_par` pool) cannot perturb it.
+
+use std::sync::{Arc, Mutex};
+
+use gpm_microarch::{InstructionSource, MicroOp};
+
+use crate::WorkloadStream;
+
+/// Ops generated per tape extension; amortises the lock acquisition and the
+/// generator call across a block while keeping the staging buffer
+/// cache-resident (1024 × ~40 B ≈ 40 KiB).
+const TAPE_CHUNK: usize = 1024;
+
+/// Retired tape storage kept alive for reuse. A full capture tape runs to
+/// hundreds of megabytes, and glibc returns freed blocks that large to the
+/// kernel, so without recycling every capture re-pays first-touch page
+/// faults across the whole recording (~20 ns/op on a 4 KiB-page host).
+/// Keeping a bounded number of buffers mapped turns that into a one-time
+/// cost per process.
+static POOL: Mutex<Vec<Vec<MicroOp>>> = Mutex::new(Vec::new());
+
+/// Buffers retained in [`POOL`]; captures run one tape at a time, so one
+/// spare (plus headroom for an overlapping reader) is enough.
+const POOL_LIMIT: usize = 2;
+
+fn pooled_vec(expected_ops: usize) -> Vec<MicroOp> {
+    let recycled = POOL.lock().ok().and_then(|mut pool| pool.pop());
+    match recycled {
+        Some(mut ops) => {
+            ops.clear();
+            ops.reserve(expected_ops);
+            ops
+        }
+        None => Vec::with_capacity(expected_ops),
+    }
+}
+
+/// A lazily-materialised, shareable recording of a [`WorkloadStream`].
+///
+/// # Examples
+///
+/// ```
+/// use gpm_microarch::InstructionSource;
+/// use gpm_workloads::{SharedTape, SpecBenchmark};
+///
+/// let tape = SharedTape::new(SpecBenchmark::Gcc.stream());
+/// let mut live = SpecBenchmark::Gcc.stream();
+/// let mut replay = tape.reader();
+/// for _ in 0..1000 {
+///     assert_eq!(live.next_op(), replay.next_op());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedTape {
+    inner: Arc<Mutex<TapeInner>>,
+}
+
+#[derive(Debug)]
+struct TapeInner {
+    stream: WorkloadStream,
+    ops: Vec<MicroOp>,
+    /// Reused staging block: the generator writes into this cache-resident
+    /// buffer, and one memcpy appends it to the (memory-streaming) tape, so
+    /// each materialised op costs a single pass over the tape's cold pages.
+    chunk: Vec<MicroOp>,
+}
+
+impl TapeInner {
+    /// Extends the recording until at least `len` ops are materialised.
+    fn ensure(&mut self, len: usize) {
+        while self.ops.len() < len {
+            let n = self.stream.fill_ops(&mut self.chunk);
+            self.ops.extend_from_slice(&self.chunk[..n]);
+        }
+    }
+}
+
+impl Drop for TapeInner {
+    fn drop(&mut self) {
+        let ops = std::mem::take(&mut self.ops);
+        if ops.capacity() == 0 {
+            return;
+        }
+        if let Ok(mut pool) = POOL.lock() {
+            if pool.len() < POOL_LIMIT {
+                pool.push(ops);
+            }
+        }
+    }
+}
+
+impl SharedTape {
+    /// Wraps `stream`; ops are generated on first demand and kept for every
+    /// subsequent reader.
+    #[must_use]
+    pub fn new(stream: WorkloadStream) -> Self {
+        Self::with_capacity_hint(stream, 0)
+    }
+
+    /// Like [`new`](Self::new), reserving room for `expected_ops` up front
+    /// so a predictable recording length avoids growth reallocations.
+    /// Storage comes from the process-wide recycling pool when available.
+    #[must_use]
+    pub fn with_capacity_hint(stream: WorkloadStream, expected_ops: usize) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(TapeInner {
+                stream,
+                ops: pooled_vec(expected_ops),
+                chunk: vec![MicroOp::int_alu(None); TAPE_CHUNK],
+            })),
+        }
+    }
+
+    /// A fresh cursor at position 0 — equivalent to restarting the wrapped
+    /// stream from its seed.
+    #[must_use]
+    pub fn reader(&self) -> TapeReader {
+        TapeReader {
+            inner: Arc::clone(&self.inner),
+            pos: 0,
+        }
+    }
+
+    /// Number of ops materialised so far.
+    #[must_use]
+    pub fn generated(&self) -> usize {
+        self.inner.lock().expect("tape lock").ops.len()
+    }
+}
+
+/// An [`InstructionSource`] replaying a [`SharedTape`] from its own cursor.
+#[derive(Debug, Clone)]
+pub struct TapeReader {
+    inner: Arc<Mutex<TapeInner>>,
+    pos: usize,
+}
+
+impl InstructionSource for TapeReader {
+    fn next_op(&mut self) -> MicroOp {
+        let mut inner = self.inner.lock().expect("tape lock");
+        inner.ensure(self.pos + 1);
+        let op = inner.ops[self.pos];
+        self.pos += 1;
+        op
+    }
+
+    /// Block copy out of the recording: one lock and one memcpy per batch.
+    fn fill_ops(&mut self, buf: &mut [MicroOp]) -> usize {
+        let mut inner = self.inner.lock().expect("tape lock");
+        inner.ensure(self.pos + buf.len());
+        buf.copy_from_slice(&inner.ops[self.pos..self.pos + buf.len()]);
+        self.pos += buf.len();
+        buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpecBenchmark;
+
+    #[test]
+    fn reader_matches_live_stream_across_batch_sizes() {
+        let tape = SharedTape::new(SpecBenchmark::Mcf.stream());
+        let mut live = SpecBenchmark::Mcf.stream();
+        let mut reader = tape.reader();
+        let mut live_buf = vec![MicroOp::int_alu(None); 1000];
+        for slot in live_buf.iter_mut() {
+            *slot = live.next_op();
+        }
+        // Mixed single-op and odd-sized batch reads cover chunk boundaries.
+        let mut got = Vec::new();
+        got.push(reader.next_op());
+        let mut batch = vec![MicroOp::int_alu(None); 613];
+        assert_eq!(reader.fill_ops(&mut batch), 613);
+        got.extend_from_slice(&batch);
+        let mut rest = vec![MicroOp::int_alu(None); 386];
+        assert_eq!(reader.fill_ops(&mut rest), 386);
+        got.extend_from_slice(&rest);
+        assert_eq!(got, live_buf);
+    }
+
+    #[test]
+    fn independent_readers_do_not_interfere() {
+        let tape = SharedTape::new(SpecBenchmark::Gcc.stream());
+        let mut a = tape.reader();
+        let mut b = tape.reader();
+        let first: Vec<_> = (0..100).map(|_| a.next_op()).collect();
+        // b starts from 0 regardless of how far a has read.
+        let again: Vec<_> = (0..100).map(|_| b.next_op()).collect();
+        assert_eq!(first, again);
+        assert!(tape.generated() >= 100);
+    }
+}

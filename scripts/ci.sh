@@ -19,4 +19,9 @@ cargo build --release
 echo "==> cargo test --workspace"
 cargo test --workspace --quiet
 
+# Smoke-run the throughput baseline so the bench target cannot bit-rot;
+# GPM_BENCH_QUICK bounds the run and failure means panic, not regression.
+echo "==> GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput"
+GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput
+
 echo "CI OK"

@@ -99,13 +99,36 @@ pub trait SampleRange<T> {
     fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
 }
 
+/// `draw % span`, using native 64-bit arithmetic when the span fits in a
+/// `u64` (the overwhelmingly common case; a 128-bit modulo lowers to a slow
+/// `__umodti3` call). `(draw as u128) % span == ((draw % span_64) as u128)`
+/// whenever `span <= u64::MAX`, so the fast path is exact.
+#[inline]
+fn mod_span(draw: u64, span: u128) -> u128 {
+    if let Ok(span64) = u64::try_from(span) {
+        // Tiny spans (dependency distances, stride picks) are the hot case;
+        // resolving them without a runtime division is worth ~20 cycles per
+        // draw. Each arm computes exactly `draw % span64`.
+        let rem = match span64 {
+            1 => 0,
+            2 => draw & 1,
+            3 => draw % 3, // strength-reduced to a multiply by the compiler
+            4 => draw & 3,
+            _ => draw % span64,
+        };
+        u128::from(rem)
+    } else {
+        u128::from(draw) % span
+    }
+}
+
 macro_rules! impl_int_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
             fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as i128 - self.start as i128) as u128;
-                let offset = (rng.next_u64() as u128) % span;
+                let offset = mod_span(rng.next_u64(), span);
                 (self.start as i128 + offset as i128) as $t
             }
         }
@@ -114,7 +137,7 @@ macro_rules! impl_int_range {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");
                 let span = (hi as i128 - lo as i128) as u128 + 1;
-                let offset = (rng.next_u64() as u128) % span;
+                let offset = mod_span(rng.next_u64(), span);
                 (lo as i128 + offset as i128) as $t
             }
         }
@@ -163,6 +186,10 @@ pub mod rngs {
     }
 
     impl RngCore for SmallRng {
+        // Inlined across crates: without the hint every draw in the
+        // workload generators' per-instruction hot loop becomes an outlined
+        // call (the workspace builds without LTO).
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             let result = self
                 .s0
