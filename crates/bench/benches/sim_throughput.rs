@@ -16,10 +16,12 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use gpm_cmp::FullCmpSim;
 use gpm_microarch::{CoreConfig, CoreModel};
+use gpm_power::{DvfsParams, PowerModel};
 use gpm_trace::{capture_benchmark, CaptureConfig};
-use gpm_types::Hertz;
-use gpm_workloads::SpecBenchmark;
+use gpm_types::{Hertz, Micros, ModeCombination, PowerMode};
+use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
 
 /// One measured throughput figure.
 struct Measurement {
@@ -90,12 +92,43 @@ fn capture_mips(bench: SpecBenchmark, limit: u64) -> Measurement {
     }
 }
 
+/// Full-CMP throughput: all-Turbo quantum-synchronised run of `combo`
+/// against the shared L2 for `sim_us` of simulated wall time, reporting
+/// total simulated instructions (all cores) per wall-clock second.
+///
+/// On a multi-core host the per-quantum core stepping overlaps on the
+/// `gpm_par` pool; on a 1-core host this measures the serial protocol.
+fn cmp_full_mips(name: &'static str, combo: &WorkloadCombo, sim_us: f64) -> Measurement {
+    let modes = ModeCombination::uniform(combo.cores(), PowerMode::Turbo);
+    let mut sim = FullCmpSim::new(
+        combo,
+        &modes,
+        &CoreConfig::power4(),
+        PowerModel::power4_calibrated(),
+        DvfsParams::paper(),
+    )
+    .expect("combo and modes agree");
+    // Warm caches, predictors and the per-core scratch outside the timed
+    // region.
+    let _ = sim.run(Micros::new(sim_us * 0.1));
+
+    let start = Instant::now();
+    let outcome = sim.run(Micros::new(sim_us));
+    let seconds = start.elapsed().as_secs_f64();
+    let instructions = outcome.per_core.iter().map(|c| c.instructions).sum();
+    Measurement {
+        name,
+        instructions,
+        seconds,
+    }
+}
+
 fn main() {
     let quick = std::env::var("GPM_BENCH_QUICK").is_ok_and(|v| v == "1");
-    let (core_target, capture_limit) = if quick {
-        (2_000_000, 300_000)
+    let (core_target, capture_limit, cmp_us) = if quick {
+        (2_000_000, 300_000, 200.0)
     } else {
-        (40_000_000, 8_000_000)
+        (40_000_000, 8_000_000, 2_000.0)
     };
 
     let measurements = [
@@ -103,6 +136,13 @@ fn main() {
         core_stream_mips(SpecBenchmark::Mcf, core_target),
         capture_mips(SpecBenchmark::Sixtrack, capture_limit),
         capture_mips(SpecBenchmark::Mcf, capture_limit),
+        cmp_full_mips("cmp_full_2way_gcc_mesa", &combos::gcc_mesa(), 4.0 * cmp_us),
+        cmp_full_mips(
+            "cmp_full_4way_ammp_mcf_crafty_art",
+            &combos::ammp_mcf_crafty_art(),
+            2.0 * cmp_us,
+        ),
+        cmp_full_mips("cmp_full_8way_mixed", &combos::eight_way_mixed(), cmp_us),
     ];
 
     let mut json = String::from("{\n");

@@ -1,8 +1,10 @@
 //! The full-CMP validation simulator: real core models sharing an L2.
 
-use gpm_microarch::{CoreConfig, CoreModel, IntervalStats};
+use std::sync::Arc;
+
+use gpm_microarch::{CoreConfig, CoreModel, DeferredL2, IntervalStats};
 use gpm_power::{DvfsParams, PowerModel};
-use gpm_types::{Bips, GpmError, Micros, ModeCombination, PowerMode, Result, Watts};
+use gpm_types::{Bips, GpmError, Hertz, Micros, ModeCombination, PowerMode, Result, Watts};
 use gpm_workloads::{WorkloadCombo, WorkloadStream};
 
 use crate::{SharedL2, SharedL2Config};
@@ -14,8 +16,8 @@ const CORE_ADDR_STRIDE: u64 = 1 << 36;
 /// Per-core results of a full-CMP run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerCoreOutcome {
-    /// Benchmark name.
-    pub benchmark: String,
+    /// Benchmark name (shared, not re-allocated per outcome).
+    pub benchmark: Arc<str>,
     /// The mode the core ran in.
     pub mode: PowerMode,
     /// Instructions retired.
@@ -53,28 +55,181 @@ impl FullCmpOutcome {
     }
 }
 
+/// Everything one core needs to step a quantum without touching shared
+/// state: the core model, its workload stream, the request-recording L2
+/// stand-in, the correction-credit carry, and the run accumulators. Phase 1
+/// hands each lane to exactly one pool worker; phase 2 walks all lanes on
+/// a single thread.
+#[derive(Debug)]
+struct CoreLane {
+    core: CoreModel,
+    stream: WorkloadStream,
+    deferred: DeferredL2,
+    benchmark: Arc<str>,
+    mode: PowerMode,
+    freq: Hertz,
+    /// Core cycles per synchronisation quantum at this lane's frequency;
+    /// recomputed when a run starts (the quantum is configurable).
+    cycles_per_quantum: u64,
+    /// Signed correction credit in nanoseconds: positive when the replay
+    /// discovered more latency than phase 1 charged (repaid as stall
+    /// cycles), negative when phase 1 overcharged (offsets future debt).
+    pending_ns: f64,
+    /// Bounds for the per-access charge predictor (array-hit latency up to
+    /// hit + memory + worst-case queueing delay).
+    charge_min_ns: f64,
+    charge_max_ns: f64,
+    /// Replay scratch: total actual latency of this lane's requests this
+    /// quantum.
+    actual_ns: f64,
+    /// Replay scratch: merge cursor into the sorted request log.
+    cursor: usize,
+    /// Run accumulators, reused across `run` calls.
+    total: IntervalStats,
+    energy_j: f64,
+}
+
+impl CoreLane {
+    /// Phase 1: step one quantum in isolation. Repays any positive
+    /// correction credit as stall cycles first, then runs the core against
+    /// the recording L2 for the remainder of the quantum, and finally
+    /// sorts the request log so phase 2 can k-way merge.
+    fn step_quantum(&mut self, power: &PowerModel) {
+        let quantum_cycles = self.cycles_per_quantum;
+        let stall = if self.pending_ns > 0.0 {
+            self.freq.cycles_for_ns(self.pending_ns).min(quantum_cycles)
+        } else {
+            0
+        };
+        if stall > 0 {
+            self.pending_ns -= stall as f64 * 1.0e9 / self.freq.value();
+            self.core.apply_stall_cycles(stall);
+        }
+
+        self.deferred.reset();
+        self.actual_ns = 0.0;
+        self.cursor = 0;
+
+        let mut stats = if stall < quantum_cycles {
+            self.core
+                .run_cycles_with(&mut self.stream, &mut self.deferred, quantum_cycles - stall)
+        } else {
+            IntervalStats::default()
+        };
+        stats.cycles += stall;
+
+        let power = power.power(&stats.activity(), self.mode);
+        let secs = stats.cycles as f64 / self.freq.value();
+        self.energy_j += power.value() * secs;
+        self.total.merge(&stats);
+
+        self.deferred.sort_log();
+    }
+
+    /// Settles this quantum's replay against what phase 1 charged: the
+    /// signed difference joins the correction credit, and the charge
+    /// predictor moves to the quantum's observed mean latency so the next
+    /// recording timeline already runs at a realistic speed (preserving
+    /// the core model's latency overlap instead of converting all miss
+    /// latency into un-overlappable stalls).
+    fn bank_correction(&mut self) {
+        let requests = self.cursor;
+        let charged_ns = requests as f64 * self.deferred.charge_ns();
+        self.pending_ns += self.actual_ns - charged_ns;
+        // A run of overcharged quanta must not accumulate unbounded credit:
+        // a core can at most have been one quantum ahead of reality.
+        let quantum_ns = self.cycles_per_quantum as f64 * 1.0e9 / self.freq.value();
+        self.pending_ns = self.pending_ns.max(-quantum_ns);
+        if requests > 0 {
+            let mean = self.actual_ns / requests as f64;
+            self.deferred
+                .set_charge_ns(mean.clamp(self.charge_min_ns, self.charge_max_ns));
+        }
+    }
+
+    fn outcome(&self) -> PerCoreOutcome {
+        let secs = self.total.cycles as f64 / self.freq.value();
+        PerCoreOutcome {
+            benchmark: Arc::clone(&self.benchmark),
+            mode: self.mode,
+            instructions: self.total.instructions,
+            power: Watts::new(self.energy_j / secs),
+            bips: Bips::new(self.total.instructions as f64 / secs / 1.0e9),
+            l2_misses: self.total.l2_misses,
+        }
+    }
+}
+
+/// Phase 2: merge-replay all lanes' sorted request logs against the real
+/// shared L2 in global `(timestamp, core-id)` order.
+///
+/// The deterministic tie-break — strictly-smaller timestamp wins, equal
+/// timestamps go to the lower core id — makes the replay order (and hence
+/// the shared tag-array state, queue accounting and per-core corrections)
+/// independent of how phase 1 was scheduled. Each lane accumulates the
+/// actual latency of its requests (queueing delay, and memory latency when
+/// the shared array misses); [`CoreLane::bank_correction`] settles that
+/// against what phase 1 charged. Misses are credited back to the owning
+/// core's counters.
+fn replay_quantum(lanes: &mut [&mut CoreLane], shared: &mut SharedL2) {
+    loop {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, lane) in lanes.iter().enumerate() {
+            if let Some(req) = lane.deferred.log().get(lane.cursor) {
+                let earlier = best.is_none_or(|(_, t)| req.now_ns < t);
+                if earlier {
+                    best = Some((i, req.now_ns));
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let lane = &mut *lanes[i];
+        let req = lane.deferred.log()[lane.cursor];
+        lane.cursor += 1;
+        let (actual_ns, hit) = shared.replay_access(req.addr);
+        lane.actual_ns += actual_ns;
+        if !hit {
+            lane.total.l2_misses += 1;
+        }
+    }
+    for lane in lanes {
+        lane.bank_correction();
+    }
+}
+
 /// A time-quantum-synchronised multi-core simulation over the real
 /// `gpm-microarch` core models and a [`SharedL2`].
 ///
-/// Cores advance round-robin in short wall-clock quanta (5 µs by default);
-/// within a quantum each core resolves its L1 misses against the shared L2,
-/// whose bus model converts overlapping misses into queueing delay. Per-core
-/// DVFS is supported by clocking each core model at its mode's frequency —
-/// the quantum is measured in wall time, so cores stay aligned across clock
-/// domains.
+/// Cores advance in short wall-clock quanta (5 µs by default) under a
+/// two-phase protocol. **Phase 1** steps every core for one quantum *in
+/// parallel* on the `gpm_par` persistent worker pool: L1 hits resolve
+/// locally, and every would-be L2 request is recorded into the core's
+/// [`DeferredL2`] log at the lane's *predicted* per-access latency — the
+/// array-hit latency initially, then the previous quantum's observed mean,
+/// so dependent-load serialisation and ROB latency overlap play out in the
+/// recording timeline itself. **Phase 2** merge-replays all logs against
+/// the real [`SharedL2`] on a single thread in `(timestamp, core-id)`
+/// order; the signed difference between what the requests actually cost —
+/// bus queueing delay, memory latency on a shared-array miss — and what
+/// phase 1 charged is banked as a correction credit, repaid as stall
+/// cycles at the start of that core's next quantum (or offset against
+/// future debt when negative). Per-core DVFS is supported by clocking each core
+/// model at its mode's frequency — the quantum is measured in wall time,
+/// so cores stay aligned across clock domains.
+///
+/// Results are bit-identical for every `GPM_THREADS` value (including the
+/// pool-free serial path): phase 1 lanes share no mutable state and
+/// phase 2's replay order is fully determined by the logs. The golden
+/// hashes in `tests/cmp_equivalence.rs` pin this.
 ///
 /// This is the validation counterpart of
 /// [`TraceCmpSim`](crate::TraceCmpSim), mirroring the paper's full-CMP
 /// Turandot implementation "with time-driven L2 and thread synchronisation".
 #[derive(Debug)]
 pub struct FullCmpSim {
-    cores: Vec<CoreModel>,
-    streams: Vec<WorkloadStream>,
-    names: Vec<String>,
-    modes: ModeCombination,
+    lanes: Vec<CoreLane>,
     shared: SharedL2,
     power: PowerModel,
-    dvfs: DvfsParams,
     quantum: Micros,
 }
 
@@ -99,35 +254,45 @@ impl FullCmpSim {
             });
         }
         core_config.validate()?;
-        let mut cores = Vec::with_capacity(combo.cores());
-        let mut streams = Vec::with_capacity(combo.cores());
-        let mut names = Vec::with_capacity(combo.cores());
-        for (i, &bench) in combo.benchmarks().iter().enumerate() {
-            let mode = modes.mode(gpm_types::CoreId::new(i));
-            cores.push(CoreModel::new(core_config, dvfs.frequency(mode)));
-            // Distinct address bases and seed salts: four mcf instances must
-            // not literally share data.
-            streams.push(
-                bench
-                    .profile()
-                    .stream_with(i as u64 * CORE_ADDR_STRIDE, i as u64),
-            );
-            names.push(bench.name().to_owned());
-        }
-        let shared = SharedL2::new(SharedL2Config {
+        let shared_config = SharedL2Config {
             cache: core_config.l2,
             l2_latency_ns: core_config.memory.l2_latency_ns,
             memory_latency_ns: core_config.memory.memory_latency_ns,
             ..SharedL2Config::default()
-        });
+        };
+        let mut lanes = Vec::with_capacity(combo.cores());
+        for (i, &bench) in combo.benchmarks().iter().enumerate() {
+            let mode = modes.mode(gpm_types::CoreId::new(i));
+            let freq = dvfs.frequency(mode);
+            lanes.push(CoreLane {
+                core: CoreModel::new(core_config, freq),
+                // Distinct address bases and seed salts: four mcf instances
+                // must not literally share data.
+                stream: bench
+                    .profile()
+                    .stream_with(i as u64 * CORE_ADDR_STRIDE, i as u64),
+                deferred: DeferredL2::new(shared_config.l2_latency_ns),
+                benchmark: Arc::from(bench.name()),
+                mode,
+                freq,
+                cycles_per_quantum: 0,
+                pending_ns: 0.0,
+                charge_min_ns: shared_config.l2_latency_ns,
+                // Hit latency + memory latency + the M/D/1 wait at the
+                // utilisation cap: the worst latency a replay can report.
+                charge_max_ns: shared_config.l2_latency_ns
+                    + shared_config.memory_latency_ns
+                    + shared_config.service_ns * 0.98 / (2.0 * (1.0 - 0.98)),
+                actual_ns: 0.0,
+                cursor: 0,
+                total: IntervalStats::default(),
+                energy_j: 0.0,
+            });
+        }
         Ok(Self {
-            cores,
-            streams,
-            names,
-            modes: modes.clone(),
-            shared,
+            lanes,
+            shared: SharedL2::new(shared_config),
             power,
-            dvfs,
             quantum: Micros::new(5.0),
         })
     }
@@ -135,56 +300,58 @@ impl FullCmpSim {
     /// Overrides the synchronisation quantum (default 5 µs). Smaller values
     /// interleave the cores' L2 traffic more finely at simulation-speed
     /// cost.
-    pub fn set_quantum(&mut self, quantum: Micros) {
-        assert!(quantum.value() > 0.0, "quantum must be positive");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] unless the quantum is positive
+    /// and finite.
+    pub fn set_quantum(&mut self, quantum: Micros) -> Result<()> {
+        if !quantum.value().is_finite() || quantum.value() <= 0.0 {
+            return Err(GpmError::InvalidConfig {
+                parameter: "quantum",
+                reason: format!("must be positive and finite, got {}", quantum.value()),
+            });
+        }
         self.quantum = quantum;
+        Ok(())
     }
 
     /// Runs all cores for `duration` of wall time and reports per-core
     /// averages.
+    ///
+    /// Phase 1 of each quantum fans out over the `gpm_par` pool
+    /// (`GPM_THREADS` workers, persistent across quanta); phase 2 replays
+    /// the merged request logs serially. The outcome is bit-identical for
+    /// any thread count.
     pub fn run(&mut self, duration: Micros) -> FullCmpOutcome {
         let quanta = (duration.value() / self.quantum.value()).ceil() as usize;
-        let n = self.cores.len();
-        let mut totals: Vec<IntervalStats> = vec![IntervalStats::default(); n];
-        let mut energy_j = vec![0.0f64; n];
-
-        for _ in 0..quanta {
-            let window_ns = self.quantum.value() * 1.0e3;
-            for i in 0..n {
-                let mode = self.modes.mode(gpm_types::CoreId::new(i));
-                let freq = self.dvfs.frequency(mode);
-                let cycles = freq.cycles_in(self.quantum).value();
-                // `run_cycles_with` is generic over the memory subsystem:
-                // passing the shared L2 concretely monomorphizes the access
-                // path (no per-miss virtual dispatch).
-                let stats =
-                    self.cores[i].run_cycles_with(&mut self.streams[i], &mut self.shared, cycles);
-                let power = self.power.power(&stats.activity(), mode);
-                let secs = stats.cycles as f64 / freq.value();
-                energy_j[i] += power.value() * secs;
-                totals[i].merge(&stats);
-            }
-            self.shared.end_window(window_ns);
+        let window_ns = self.quantum.value() * 1.0e3;
+        for lane in &mut self.lanes {
+            lane.cycles_per_quantum = lane.freq.cycles_in(self.quantum).value();
+            lane.total = IntervalStats::default();
+            lane.energy_j = 0.0;
         }
 
-        let per_core = (0..n)
-            .map(|i| {
-                let mode = self.modes.mode(gpm_types::CoreId::new(i));
-                let freq = self.dvfs.frequency(mode);
-                let secs = totals[i].cycles as f64 / freq.value();
-                PerCoreOutcome {
-                    benchmark: self.names[i].clone(),
-                    mode,
-                    instructions: totals[i].instructions,
-                    power: Watts::new(energy_j[i] / secs),
-                    bips: Bips::new(totals[i].instructions as f64 / secs / 1.0e9),
-                    l2_misses: totals[i].l2_misses,
-                }
-            })
-            .collect();
+        if quanta > 0 {
+            let power = &self.power;
+            let shared = &mut self.shared;
+            let mut round = 0usize;
+            gpm_par::run_rounds(
+                &mut self.lanes,
+                |_, lane| lane.step_quantum(power),
+                |view| {
+                    view.with_all(|lanes| {
+                        replay_quantum(lanes, shared);
+                    });
+                    shared.end_window(window_ns);
+                    round += 1;
+                    round < quanta
+                },
+            );
+        }
 
         FullCmpOutcome {
-            per_core,
+            per_core: self.lanes.iter().map(CoreLane::outcome).collect(),
             duration,
             l2_utilization: self.shared.average_utilization(),
         }
@@ -219,7 +386,7 @@ mod tests {
     fn runs_and_reports_per_core() {
         let out = run_combo(&combos::gcc_mesa(), 0.5);
         assert_eq!(out.per_core.len(), 2);
-        assert_eq!(out.per_core[0].benchmark, "gcc");
+        assert_eq!(&*out.per_core[0].benchmark, "gcc");
         assert!(out.per_core.iter().all(|c| c.instructions > 10_000));
         assert!(out.chip_power().value() > 10.0);
         assert!(out.chip_bips().value() > 0.5);
@@ -303,5 +470,60 @@ mod tests {
             DvfsParams::paper(),
         );
         assert!(matches!(err, Err(GpmError::CoreCountMismatch { .. })));
+    }
+
+    #[test]
+    fn invalid_quantum_rejected() {
+        let combo = combos::gcc_mesa();
+        let modes = ModeCombination::uniform(2, PowerMode::Turbo);
+        let mut sim = FullCmpSim::new(
+            &combo,
+            &modes,
+            &CoreConfig::power4(),
+            PowerModel::power4_calibrated(),
+            DvfsParams::paper(),
+        )
+        .unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(
+                    sim.set_quantum(Micros::new(bad)),
+                    Err(GpmError::InvalidConfig {
+                        parameter: "quantum",
+                        ..
+                    })
+                ),
+                "quantum {bad} must be rejected"
+            );
+        }
+        sim.set_quantum(Micros::new(2.5)).expect("valid quantum");
+    }
+
+    #[test]
+    fn repeated_runs_reuse_accumulators() {
+        // Back-to-back runs on one simulator must report only their own
+        // interval (accumulators reset), while microarchitectural state
+        // (warm caches) persists — the second run is at least as fast.
+        let combo = combos::gcc_mesa();
+        let modes = ModeCombination::uniform(2, PowerMode::Turbo);
+        let mut sim = FullCmpSim::new(
+            &combo,
+            &modes,
+            &CoreConfig::power4(),
+            PowerModel::power4_calibrated(),
+            DvfsParams::paper(),
+        )
+        .unwrap();
+        let first = sim.run(Micros::from_millis(0.25));
+        let second = sim.run(Micros::from_millis(0.25));
+        for (a, b) in first.per_core.iter().zip(&second.per_core) {
+            assert!(
+                b.instructions < a.instructions * 2,
+                "second run must not double-count: {} vs {}",
+                b.instructions,
+                a.instructions
+            );
+            assert!(b.instructions > 10_000);
+        }
     }
 }

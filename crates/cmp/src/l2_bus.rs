@@ -1,0 +1,124 @@
+//! Bus/queue accounting for the shared L2, separated from the tag array.
+//!
+//! The split keeps the two-phase replay cheap: phase 2 touches the tag
+//! array once per logged request ([`L2Lookup`](crate::L2Lookup)) and this
+//! accounting once per request plus once per window — no branching on
+//! simulation mode anywhere in the lookup path.
+
+/// Windowed M/D/1 queueing model of the shared L2 bus.
+///
+/// Accesses are noted as they (re)play; closing an observation window
+/// converts the window's bus utilisation into the queueing delay charged
+/// to every access of the *next* window (`w = s·ρ/(2(1−ρ))`, the M/D/1
+/// mean wait). Rate-based rather than event-timestamped on purpose: the
+/// cores advance with drifting local clocks, and absolute-timestamp
+/// arbitration would be unstable under that interleaving.
+#[derive(Debug, Clone)]
+pub struct L2Bus {
+    service_ns: f64,
+    window_accesses: u64,
+    current_queue_ns: f64,
+    current_utilization: f64,
+    windows: u64,
+    utilization_sum: f64,
+    peak_utilization: f64,
+}
+
+impl L2Bus {
+    /// Builds the bus model with `service_ns` occupancy per access.
+    #[must_use]
+    pub fn new(service_ns: f64) -> Self {
+        Self {
+            service_ns,
+            window_accesses: 0,
+            current_queue_ns: 0.0,
+            current_utilization: 0.0,
+            windows: 0,
+            utilization_sum: 0.0,
+            peak_utilization: 0.0,
+        }
+    }
+
+    /// Notes one access in the current window and returns the queueing
+    /// delay to charge it, in nanoseconds.
+    #[inline]
+    pub fn charge_access(&mut self) -> f64 {
+        self.window_accesses += 1;
+        self.current_queue_ns
+    }
+
+    /// Closes the current observation window of `window_ns` wall time: the
+    /// window's bus utilisation determines the queueing delay applied to
+    /// the next window's accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is not positive.
+    pub fn end_window(&mut self, window_ns: f64) {
+        assert!(window_ns > 0.0, "window must be positive");
+        let demand = self.window_accesses as f64 * self.service_ns;
+        let utilization = (demand / window_ns).min(0.98);
+        self.current_utilization = utilization;
+        self.current_queue_ns = self.service_ns * utilization / (2.0 * (1.0 - utilization));
+        self.windows += 1;
+        self.utilization_sum += utilization;
+        self.peak_utilization = self.peak_utilization.max(utilization);
+        self.window_accesses = 0;
+    }
+
+    /// Queueing delay currently charged per access, in nanoseconds.
+    #[must_use]
+    pub fn current_queue_ns(&self) -> f64 {
+        self.current_queue_ns
+    }
+
+    /// Utilisation of the most recently closed window.
+    #[must_use]
+    pub fn current_utilization(&self) -> f64 {
+        self.current_utilization
+    }
+
+    /// Mean bus utilisation over all closed windows.
+    #[must_use]
+    pub fn average_utilization(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.utilization_sum / self.windows as f64
+        }
+    }
+
+    /// Highest single-window bus utilisation seen.
+    #[must_use]
+    pub fn peak_utilization(&self) -> f64 {
+        self.peak_utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_follows_previous_window_utilization() {
+        let mut bus = L2Bus::new(2.0);
+        for _ in 0..1000 {
+            assert_eq!(bus.charge_access(), 0.0, "first window is queue-free");
+        }
+        bus.end_window(5000.0);
+        assert!((bus.current_utilization() - 0.4).abs() < 1e-9);
+        assert!((bus.current_queue_ns() - 2.0 * 0.4 / 1.2).abs() < 1e-9);
+        assert!(bus.charge_access() > 0.0);
+    }
+
+    #[test]
+    fn utilization_capped_below_one() {
+        let mut bus = L2Bus::new(2.0);
+        for _ in 0..1_000_000 {
+            let _ = bus.charge_access();
+        }
+        bus.end_window(5000.0);
+        assert!(bus.peak_utilization() <= 0.98);
+        assert!(bus.current_queue_ns().is_finite());
+    }
+}

@@ -44,11 +44,13 @@
 #![warn(missing_docs)]
 
 mod full_sim;
+mod l2_bus;
 mod params;
 mod shared_l2;
 mod trace_sim;
 
 pub use full_sim::{FullCmpOutcome, FullCmpSim, PerCoreOutcome};
+pub use l2_bus::L2Bus;
 pub use params::{SensorModel, SimParams, TransitionBehavior};
-pub use shared_l2::{SharedL2, SharedL2Config};
+pub use shared_l2::{L2Lookup, SharedL2, SharedL2Config};
 pub use trace_sim::{CoreObservation, ExploreOutcome, SimHistory, TraceCmpSim};

@@ -1,7 +1,21 @@
 //! Shared L2 with bus contention for the full-CMP validation simulator.
+//!
+//! The model is split in two halves so the two-phase quantum protocol can
+//! replay request logs cheaply:
+//!
+//! * [`L2Lookup`] — the pure cache: one shared tag array plus fixed array
+//!   and memory latencies. Stateless apart from the tags; one call per
+//!   request.
+//! * [`L2Bus`] — the bandwidth model: windowed M/D/1 queue accounting.
+//!
+//! [`SharedL2`] composes the two and serves both the inline path (a core
+//! calling through [`MemorySubsystem`]) and the replay path
+//! ([`SharedL2::replay_access`]) with identical arithmetic.
 
 use gpm_microarch::{AccessOutcome, CacheConfig, MemorySubsystem, SetAssocCache};
 use serde::{Deserialize, Serialize};
+
+use crate::L2Bus;
 
 /// Geometry and timing of the shared L2 and its bus.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,29 +42,63 @@ impl Default for SharedL2Config {
     }
 }
 
+/// The capacity half of the shared L2: one tag array for all cores, plus
+/// the fixed hit/miss latencies. No contention state — replaying a request
+/// through here costs one cache probe.
+#[derive(Debug, Clone)]
+pub struct L2Lookup {
+    cache: SetAssocCache,
+    l2_latency_ns: f64,
+    memory_latency_ns: f64,
+}
+
+impl L2Lookup {
+    /// Builds the tag array and latency pair from the shared config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache geometry is invalid.
+    #[must_use]
+    pub fn new(config: &SharedL2Config) -> Self {
+        Self {
+            cache: SetAssocCache::new(config.cache),
+            l2_latency_ns: config.l2_latency_ns,
+            memory_latency_ns: config.memory_latency_ns,
+        }
+    }
+
+    /// Probes (and updates) the tag array. Returns the access's base
+    /// latency — array latency, plus memory latency on a miss — and
+    /// whether it hit.
+    #[inline]
+    pub fn probe(&mut self, addr: u64) -> (f64, bool) {
+        match self.cache.access(addr) {
+            AccessOutcome::Hit => (self.l2_latency_ns, true),
+            AccessOutcome::Miss => (self.l2_latency_ns + self.memory_latency_ns, false),
+        }
+    }
+
+    /// The tag array (for diagnostics).
+    #[must_use]
+    pub fn cache(&self) -> &SetAssocCache {
+        &self.cache
+    }
+}
+
 /// A shared L2 + memory behind a bandwidth-limited bus.
 ///
 /// Capacity contention is modelled exactly (one shared tag array for all
-/// cores). Bandwidth contention uses a windowed queueing model: the
-/// simulation driver closes an observation window every synchronisation
-/// quantum via [`end_window`], the bus utilisation of that window sets the
-/// queueing delay charged to every access of the next window
-/// (`w = s·ρ/(2(1−ρ))`, the M/D/1 mean wait). This is deliberately
-/// rate-based rather than event-timestamped: the cores advance round-robin
-/// with drifting local clocks, and absolute-timestamp arbitration would be
-/// unstable under that interleaving.
+/// cores, [`L2Lookup`]). Bandwidth contention uses the windowed queueing
+/// model of [`L2Bus`]: the simulation driver closes an observation window
+/// every synchronisation quantum via [`end_window`], and the bus
+/// utilisation of that window sets the queueing delay charged to every
+/// access of the next window.
 ///
 /// [`end_window`]: SharedL2::end_window
 #[derive(Debug, Clone)]
 pub struct SharedL2 {
-    cache: SetAssocCache,
-    config: SharedL2Config,
-    window_accesses: u64,
-    current_queue_ns: f64,
-    current_utilization: f64,
-    windows: u64,
-    utilization_sum: f64,
-    peak_utilization: f64,
+    lookup: L2Lookup,
+    bus: L2Bus,
     accesses: u64,
 }
 
@@ -63,14 +111,8 @@ impl SharedL2 {
     #[must_use]
     pub fn new(config: SharedL2Config) -> Self {
         Self {
-            cache: SetAssocCache::new(config.cache),
-            config,
-            window_accesses: 0,
-            current_queue_ns: 0.0,
-            current_utilization: 0.0,
-            windows: 0,
-            utilization_sum: 0.0,
-            peak_utilization: 0.0,
+            lookup: L2Lookup::new(&config),
+            bus: L2Bus::new(config.service_ns),
             accesses: 0,
         }
     }
@@ -78,50 +120,54 @@ impl SharedL2 {
     /// The tag array (for diagnostics).
     #[must_use]
     pub fn cache(&self) -> &SetAssocCache {
-        &self.cache
+        self.lookup.cache()
     }
 
-    /// Total accesses served.
+    /// Total accesses served (inline and replayed).
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.accesses
     }
 
+    /// Serves one request — the single arbitration point shared by the
+    /// inline [`MemorySubsystem`] path and the phase-2 replay of deferred
+    /// request logs. Returns `(total_latency_ns, l2_hit)` where the total
+    /// includes the current window's queueing delay.
+    #[inline]
+    pub fn replay_access(&mut self, addr: u64) -> (f64, bool) {
+        self.accesses += 1;
+        let queue = self.bus.charge_access();
+        let (base, hit) = self.lookup.probe(addr);
+        (queue + base, hit)
+    }
+
     /// Closes the current observation window of `window_ns` wall time: the
     /// window's bus utilisation determines the queueing delay applied to
     /// the next window's accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_ns` is not positive.
     pub fn end_window(&mut self, window_ns: f64) {
-        assert!(window_ns > 0.0, "window must be positive");
-        let demand = self.window_accesses as f64 * self.config.service_ns;
-        let utilization = (demand / window_ns).min(0.98);
-        self.current_utilization = utilization;
-        self.current_queue_ns = self.config.service_ns * utilization / (2.0 * (1.0 - utilization));
-        self.windows += 1;
-        self.utilization_sum += utilization;
-        self.peak_utilization = self.peak_utilization.max(utilization);
-        self.window_accesses = 0;
+        self.bus.end_window(window_ns);
     }
 
     /// Queueing delay currently charged per access, in nanoseconds.
     #[must_use]
     pub fn current_queue_ns(&self) -> f64 {
-        self.current_queue_ns
+        self.bus.current_queue_ns()
     }
 
     /// Mean bus utilisation over all closed windows.
     #[must_use]
     pub fn average_utilization(&self) -> f64 {
-        if self.windows == 0 {
-            0.0
-        } else {
-            self.utilization_sum / self.windows as f64
-        }
+        self.bus.average_utilization()
     }
 
     /// Highest single-window bus utilisation seen.
     #[must_use]
     pub fn peak_utilization(&self) -> f64 {
-        self.peak_utilization
+        self.bus.peak_utilization()
     }
 }
 
@@ -133,16 +179,7 @@ impl Default for SharedL2 {
 
 impl MemorySubsystem for SharedL2 {
     fn access(&mut self, addr: u64, _now_ns: f64) -> (f64, bool) {
-        self.accesses += 1;
-        self.window_accesses += 1;
-        let queue = self.current_queue_ns;
-        match self.cache.access(addr) {
-            AccessOutcome::Hit => (queue + self.config.l2_latency_ns, true),
-            AccessOutcome::Miss => (
-                queue + self.config.l2_latency_ns + self.config.memory_latency_ns,
-                false,
-            ),
-        }
+        self.replay_access(addr)
     }
 }
 
@@ -159,6 +196,21 @@ mod tests {
         let (lat_hit, hit) = l2.access(0x1000, 0.0);
         assert!(hit);
         assert!((lat_hit - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_matches_inline_access() {
+        let mut inline = SharedL2::default();
+        let mut replayed = SharedL2::default();
+        for i in 0..5000u64 {
+            let addr = (i * 977) % (4 * 1024 * 1024);
+            assert_eq!(inline.access(addr, 0.0), replayed.replay_access(addr));
+            if i % 1000 == 999 {
+                inline.end_window(5000.0);
+                replayed.end_window(5000.0);
+            }
+        }
+        assert_eq!(inline.accesses(), replayed.accesses());
     }
 
     #[test]

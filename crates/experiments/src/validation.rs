@@ -97,7 +97,7 @@ pub fn trace_vs_full(
             let single_bips =
                 t.instructions_by(window) as f64 / window.to_seconds().value() / 1.0e9;
             CoreDelta {
-                benchmark: cmp.benchmark.clone(),
+                benchmark: cmp.benchmark.to_string(),
                 power_delta: cmp.power.value() / single_power - 1.0,
                 perf_delta: cmp.bips.value() / single_bips - 1.0,
             }

@@ -48,11 +48,39 @@ pub trait MemorySubsystem {
     /// Performs an access that missed in the core's L1, at absolute wall
     /// time `now_ns`. Returns `(latency_ns, l2_hit)`.
     fn access(&mut self, addr: u64, now_ns: f64) -> (f64, bool);
+
+    /// Like [`access`](Self::access), but carrying the request kind.
+    ///
+    /// The core always calls this entry point; the default forwards to
+    /// `access`, so ordinary memory systems ignore the kind. Recording
+    /// subsystems ([`DeferredL2`](crate::DeferredL2)) override it to log
+    /// the kind alongside the address and timestamp.
+    fn access_kind(&mut self, addr: u64, now_ns: f64, kind: AccessKind) -> (f64, bool) {
+        let _ = kind;
+        self.access(addr, now_ns)
+    }
+}
+
+/// What an L2 request was issued for. Recorded in deferred-request logs so
+/// replay and diagnostics can distinguish traffic classes; timing treats
+/// all kinds identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Instruction fetch (L1I miss).
+    Fetch,
+    /// Demand load or store (L1D miss).
+    Data,
+    /// Hardware stream-prefetcher fill.
+    Prefetch,
 }
 
 impl<T: MemorySubsystem + ?Sized> MemorySubsystem for &mut T {
     fn access(&mut self, addr: u64, now_ns: f64) -> (f64, bool) {
         (**self).access(addr, now_ns)
+    }
+
+    fn access_kind(&mut self, addr: u64, now_ns: f64, kind: AccessKind) -> (f64, bool) {
+        (**self).access_kind(addr, now_ns, kind)
     }
 }
 
@@ -255,6 +283,19 @@ impl CoreModel {
         self.engine.op_buf_len = 0;
     }
 
+    /// Stalls the core for exactly `cycles` cycles: the clock advances, no
+    /// instructions dispatch, and the cycles count as idle (not busy).
+    ///
+    /// This is the stall-credit entry point of the two-phase full-CMP
+    /// protocol: queueing and miss delays discovered during the serial L2
+    /// replay of one quantum are charged to the core at the start of its
+    /// next quantum. The credit is indistinguishable from a long in-order
+    /// memory stall — the dispatch window reopens afterwards.
+    pub fn apply_stall_cycles(&mut self, cycles: u64) {
+        self.engine.cur_cycle += cycles;
+        self.engine.dispatched_in_cycle = 0;
+    }
+
     /// Runs the core against `source` for (at least) `target_cycles` core
     /// cycles using the core's private L2 and memory, returning the
     /// statistics of exactly this interval.
@@ -401,7 +442,7 @@ impl Engine {
             if self.l1i.access(op.code_addr).is_miss() {
                 stats.l1i_misses += 1;
                 let now_ns = self.cur_cycle as f64 * self.ns_per_cycle;
-                let (lat_ns, l2_hit) = memory.access(op.code_addr, now_ns);
+                let (lat_ns, l2_hit) = memory.access_kind(op.code_addr, now_ns, AccessKind::Fetch);
                 stats.l2_accesses += 1;
                 if !l2_hit {
                     stats.l2_misses += 1;
@@ -523,7 +564,7 @@ impl Engine {
         if self.l1d.access(addr).is_miss() {
             stats.l1d_misses += 1;
             let now_ns = at_cycle as f64 * self.ns_per_cycle;
-            let (lat_ns, l2_hit) = memory.access(addr, now_ns);
+            let (lat_ns, l2_hit) = memory.access_kind(addr, now_ns, AccessKind::Data);
             stats.l2_accesses += 1;
             if !l2_hit {
                 stats.l2_misses += 1;
@@ -541,7 +582,8 @@ impl Engine {
                         if self.l1d.contains(pf_addr) {
                             continue;
                         }
-                        let (_, pf_l2_hit) = memory.access(pf_addr, now_ns);
+                        let (_, pf_l2_hit) =
+                            memory.access_kind(pf_addr, now_ns, AccessKind::Prefetch);
                         stats.l2_accesses += 1;
                         if !pf_l2_hit {
                             stats.l2_misses += 1;

@@ -56,6 +56,7 @@ mod branch;
 mod cache;
 mod config;
 mod core_model;
+mod deferred;
 mod op;
 mod prefetch;
 mod stats;
@@ -63,7 +64,8 @@ mod stats;
 pub use branch::{BranchPredictor, PredictorConfig};
 pub use cache::{AccessOutcome, CacheConfig, SetAssocCache};
 pub use config::{CoreConfig, MemoryConfig};
-pub use core_model::{CoreModel, MemorySubsystem, PrivateMemory};
+pub use core_model::{AccessKind, CoreModel, MemorySubsystem, PrivateMemory};
+pub use deferred::{DeferredL2, L2Request};
 pub use op::{InstructionSource, MicroOp, OpKind};
 pub use prefetch::StreamPrefetcher;
 pub use stats::{ActivityFactors, IntervalStats};

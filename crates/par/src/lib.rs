@@ -30,6 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod rounds;
+
+pub use rounds::{run_rounds, RoundView};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -79,6 +83,17 @@ pub fn in_parallel_region() -> bool {
     IN_POOL.with(std::cell::Cell::get)
 }
 
+/// Marks the current thread as (not) being a pool worker; used by every
+/// pool implementation in this crate so nesting checks agree.
+pub(crate) fn set_region_flag(value: bool) {
+    IN_POOL.with(|flag| flag.set(value));
+}
+
+/// Serialises tests (across this crate's test modules) that touch the
+/// process-wide thread-count override.
+#[cfg(test)]
+pub(crate) static TEST_OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
 /// Maps `f` over `items` in parallel, preserving input order.
 ///
 /// Spawns up to `max_threads()` scoped workers that claim items from an
@@ -105,7 +120,7 @@ where
         let mut handles = Vec::with_capacity(threads);
         for _ in 0..threads {
             handles.push(scope.spawn(|| {
-                IN_POOL.with(|flag| flag.set(true));
+                set_region_flag(true);
                 loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(item) = items.get(index) else { break };
@@ -158,8 +173,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicBool;
 
-    /// Serialises tests that touch the process-wide override.
-    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+    use crate::TEST_OVERRIDE_LOCK as OVERRIDE_LOCK;
 
     #[test]
     fn preserves_order_for_any_thread_count() {

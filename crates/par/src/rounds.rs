@@ -1,0 +1,264 @@
+//! Persistent-worker round execution for quantum-synchronised simulations.
+//!
+//! [`parallel_map`](crate::parallel_map) spawns a fresh scoped pool per
+//! call, which is fine for coarse work units (policy sweeps, captures) but
+//! not for the full-CMP simulator: one synchronisation quantum is a few
+//! microseconds of simulated time — far too little work to amortise thread
+//! spawns every round. [`run_rounds`] keeps one set of workers alive for
+//! the whole run and drives them through *rounds* with a barrier: each
+//! round, every per-item state is stepped in parallel, then a serial
+//! `between` callback runs on the calling thread with exclusive access to
+//! all states (the merge/replay phase), and decides whether to continue.
+//!
+//! # Determinism
+//!
+//! Item `i` is only ever stepped by the worker that owns residue class
+//! `i % threads`, with no shared mutable state between workers, and the
+//! serial phase always observes all items after the barrier in index
+//! order. Results are therefore bit-identical for every thread count,
+//! including the inline serial path used when the pool width is 1 or the
+//! caller is already inside a parallel region.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::{in_parallel_region, max_threads, set_region_flag};
+
+/// Exclusive access to every round state during the serial phase of
+/// [`run_rounds`].
+///
+/// While the `between` callback runs, all workers are parked at the round
+/// barrier, so the locks taken here are uncontended.
+pub struct RoundView<'cells, 'state, T> {
+    cells: &'cells [Mutex<&'state mut T>],
+}
+
+impl<T> RoundView<'_, '_, T> {
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether there are no states.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Runs `f` with mutable access to one state.
+    pub fn with<R>(&self, index: usize, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut guard = self.cells[index].lock().expect("round state poisoned");
+        f(&mut guard)
+    }
+
+    /// Runs `f` with simultaneous mutable access to all states in index
+    /// order — the merge phase of a two-phase protocol needs every
+    /// per-item log at once.
+    pub fn with_all<R>(&self, f: impl FnOnce(&mut [&mut T]) -> R) -> R {
+        let mut guards: Vec<_> = self
+            .cells
+            .iter()
+            .map(|cell| cell.lock().expect("round state poisoned"))
+            .collect();
+        let mut refs: Vec<&mut T> = guards.iter_mut().map(|guard| &mut ***guard).collect();
+        f(&mut refs)
+    }
+}
+
+/// Steps `states` through repeated parallel rounds on a persistent worker
+/// pool.
+///
+/// Each round, `step(i, &mut states[i])` runs for every state on up to
+/// [`max_threads`](crate::max_threads) scoped workers that stay alive
+/// across rounds (one barrier synchronisation per round, no per-round
+/// spawns). After the barrier, `between` runs serially on the calling
+/// thread with a [`RoundView`] over all states; returning `false` ends the
+/// run. At least one round is always executed.
+///
+/// Runs inline (no pool) when the width is 1, there is at most one state,
+/// or the caller is already inside a parallel region.
+///
+/// # Panics
+///
+/// Propagates the first panic from `step` or `between`. Workers that
+/// panic mid-round still join the barrier, so no round deadlocks.
+pub fn run_rounds<T, F, G>(states: &mut [T], step: F, mut between: G)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+    G: FnMut(&RoundView<'_, '_, T>) -> bool,
+{
+    let threads = max_threads().min(states.len());
+    let cells: Vec<Mutex<&mut T>> = states.iter_mut().map(Mutex::new).collect();
+    let view = RoundView { cells: &cells };
+
+    if threads <= 1 || in_parallel_region() {
+        loop {
+            for (i, cell) in cells.iter().enumerate() {
+                let mut guard = cell.lock().expect("round state poisoned");
+                step(i, &mut guard);
+            }
+            if !between(&view) {
+                return;
+            }
+        }
+    }
+
+    let barrier = Barrier::new(threads + 1);
+    let done = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let (barrier, done, cells, step, first_panic) =
+                (&barrier, &done, &cells, &step, &first_panic);
+            scope.spawn(move || {
+                set_region_flag(true);
+                loop {
+                    barrier.wait();
+                    if done.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut index = worker;
+                        while index < cells.len() {
+                            let mut guard = cells[index].lock().expect("round state poisoned");
+                            step(index, &mut guard);
+                            index += threads;
+                        }
+                    }));
+                    if let Err(panic) = result {
+                        let mut slot = first_panic.lock().expect("panic slot poisoned");
+                        slot.get_or_insert(panic);
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+
+        loop {
+            barrier.wait(); // release the round
+            barrier.wait(); // join the round
+            if first_panic.lock().expect("panic slot poisoned").is_some() {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| between(&view))) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(panic) => {
+                    let mut slot = first_panic.lock().expect("panic slot poisoned");
+                    slot.get_or_insert(panic);
+                    break;
+                }
+            }
+        }
+        done.store(true, Ordering::SeqCst);
+        barrier.wait(); // wake workers so they observe `done` and exit
+    });
+
+    if let Some(panic) = first_panic.into_inner().expect("panic slot poisoned") {
+        resume_unwind(panic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_max_threads, TEST_OVERRIDE_LOCK};
+
+    #[test]
+    fn rounds_are_bit_identical_across_thread_counts() {
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap();
+        let reference: Option<Vec<u64>> = None;
+        let mut golden = reference;
+        for threads in [1usize, 2, 3, 8] {
+            set_max_threads(Some(threads));
+            let mut states: Vec<u64> = (0..7).collect();
+            let mut rounds = 0usize;
+            run_rounds(
+                &mut states,
+                |i, s| *s = s.wrapping_mul(6364136223846793005).wrapping_add(i as u64),
+                |view| {
+                    rounds += 1;
+                    // The serial phase mixes neighbouring states — order
+                    // dependence that any nondeterminism would expose.
+                    view.with_all(|all| {
+                        for i in 1..all.len() {
+                            *all[i] ^= *all[i - 1] >> 7;
+                        }
+                    });
+                    rounds < 50
+                },
+            );
+            assert_eq!(rounds, 50);
+            match &golden {
+                None => golden = Some(states),
+                Some(expected) => assert_eq!(&states, expected, "threads={threads}"),
+            }
+        }
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn at_least_one_round_runs() {
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap();
+        set_max_threads(Some(4));
+        let mut states = vec![0u32; 5];
+        run_rounds(&mut states, |_, s| *s += 1, |_| false);
+        assert_eq!(states, vec![1; 5]);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap();
+        set_max_threads(Some(4));
+        let outer: Vec<usize> = (0..4).collect();
+        let sums = crate::parallel_map(&outer, |&x| {
+            let mut inner = vec![x; 3];
+            run_rounds(&mut inner, |i, s| *s += i, |_| false);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(sums, vec![3, 6, 9, 12]);
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn worker_panic_propagates_without_deadlock() {
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap();
+        set_max_threads(Some(2));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut states = vec![0u32; 4];
+            run_rounds(
+                &mut states,
+                |i, _| assert!(i != 2, "boom"),
+                |_| panic!("between must not run after a worker panic"),
+            );
+        }));
+        assert!(result.is_err());
+        set_max_threads(None);
+    }
+
+    #[test]
+    fn serial_view_accessors_agree() {
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap();
+        set_max_threads(Some(1));
+        let mut states = vec![10u32, 20, 30];
+        run_rounds(
+            &mut states,
+            |_, s| *s += 1,
+            |view| {
+                assert_eq!(view.len(), 3);
+                assert!(!view.is_empty());
+                let via_with = view.with(1, |s| *s);
+                let via_all = view.with_all(|all| *all[1]);
+                assert_eq!(via_with, via_all);
+                false
+            },
+        );
+        set_max_threads(None);
+    }
+}

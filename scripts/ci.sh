@@ -2,8 +2,10 @@
 # Full local CI: format, lint, build, test.
 #
 # Everything runs offline against the vendored dependency subsets; no
-# network access is required. Set GPM_THREADS=1 to exercise the serial
-# paths (results are identical for any worker-pool width).
+# network access is required. The test suite runs twice — once with
+# GPM_THREADS=1 (serial paths) and once with GPM_THREADS=2 (worker pool) —
+# because the parallel engine guarantees bit-identical results for any
+# pool width and both halves of that promise must stay covered.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,11 +18,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test --workspace"
-cargo test --workspace --quiet
+echo "==> GPM_THREADS=1 cargo test --workspace"
+GPM_THREADS=1 cargo test --workspace --quiet
 
-# Smoke-run the throughput baseline so the bench target cannot bit-rot;
-# GPM_BENCH_QUICK bounds the run and failure means panic, not regression.
+echo "==> GPM_THREADS=2 cargo test --workspace"
+GPM_THREADS=2 cargo test --workspace --quiet
+
+# Smoke-run the throughput baseline (including the full-CMP two-phase
+# cases) so the bench target cannot bit-rot; GPM_BENCH_QUICK bounds the
+# run and failure means panic, not regression.
 echo "==> GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput"
 GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput
 
