@@ -82,7 +82,7 @@ fn core_model_throughput(c: &mut Criterion) {
     for bench in [SpecBenchmark::Gcc, SpecBenchmark::Mcf] {
         group.bench_function(bench.name(), |b| {
             let config = CoreConfig::power4();
-            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0)).unwrap();
             let mut stream = bench.stream();
             b.iter(|| black_box(core.run_cycles(&mut stream, 100_000)));
         });

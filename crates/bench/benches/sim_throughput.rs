@@ -14,12 +14,14 @@
 //! regression).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use gpm_cmp::FullCmpSim;
+use gpm_cmp::{FullCmpSim, SimParams, TraceCmpSim};
+use gpm_core::{BudgetSchedule, GlobalManager, MaxBips, RunOptions};
 use gpm_microarch::{CoreConfig, CoreModel};
 use gpm_power::{DvfsParams, PowerModel};
-use gpm_trace::{capture_benchmark, CaptureConfig};
+use gpm_trace::{capture_benchmark, BenchmarkTraces, CaptureConfig, ModeTrace, TraceSample};
 use gpm_types::{Hertz, Micros, ModeCombination, PowerMode};
 use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
 
@@ -41,7 +43,7 @@ impl Measurement {
 /// the simulator.
 fn core_stream_mips(bench: SpecBenchmark, min_instructions: u64) -> Measurement {
     let config = CoreConfig::power4();
-    let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+    let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0)).unwrap();
     let mut stream = bench.stream();
     // Warm caches and predictors outside the timed region.
     let _ = core.run_cycles(&mut stream, 200_000);
@@ -123,12 +125,78 @@ fn cmp_full_mips(name: &'static str, combo: &WorkloadCombo, sim_us: f64) -> Meas
     }
 }
 
+/// Synthetic constant-rate traces so the manager-loop measurement has no
+/// capture dependency and a deterministic interval count.
+fn constant_traces(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
+    let delta = Micros::new(50.0);
+    let delta_s = delta.to_seconds().value();
+    let traces = PowerMode::ALL
+        .map(|mode| {
+            let b = bips * mode.bips_scale_bound();
+            let p = power * mode.power_scale();
+            let per_delta = b * 1.0e9 * delta_s;
+            let samples: Vec<TraceSample> = (1..=4000)
+                .map(|k| TraceSample {
+                    instructions_end: (per_delta * k as f64) as u64,
+                    power_w: p,
+                    bips: b,
+                })
+                .collect();
+            ModeTrace::new(mode, delta, samples)
+        })
+        .to_vec();
+    Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+}
+
+/// Manager control-loop throughput over a 4-core synthetic trace sim
+/// (~190 explore intervals per run), with or without the guard rails.
+/// The two variants bound the guard-rail overhead on the fault-free path:
+/// the frame conversion + guard bookkeeping per interval must stay within
+/// ~2% of the legacy loop.
+fn manager_loop_mips(name: &'static str, guarded: bool, repeats: usize) -> Measurement {
+    let traces = || {
+        vec![
+            constant_traces("a", 180_000_000, 2.0, 20.0),
+            constant_traces("b", 45_000_000, 0.5, 12.0),
+            constant_traces("c", 135_000_000, 1.5, 17.0),
+            constant_traces("d", 90_000_000, 1.0, 14.0),
+        ]
+    };
+    let options = if guarded {
+        RunOptions::guarded()
+    } else {
+        RunOptions::default()
+    };
+    let schedule = BudgetSchedule::constant(0.8);
+    // One untimed run to warm allocator pools and fault the traces in.
+    let sim = TraceCmpSim::new(traces(), SimParams::default()).unwrap();
+    let _ = GlobalManager::new()
+        .run_with(sim, &mut MaxBips::new(), &schedule, &options)
+        .unwrap();
+
+    let mut instructions = 0u64;
+    let start = Instant::now();
+    for _ in 0..repeats {
+        let sim = TraceCmpSim::new(traces(), SimParams::default()).unwrap();
+        let run = GlobalManager::new()
+            .run_with(sim, &mut MaxBips::new(), &schedule, &options)
+            .unwrap();
+        instructions += run.per_core_instructions.iter().sum::<u64>();
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        name,
+        instructions,
+        seconds,
+    }
+}
+
 fn main() {
     let quick = std::env::var("GPM_BENCH_QUICK").is_ok_and(|v| v == "1");
-    let (core_target, capture_limit, cmp_us) = if quick {
-        (2_000_000, 300_000, 200.0)
+    let (core_target, capture_limit, cmp_us, manager_repeats) = if quick {
+        (2_000_000, 300_000, 200.0, 2)
     } else {
-        (40_000_000, 8_000_000, 2_000.0)
+        (40_000_000, 8_000_000, 2_000.0, 40)
     };
 
     let measurements = [
@@ -143,6 +211,8 @@ fn main() {
             2.0 * cmp_us,
         ),
         cmp_full_mips("cmp_full_8way_mixed", &combos::eight_way_mixed(), cmp_us),
+        manager_loop_mips("manager_fault_free", false, manager_repeats),
+        manager_loop_mips("manager_guarded", true, manager_repeats),
     ];
 
     let mut json = String::from("{\n");
@@ -152,6 +222,15 @@ fn main() {
         let _ = writeln!(json, "  \"{}\": {:.2}{}", m.name, m.mips(), comma);
     }
     json.push('}');
+
+    let (ff, guarded) = (
+        measurements[measurements.len() - 2].mips(),
+        measurements[measurements.len() - 1].mips(),
+    );
+    println!(
+        "guard-rail overhead on the fault-free path: {:+.2}%",
+        (ff / guarded - 1.0) * 100.0
+    );
 
     let dir = std::path::Path::new("target").join("gpm-results");
     if std::fs::create_dir_all(&dir).is_ok() {

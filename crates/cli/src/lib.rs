@@ -18,11 +18,13 @@
 use std::fmt::Write as _;
 
 use gpm_cmp::{SimParams, TraceCmpSim};
+use gpm_core::RunOptions;
 use gpm_core::{
     static_oracle, sweep_policy, throughput_degradation, turbo_baseline, weighted_slowdown,
     BudgetSchedule, GlobalManager, MinPower, Policy,
 };
 use gpm_experiments::{ExperimentContext, PolicyKind};
+use gpm_faults::FaultPlan;
 use gpm_types::{GpmError, Result};
 use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
 
@@ -71,6 +73,11 @@ pub enum Command {
         json: bool,
         /// Use truncated captures.
         fast: bool,
+        /// Fault plan injected at the sensor/actuator seam, if any.
+        faults: Option<FaultPlan>,
+        /// Disable the guard rails (only meaningful with `faults`;
+        /// reproduces the paper's trusting controller under faults).
+        no_guards: bool,
     },
     /// Sweep policies across budgets (policy curves).
     Sweep {
@@ -214,6 +221,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
     let mut threads = None;
     let mut fast = false;
     let mut json = false;
+    let mut faults: Option<FaultPlan> = None;
+    let mut fault_seed: Option<u64> = None;
+    let mut no_guards = false;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -260,6 +270,22 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                         .map_err(|_| bad(format!("bad budget `{v}`")))?,
                 );
             }
+            "--no-guards" => no_guards = true,
+            "--faults" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--faults needs a spec (see README)".into()))?;
+                faults = Some(FaultPlan::parse(&v)?);
+            }
+            "--fault-seed" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--fault-seed needs a value".into()))?;
+                fault_seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| bad(format!("bad fault seed `{v}`")))?,
+                );
+            }
             "--budgets" => {
                 let v = args
                     .next()
@@ -280,6 +306,11 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
             budget: budget.unwrap_or(0.8),
             json,
             fast,
+            faults: match (faults, fault_seed) {
+                (Some(plan), Some(seed)) => Some(plan.seeded(seed)),
+                (plan, _) => plan,
+            },
+            no_guards,
         },
         "sweep" => Command::Sweep {
             combo: combo.unwrap_or_else(combos::ammp_mcf_crafty_art),
@@ -311,6 +342,7 @@ pub const USAGE: &str = "gpm — global CMP power management (MICRO 2006 reprodu
 
 USAGE:
   gpm run    [--combo \"a|b|c\"] [--policy NAME] [--budget F] [--json] [--fast]
+             [--faults SPEC] [--fault-seed N] [--no-guards]
   gpm sweep  [--combo \"a|b|c\"] [--policies a,b,c] [--budgets lo:hi:step] [--fast]
   gpm figure NAME [--fast]      regenerate a paper experiment (see `gpm list`)
   gpm list                      benchmarks, combos, policies, experiments
@@ -323,6 +355,15 @@ GLOBAL OPTIONS:
 
 POLICIES: maxbips, priority, pullhipushlo, chipwide, oracle, greedy,
           minpower:<target>, static (sweep only)
+
+FAULTS:   SPEC is `kind[@cores][:key=val,...]` clauses joined by `;`.
+          Kinds: noise (std=F), bias (factor=F), stale (lag=N),
+          dropout, stuck (delay=N, omitted = ignore), shock (frac=F).
+          Cores: `all` (default) or `+`-joined indices, e.g. `0+2`.
+          Windows: from=N, to=N in 500 µs explore intervals, half-open.
+          Example: --faults \"dropout@1:from=3,to=6;noise@all:std=0.05\"
+          Guard rails are on by default under faults; --no-guards runs
+          the paper's trusting controller instead.
 ";
 
 fn context(fast: bool) -> ExperimentContext {
@@ -348,7 +389,9 @@ pub fn execute(command: Command) -> Result<String> {
             budget,
             json,
             fast,
-        } => run_one(&combo, &policy, budget, json, fast),
+            faults,
+            no_guards,
+        } => run_one(&combo, &policy, budget, json, fast, faults, no_guards),
         Command::Sweep {
             combo,
             policies,
@@ -379,9 +422,11 @@ fn list_text() -> String {
     out.push_str(
         "\npolicies: maxbips priority pullhipushlo chipwide oracle greedy minpower:<t> static\n",
     );
-    out.push_str("\nexperiments: table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig7 fig8\n");
     out.push_str(
-        "             fig9 fig10 fig11 validation prediction minpower thermal transition\n",
+        "\nexperiments: table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig6_faulted fig7\n",
+    );
+    out.push_str(
+        "             fig8 fig9 fig10 fig11 validation prediction minpower thermal transition\n",
     );
     out
 }
@@ -392,6 +437,8 @@ fn run_one(
     budget: f64,
     json: bool,
     fast: bool,
+    faults: Option<FaultPlan>,
+    no_guards: bool,
 ) -> Result<String> {
     if budget <= 0.0 || budget > 1.0 {
         return Err(GpmError::InvalidConfig {
@@ -428,11 +475,25 @@ fn run_one(
     };
 
     let sim = TraceCmpSim::new(traces, params)?;
-    let run = GlobalManager::new().run(sim, &mut *boxed, &BudgetSchedule::constant(budget))?;
+    let faulted = faults.is_some();
+    let options = match faults {
+        Some(plan) if no_guards => RunOptions {
+            faults: Some(plan),
+            guards: None,
+        },
+        Some(plan) => RunOptions::faulted(plan),
+        None => RunOptions::default(),
+    };
+    let run = GlobalManager::new().run_with(
+        sim,
+        &mut *boxed,
+        &BudgetSchedule::constant(budget),
+        &options,
+    )?;
     if json {
         return run.to_json();
     }
-    Ok(format!(
+    let mut out = format!(
         "{} on {} at {:.0}% budget:\n  ΔPerf {:.2}%  w.slowdown {:.2}%  power/budget {:.1}%\n  avg power {:.1}  avg BIPS {:.2}  stalls {:.1}  intervals {}\n",
         run.policy,
         combo,
@@ -444,7 +505,19 @@ fn run_one(
         run.average_chip_bips(),
         run.total_stall(),
         run.records.len(),
-    ))
+    );
+    if faulted {
+        let _ = writeln!(
+            out,
+            "  faults: {} events  guards: {}{} actions  worst overshoot {:.2}  longest violation run {}",
+            run.fault_events.len(),
+            if no_guards { "off, " } else { "" },
+            run.guard_actions.len(),
+            run.worst_overshoot_watts(),
+            run.longest_violation_run(),
+        );
+    }
+    Ok(out)
 }
 
 fn run_sweep(
@@ -510,6 +583,7 @@ fn run_figure(name: &str, fast: bool) -> Result<String> {
         "fig4" => exp::fig4::run(&ctx)?.render(),
         "fig5" => exp::fig5::run(&ctx)?.render(),
         "fig6" => exp::fig6::run(&ctx)?.render(),
+        "fig6_faulted" | "fig6f" => exp::fig6_faulted::run(&ctx)?.render(),
         "fig7" => exp::fig7::run(&ctx)?.render(),
         "fig8" => exp::scaling::fig8(&ctx)?.render(),
         "fig9" => exp::scaling::fig9(&ctx)?.render(),
@@ -548,11 +622,14 @@ mod tests {
                 budget,
                 json,
                 fast,
+                faults,
+                no_guards,
             } => {
                 assert_eq!(combo.label(), "art|mcf");
                 assert_eq!(policy, PolicySpec::Kind(PolicyKind::MaxBips));
                 assert_eq!(budget, 0.75);
                 assert!(json && fast);
+                assert!(faults.is_none() && !no_guards);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -641,7 +718,9 @@ mod tests {
             &PolicySpec::Kind(PolicyKind::MaxBips),
             1.5,
             false,
-            true
+            true,
+            None,
+            false
         )
         .is_err());
     }
@@ -654,6 +733,8 @@ mod tests {
             budget: 0.8,
             json: false,
             fast: true,
+            faults: None,
+            no_guards: false,
         })
         .unwrap();
         assert!(out.contains("MaxBIPS"), "{out}");
@@ -674,6 +755,43 @@ mod tests {
     }
 
     #[test]
+    fn parses_fault_flags() {
+        let cmd =
+            parse("run --combo art|mcf --faults dropout@1:from=3,to=6 --fault-seed 7 --no-guards")
+                .unwrap();
+        match cmd {
+            Command::Run {
+                faults, no_guards, ..
+            } => {
+                let plan = faults.expect("plan parsed");
+                assert_eq!(plan.seed, 7);
+                assert_eq!(plan.clauses.len(), 1);
+                assert!(no_guards);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse("run --faults nosuchkind").is_err());
+        assert!(parse("run --fault-seed notanumber").is_err());
+        assert!(parse("run --faults").is_err());
+    }
+
+    #[test]
+    fn faulted_run_reports_fault_summary() {
+        let out = execute(Command::Run {
+            combo: combos::art_mcf(),
+            policy: PolicySpec::Kind(PolicyKind::MaxBips),
+            budget: 0.8,
+            json: false,
+            fast: true,
+            faults: Some(FaultPlan::parse("dropout@1:from=2,to=4").unwrap()),
+            no_guards: false,
+        })
+        .unwrap();
+        assert!(out.contains("faults:"), "{out}");
+        assert!(out.contains("worst overshoot"), "{out}");
+    }
+
+    #[test]
     fn json_run_roundtrips() {
         let out = execute(Command::Run {
             combo: combos::art_mcf(),
@@ -681,6 +799,8 @@ mod tests {
             budget: 0.8,
             json: true,
             fast: true,
+            faults: None,
+            no_guards: false,
         })
         .unwrap();
         let run = gpm_core::RunResult::from_json(&out).unwrap();

@@ -265,12 +265,12 @@ impl FullCmpSim {
             let mode = modes.mode(gpm_types::CoreId::new(i));
             let freq = dvfs.frequency(mode);
             lanes.push(CoreLane {
-                core: CoreModel::new(core_config, freq),
+                core: CoreModel::new(core_config, freq)?,
                 // Distinct address bases and seed salts: four mcf instances
                 // must not literally share data.
                 stream: bench
                     .profile()
-                    .stream_with(i as u64 * CORE_ADDR_STRIDE, i as u64),
+                    .stream_with(i as u64 * CORE_ADDR_STRIDE, i as u64)?,
                 deferred: DeferredL2::new(shared_config.l2_latency_ns),
                 benchmark: Arc::from(bench.name()),
                 mode,
@@ -291,7 +291,7 @@ impl FullCmpSim {
         }
         Ok(Self {
             lanes,
-            shared: SharedL2::new(shared_config),
+            shared: SharedL2::new(shared_config)?,
             power,
             quantum: Micros::new(5.0),
         })
@@ -409,10 +409,12 @@ mod tests {
         let mut solo = CoreModel::new(
             &CoreConfig::power4(),
             DvfsParams::paper().frequency(PowerMode::Turbo),
-        );
+        )
+        .unwrap();
         let mut stream = gpm_workloads::SpecBenchmark::Mcf
             .profile()
-            .stream_with(0, 0);
+            .stream_with(0, 0)
+            .unwrap();
         let stats = solo.run_cycles(&mut stream, 1_000_000);
         let solo_bips = stats.bips_at(DvfsParams::paper().frequency(PowerMode::Turbo));
 

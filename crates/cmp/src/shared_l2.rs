@@ -55,16 +55,16 @@ pub struct L2Lookup {
 impl L2Lookup {
     /// Builds the tag array and latency pair from the shared config.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cache geometry is invalid.
-    #[must_use]
-    pub fn new(config: &SharedL2Config) -> Self {
-        Self {
-            cache: SetAssocCache::new(config.cache),
+    /// Returns [`gpm_types::GpmError::InvalidConfig`] if the cache geometry
+    /// is invalid.
+    pub fn new(config: &SharedL2Config) -> gpm_types::Result<Self> {
+        Ok(Self {
+            cache: SetAssocCache::new(config.cache)?,
             l2_latency_ns: config.l2_latency_ns,
             memory_latency_ns: config.memory_latency_ns,
-        }
+        })
     }
 
     /// Probes (and updates) the tag array. Returns the access's base
@@ -105,16 +105,16 @@ pub struct SharedL2 {
 impl SharedL2 {
     /// Builds the shared L2.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cache geometry is invalid.
-    #[must_use]
-    pub fn new(config: SharedL2Config) -> Self {
-        Self {
-            lookup: L2Lookup::new(&config),
+    /// Returns [`gpm_types::GpmError::InvalidConfig`] if the cache geometry
+    /// is invalid.
+    pub fn new(config: SharedL2Config) -> gpm_types::Result<Self> {
+        Ok(Self {
+            lookup: L2Lookup::new(&config)?,
             bus: L2Bus::new(config.service_ns),
             accesses: 0,
-        }
+        })
     }
 
     /// The tag array (for diagnostics).
@@ -173,7 +173,7 @@ impl SharedL2 {
 
 impl Default for SharedL2 {
     fn default() -> Self {
-        Self::new(SharedL2Config::default())
+        Self::new(SharedL2Config::default()).expect("default shared-L2 geometry is valid")
     }
 }
 

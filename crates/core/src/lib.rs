@@ -69,7 +69,9 @@ pub use budget::BudgetSchedule;
 pub use curves::{
     evaluate_policy_point, sweep_policy, turbo_baseline, CurvePoint, PolicyCurve, DEFAULT_BUDGETS,
 };
-pub use manager::{ExploreRecord, GlobalManager, RunResult};
+pub use manager::{
+    ExploreRecord, GlobalManager, GuardAction, GuardActionKind, GuardRails, RunOptions, RunResult,
+};
 pub use matrices::PowerBipsMatrices;
 pub use metrics::{throughput_degradation, weighted_slowdown, weighted_speedup_slowdown};
 pub use policy::{

@@ -1,7 +1,8 @@
 //! The global power manager's control loop.
 
-use gpm_cmp::{SimHistory, TraceCmpSim};
-use gpm_types::{Bips, Micros, ModeCombination, Result, Watts};
+use gpm_cmp::{CoreObservation, SimHistory, TraceCmpSim};
+use gpm_faults::{FaultEvent, FaultPlan, FaultSession, SensorFrame, SensorStatus};
+use gpm_types::{Bips, CoreId, Micros, ModeCombination, PowerMode, Result, Watts};
 
 use crate::{BudgetSchedule, Policy, PolicyContext, PowerBipsMatrices};
 
@@ -28,6 +29,112 @@ pub struct ExploreRecord {
     pub bootstrap: bool,
 }
 
+/// A guard rail firing: what the hardened control loop did and when.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GuardAction {
+    /// Explore interval index at which the guard acted.
+    pub interval: usize,
+    /// What the guard did.
+    pub kind: GuardActionKind,
+}
+
+/// The degraded-operation responses of the hardened manager.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum GuardActionKind {
+    /// A reading was stale but within tolerance: the manager used it with
+    /// a safety margin on predicted power.
+    StaleFallback {
+        /// Affected core.
+        core: usize,
+        /// How many intervals behind the reading was.
+        age: usize,
+    },
+    /// A sensor was dark (or stale beyond tolerance): the manager assumed
+    /// the worst case — the core drawing its full Turbo peak.
+    DarkWorstCase {
+        /// Affected core.
+        core: usize,
+    },
+    /// The overshoot watchdog clamped cores to Eff2 after K consecutive
+    /// violated intervals.
+    WatchdogClamp {
+        /// The clamped cores.
+        cores: Vec<usize>,
+        /// How many intervals the clamp will hold.
+        hold: usize,
+    },
+    /// A watchdog clamp expired; the cores may be re-promoted.
+    WatchdogRepromote {
+        /// The released cores.
+        cores: Vec<usize>,
+    },
+}
+
+/// Tuning for the hardened control loop's guard rails.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardRails {
+    /// Maximum reading age (intervals) the manager will still act on; older
+    /// or dark readings fall back to the worst-case Turbo assumption.
+    pub stale_tolerance: usize,
+    /// Relative safety margin added to predicted power per interval of
+    /// staleness (0.05 = 5% per interval of age).
+    pub stale_margin: f64,
+    /// Consecutive over-budget intervals tolerated before the watchdog
+    /// clamps offending cores to Eff2 (the paper corrects single-interval
+    /// overshoots at the next explore point; K > 1 means something is
+    /// persistently wrong).
+    pub watchdog_k: usize,
+    /// How many intervals the first clamp holds.
+    pub clamp_hold: usize,
+    /// Ceiling on the exponential clamp-hold backoff.
+    pub max_backoff: usize,
+}
+
+impl Default for GuardRails {
+    fn default() -> Self {
+        Self {
+            stale_tolerance: 3,
+            stale_margin: 0.05,
+            watchdog_k: 3,
+            clamp_hold: 2,
+            max_backoff: 32,
+        }
+    }
+}
+
+/// Options for [`GlobalManager::run_with`]: fault injection and guard
+/// rails. The default (no faults, no guards) is the exact legacy control
+/// loop — bit-identical results, no extra work per interval.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Fault plan to inject at the sensor/actuator seam, if any.
+    pub faults: Option<FaultPlan>,
+    /// Guard rails hardening the control loop, if any. `None` reproduces
+    /// the trusting controller of the paper (useful as the contrast case
+    /// in fault experiments).
+    pub guards: Option<GuardRails>,
+}
+
+impl RunOptions {
+    /// Options injecting `plan` with default guard rails on.
+    #[must_use]
+    pub fn faulted(plan: FaultPlan) -> Self {
+        Self {
+            faults: Some(plan),
+            guards: Some(GuardRails::default()),
+        }
+    }
+
+    /// Options with guard rails on and no faults (overhead measurement).
+    #[must_use]
+    pub fn guarded() -> Self {
+        Self {
+            faults: None,
+            guards: Some(GuardRails::default()),
+        }
+    }
+}
+
 /// Everything a managed run produced.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct RunResult {
@@ -45,6 +152,10 @@ pub struct RunResult {
     pub per_core_instructions: Vec<u64>,
     /// Total wall time simulated.
     pub duration: Micros,
+    /// Faults that fired during the run (empty on fault-free runs).
+    pub fault_events: Vec<FaultEvent>,
+    /// Guard rails that fired during the run (empty when guards are off).
+    pub guard_actions: Vec<GuardAction>,
 }
 
 impl RunResult {
@@ -132,6 +243,34 @@ impl RunResult {
             .count()
     }
 
+    /// Largest margin (watts) by which measured chip power exceeded the
+    /// budget in any interval; zero if the budget was never violated.
+    #[must_use]
+    pub fn worst_overshoot_watts(&self) -> Watts {
+        Watts::new(
+            self.measured()
+                .iter()
+                .map(|r| (r.chip_power.value() - r.budget.value()).max(0.0))
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Length of the longest run of consecutive over-budget intervals —
+    /// the quantity the overshoot watchdog bounds.
+    #[must_use]
+    pub fn longest_violation_run(&self) -> usize {
+        let (mut longest, mut current) = (0usize, 0usize);
+        for r in self.measured() {
+            if r.chip_power > r.budget {
+                current += 1;
+                longest = longest.max(current);
+            } else {
+                current = 0;
+            }
+        }
+        longest
+    }
+
     /// Total transition stall time paid over the run.
     #[must_use]
     pub fn total_stall(&self) -> Micros {
@@ -158,6 +297,184 @@ impl RunResult {
     }
 }
 
+/// Live guard-rail state for one hardened run.
+struct GuardState {
+    rails: GuardRails,
+    /// Per-core Turbo peak power (worst-case assumption for dark sensors).
+    peaks: Vec<f64>,
+    envelope: f64,
+    /// Last trustworthy (fresh) frame per core.
+    last_good: Vec<Option<SensorFrame>>,
+    violation_streak: usize,
+    clean_streak: usize,
+    clamp_remaining: usize,
+    backoff: usize,
+    clamped: Vec<usize>,
+    pending_repromote: Option<Vec<usize>>,
+    actions: Vec<GuardAction>,
+}
+
+impl GuardState {
+    fn new(rails: GuardRails, sim: &TraceCmpSim) -> Self {
+        let peaks: Vec<f64> = sim
+            .traces()
+            .iter()
+            .map(|t| t.trace(PowerMode::Turbo).peak_power().value())
+            .collect();
+        let envelope = peaks.iter().sum();
+        Self {
+            rails,
+            peaks,
+            envelope,
+            last_good: vec![None; sim.cores()],
+            violation_streak: 0,
+            clean_streak: 0,
+            clamp_remaining: 0,
+            backoff: rails.clamp_hold,
+            clamped: Vec::new(),
+            pending_repromote: None,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Converts seam frames into the observations the predictor consumes,
+    /// degrading gracefully: stale-within-tolerance readings are used with
+    /// a power margin, stale-beyond-tolerance and dark sensors fall back to
+    /// the worst case (core at full Turbo peak).
+    fn process(&mut self, interval: usize, frames: &[SensorFrame]) -> Vec<CoreObservation> {
+        frames
+            .iter()
+            .map(|f| match f.status {
+                SensorStatus::Fresh => {
+                    self.last_good[f.core] = Some(*f);
+                    frame_to_observation(f)
+                }
+                SensorStatus::Stale { age } if age <= self.rails.stale_tolerance => {
+                    self.actions.push(GuardAction {
+                        interval,
+                        kind: GuardActionKind::StaleFallback { core: f.core, age },
+                    });
+                    let margin = 1.0 + self.rails.stale_margin * age as f64;
+                    CoreObservation {
+                        core: CoreId::new(f.core),
+                        mode: f.mode,
+                        power: Watts::new(f.power.value() * margin),
+                        bips: f.bips,
+                        instructions: f.instructions,
+                    }
+                }
+                _ => {
+                    self.actions.push(GuardAction {
+                        interval,
+                        kind: GuardActionKind::DarkWorstCase { core: f.core },
+                    });
+                    // Assume the core draws its full Turbo peak; carry the
+                    // last trustworthy throughput (rescaled to Turbo) so
+                    // the policy still has a performance signal.
+                    let bips = self.last_good[f.core]
+                        .map(|g| g.bips.value() / g.mode.bips_scale_bound())
+                        .unwrap_or(0.0);
+                    CoreObservation {
+                        core: CoreId::new(f.core),
+                        mode: PowerMode::Turbo,
+                        power: Watts::new(self.peaks[f.core]),
+                        bips: Bips::new(bips),
+                        instructions: 0,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the overshoot watchdog to the policy's decision. Returns
+    /// `true` if this interval runs under an active clamp.
+    fn shape_decision(
+        &mut self,
+        interval: usize,
+        modes: &mut ModeCombination,
+        observations: &[CoreObservation],
+        budget: Watts,
+    ) -> bool {
+        if let Some(cores) = self.pending_repromote.take() {
+            self.actions.push(GuardAction {
+                interval,
+                kind: GuardActionKind::WatchdogRepromote { cores },
+            });
+        }
+        if self.clamp_remaining == 0 && self.violation_streak >= self.rails.watchdog_k {
+            // Offenders: cores whose observed power exceeds their
+            // envelope-proportional share of the budget. If attribution
+            // fails (e.g. every sensor is dark and reads the same), clamp
+            // the whole chip.
+            let mut offenders: Vec<usize> = observations
+                .iter()
+                .enumerate()
+                .filter(|(i, o)| o.power.value() > budget.value() * self.peaks[*i] / self.envelope)
+                .map(|(i, _)| i)
+                .collect();
+            if offenders.is_empty() {
+                offenders = (0..observations.len()).collect();
+            }
+            self.clamped = offenders;
+            self.clamp_remaining = self.backoff;
+            self.actions.push(GuardAction {
+                interval,
+                kind: GuardActionKind::WatchdogClamp {
+                    cores: self.clamped.clone(),
+                    hold: self.clamp_remaining,
+                },
+            });
+            self.backoff = (self.backoff * 2).min(self.rails.max_backoff);
+            self.violation_streak = 0;
+            self.clean_streak = 0;
+        }
+        if self.clamp_remaining > 0 {
+            for &core in &self.clamped {
+                modes.set(CoreId::new(core), PowerMode::Eff2);
+            }
+            self.clamp_remaining -= 1;
+            if self.clamp_remaining == 0 {
+                self.pending_repromote = Some(std::mem::take(&mut self.clamped));
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Books one completed interval's budget outcome. Clamped intervals are
+    /// not counted: the watchdog is already doing all it can there.
+    fn account(&mut self, was_clamped: bool, chip_power: Watts, budget: Watts) {
+        if was_clamped {
+            return;
+        }
+        if chip_power > budget {
+            self.violation_streak += 1;
+            self.clean_streak = 0;
+        } else {
+            self.violation_streak = 0;
+            self.clean_streak += 1;
+            if self.clean_streak >= self.rails.watchdog_k {
+                self.backoff = self.rails.clamp_hold;
+            }
+        }
+    }
+}
+
+fn observation_to_frame(o: &CoreObservation) -> SensorFrame {
+    SensorFrame::fresh(o.core.value(), o.mode, o.power, o.bips, o.instructions)
+}
+
+fn frame_to_observation(f: &SensorFrame) -> CoreObservation {
+    CoreObservation {
+        core: CoreId::new(f.core),
+        mode: f.mode,
+        power: f.power,
+        bips: f.bips,
+        instructions: f.instructions,
+    }
+}
+
 /// The hierarchical global power manager (Section 2): collects per-core
 /// sensor observations every explore interval, builds the predictive
 /// Power/BIPS matrices, consults a [`Policy`], and applies the chosen mode
@@ -169,6 +486,12 @@ impl RunResult {
 /// [`ExploreRecord::bootstrap`] set and excluded from aggregate metrics: it
 /// is a measurement artifact of starting the observation window, not of the
 /// policy under test (the paper's controller runs in steady state).
+///
+/// [`run_with`](Self::run_with) additionally threads the telemetry and
+/// actuation paths through a [`FaultSession`] seam and — when
+/// [`RunOptions::guards`] is set — hardens the loop with stale-telemetry
+/// fallback, worst-case assumptions for dark sensors, and an overshoot
+/// watchdog. The default options reproduce [`run`](Self::run) exactly.
 #[derive(Debug, Clone, Default)]
 pub struct GlobalManager {
     _priv: (),
@@ -190,20 +513,56 @@ impl GlobalManager {
     /// policy, advancing past termination).
     pub fn run(
         &self,
+        sim: TraceCmpSim,
+        policy: &mut dyn Policy,
+        schedule: &BudgetSchedule,
+    ) -> Result<RunResult> {
+        self.run_with(sim, policy, schedule, &RunOptions::default())
+    }
+
+    /// Like [`run`](Self::run), with fault injection and/or guard rails.
+    ///
+    /// Interval indexing at the fault seam: telemetry observed during
+    /// interval `i` is perturbed by clauses covering `i` and feeds the
+    /// decision for interval `i + 1`; actuation and budget clauses apply at
+    /// the interval being decided. The watchdog monitors the *package-level*
+    /// power meter (measured chip power) — per-core sensor faults corrupt
+    /// attribution, not the chip-wide violation signal.
+    ///
+    /// # Errors
+    ///
+    /// Additionally returns [`gpm_types::GpmError::FaultSpec`] if the fault
+    /// plan names a core the chip does not have.
+    pub fn run_with(
+        &self,
         mut sim: TraceCmpSim,
         policy: &mut dyn Policy,
         schedule: &BudgetSchedule,
+        options: &RunOptions,
     ) -> Result<RunResult> {
         let envelope = sim.power_envelope();
         let explore = sim.params().explore;
         let dvfs = sim.params().dvfs;
         let mut records = Vec::new();
 
+        let mut session = match &options.faults {
+            Some(plan) => Some(FaultSession::new(plan, sim.cores())?),
+            None => None,
+        };
+        let mut guard = options.guards.map(|rails| GuardState::new(rails, &sim));
+        // Scratch buffers for the seam path, allocated once per run.
+        let mut frames: Vec<SensorFrame> = Vec::new();
+        let mut guarded_obs: Vec<CoreObservation> = Vec::new();
+
         // Interval 0 (warm-up): observe in the initial (all-Turbo) state.
         // One ExploreOutcome is reused across the whole loop so its per-delta
         // buffers are allocated once per run, not once per interval.
         let mut start = sim.now();
-        let mut budget = Watts::new(envelope.value() * schedule.fraction_at(start));
+        let mut fraction = schedule.fraction_at(start);
+        if let Some(s) = session.as_mut() {
+            fraction = s.budget_fraction(0, fraction);
+        }
+        let mut budget = Watts::new(envelope.value() * fraction);
         let mut outcome = gpm_cmp::ExploreOutcome::empty();
         sim.advance_explore_into(&sim.modes().clone(), &mut outcome)?;
         records.push(ExploreRecord {
@@ -220,13 +579,41 @@ impl GlobalManager {
         let warmup_end = sim.now();
 
         while !sim.finished() {
+            let interval = records.len();
             start = sim.now();
-            budget = Watts::new(envelope.value() * schedule.fraction_at(start));
-            let matrices = PowerBipsMatrices::predict(&outcome.observed);
+            fraction = schedule.fraction_at(start);
+            if let Some(s) = session.as_mut() {
+                fraction = s.budget_fraction(interval, fraction);
+            }
+            budget = Watts::new(envelope.value() * fraction);
+
+            // Telemetry seam: the just-completed interval's readings pass
+            // through the fault plan, then through the guard rails. With
+            // neither configured the predictor reads the raw observations —
+            // the exact legacy path.
+            let observations: &[CoreObservation] = if session.is_some() || guard.is_some() {
+                frames.clear();
+                frames.extend(outcome.observed.iter().map(observation_to_frame));
+                if let Some(s) = session.as_mut() {
+                    frames = s.observe(interval - 1, &frames);
+                }
+                match guard.as_mut() {
+                    Some(g) => guarded_obs = g.process(interval - 1, &frames),
+                    None => {
+                        guarded_obs.clear();
+                        guarded_obs.extend(frames.iter().map(frame_to_observation));
+                    }
+                }
+                &guarded_obs
+            } else {
+                &outcome.observed
+            };
+
+            let matrices = PowerBipsMatrices::predict(observations);
             let future = policy
                 .needs_future()
                 .then(|| PowerBipsMatrices::from_future(&sim));
-            let modes = {
+            let mut modes = {
                 let ctx = PolicyContext {
                     current_modes: sim.modes(),
                     matrices: &matrices,
@@ -237,12 +624,24 @@ impl GlobalManager {
                 };
                 policy.decide(&ctx)
             };
+            let was_clamped = match guard.as_mut() {
+                Some(g) => g.shape_decision(interval, &mut modes, observations, budget),
+                None => false,
+            };
+            // Actuation seam: stuck DVFS lanes may ignore or defer requests.
+            if let Some(s) = session.as_mut() {
+                modes = s.actuate(interval, &modes, sim.modes());
+            }
             sim.advance_explore_into(&modes, &mut outcome)?;
+            let chip_power = outcome.average_chip_power();
+            if let Some(g) = guard.as_mut() {
+                g.account(was_clamped, chip_power, budget);
+            }
             records.push(ExploreRecord {
                 start,
                 budget,
                 modes,
-                chip_power: outcome.average_chip_power(),
+                chip_power,
                 chip_bips: outcome.total_bips(),
                 stall: outcome.transition_stall,
                 duration: outcome.duration,
@@ -273,6 +672,152 @@ impl GlobalManager {
             duration,
             history: sim.history().clone(),
             records,
+            fault_events: session.map(|mut s| s.drain_events()).unwrap_or_default(),
+            guard_actions: guard.map(|g| g.actions).unwrap_or_default(),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(budget: f64, power: f64, bootstrap: bool) -> ExploreRecord {
+        ExploreRecord {
+            start: Micros::ZERO,
+            budget: Watts::new(budget),
+            modes: ModeCombination::uniform(1, PowerMode::Turbo),
+            chip_power: Watts::new(power),
+            chip_bips: Bips::ZERO,
+            stall: Micros::ZERO,
+            duration: Micros::new(500.0),
+            bootstrap,
+        }
+    }
+
+    fn result_with(records: Vec<ExploreRecord>) -> RunResult {
+        RunResult {
+            policy: "test".into(),
+            benchmarks: vec!["b".into()],
+            envelope: Watts::new(100.0),
+            records,
+            history: SimHistory::default(),
+            per_core_instructions: vec![0],
+            duration: Micros::new(500.0),
+            fault_events: Vec::new(),
+            guard_actions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn warmup_only_run_falls_back_to_bootstrap_records() {
+        // A run that terminated inside warm-up has only bootstrap records;
+        // measured() must fall back to them instead of an empty slice.
+        let r = result_with(vec![record(80.0, 90.0, true)]);
+        assert!((r.average_chip_power().value() - 90.0).abs() < 1e-12);
+        assert!((r.average_budget().value() - 80.0).abs() < 1e-12);
+        assert_eq!(r.overshoot_intervals(), 1);
+        assert!((r.worst_overshoot_watts().value() - 10.0).abs() < 1e-12);
+        assert_eq!(r.longest_violation_run(), 1);
+    }
+
+    #[test]
+    fn violation_metrics_track_worst_and_longest() {
+        let r = result_with(vec![
+            record(80.0, 90.0, true), // warm-up: excluded
+            record(80.0, 85.0, false),
+            record(80.0, 95.0, false),
+            record(80.0, 70.0, false),
+            record(80.0, 81.0, false),
+        ]);
+        assert_eq!(r.overshoot_intervals(), 3);
+        assert!((r.worst_overshoot_watts().value() - 15.0).abs() < 1e-12);
+        assert_eq!(r.longest_violation_run(), 2);
+    }
+
+    #[test]
+    fn no_violations_report_zero() {
+        let r = result_with(vec![record(80.0, 90.0, true), record(80.0, 70.0, false)]);
+        assert_eq!(r.overshoot_intervals(), 0);
+        assert_eq!(r.worst_overshoot_watts(), Watts::ZERO);
+        assert_eq!(r.longest_violation_run(), 0);
+    }
+
+    #[test]
+    fn watchdog_clamps_after_k_violations_and_backs_off() {
+        let rails = GuardRails {
+            watchdog_k: 2,
+            clamp_hold: 1,
+            max_backoff: 4,
+            ..GuardRails::default()
+        };
+        let mut state = GuardState {
+            rails,
+            peaks: vec![60.0, 40.0],
+            envelope: 100.0,
+            last_good: vec![None; 2],
+            violation_streak: 0,
+            clean_streak: 0,
+            clamp_remaining: 0,
+            backoff: rails.clamp_hold,
+            clamped: Vec::new(),
+            pending_repromote: None,
+            actions: Vec::new(),
+        };
+        let budget = Watts::new(80.0);
+        let obs = vec![
+            CoreObservation {
+                core: CoreId::new(0),
+                mode: PowerMode::Turbo,
+                power: Watts::new(60.0), // over its 48 W share → offender
+                bips: Bips::new(1.0),
+                instructions: 0,
+            },
+            CoreObservation {
+                core: CoreId::new(1),
+                mode: PowerMode::Turbo,
+                power: Watts::new(25.0), // under its 32 W share
+                bips: Bips::new(1.0),
+                instructions: 0,
+            },
+        ];
+
+        // Two violated intervals, then the watchdog engages.
+        state.account(false, Watts::new(90.0), budget);
+        state.account(false, Watts::new(90.0), budget);
+        let mut modes = ModeCombination::uniform(2, PowerMode::Turbo);
+        assert!(state.shape_decision(3, &mut modes, &obs, budget));
+        assert_eq!(modes.as_slice()[0], PowerMode::Eff2);
+        assert_eq!(modes.as_slice()[1], PowerMode::Turbo); // not an offender
+        assert!(matches!(
+            state.actions[0].kind,
+            GuardActionKind::WatchdogClamp { ref cores, hold: 1 } if cores == &vec![0]
+        ));
+
+        // Hold of 1 expired: next decision records the re-promotion and the
+        // backoff has doubled for the next engagement.
+        let mut modes = ModeCombination::uniform(2, PowerMode::Turbo);
+        assert!(!state.shape_decision(4, &mut modes, &obs, budget));
+        assert_eq!(modes.as_slice()[0], PowerMode::Turbo);
+        assert!(matches!(
+            state.actions[1].kind,
+            GuardActionKind::WatchdogRepromote { .. }
+        ));
+        assert_eq!(state.backoff, 2);
+
+        // Two clean intervals reset the backoff to the base hold.
+        state.account(false, Watts::new(70.0), budget);
+        state.account(false, Watts::new(70.0), budget);
+        assert_eq!(state.backoff, 1);
+    }
+
+    #[test]
+    fn run_options_constructors() {
+        let o = RunOptions::default();
+        assert!(o.faults.is_none() && o.guards.is_none());
+        let o = RunOptions::guarded();
+        assert!(o.faults.is_none() && o.guards.is_some());
+        let o = RunOptions::faulted(FaultPlan::parse("dropout@0").unwrap());
+        assert!(o.faults.is_some() && o.guards.is_some());
     }
 }

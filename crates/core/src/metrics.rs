@@ -73,6 +73,8 @@ mod tests {
             history: SimHistory::default(),
             per_core_instructions: instr.to_vec(),
             duration: Micros::new(duration_us),
+            fault_events: vec![],
+            guard_actions: vec![],
         }
     }
 

@@ -31,7 +31,7 @@ use super::{Policy, PolicyContext};
 /// use gpm_core::{MaxBips, Policy, ThermalGuard};
 /// use gpm_power::ThermalParams;
 ///
-/// let guard = ThermalGuard::new(MaxBips::new(), 4, ThermalParams::default(), 85.0, 4.0);
+/// let guard = ThermalGuard::new(MaxBips::new(), 4, ThermalParams::default(), 85.0, 4.0).unwrap();
 /// assert_eq!(guard.name(), "Thermal(MaxBIPS)");
 /// ```
 #[derive(Debug, Clone)]
@@ -48,22 +48,33 @@ impl<P: Policy> ThermalGuard<P> {
     /// Wraps `inner` for a `cores`-way chip with junction limit `limit_c`
     /// (°C) and a soft margin `margin_c` below it.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the thermal parameters are invalid (see
-    /// [`ThermalModel::new`]) or `margin_c` is negative.
-    #[must_use]
-    pub fn new(inner: P, cores: usize, params: ThermalParams, limit_c: f64, margin_c: f64) -> Self {
-        assert!(margin_c >= 0.0, "margin must be non-negative");
+    /// Returns [`gpm_types::GpmError::InvalidConfig`] if the thermal
+    /// parameters are invalid (see [`ThermalModel::new`]) or `margin_c` is
+    /// negative or non-finite.
+    pub fn new(
+        inner: P,
+        cores: usize,
+        params: ThermalParams,
+        limit_c: f64,
+        margin_c: f64,
+    ) -> gpm_types::Result<Self> {
+        if margin_c < 0.0 || margin_c.is_nan() {
+            return Err(gpm_types::GpmError::InvalidConfig {
+                parameter: "thermal_margin",
+                reason: format!("margin must be non-negative, got {margin_c}"),
+            });
+        }
         let name = format!("Thermal({})", inner.name());
-        Self {
+        Ok(Self {
             inner,
-            model: ThermalModel::new(cores, params),
+            model: ThermalModel::new(cores, params)?,
             limit_c,
             margin_c,
             name,
             throttle_events: 0,
-        }
+        })
     }
 
     /// Current per-core junction temperatures, °C.
@@ -139,7 +150,7 @@ mod tests {
     use crate::MaxBips;
 
     fn guard(limit: f64) -> ThermalGuard<MaxBips> {
-        ThermalGuard::new(MaxBips::new(), 2, ThermalParams::default(), limit, 3.0)
+        ThermalGuard::new(MaxBips::new(), 2, ThermalParams::default(), limit, 3.0).unwrap()
     }
 
     #[test]
@@ -175,7 +186,8 @@ mod tests {
         // below the hard limit: 20 W → 81 °C steady; limit 83, margin 4 →
         // band starts at 79 °C.
         let f = Fixture::new(&[(20.0, 2.0), (12.0, 0.5)]);
-        let mut g = ThermalGuard::new(MaxBips::new(), 2, ThermalParams::default(), 83.0, 4.0);
+        let mut g =
+            ThermalGuard::new(MaxBips::new(), 2, ThermalParams::default(), 83.0, 4.0).unwrap();
         let mut last = ModeCombination::uniform(2, PowerMode::Turbo);
         for _ in 0..200 {
             last = g.decide(&f.ctx(100.0));
@@ -200,6 +212,17 @@ mod tests {
         let combo = g.decide(&f.ctx(100.0));
         assert_eq!(combo.mode(CoreId::new(0)), PowerMode::Eff2);
         assert!(throttled_temp > 70.0);
+    }
+
+    #[test]
+    fn negative_margin_rejected() {
+        assert!(matches!(
+            ThermalGuard::new(MaxBips::new(), 2, ThermalParams::default(), 85.0, -1.0),
+            Err(gpm_types::GpmError::InvalidConfig {
+                parameter: "thermal_margin",
+                ..
+            })
+        ));
     }
 
     #[test]

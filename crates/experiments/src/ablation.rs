@@ -493,7 +493,7 @@ pub struct ThermalStudy {
 /// returns the hottest temperature reached.
 fn peak_temperature(run: &RunResult, params: ThermalParams) -> f64 {
     let cores = run.history.per_core_power.len();
-    let mut model = ThermalModel::new(cores, params);
+    let mut model = ThermalModel::new(cores, params).expect("default thermal params are valid");
     let steps = run.history.per_core_power[0].len();
     let dt = run.history.per_core_power[0].dt();
     let mut peak = f64::NEG_INFINITY;
@@ -529,7 +529,7 @@ pub fn thermal(ctx: &ExperimentContext, limit_c: f64) -> Result<ThermalStudy> {
         &mut MaxBips::new(),
         &schedule,
     )?;
-    let mut guard = ThermalGuard::new(MaxBips::new(), combo.cores(), params, limit_c, 3.0);
+    let mut guard = ThermalGuard::new(MaxBips::new(), combo.cores(), params, limit_c, 3.0)?;
     let guarded = GlobalManager::new().run(
         TraceCmpSim::new(traces, ctx.params().clone())?,
         &mut guard,
@@ -733,7 +733,8 @@ pub fn prefetch(measure_cycles: u64) -> PrefetchAblation {
     let run = |bench: SpecBenchmark, streams: usize, ghz: f64| {
         let mut config = CoreConfig::power4();
         config.prefetch_streams = streams;
-        let mut core = CoreModel::new(&config, Hertz::from_ghz(ghz));
+        let mut core = CoreModel::new(&config, Hertz::from_ghz(ghz))
+            .expect("power4 config with adjusted prefetch streams is valid");
         let mut stream = bench.stream();
         let _ = core.run_cycles(&mut stream, measure_cycles / 5); // warm-up
         let stats = core.run_cycles(&mut stream, measure_cycles);

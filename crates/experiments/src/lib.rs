@@ -41,6 +41,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod fig6_faulted;
 pub mod fig7;
 mod render;
 pub mod scaling;

@@ -1,0 +1,592 @@
+//! Live fault state for one run: the seam the manager reads through.
+
+use std::collections::VecDeque;
+
+use gpm_types::{Bips, GpmError, ModeCombination, PowerMode, Result, Watts};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{DvfsFault, FaultKind, FaultPlan};
+
+/// How many post-perturbation frames per core the session keeps for
+/// stale-telemetry replay. Bounds memory on long runs; lags beyond this
+/// saturate to the oldest retained frame.
+const HISTORY_DEPTH: usize = 64;
+
+/// Freshness of a sensor reading as delivered through the fault seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SensorStatus {
+    /// The reading is from the interval just completed.
+    Fresh,
+    /// The reading is from `age` intervals ago.
+    Stale {
+        /// How many intervals behind the reading is.
+        age: usize,
+    },
+    /// The sensor is dark; power and BIPS read zero.
+    Dark,
+}
+
+/// One core's telemetry for one explore interval, as seen through the
+/// fault seam.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFrame {
+    /// Zero-based core index.
+    pub core: usize,
+    /// The mode the core ran in (per the sensor's record).
+    pub mode: PowerMode,
+    /// Reported average power over the interval.
+    pub power: Watts,
+    /// Reported throughput over the interval.
+    pub bips: Bips,
+    /// Reported instructions retired over the interval.
+    pub instructions: u64,
+    /// Freshness of this reading.
+    pub status: SensorStatus,
+}
+
+impl SensorFrame {
+    /// A fresh, unperturbed reading straight from the simulator.
+    #[must_use]
+    pub fn fresh(
+        core: usize,
+        mode: PowerMode,
+        power: Watts,
+        bips: Bips,
+        instructions: u64,
+    ) -> Self {
+        Self {
+            core,
+            mode,
+            power,
+            bips,
+            instructions,
+            status: SensorStatus::Fresh,
+        }
+    }
+}
+
+/// What kind of fault fired, with its parameters as applied.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEventKind {
+    /// Noise perturbed a core's power reading.
+    Noise {
+        /// Affected core.
+        core: usize,
+    },
+    /// A gain error scaled a core's power reading.
+    Bias {
+        /// Affected core.
+        core: usize,
+    },
+    /// A core's reading was replaced by one `age` intervals old.
+    Stale {
+        /// Affected core.
+        core: usize,
+        /// Age of the substituted reading.
+        age: usize,
+    },
+    /// A core's sensor went dark for this interval.
+    Dropout {
+        /// Affected core.
+        core: usize,
+    },
+    /// A mode-change request for a core was silently dropped.
+    StuckIgnored {
+        /// Affected core.
+        core: usize,
+    },
+    /// A mode-change request for a core was deferred.
+    StuckDelayed {
+        /// Affected core.
+        core: usize,
+        /// Interval at which the request will finally apply.
+        until: usize,
+    },
+    /// The budget fraction was capped by a cooling-failure shock.
+    BudgetShock {
+        /// The cap applied.
+        fraction: f64,
+    },
+}
+
+/// A recorded fault occurrence: what happened and when.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Explore interval index at which the fault fired.
+    pub interval: usize,
+    /// What fired.
+    pub kind: FaultEventKind,
+}
+
+/// A deferred mode-change request on a stuck-delay lane.
+#[derive(Debug, Clone, Copy)]
+struct PendingMode {
+    core: usize,
+    mode: PowerMode,
+    apply_at: usize,
+}
+
+/// Live fault state for one run.
+///
+/// All processing is serial and seeded, so a given plan produces
+/// bit-identical perturbations regardless of worker-pool width. Faults
+/// flow through three hooks, called once per interval by the manager:
+/// [`observe`](Self::observe) (telemetry), [`actuate`](Self::actuate)
+/// (DVFS requests), and [`budget_fraction`](Self::budget_fraction)
+/// (budget schedule).
+#[derive(Debug, Clone)]
+pub struct FaultSession {
+    plan: FaultPlan,
+    cores: usize,
+    rng: SmallRng,
+    /// Per-core ring of post-perturbation frames, newest at the back.
+    history: Vec<VecDeque<SensorFrame>>,
+    pending: Vec<PendingMode>,
+    /// Shock windows already announced (clause indices).
+    shocks_seen: Vec<bool>,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSession {
+    /// Builds a session for a `cores`-wide chip.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::FaultSpec`] if the plan names a core the chip
+    /// does not have.
+    pub fn new(plan: &FaultPlan, cores: usize) -> Result<Self> {
+        if cores == 0 {
+            return Err(GpmError::FaultSpec("chip has zero cores".into()));
+        }
+        plan.validate(cores)?;
+        Ok(Self {
+            plan: plan.clone(),
+            cores,
+            rng: SmallRng::seed_from_u64(plan.seed),
+            history: vec![VecDeque::with_capacity(HISTORY_DEPTH); cores],
+            pending: Vec::new(),
+            shocks_seen: vec![false; plan.clauses.len()],
+            events: Vec::new(),
+        })
+    }
+
+    /// Number of cores the session was built for.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Passes one interval's raw telemetry through the fault seam.
+    ///
+    /// Per core, in order: bias scales the reading, noise perturbs it,
+    /// staleness substitutes an older (already-perturbed) frame, and
+    /// dropout — which wins over everything — zeroes it and tags it
+    /// [`SensorStatus::Dark`]. The RNG advances only when a noise clause
+    /// is live for that core and interval, so plans without noise are
+    /// RNG-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` does not hold exactly one frame per core.
+    pub fn observe(&mut self, interval: usize, raw: &[SensorFrame]) -> Vec<SensorFrame> {
+        assert_eq!(
+            raw.len(),
+            self.cores,
+            "observe() expects one frame per core"
+        );
+        let mut out = Vec::with_capacity(raw.len());
+        for frame in raw {
+            let core = frame.core;
+            let mut seen = *frame;
+
+            for clause in &self.plan.clauses {
+                if !clause.window.contains(interval) || !clause.cores.contains(core) {
+                    continue;
+                }
+                if let FaultKind::SensorBias { factor } = clause.kind {
+                    seen.power = Watts::new(seen.power.value() * factor);
+                    self.events.push(FaultEvent {
+                        interval,
+                        kind: FaultEventKind::Bias { core },
+                    });
+                }
+            }
+            for clause in &self.plan.clauses {
+                if !clause.window.contains(interval) || !clause.cores.contains(core) {
+                    continue;
+                }
+                if let FaultKind::SensorNoise { std } = clause.kind {
+                    let draw = gaussian(&mut self.rng);
+                    seen.power = Watts::new((seen.power.value() * (1.0 + std * draw)).max(0.0));
+                    self.events.push(FaultEvent {
+                        interval,
+                        kind: FaultEventKind::Noise { core },
+                    });
+                }
+            }
+
+            // Record the perturbed-but-timely frame before staleness and
+            // dropout, so a stale sensor replays what it *would* have
+            // reported back then (including its own bias/noise).
+            let ring = &mut self.history[core];
+            if ring.len() == HISTORY_DEPTH {
+                ring.pop_front();
+            }
+            ring.push_back(seen);
+
+            for clause in &self.plan.clauses {
+                if !clause.window.contains(interval) || !clause.cores.contains(core) {
+                    continue;
+                }
+                if let FaultKind::StaleTelemetry { lag } = clause.kind {
+                    let ring = &self.history[core];
+                    // Newest entry is the current interval (age 0).
+                    let age = lag.min(ring.len() - 1);
+                    if age > 0 {
+                        let old = ring[ring.len() - 1 - age];
+                        seen = SensorFrame {
+                            core,
+                            status: SensorStatus::Stale { age },
+                            ..old
+                        };
+                        self.events.push(FaultEvent {
+                            interval,
+                            kind: FaultEventKind::Stale { core, age },
+                        });
+                    }
+                }
+            }
+
+            let dark = self.plan.clauses.iter().any(|clause| {
+                matches!(clause.kind, FaultKind::SensorDropout)
+                    && clause.window.contains(interval)
+                    && clause.cores.contains(core)
+            });
+            if dark {
+                seen = SensorFrame {
+                    core,
+                    mode: seen.mode,
+                    power: Watts::ZERO,
+                    bips: Bips::ZERO,
+                    instructions: 0,
+                    status: SensorStatus::Dark,
+                };
+                self.events.push(FaultEvent {
+                    interval,
+                    kind: FaultEventKind::Dropout { core },
+                });
+            }
+
+            out.push(seen);
+        }
+        out
+    }
+
+    /// Passes the manager's mode-change requests through stuck DVFS lanes.
+    ///
+    /// `current` is the combination the chip is actually running;
+    /// `requested` is what the manager wants next. Returns what the chip
+    /// will really run. Stuck-ignore lanes keep their current mode;
+    /// stuck-delay lanes defer the request (latest request wins) and
+    /// apply it once its delay elapses — even if the window has closed by
+    /// then, matching a queue that drains late.
+    pub fn actuate(
+        &mut self,
+        interval: usize,
+        requested: &ModeCombination,
+        current: &ModeCombination,
+    ) -> ModeCombination {
+        let mut effective = requested.clone();
+
+        // Apply any matured deferred requests first: they override the
+        // manager's new request for that lane only if the lane is still
+        // stuck (checked below via the fresh-request path replacing them).
+        let mut matured: Vec<PendingMode> = Vec::new();
+        self.pending.retain(|p| {
+            if p.apply_at <= interval {
+                matured.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+
+        for (idx, mode) in requested.as_slice().iter().enumerate() {
+            let cur = current.as_slice()[idx];
+            if *mode == cur {
+                continue;
+            }
+            let fault = self.plan.clauses.iter().find_map(|clause| {
+                if clause.window.contains(interval) && clause.cores.contains(idx) {
+                    if let FaultKind::StuckDvfs(f) = clause.kind {
+                        return Some(f);
+                    }
+                }
+                None
+            });
+            match fault {
+                None => {}
+                Some(DvfsFault::Ignore) => {
+                    effective.set(gpm_types::CoreId::new(idx), cur);
+                    self.events.push(FaultEvent {
+                        interval,
+                        kind: FaultEventKind::StuckIgnored { core: idx },
+                    });
+                }
+                Some(DvfsFault::Delay(d)) => {
+                    effective.set(gpm_types::CoreId::new(idx), cur);
+                    // Latest request wins: replace any queued one.
+                    self.pending.retain(|p| p.core != idx);
+                    let until = interval + d;
+                    self.pending.push(PendingMode {
+                        core: idx,
+                        mode: *mode,
+                        apply_at: until,
+                    });
+                    self.events.push(FaultEvent {
+                        interval,
+                        kind: FaultEventKind::StuckDelayed { core: idx, until },
+                    });
+                }
+            }
+        }
+
+        for p in matured {
+            // A queued request lands unless a fresh request already got
+            // through to that lane this interval (then the fresh one wins
+            // and the stale queued one is dropped).
+            let cur = current.as_slice()[p.core];
+            if effective.as_slice()[p.core] == cur {
+                effective.set(gpm_types::CoreId::new(p.core), p.mode);
+            }
+        }
+
+        effective
+    }
+
+    /// Applies budget shocks to the scheduled budget fraction.
+    ///
+    /// Returns `min(scheduled, frac)` over every live shock clause. An
+    /// event is recorded once per shock window, at entry.
+    pub fn budget_fraction(&mut self, interval: usize, scheduled: f64) -> f64 {
+        let mut fraction = scheduled;
+        for (i, clause) in self.plan.clauses.iter().enumerate() {
+            if let FaultKind::BudgetShock { fraction: cap } = clause.kind {
+                if clause.window.contains(interval) {
+                    if fraction > cap {
+                        fraction = cap;
+                    }
+                    if !self.shocks_seen[i] {
+                        self.shocks_seen[i] = true;
+                        self.events.push(FaultEvent {
+                            interval,
+                            kind: FaultEventKind::BudgetShock { fraction: cap },
+                        });
+                    }
+                } else {
+                    // Re-arm so a future window re-announces itself.
+                    self.shocks_seen[i] = false;
+                }
+            }
+        }
+        fraction
+    }
+
+    /// The fault events recorded so far, in firing order.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Takes ownership of the recorded events, leaving the log empty.
+    pub fn drain_events(&mut self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Standard-normal draw via Irwin–Hall (sum of 12 uniforms − 6), matching
+/// the simulator's own sensor-noise model.
+fn gaussian(rng: &mut SmallRng) -> f64 {
+    let mut acc = 0.0;
+    for _ in 0..12 {
+        acc += rng.gen::<f64>();
+    }
+    acc - 6.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CoreSet, IntervalWindow};
+
+    fn frames(powers: &[f64]) -> Vec<SensorFrame> {
+        powers
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                SensorFrame::fresh(i, PowerMode::Turbo, Watts::new(p), Bips::new(1.0), 1_000)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let mut s = FaultSession::new(&FaultPlan::none(), 3).unwrap();
+        let raw = frames(&[10.0, 20.0, 30.0]);
+        for interval in 0..5 {
+            let seen = s.observe(interval, &raw);
+            assert_eq!(seen, raw);
+        }
+        let req = ModeCombination::uniform(3, PowerMode::Eff1);
+        let cur = ModeCombination::uniform(3, PowerMode::Turbo);
+        assert_eq!(s.actuate(0, &req, &cur), req);
+        assert_eq!(s.budget_fraction(0, 0.8), 0.8);
+        assert!(s.events().is_empty());
+    }
+
+    #[test]
+    fn dropout_zeroes_and_tags_dark() {
+        let plan = FaultPlan::parse("dropout@1:from=2,to=4").unwrap();
+        let mut s = FaultSession::new(&plan, 2).unwrap();
+        let raw = frames(&[10.0, 20.0]);
+        assert_eq!(s.observe(1, &raw)[1].status, SensorStatus::Fresh);
+        let seen = s.observe(2, &raw);
+        assert_eq!(seen[1].status, SensorStatus::Dark);
+        assert_eq!(seen[1].power, Watts::ZERO);
+        assert_eq!(seen[1].bips, Bips::ZERO);
+        assert_eq!(seen[0].status, SensorStatus::Fresh);
+        assert_eq!(s.observe(4, &raw)[1].status, SensorStatus::Fresh);
+        assert_eq!(s.events().len(), 1); // only interval 2 was observed inside the window
+    }
+
+    #[test]
+    fn bias_scales_power() {
+        let plan = FaultPlan::parse("bias@0:factor=0.5").unwrap();
+        let mut s = FaultSession::new(&plan, 2).unwrap();
+        let seen = s.observe(0, &frames(&[10.0, 20.0]));
+        assert!((seen[0].power.value() - 5.0).abs() < 1e-12);
+        assert!((seen[1].power.value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let plan = FaultPlan::parse("noise@all:std=0.1").unwrap().seeded(7);
+        let raw = frames(&[10.0, 20.0]);
+        let mut a = FaultSession::new(&plan, 2).unwrap();
+        let mut b = FaultSession::new(&plan, 2).unwrap();
+        for interval in 0..10 {
+            assert_eq!(a.observe(interval, &raw), b.observe(interval, &raw));
+        }
+        // A different seed gives a different stream.
+        let mut c = FaultSession::new(&plan.clone().seeded(8), 2).unwrap();
+        let diverged = (0..10).any(|i| c.observe(i, &raw) != a.observe(i, &raw));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn stale_replays_old_frames() {
+        let plan = FaultPlan::parse("stale@0:lag=2,from=3").unwrap();
+        let mut s = FaultSession::new(&plan, 1).unwrap();
+        for interval in 0..3 {
+            let raw = frames(&[10.0 + interval as f64]);
+            let seen = s.observe(interval, &raw);
+            assert_eq!(seen[0].status, SensorStatus::Fresh);
+        }
+        // Interval 3 reports interval 1's reading (11.0), two behind.
+        let seen = s.observe(3, &frames(&[13.0]));
+        assert_eq!(seen[0].status, SensorStatus::Stale { age: 2 });
+        assert!((seen[0].power.value() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stale_lag_saturates_to_available_history() {
+        let plan = FaultPlan::parse("stale@0:lag=50").unwrap();
+        let mut s = FaultSession::new(&plan, 1).unwrap();
+        // First interval: no older frame exists, reading stays fresh.
+        let seen = s.observe(0, &frames(&[10.0]));
+        assert_eq!(seen[0].status, SensorStatus::Fresh);
+        let seen = s.observe(1, &frames(&[11.0]));
+        assert_eq!(seen[0].status, SensorStatus::Stale { age: 1 });
+        assert!((seen[0].power.value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stuck_ignore_keeps_current_mode() {
+        let plan = FaultPlan::parse("stuck@1:from=0,to=2").unwrap();
+        let mut s = FaultSession::new(&plan, 2).unwrap();
+        let cur = ModeCombination::uniform(2, PowerMode::Turbo);
+        let req = ModeCombination::new(vec![PowerMode::Eff1, PowerMode::Eff2]);
+        let eff = s.actuate(0, &req, &cur);
+        assert_eq!(eff.as_slice(), &[PowerMode::Eff1, PowerMode::Turbo]);
+        // Window over: requests go through again.
+        let eff = s.actuate(2, &req, &cur);
+        assert_eq!(eff.as_slice(), &[PowerMode::Eff1, PowerMode::Eff2]);
+    }
+
+    #[test]
+    fn stuck_delay_defers_then_applies() {
+        let plan = FaultPlan::parse("stuck@0:delay=2,from=0,to=1").unwrap();
+        let mut s = FaultSession::new(&plan, 1).unwrap();
+        let turbo = ModeCombination::uniform(1, PowerMode::Turbo);
+        let eff2 = ModeCombination::uniform(1, PowerMode::Eff2);
+        // Interval 0: request Eff2 — deferred until interval 2.
+        let eff = s.actuate(0, &eff2, &turbo);
+        assert_eq!(eff.as_slice(), &[PowerMode::Turbo]);
+        // Interval 1 (window closed, no new request): still Turbo.
+        let eff = s.actuate(1, &turbo, &turbo);
+        assert_eq!(eff.as_slice(), &[PowerMode::Turbo]);
+        // Interval 2: the queued Eff2 finally lands.
+        let eff = s.actuate(2, &turbo, &turbo);
+        assert_eq!(eff.as_slice(), &[PowerMode::Eff2]);
+        assert!(s
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, FaultEventKind::StuckDelayed { core: 0, until: 2 })));
+    }
+
+    #[test]
+    fn budget_shock_caps_fraction_and_fires_once_per_window() {
+        let plan = FaultPlan::parse("shock:frac=0.5,from=2,to=4").unwrap();
+        let mut s = FaultSession::new(&plan, 1).unwrap();
+        assert_eq!(s.budget_fraction(0, 0.8), 0.8);
+        assert_eq!(s.budget_fraction(2, 0.8), 0.5);
+        assert_eq!(s.budget_fraction(3, 0.4), 0.4); // already under the cap
+        assert_eq!(s.budget_fraction(4, 0.8), 0.8);
+        let shocks = s
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultEventKind::BudgetShock { .. }))
+            .count();
+        assert_eq!(shocks, 1);
+    }
+
+    #[test]
+    fn validates_core_range_on_construction() {
+        let plan = FaultPlan::parse("dropout@5").unwrap();
+        assert!(matches!(
+            FaultSession::new(&plan, 4),
+            Err(GpmError::FaultSpec(_))
+        ));
+        assert!(matches!(
+            FaultSession::new(&FaultPlan::none(), 0),
+            Err(GpmError::FaultSpec(_))
+        ));
+    }
+
+    #[test]
+    fn window_type_is_reexported_and_usable() {
+        let plan = FaultPlan::none().with(
+            FaultKind::SensorDropout,
+            CoreSet::Cores(vec![0]),
+            IntervalWindow {
+                from: 1,
+                to: Some(2),
+            },
+        );
+        let mut s = FaultSession::new(&plan, 1).unwrap();
+        assert_eq!(s.observe(0, &frames(&[5.0]))[0].status, SensorStatus::Fresh);
+        assert_eq!(s.observe(1, &frames(&[5.0]))[0].status, SensorStatus::Dark);
+    }
+}

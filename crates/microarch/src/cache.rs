@@ -103,7 +103,7 @@ struct Line {
 /// ```
 /// use gpm_microarch::{AccessOutcome, CacheConfig, SetAssocCache};
 ///
-/// let mut c = SetAssocCache::new(CacheConfig::new(1024, 2, 64));
+/// let mut c = SetAssocCache::new(CacheConfig::new(1024, 2, 64)).unwrap();
 /// assert_eq!(c.access(0x0), AccessOutcome::Miss);
 /// assert_eq!(c.access(0x0), AccessOutcome::Hit);
 /// ```
@@ -122,17 +122,20 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Builds a cache with the given geometry.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the geometry fails [`CacheConfig::validate`].
-    #[must_use]
-    pub fn new(config: CacheConfig) -> Self {
+    /// Returns [`gpm_types::GpmError::InvalidConfig`] if the geometry fails
+    /// [`CacheConfig::validate`].
+    pub fn new(config: CacheConfig) -> gpm_types::Result<Self> {
         config
             .validate()
-            .unwrap_or_else(|reason| panic!("invalid cache config: {reason}"));
+            .map_err(|reason| gpm_types::GpmError::InvalidConfig {
+                parameter: "cache",
+                reason,
+            })?;
         let sets = config.sets();
         let set_mask = sets as u64 - 1;
-        Self {
+        Ok(Self {
             config,
             lines: vec![Line::default(); sets * config.ways],
             set_mask,
@@ -141,7 +144,7 @@ impl SetAssocCache {
             next_stamp: 0,
             accesses: 0,
             misses: 0,
-        }
+        })
     }
 
     /// The cache geometry.
@@ -255,7 +258,7 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 2 sets × 2 ways × 64 B blocks.
-        SetAssocCache::new(CacheConfig::new(256, 2, 64))
+        SetAssocCache::new(CacheConfig::new(256, 2, 64)).unwrap()
     }
 
     #[test]
@@ -362,8 +365,13 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid cache config")]
-    fn new_panics_on_invalid() {
-        let _ = SetAssocCache::new(CacheConfig::new(100, 3, 7));
+    fn new_rejects_invalid_geometry() {
+        assert!(matches!(
+            SetAssocCache::new(CacheConfig::new(100, 3, 7)),
+            Err(gpm_types::GpmError::InvalidConfig {
+                parameter: "cache",
+                ..
+            })
+        ));
     }
 }

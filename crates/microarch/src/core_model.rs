@@ -26,7 +26,7 @@
 //!   conversions are served from a tiny exact-result memo (the private
 //!   memory system only ever produces two distinct latencies).
 
-use gpm_types::Hertz;
+use gpm_types::{GpmError, Hertz, Result};
 
 use crate::{
     AccessOutcome, BranchPredictor, CoreConfig, InstructionSource, IntervalStats, MicroOp, OpKind,
@@ -95,13 +95,16 @@ pub struct PrivateMemory {
 
 impl PrivateMemory {
     /// Builds the L2 + DRAM combination from a core configuration.
-    #[must_use]
-    pub fn new(config: &CoreConfig) -> Self {
-        Self {
-            l2: SetAssocCache::new(config.l2),
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] if the L2 geometry is invalid.
+    pub fn new(config: &CoreConfig) -> Result<Self> {
+        Ok(Self {
+            l2: SetAssocCache::new(config.l2)?,
             l2_latency_ns: config.memory.l2_latency_ns,
             memory_latency_ns: config.memory.memory_latency_ns,
-        }
+        })
     }
 
     /// Read-only view of the L2 tag array (for tests and diagnostics).
@@ -201,17 +204,27 @@ impl CoreModel {
     /// Builds a core at clock frequency `freq` (the DVFS-scaled frequency of
     /// its current power mode).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config` fails [`CoreConfig::validate`] or `freq` is not
-    /// positive.
-    #[must_use]
-    pub fn new(config: &CoreConfig, freq: Hertz) -> Self {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid core config: {e}"));
-        assert!(freq.value() > 0.0, "frequency must be positive");
-        Self {
+    /// Returns [`GpmError::InvalidConfig`] if `config` fails
+    /// [`CoreConfig::validate`] or `freq` is not positive.
+    pub fn new(config: &CoreConfig, freq: Hertz) -> Result<Self> {
+        config.validate()?;
+        if freq.value() <= 0.0 || freq.value().is_nan() {
+            return Err(GpmError::InvalidConfig {
+                parameter: "frequency",
+                reason: format!("must be positive, got {}", freq.value()),
+            });
+        }
+        let prefetcher = if config.prefetch_streams > 0 {
+            Some(StreamPrefetcher::new(
+                config.prefetch_streams,
+                config.l1d.block_bytes,
+            )?)
+        } else {
+            None
+        };
+        Ok(Self {
             engine: Engine {
                 dispatch_width: config.dispatch_width,
                 rob_size: config.rob_size,
@@ -224,12 +237,10 @@ impl CoreModel {
                 ns_per_cycle: 1.0e9 / freq.value(),
                 l1i_block_shift: config.l1i.block_bytes.trailing_zeros(),
                 l1d_block_shift: config.l1d.block_bytes.trailing_zeros(),
-                l1i: SetAssocCache::new(config.l1i),
-                l1d: SetAssocCache::new(config.l1d),
+                l1i: SetAssocCache::new(config.l1i)?,
+                l1d: SetAssocCache::new(config.l1d)?,
                 predictor: BranchPredictor::new(config.predictor),
-                prefetcher: (config.prefetch_streams > 0).then(|| {
-                    StreamPrefetcher::new(config.prefetch_streams, config.l1d.block_bytes)
-                }),
+                prefetcher,
                 cur_cycle: 0,
                 dispatched_in_cycle: 0,
                 last_busy_cycle: u64::MAX,
@@ -249,8 +260,8 @@ impl CoreModel {
                 op_buf_pos: 0,
                 op_buf_len: 0,
             },
-            memory: PrivateMemory::new(config),
-        }
+            memory: PrivateMemory::new(config)?,
+        })
     }
 
     /// The clock frequency this core instance runs at.
@@ -673,7 +684,7 @@ mod tests {
     }
 
     fn core_at(ghz: f64) -> CoreModel {
-        CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz))
+        CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz)).unwrap()
     }
 
     #[test]
@@ -771,7 +782,7 @@ mod tests {
                     }
                 }
             }
-            let mut core = CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz));
+            let mut core = CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz)).unwrap();
             let mut s = Stream {
                 addr: 1,
                 memory_bound,
@@ -910,7 +921,7 @@ mod tests {
         let run = |streams: usize| {
             let mut config = CoreConfig::power4();
             config.prefetch_streams = streams;
-            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0)).unwrap();
             core.run_cycles(&mut Sweep { addr: 0 }, 300_000)
         };
         let off = run(0);
@@ -941,7 +952,7 @@ mod tests {
             }
             let mut config = CoreConfig::power4();
             config.prefetch_streams = streams;
-            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+            let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0)).unwrap();
             core.run_cycles(&mut Chase { addr: 1 }, 300_000)
         };
         let off = run(0);

@@ -43,10 +43,11 @@
 //! }
 //!
 //! let config = CoreConfig::power4();
-//! let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+//! let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0))?;
 //! let stats = core.run_cycles(&mut Ones, 10_000);
 //! // A pure integer stream saturates the two fixed-point units: IPC ≈ 2.
 //! assert!(stats.ipc() > 1.8);
+//! # Ok::<(), gpm_types::GpmError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -35,7 +35,7 @@ struct Stream {
 /// ```
 /// use gpm_microarch::StreamPrefetcher;
 ///
-/// let mut p = StreamPrefetcher::new(4, 128);
+/// let mut p = StreamPrefetcher::new(4, 128).unwrap();
 /// assert_eq!(p.on_miss(0x0000), None);           // becomes a candidate
 /// assert_eq!(p.on_miss(0x0080), Some((0x100, 1))); // confirmed: 1 block
 /// ```
@@ -53,24 +53,31 @@ impl StreamPrefetcher {
     /// Creates a detector tracking up to `streams` concurrent ascending
     /// streams over `block_bytes`-sized cache lines.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `streams` is zero or `block_bytes` is not a power of two.
-    #[must_use]
-    pub fn new(streams: usize, block_bytes: usize) -> Self {
-        assert!(streams > 0, "need at least one stream");
-        assert!(
-            block_bytes.is_power_of_two(),
-            "block size must be a power of two"
-        );
-        Self {
+    /// Returns [`gpm_types::GpmError::InvalidConfig`] if `streams` is zero
+    /// or `block_bytes` is not a power of two.
+    pub fn new(streams: usize, block_bytes: usize) -> gpm_types::Result<Self> {
+        if streams == 0 {
+            return Err(gpm_types::GpmError::InvalidConfig {
+                parameter: "prefetch_streams",
+                reason: "need at least one stream".into(),
+            });
+        }
+        if !block_bytes.is_power_of_two() {
+            return Err(gpm_types::GpmError::InvalidConfig {
+                parameter: "prefetch_block_bytes",
+                reason: format!("block size {block_bytes} is not a power of two"),
+            });
+        }
+        Ok(Self {
             streams: Vec::with_capacity(streams.min(64)),
             candidates: Vec::with_capacity((streams * 4).min(256)),
             max_streams: streams.min(64),
             block_bytes: block_bytes as u64,
             clock: 0,
             issued: 0,
-        }
+        })
     }
 
     /// Reports a demand miss at byte address `addr`. Returns
@@ -143,7 +150,7 @@ mod tests {
 
     #[test]
     fn ascending_stream_confirms_and_ramps() {
-        let mut p = StreamPrefetcher::new(8, 128);
+        let mut p = StreamPrefetcher::new(8, 128).unwrap();
         assert_eq!(p.on_miss(0), None);
         // Promotion: prefetch 1 block, expect the next miss at block 3.
         assert_eq!(p.on_miss(128), Some((256, 1)));
@@ -160,7 +167,7 @@ mod tests {
 
     #[test]
     fn random_misses_never_trigger() {
-        let mut p = StreamPrefetcher::new(8, 128);
+        let mut p = StreamPrefetcher::new(8, 128).unwrap();
         let mut x = 12345u64;
         for _ in 0..1000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
@@ -171,7 +178,7 @@ mod tests {
 
     #[test]
     fn tracks_multiple_interleaved_streams() {
-        let mut p = StreamPrefetcher::new(4, 128);
+        let mut p = StreamPrefetcher::new(4, 128).unwrap();
         let bases = [0u64, 1 << 20, 2 << 20, 3 << 20];
         for &b in &bases {
             assert_eq!(p.on_miss(b), None);
@@ -183,7 +190,7 @@ mod tests {
 
     #[test]
     fn confirmed_streams_survive_random_churn() {
-        let mut p = StreamPrefetcher::new(2, 128);
+        let mut p = StreamPrefetcher::new(2, 128).unwrap();
         // Confirm a stream.
         p.on_miss(0);
         assert!(p.on_miss(128).is_some());
@@ -201,7 +208,7 @@ mod tests {
 
     #[test]
     fn candidate_table_is_bounded() {
-        let mut p = StreamPrefetcher::new(2, 128);
+        let mut p = StreamPrefetcher::new(2, 128).unwrap();
         for i in 0..1000u64 {
             let _ = p.on_miss(i * 4096 * 7 + (1 << 33));
         }
@@ -210,8 +217,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one stream")]
-    fn zero_streams_rejected() {
-        let _ = StreamPrefetcher::new(0, 128);
+    fn invalid_configs_rejected() {
+        assert!(StreamPrefetcher::new(0, 128).is_err());
+        assert!(StreamPrefetcher::new(4, 100).is_err());
     }
 }

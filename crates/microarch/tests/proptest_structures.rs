@@ -15,7 +15,7 @@ proptest! {
     /// the miss counter never exceeds the access counter.
     #[test]
     fn cache_access_installs_line(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
-        let mut cache = SetAssocCache::new(CacheConfig::new(4096, 2, 64));
+        let mut cache = SetAssocCache::new(CacheConfig::new(4096, 2, 64)).unwrap();
         for &addr in &addrs {
             let _ = cache.access(addr);
             prop_assert!(cache.contains(addr));
@@ -30,7 +30,7 @@ proptest! {
     #[test]
     fn lru_keeps_most_recent_ways(tags in prop::collection::vec(0u64..64, 2..100)) {
         // Single-set cache: 2 ways × 64 B.
-        let mut cache = SetAssocCache::new(CacheConfig::new(128, 2, 64));
+        let mut cache = SetAssocCache::new(CacheConfig::new(128, 2, 64)).unwrap();
         let mut recent: Vec<u64> = Vec::new();
         for &tag in &tags {
             let addr = tag * 64 * 2; // same set (set bits at zero)... single set anyway
@@ -86,7 +86,7 @@ proptest! {
             }
         }
         let config = CoreConfig::power4();
-        let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0));
+        let mut core = CoreModel::new(&config, Hertz::from_ghz(1.0)).unwrap();
         let mut src = Mix { kinds, i: 0, x: seed | 1 };
         let stats = core.run_cycles(&mut src, 20_000);
         prop_assert!(stats.instructions > 0);
@@ -115,7 +115,7 @@ proptest! {
         }
         let config = CoreConfig::power4();
         let ips = |ghz: f64| {
-            let mut core = CoreModel::new(&config, Hertz::from_ghz(ghz));
+            let mut core = CoreModel::new(&config, Hertz::from_ghz(ghz)).unwrap();
             let mut src = Rand { x: seed | 1 };
             let stats = core.run_cycles(&mut src, 300_000);
             stats.instructions as f64 / (stats.cycles as f64 / (ghz * 1e9))

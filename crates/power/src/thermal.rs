@@ -47,7 +47,7 @@ impl Default for ThermalParams {
 /// use gpm_power::{ThermalModel, ThermalParams};
 /// use gpm_types::{Micros, Watts};
 ///
-/// let mut t = ThermalModel::new(2, ThermalParams::default());
+/// let mut t = ThermalModel::new(2, ThermalParams::default()).unwrap();
 /// // A long 20 W step settles near ambient + P·R = 45 + 36 = 81 °C.
 /// t.step(&[Watts::new(20.0), Watts::new(5.0)], Micros::from_millis(100.0));
 /// assert!((t.temperatures()[0] - 81.0).abs() < 0.5);
@@ -62,20 +62,27 @@ pub struct ThermalModel {
 impl ThermalModel {
     /// Creates a model with every core at ambient.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cores` is zero or the parameters are non-positive.
-    #[must_use]
-    pub fn new(cores: usize, params: ThermalParams) -> Self {
-        assert!(cores > 0, "need at least one core");
-        assert!(
-            params.resistance_k_per_w > 0.0 && params.time_constant.value() > 0.0,
-            "thermal parameters must be positive"
-        );
-        Self {
+    /// Returns [`gpm_types::GpmError::InvalidConfig`] if `cores` is zero or
+    /// the parameters are non-positive.
+    pub fn new(cores: usize, params: ThermalParams) -> gpm_types::Result<Self> {
+        if cores == 0 {
+            return Err(gpm_types::GpmError::InvalidConfig {
+                parameter: "thermal_cores",
+                reason: "need at least one core".into(),
+            });
+        }
+        if !(params.resistance_k_per_w > 0.0 && params.time_constant.value() > 0.0) {
+            return Err(gpm_types::GpmError::InvalidConfig {
+                parameter: "thermal_params",
+                reason: "resistance and time constant must be positive".into(),
+            });
+        }
+        Ok(Self {
             temps_c: vec![params.ambient_c; cores],
             params,
-        }
+        })
     }
 
     /// The model parameters.
@@ -126,7 +133,7 @@ mod tests {
     use super::*;
 
     fn model(cores: usize) -> ThermalModel {
-        ThermalModel::new(cores, ThermalParams::default())
+        ThermalModel::new(cores, ThermalParams::default()).unwrap()
     }
 
     #[test]
@@ -191,8 +198,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one core")]
-    fn zero_cores_rejected() {
-        let _ = ThermalModel::new(0, ThermalParams::default());
+    fn invalid_configs_rejected() {
+        assert!(ThermalModel::new(0, ThermalParams::default()).is_err());
+        let bad = ThermalParams {
+            resistance_k_per_w: 0.0,
+            ..ThermalParams::default()
+        };
+        assert!(ThermalModel::new(1, bad).is_err());
     }
 }

@@ -46,6 +46,9 @@ pub enum GpmError {
     },
     /// Trace data could not be encoded or decoded.
     TraceFormat(String),
+    /// A fault-injection plan was malformed (bad spec syntax, out-of-range
+    /// core index, inverted interval window, …).
+    FaultSpec(String),
     /// A simulation was asked to run for a region longer than its traces.
     TraceExhausted {
         /// The benchmark whose trace ran out.
@@ -82,6 +85,7 @@ impl fmt::Display for GpmError {
                 )
             }
             GpmError::TraceFormat(msg) => write!(f, "trace format error: {msg}"),
+            GpmError::FaultSpec(msg) => write!(f, "invalid fault plan: {msg}"),
             GpmError::TraceExhausted { benchmark } => {
                 write!(
                     f,
@@ -130,6 +134,10 @@ mod tests {
                 "mcf",
             ),
             (GpmError::TraceFormat("bad header".into()), "bad header"),
+            (
+                GpmError::FaultSpec("unknown fault kind `melt`".into()),
+                "melt",
+            ),
             (
                 GpmError::TraceExhausted {
                     benchmark: "art".into(),

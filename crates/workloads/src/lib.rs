@@ -30,7 +30,7 @@
 //! use gpm_types::Hertz;
 //!
 //! let mut stream = SpecBenchmark::Mcf.stream();
-//! let mut core = CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(1.0));
+//! let mut core = CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(1.0)).unwrap();
 //! let stats = core.run_cycles(&mut stream, 100_000);
 //! assert!(stats.ipc() < 1.0, "mcf is memory bound");
 //! ```

@@ -257,14 +257,20 @@ impl BenchmarkProfile {
     /// Creates the deterministic instruction stream for this profile, with
     /// data addresses offset by `addr_base` (so co-scheduled cores do not
     /// alias in a shared L2) and the RNG seed XORed with `seed_salt`.
-    #[must_use]
-    pub fn stream_with(&self, addr_base: u64, seed_salt: u64) -> WorkloadStream {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] if the profile fails validation.
+    pub fn stream_with(&self, addr_base: u64, seed_salt: u64) -> Result<WorkloadStream> {
         WorkloadStream::new(self.clone(), addr_base, seed_salt)
     }
 
     /// Creates the canonical stream (no address offset, no seed salt).
-    #[must_use]
-    pub fn stream(&self) -> WorkloadStream {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] if the profile fails validation.
+    pub fn stream(&self) -> Result<WorkloadStream> {
         self.stream_with(0, 0)
     }
 }
@@ -803,9 +809,12 @@ impl SpecBenchmark {
     }
 
     /// Shortcut: builds the canonical stream of this benchmark's profile.
+    /// Infallible: the built-in profiles are valid by construction.
     #[must_use]
     pub fn stream(self) -> WorkloadStream {
-        self.profile().stream()
+        self.profile()
+            .stream()
+            .expect("built-in profiles are valid")
     }
 
     /// Table 2's utilisation class for this benchmark.

@@ -162,17 +162,19 @@ impl WorkloadStream {
     /// Builds the stream; see
     /// [`BenchmarkProfile::stream_with`](crate::BenchmarkProfile::stream_with).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the profile fails validation.
-    #[must_use]
-    pub fn new(profile: BenchmarkProfile, addr_base: u64, seed_salt: u64) -> Self {
-        profile
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid profile `{}`: {e}", profile.name));
+    /// Returns [`gpm_types::GpmError::InvalidConfig`] if the profile fails
+    /// validation.
+    pub fn new(
+        profile: BenchmarkProfile,
+        addr_base: u64,
+        seed_salt: u64,
+    ) -> gpm_types::Result<Self> {
+        profile.validate()?;
         let rng = SmallRng::seed_from_u64(profile.seed ^ seed_salt);
         let pre = Precomputed::from_profile(&profile);
-        Self {
+        Ok(Self {
             profile,
             pre,
             rng,
@@ -185,7 +187,7 @@ impl WorkloadStream {
             op_in_loop: 0,
             phase_pos: 0,
             region_code_base: CODE_BASE,
-        }
+        })
     }
 
     /// The profile driving this stream.
@@ -405,8 +407,8 @@ mod tests {
     #[test]
     fn seed_salt_changes_the_stream() {
         let p = SpecBenchmark::Art.profile();
-        let mut a = p.stream_with(0, 0);
-        let mut b = p.stream_with(0, 1);
+        let mut a = p.stream_with(0, 0).unwrap();
+        let mut b = p.stream_with(0, 1).unwrap();
         let differs = (0..1000).any(|_| a.next_op() != b.next_op());
         assert!(differs);
     }
@@ -415,7 +417,7 @@ mod tests {
     fn addr_base_offsets_all_data_addresses() {
         let p = SpecBenchmark::Mcf.profile();
         let base = 0x10_0000_0000u64;
-        let mut s = p.stream_with(base, 0);
+        let mut s = p.stream_with(base, 0).unwrap();
         let mut seen_mem = 0;
         for _ in 0..10_000 {
             match s.next_op().kind {
@@ -433,7 +435,7 @@ mod tests {
     fn region_complete_after_total_instructions() {
         let mut p = SpecBenchmark::Mcf.profile();
         p.total_instructions = 100;
-        let mut s = p.stream();
+        let mut s = p.stream().unwrap();
         assert!(!s.region_complete());
         for _ in 0..100 {
             let _ = s.next_op();
@@ -450,7 +452,7 @@ mod tests {
         // the two phase halves.
         let p = SpecBenchmark::Art.profile();
         let period = p.phases.period_instructions;
-        let mut s = p.stream();
+        let mut s = p.stream().unwrap();
         let mut cold_in_phase = [0u64; 2];
         let mut mem_in_phase = [0u64; 2];
         for i in 0..period * 2 {
@@ -504,7 +506,7 @@ mod tests {
     #[test]
     fn code_addresses_stay_in_region_footprint() {
         let p = SpecBenchmark::Gcc.profile();
-        let mut s = p.stream();
+        let mut s = p.stream().unwrap();
         for _ in 0..10_000 {
             let op = s.next_op();
             assert!(op.code_addr >= CODE_BASE);

@@ -16,7 +16,7 @@ const MEASURE_CYCLES: u64 = 1_500_000;
 
 /// Runs `bench` at `ghz` and returns (IPC, L2 MPKI, instructions/second).
 fn measure(bench: SpecBenchmark, ghz: f64) -> (f64, f64, f64) {
-    let mut core = CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz));
+    let mut core = CoreModel::new(&CoreConfig::power4(), Hertz::from_ghz(ghz)).unwrap();
     let mut stream = bench.stream();
     let _ = core.run_cycles(&mut stream, WARMUP_CYCLES);
     let stats = core.run_cycles(&mut stream, MEASURE_CYCLES);

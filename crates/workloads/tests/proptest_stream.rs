@@ -16,8 +16,8 @@ proptest! {
     #[test]
     fn determinism(idx in 0usize..12, n in 1usize..5000, salt in any::<u64>()) {
         let p = bench_from(idx).profile();
-        let mut a = p.stream_with(0, salt);
-        let mut b = p.stream_with(0, salt);
+        let mut a = p.stream_with(0, salt).unwrap();
+        let mut b = p.stream_with(0, salt).unwrap();
         for _ in 0..n {
             prop_assert_eq!(a.next_op(), b.next_op());
         }
@@ -31,7 +31,7 @@ proptest! {
         let p = bench_from(idx).profile();
         let stride = 1u64 << 36;
         let collect = |base: u64| {
-            let mut s = p.stream_with(base * stride, base);
+            let mut s = p.stream_with(base * stride, base).unwrap();
             let mut addrs = Vec::new();
             for _ in 0..2000 {
                 if let OpKind::Load { addr } | OpKind::Store { addr } = s.next_op().kind {

@@ -24,6 +24,15 @@ GPM_THREADS=1 cargo test --workspace --quiet
 echo "==> GPM_THREADS=2 cargo test --workspace"
 GPM_THREADS=2 cargo test --workspace --quiet
 
+# The fault-injection substrate promises pool-width-independent, seeded
+# determinism on the manager control path; run its test group explicitly
+# under both widths so the seam tests cannot silently drop out of the
+# workspace filter, and lint the new crate at zero-warning strictness.
+echo "==> fault substrate: tests under two pool widths + clippy -D warnings"
+GPM_THREADS=1 cargo test --quiet --test fault_recovery --test fault_invariants
+GPM_THREADS=2 cargo test --quiet --test fault_recovery --test fault_invariants
+cargo clippy -p gpm-faults --all-targets -- -D warnings
+
 # Smoke-run the throughput baseline (including the full-CMP two-phase
 # cases) so the bench target cannot bit-rot; GPM_BENCH_QUICK bounds the
 # run and failure means panic, not regression.

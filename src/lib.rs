@@ -21,6 +21,8 @@
 //!   validation simulator.
 //! * [`core`] — the global manager, the Power/BIPS matrices, and the
 //!   policies: MaxBIPS, Priority, PullHiPushLo, ChipWide, Oracle, greedy.
+//! * [`faults`] — seeded fault injection at the sensor/actuator seam and
+//!   the guard rails hardening the manager against it.
 //! * [`experiments`] — drivers regenerating every table and figure.
 //!
 //! # Quickstart
@@ -59,6 +61,7 @@
 pub use gpm_cmp as cmp;
 pub use gpm_core as core;
 pub use gpm_experiments as experiments;
+pub use gpm_faults as faults;
 pub use gpm_microarch as microarch;
 pub use gpm_par as par;
 pub use gpm_power as power;

@@ -1,0 +1,205 @@
+//! Fault-substrate invariants that must hold for *any* fault plan:
+//!
+//! 1. **Watchdog coverage** (property-based): under an arbitrary mix of
+//!    fault clauses, the hardened manager never allows more than
+//!    `watchdog_k` consecutive over-budget intervals that are not covered
+//!    by an active watchdog clamp. (A clamped chip can still violate — a
+//!    budget shock can drop the budget below even the all-Eff2 floor — but
+//!    the watchdog must already be responding.)
+//! 2. **Pool-width independence**: a faulted run is bit-identical under
+//!    `GPM_THREADS` ∈ {1, 2, 8}. Fault injection and the guard rails live
+//!    on the serial control path; only the policy's combination search
+//!    fans out, and its reduction is order-insensitive.
+
+use std::sync::{Arc, Mutex};
+
+use gpm::cmp::{SimParams, TraceCmpSim};
+use gpm::core::{
+    BudgetSchedule, GlobalManager, GuardActionKind, GuardRails, MaxBips, RunOptions, RunResult,
+};
+use gpm::faults::{CoreSet, DvfsFault, FaultClause, FaultKind, FaultPlan, IntervalWindow};
+use gpm::trace::{BenchmarkTraces, ModeTrace, TraceSample};
+use gpm::types::{Micros, PowerMode};
+use proptest::prelude::*;
+
+/// Builds a synthetic constant-rate trace set (see `tests/fault_recovery.rs`).
+fn constant_traces(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
+    let delta = Micros::new(50.0);
+    let delta_s = delta.to_seconds().value();
+    let traces = PowerMode::ALL
+        .map(|mode| {
+            let b = bips * mode.bips_scale_bound();
+            let p = power * mode.power_scale();
+            let per_delta = b * 1.0e9 * delta_s;
+            let samples: Vec<TraceSample> = (1..=4000)
+                .map(|k| TraceSample {
+                    instructions_end: (per_delta * k as f64) as u64,
+                    power_w: p,
+                    bips: b,
+                })
+                .collect();
+            ModeTrace::new(mode, delta, samples)
+        })
+        .to_vec();
+    Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+}
+
+fn two_core_sim() -> TraceCmpSim {
+    let traces = vec![
+        constant_traces("fast", 20_000_000, 2.0, 20.0),
+        constant_traces("slow", 6_000_000, 0.5, 12.0),
+    ];
+    TraceCmpSim::new(traces, SimParams::default()).unwrap()
+}
+
+/// Strategy: one arbitrary fault clause over a 2-core chip, with windows
+/// inside the run's ~20 measured intervals. The vendored proptest has no
+/// `prop_oneof!`, so variant selection is an index draw mapped in code.
+fn clause() -> impl Strategy<Value = FaultClause> {
+    (
+        // fault-kind selector, fractional parameter (noise std / shock
+        // fraction), bias factor
+        (0usize..7, 0.01f64..1.0, 0.3f64..2.5),
+        // lag / delay, core-set selector
+        (1usize..4, 0usize..3),
+        // window start, window length
+        (0usize..12, 1usize..8),
+    )
+        .prop_map(|((which, frac, factor), (lag, coreset), (from, len))| {
+            let kind = match which {
+                0 => FaultKind::SensorNoise { std: frac.min(0.5) },
+                1 => FaultKind::SensorBias { factor },
+                2 => FaultKind::StaleTelemetry { lag },
+                3 => FaultKind::SensorDropout,
+                4 => FaultKind::StuckDvfs(DvfsFault::Ignore),
+                5 => FaultKind::StuckDvfs(DvfsFault::Delay(lag)),
+                _ => FaultKind::BudgetShock {
+                    fraction: frac.max(0.4),
+                },
+            };
+            let cores = match coreset {
+                0 => CoreSet::All,
+                1 => CoreSet::Cores(vec![0]),
+                _ => CoreSet::Cores(vec![1]),
+            };
+            FaultClause {
+                kind,
+                cores,
+                window: IntervalWindow {
+                    from,
+                    to: Some(from + len),
+                },
+            }
+        })
+}
+
+fn faulted_run(plan: FaultPlan) -> RunResult {
+    GlobalManager::new()
+        .run_with(
+            two_core_sim(),
+            &mut MaxBips::new(),
+            &BudgetSchedule::constant(0.8),
+            &RunOptions::faulted(plan),
+        )
+        .unwrap()
+}
+
+/// The watchdog-coverage check: no run of > `k` consecutive over-budget
+/// intervals outside the union of active clamp windows.
+fn assert_watchdog_covers(run: &RunResult, k: usize) {
+    // Reconstruct clamp coverage from the action log: a clamp recorded at
+    // interval `t` holds for intervals [t, t + hold).
+    let mut covered = vec![false; run.records.len() + 1];
+    for a in &run.guard_actions {
+        if let GuardActionKind::WatchdogClamp { hold, .. } = a.kind {
+            for i in a.interval..(a.interval + hold).min(covered.len()) {
+                covered[i] = true;
+            }
+        }
+    }
+    let mut uncovered_streak = 0usize;
+    for (i, r) in run.records.iter().enumerate() {
+        if r.bootstrap {
+            continue;
+        }
+        if r.chip_power > r.budget && !covered[i] {
+            uncovered_streak += 1;
+            assert!(
+                uncovered_streak <= k,
+                "interval {i}: {uncovered_streak} consecutive uncovered violations (> {k}); \
+                 actions: {:?}",
+                run.guard_actions
+            );
+        } else {
+            uncovered_streak = 0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn watchdog_bounds_uncovered_violations(
+        clauses in prop::collection::vec(clause(), 1..=3),
+        seed in any::<u64>(),
+    ) {
+        let mut plan = FaultPlan::none().seeded(seed);
+        for c in clauses {
+            plan = plan.with(c.kind, c.cores, c.window);
+        }
+        let run = faulted_run(plan);
+        assert_watchdog_covers(&run, GuardRails::default().watchdog_k);
+    }
+}
+
+/// `gpm::par::set_max_threads` is process-global; keep thread-count tests
+/// from interleaving with each other.
+static THREAD_OVERRIDE: Mutex<()> = Mutex::new(());
+
+/// An 8-core sim so MaxBIPS' parallel combination search actually engages
+/// (it stays serial below 8 cores).
+fn eight_core_sim() -> TraceCmpSim {
+    let traces: Vec<_> = (0..8)
+        .map(|i| {
+            let bips = 0.5 + 0.25 * i as f64;
+            let power = 10.0 + 1.5 * i as f64;
+            constant_traces(&format!("b{i}"), 6_000_000, bips, power)
+        })
+        .collect();
+    TraceCmpSim::new(traces, SimParams::default()).unwrap()
+}
+
+#[test]
+fn faulted_run_is_identical_across_pool_widths() {
+    let _lock = THREAD_OVERRIDE.lock().unwrap();
+    let plan = FaultPlan::parse(
+        "noise@all:std=0.1;dropout@2:from=3,to=6;stuck@5:from=2,to=9,delay=2;shock:from=7,to=9,frac=0.7",
+    )
+    .unwrap()
+    .seeded(41);
+
+    let run_json = |threads: usize| {
+        gpm::par::set_max_threads(Some(threads));
+        let run = GlobalManager::new()
+            .run_with(
+                eight_core_sim(),
+                &mut MaxBips::new(),
+                &BudgetSchedule::constant(0.75),
+                &RunOptions::faulted(plan.clone()),
+            )
+            .unwrap();
+        gpm::par::set_max_threads(None);
+        run.to_json().unwrap()
+    };
+
+    let one = run_json(1);
+    let two = run_json(2);
+    let eight = run_json(8);
+    assert!(one == two, "GPM_THREADS=2 diverged from serial");
+    assert!(one == eight, "GPM_THREADS=8 diverged from serial");
+
+    // The run actually exercised the fault path.
+    let run = gpm::core::RunResult::from_json(&one).unwrap();
+    assert!(!run.fault_events.is_empty());
+}

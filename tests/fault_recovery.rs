@@ -1,0 +1,189 @@
+//! Acceptance tests for degraded operation: a MaxBIPS run whose sensor
+//! telemetry is corrupted by a dropout window must return to the budget
+//! within `watchdog_k + 1` explore intervals of the window closing — and
+//! the hardened manager must never have left the budget in the first
+//! place (a dark sensor is assumed worst-case Turbo, which over-covers).
+//!
+//! The workload is synthetic (constant-rate traces) so every number is
+//! analytic: a 20 W "fast" core and a 12 W "slow" core under an 80%
+//! budget (25.6 W of the 32 W envelope). Clean MaxBIPS settles at
+//! fast=Eff1 + slow=Eff2 ≈ 24.5 W. A dropout on the fast core's sensor
+//! makes the trusting controller see ~12 W of chip power, promote
+//! everything to Turbo, and overshoot to 32 W until telemetry returns.
+
+use std::sync::Arc;
+
+use gpm::cmp::{SimParams, TraceCmpSim};
+use gpm::core::{
+    BudgetSchedule, GlobalManager, GuardActionKind, GuardRails, MaxBips, RunOptions, RunResult,
+};
+use gpm::faults::FaultPlan;
+use gpm::trace::{BenchmarkTraces, ModeTrace, TraceSample};
+use gpm::types::{Micros, PowerMode};
+
+/// Builds a synthetic constant-rate trace set: `bips` at Turbo, linear
+/// BIPS scaling and cubic power scaling across modes.
+fn constant_traces(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
+    let delta = Micros::new(50.0);
+    let delta_s = delta.to_seconds().value();
+    let traces = PowerMode::ALL
+        .map(|mode| {
+            let b = bips * mode.bips_scale_bound();
+            let p = power * mode.power_scale();
+            let per_delta = b * 1.0e9 * delta_s;
+            let samples: Vec<TraceSample> = (1..=4000)
+                .map(|k| TraceSample {
+                    instructions_end: (per_delta * k as f64) as u64,
+                    power_w: p,
+                    bips: b,
+                })
+                .collect();
+            ModeTrace::new(mode, delta, samples)
+        })
+        .to_vec();
+    Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+}
+
+fn two_core_sim() -> TraceCmpSim {
+    let traces = vec![
+        constant_traces("fast", 30_000_000, 2.0, 20.0),
+        constant_traces("slow", 8_000_000, 0.5, 12.0),
+    ];
+    TraceCmpSim::new(traces, SimParams::default()).unwrap()
+}
+
+const BUDGET: f64 = 0.80;
+/// Dropout window in explore intervals, half-open.
+const DROP_FROM: usize = 3;
+const DROP_TO: usize = 8;
+
+fn dropout_run(guards: Option<GuardRails>) -> RunResult {
+    let plan = FaultPlan::parse(&format!("dropout@0:from={DROP_FROM},to={DROP_TO}")).unwrap();
+    let options = RunOptions {
+        faults: Some(plan),
+        guards,
+    };
+    GlobalManager::new()
+        .run_with(
+            two_core_sim(),
+            &mut MaxBips::new(),
+            &BudgetSchedule::constant(BUDGET),
+            &options,
+        )
+        .unwrap()
+}
+
+/// Indices of measured records (record index == interval index; index 0 is
+/// the bootstrap warm-up) whose measured chip power exceeded the budget.
+fn violation_intervals(run: &RunResult) -> Vec<usize> {
+    run.records
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| !r.bootstrap && r.chip_power > r.budget)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn trusting_controller_overshoots_then_recovers_within_k_plus_one() {
+    let k = GuardRails::default().watchdog_k;
+    let run = dropout_run(None);
+    let violations = violation_intervals(&run);
+
+    // The dark sensor reads zero power, so the controller promotes to
+    // all-Turbo and violates the budget while the window is open.
+    assert!(
+        !violations.is_empty(),
+        "the trusting controller must overshoot under a dropout"
+    );
+    assert!(
+        run.worst_overshoot_watts().value() > 3.0,
+        "overshoot should be substantial, got {}",
+        run.worst_overshoot_watts()
+    );
+    // Every violation is attributable to the fault: corrupted telemetry
+    // from intervals [from, to) drives decisions [from+1, to+1).
+    for &i in &violations {
+        assert!(
+            i > DROP_FROM && i <= DROP_TO,
+            "violation at interval {i} outside the fault's influence"
+        );
+    }
+
+    // Acceptance: back under budget within K+1 intervals of the window
+    // closing, and it stays there for the rest of the run.
+    let deadline = DROP_TO + k + 1;
+    assert!(
+        violations.iter().all(|&i| i < deadline),
+        "violations {violations:?} persist past interval {deadline}"
+    );
+    assert!(
+        run.records.len() > deadline + 5,
+        "run too short ({} intervals) to witness recovery",
+        run.records.len()
+    );
+    assert!(run.fault_events.len() >= DROP_TO - DROP_FROM);
+    assert!(run.guard_actions.is_empty(), "no guards were requested");
+}
+
+#[test]
+fn hardened_controller_covers_the_dark_sensor() {
+    let k = GuardRails::default().watchdog_k;
+    let run = dropout_run(Some(GuardRails::default()));
+
+    // Worst-case Turbo assumption for the dark core over-covers: the
+    // watchdog bound holds with room to spare.
+    assert!(
+        run.longest_violation_run() <= k,
+        "hardened run exceeded the watchdog bound: {} > {k}",
+        run.longest_violation_run()
+    );
+    let deadline = DROP_TO + k + 1;
+    assert!(
+        violation_intervals(&run).iter().all(|&i| i < deadline),
+        "hardened run failed to recover by interval {deadline}"
+    );
+
+    // The guard must have recorded its worst-case substitutions.
+    let dark_actions = run
+        .guard_actions
+        .iter()
+        .filter(|a| matches!(a.kind, GuardActionKind::DarkWorstCase { core: 0 }))
+        .count();
+    assert_eq!(
+        dark_actions,
+        DROP_TO - DROP_FROM,
+        "one DarkWorstCase per dropped interval"
+    );
+
+    // Degraded operation, not collapse: the hardened run keeps most of the
+    // trusting run's throughput (it only loses the over-promoted burst).
+    let trusting = dropout_run(None);
+    assert!(
+        run.average_chip_bips().value() > 0.8 * trusting.average_chip_bips().value(),
+        "hardened {} vs trusting {}",
+        run.average_chip_bips(),
+        trusting.average_chip_bips()
+    );
+}
+
+#[test]
+fn fault_free_guarded_run_matches_legacy_bit_for_bit() {
+    let schedule = BudgetSchedule::constant(BUDGET);
+    let legacy = GlobalManager::new()
+        .run(two_core_sim(), &mut MaxBips::new(), &schedule)
+        .unwrap();
+    let guarded = GlobalManager::new()
+        .run_with(
+            two_core_sim(),
+            &mut MaxBips::new(),
+            &schedule,
+            &RunOptions::guarded(),
+        )
+        .unwrap();
+    assert_eq!(legacy.to_json().unwrap(), {
+        // Strip nothing: a fault-free guarded run records no events and no
+        // actions, so the whole serialized result must match.
+        guarded.to_json().unwrap()
+    });
+}

@@ -129,11 +129,11 @@ fn batched_delivery_matches_one_op_stepping() {
         for mode in PowerMode::ALL {
             let freq = dvfs.frequency(mode);
 
-            let mut batched_core = CoreModel::new(&CoreConfig::power4(), freq);
+            let mut batched_core = CoreModel::new(&CoreConfig::power4(), freq).unwrap();
             let mut batched = bench.stream();
             let batched_stats = batched_core.run_cycles(&mut batched, 200_000);
 
-            let mut one_core = CoreModel::new(&CoreConfig::power4(), freq);
+            let mut one_core = CoreModel::new(&CoreConfig::power4(), freq).unwrap();
             let mut one = OneAtATime(bench.stream());
             let one_stats = one_core.run_cycles(&mut one, 200_000);
 
