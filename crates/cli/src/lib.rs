@@ -96,6 +96,9 @@ pub enum Command {
         name: String,
         /// Use truncated captures.
         fast: bool,
+        /// Core-count restriction for the wide-CMP tier (`--cores 16|32`;
+        /// `None` runs both widths).
+        cores: Option<usize>,
     },
     /// List benchmarks, combos, policies and experiments.
     List,
@@ -219,6 +222,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
     let mut budget = None;
     let mut budgets = None;
     let mut threads = None;
+    let mut cores = None;
     let mut fast = false;
     let mut json = false;
     let mut faults: Option<FaultPlan> = None;
@@ -269,6 +273,17 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                     v.parse::<f64>()
                         .map_err(|_| bad(format!("bad budget `{v}`")))?,
                 );
+            }
+            "--cores" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--cores needs a value".into()))?;
+                let n = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| [16, 32].contains(n))
+                    .ok_or_else(|| bad(format!("bad core count `{v}` (need 16 or 32)")))?;
+                cores = Some(n);
             }
             "--no-guards" => no_guards = true,
             "--faults" => {
@@ -328,7 +343,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                 .first()
                 .cloned()
                 .ok_or_else(|| bad("figure needs an experiment name (e.g. fig4)".into()))?;
-            Command::Figure { name, fast }
+            Command::Figure { name, fast, cores }
         }
         "list" => Command::List,
         "help" | "--help" | "-h" => Command::Help,
@@ -344,7 +359,10 @@ USAGE:
   gpm run    [--combo \"a|b|c\"] [--policy NAME] [--budget F] [--json] [--fast]
              [--faults SPEC] [--fault-seed N] [--no-guards]
   gpm sweep  [--combo \"a|b|c\"] [--policies a,b,c] [--budgets lo:hi:step] [--fast]
-  gpm figure NAME [--fast]      regenerate a paper experiment (see `gpm list`)
+  gpm figure NAME [--fast] [--cores 16|32]
+                                regenerate a paper experiment (see `gpm list`);
+                                --cores restricts the `wide` scaling tier to
+                                one CMP width (default: both 16 and 32)
   gpm list                      benchmarks, combos, policies, experiments
   gpm help
 
@@ -398,7 +416,7 @@ pub fn execute(command: Command) -> Result<String> {
             budgets,
             fast,
         } => run_sweep(&combo, &policies, &budgets, fast),
-        Command::Figure { name, fast } => run_figure(&name, fast),
+        Command::Figure { name, fast, cores } => run_figure(&name, fast, cores),
     }
 }
 
@@ -419,6 +437,11 @@ fn list_text() -> String {
     {
         let _ = writeln!(out, "  {}", combo.label());
     }
+    let _ = writeln!(
+        out,
+        "\ncombos (wide-CMP tier):\n  16-way: {}\n  32-way: 16-way doubled",
+        combos::sixteen_way_mixed().label()
+    );
     out.push_str(
         "\npolicies: maxbips priority pullhipushlo chipwide oracle greedy minpower:<t> static\n",
     );
@@ -426,7 +449,7 @@ fn list_text() -> String {
         "\nexperiments: table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig6_faulted fig7\n",
     );
     out.push_str(
-        "             fig8 fig9 fig10 fig11 validation prediction minpower thermal transition\n",
+        "             fig8 fig9 fig10 fig11 wide validation prediction minpower thermal transition\n",
     );
     out
 }
@@ -567,7 +590,7 @@ fn run_sweep(
     Ok(out)
 }
 
-fn run_figure(name: &str, fast: bool) -> Result<String> {
+fn run_figure(name: &str, fast: bool, cores: Option<usize>) -> Result<String> {
     use gpm_experiments as exp;
     let ctx = context(fast);
     let unknown = || GpmError::InvalidConfig {
@@ -589,6 +612,10 @@ fn run_figure(name: &str, fast: bool) -> Result<String> {
         "fig9" => exp::scaling::fig9(&ctx)?.render(),
         "fig10" => exp::scaling::fig10(&ctx)?.render(),
         "fig11" => exp::scaling::fig11(&ctx)?.render(),
+        "wide" => {
+            let widths = cores.map_or_else(|| vec![16, 32], |c| vec![c]);
+            exp::scaling::wide(&ctx, &widths)?.render()
+        }
         "validation" => exp::validation::render_trace_vs_full(&exp::validation::run_trace_vs_full(
             &ctx,
             gpm_types::Micros::from_millis(2.0),
@@ -656,11 +683,29 @@ mod tests {
     fn parses_figure_and_list_and_help() {
         assert!(matches!(
             parse("figure fig4 --fast").unwrap(),
-            Command::Figure { ref name, fast: true } if name == "fig4"
+            Command::Figure { ref name, fast: true, cores: None } if name == "fig4"
         ));
         assert_eq!(parse("list").unwrap(), Command::List);
         assert_eq!(parse("help").unwrap(), Command::Help);
         assert_eq!(parse("").unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_cores_flag() {
+        assert!(matches!(
+            parse("figure wide --cores 16 --fast").unwrap(),
+            Command::Figure { ref name, fast: true, cores: Some(16) } if name == "wide"
+        ));
+        assert!(matches!(
+            parse("figure wide --cores 32").unwrap(),
+            Command::Figure {
+                cores: Some(32),
+                ..
+            }
+        ));
+        assert!(parse("figure wide --cores 7").is_err());
+        assert!(parse("figure wide --cores lots").is_err());
+        assert!(parse("figure wide --cores").is_err());
     }
 
     #[test]
@@ -704,10 +749,10 @@ mod tests {
     #[test]
     fn static_tables_execute_without_captures() {
         for name in ["table3", "table4", "table5"] {
-            let out = run_figure(name, true).unwrap();
+            let out = run_figure(name, true, None).unwrap();
             assert!(out.contains("Table"), "{name}: {out}");
         }
-        assert!(run_figure("nope", true).is_err());
+        assert!(run_figure("nope", true, None).is_err());
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //!
 //! # Policies
 //!
-//! * [`MaxBips`] — the paper's headline policy: exhaustively evaluates all
-//!   3^N mode combinations (with transition de-rating) and picks the
-//!   highest-throughput one that fits the budget.
+//! * [`MaxBips`] — the paper's headline policy: picks the
+//!   highest-throughput of all 3^N mode combinations (with transition
+//!   de-rating) that fits the budget. The argmax is computed by the exact
+//!   branch-and-bound in [`solver`], bit-identical to the paper's
+//!   exhaustive scan but tractable at 16/32 cores.
 //! * [`Priority`] — fixed core priorities; slows the lowest-priority core
 //!   first, speeds the highest-priority core first.
 //! * [`PullHiPushLo`] — power balancing: slows the hottest core, speeds the
@@ -74,6 +76,7 @@ pub use manager::{
 };
 pub use matrices::PowerBipsMatrices;
 pub use metrics::{throughput_degradation, weighted_slowdown, weighted_speedup_slowdown};
+pub use policy::solver;
 pub use policy::{
     ChipWide, Constant, GreedyMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext, Priority,
     PullHiPushLo, ThermalGuard,

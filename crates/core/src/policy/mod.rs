@@ -1,7 +1,7 @@
 //! The policy interface and the paper's global management policies.
 
 use gpm_power::DvfsParams;
-use gpm_types::{Micros, ModeCombination, PowerMode, Watts};
+use gpm_types::{Micros, ModeCombination, Watts};
 
 use crate::PowerBipsMatrices;
 
@@ -13,6 +13,7 @@ mod minpower;
 mod oracle;
 mod priority;
 mod pullhipushlo;
+pub mod solver;
 mod thermal_guard;
 
 pub use chipwide::ChipWide;
@@ -80,16 +81,16 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     }
 }
 
-/// Exhaustive 3^N search: the highest-throughput combination (with
-/// transition de-rating) whose predicted chip power fits the budget; falls
-/// back to all-Eff2 (minimum power) when nothing fits.
+/// The MaxBIPS argmax: the highest-throughput combination (with transition
+/// de-rating) whose predicted chip power fits the budget; falls back to
+/// all-Eff2 (minimum power) when nothing fits.
 ///
-/// On wide chips the search space dominates a decision (3^8 = 6561
-/// candidates per explore interval), so when the call is not already inside
-/// a parallel region the scan is split into enumeration-order chunks across
-/// the worker pool. Chunk-local first-maxima merged in order pick the same
-/// combination as the serial scan (strict `>` keeps the earliest-enumerated
-/// winner), so results are bit-identical for any thread count.
+/// Semantically this is the paper's exhaustive 3^N search, but it is
+/// answered by the exact branch-and-bound in [`solver`] — bit-identical to
+/// the scan (same combination, same tie-breaking) at a small fraction of
+/// the candidates, which is what makes 16- and 32-way decisions tractable.
+/// The literal scan survives as [`solver::exhaustive`] /
+/// [`solver::exhaustive_chunked`] for equivalence tests and baselines.
 pub(crate) fn best_under_budget(
     matrices: &PowerBipsMatrices,
     current: &ModeCombination,
@@ -97,69 +98,7 @@ pub(crate) fn best_under_budget(
     dvfs: &DvfsParams,
     explore: Micros,
 ) -> ModeCombination {
-    let cores = matrices.cores();
-    let threads = gpm_par::max_threads();
-    if cores >= 8 && threads > 1 && !gpm_par::in_parallel_region() {
-        return best_under_budget_chunked(matrices, current, budget, dvfs, explore, threads);
-    }
-    let mut best: Option<(f64, ModeCombination)> = None;
-    for combo in ModeCombination::enumerate(cores) {
-        if matrices.chip_power(&combo) > budget {
-            continue;
-        }
-        let bips = matrices
-            .chip_bips_with_transition(current, &combo, dvfs, explore)
-            .value();
-        if best.as_ref().is_none_or(|(b, _)| bips > *b) {
-            best = Some((bips, combo));
-        }
-    }
-    best.map_or_else(
-        || ModeCombination::uniform(cores, PowerMode::Eff2),
-        |(_, combo)| combo,
-    )
-}
-
-/// The parallel arm of [`best_under_budget`]: evaluates enumeration-order
-/// chunks of the 3^N space on the worker pool, then merges the chunk-local
-/// first-maxima in order.
-fn best_under_budget_chunked(
-    matrices: &PowerBipsMatrices,
-    current: &ModeCombination,
-    budget: Watts,
-    dvfs: &DvfsParams,
-    explore: Micros,
-    threads: usize,
-) -> ModeCombination {
-    let cores = matrices.cores();
-    let combos: Vec<ModeCombination> = ModeCombination::enumerate(cores).collect();
-    let chunk_size = combos.len().div_ceil(threads.saturating_mul(4)).max(1);
-    let chunks: Vec<&[ModeCombination]> = combos.chunks(chunk_size).collect();
-    let locals = gpm_par::parallel_map(&chunks, |chunk| {
-        let mut best: Option<(f64, &ModeCombination)> = None;
-        for combo in *chunk {
-            if matrices.chip_power(combo) > budget {
-                continue;
-            }
-            let bips = matrices
-                .chip_bips_with_transition(current, combo, dvfs, explore)
-                .value();
-            if best.as_ref().is_none_or(|(b, _)| bips > *b) {
-                best = Some((bips, combo));
-            }
-        }
-        best.map(|(bips, combo)| (bips, combo.clone()))
-    });
-    let mut best: Option<(f64, ModeCombination)> = None;
-    for (bips, combo) in locals.into_iter().flatten() {
-        if best.as_ref().is_none_or(|(b, _)| bips > *b) {
-            best = Some((bips, combo));
-        }
-    }
-    best.map_or_else(
-        || ModeCombination::uniform(cores, PowerMode::Eff2),
-        |(_, combo)| combo,
-    )
+    solver::solve(matrices, current, budget, dvfs, explore)
 }
 
 #[cfg(test)]
@@ -215,7 +154,7 @@ pub(crate) mod testutil {
 mod tests {
     use super::testutil::Fixture;
     use super::*;
-    use gpm_types::CoreId;
+    use gpm_types::{CoreId, PowerMode};
 
     #[test]
     fn best_under_budget_prefers_throughput() {

@@ -1,0 +1,743 @@
+//! Exact branch-and-bound replacement for the exhaustive MaxBIPS scan.
+//!
+//! The paper's MaxBIPS policy (Section 5.2.3) evaluates all 3^N mode
+//! combinations per explore interval. That is fine at the paper's 4 cores
+//! (81 candidates) and tolerable at 8 (6561), but 3^16 ≈ 43M and
+//! 3^32 ≈ 1.8e15 rule the literal scan out for the wide-CMP tier. This
+//! module solves the same discrete problem *exactly* — the returned
+//! combination is bit-identical to the scan's, including its tie-breaking —
+//! in three steps:
+//!
+//! 1. **Mode-major prediction tables.** Power, BIPS and per-core transition
+//!    stall are read out of [`PowerBipsMatrices`] once per decision into
+//!    dense `[mode][core]` arrays, so no candidate ever re-walks the
+//!    matrices.
+//! 2. **Stall-class decomposition.** The transition de-rate factor
+//!    `explore / (explore + stall)` depends only on the *chip-wide maximum*
+//!    stall, which takes at most a handful of distinct values (four under
+//!    [`DvfsParams::paper`]: 0, 6.5, 13 and 19.5 µs). For each distinct
+//!    value `S` the solver searches the subspace "every core's stall ≤ S and
+//!    at least one core's stall = S", within which the objective is the
+//!    *separable* sum of per-core BIPS times the constant factor for `S`.
+//! 3. **Depth-first branch-and-bound.** Within a class, cores are assigned
+//!    in descending BIPS-spread order (most impactful first) and candidates
+//!    are pruned by (a) a min-residual-power feasibility bound and (b) a
+//!    fractional-relaxation upper bound on the remaining BIPS — the LP bound
+//!    of the multiple-choice knapsack built from each core's concave
+//!    (power, BIPS) frontier.
+//!
+//! # Bit-identical tie-breaking
+//!
+//! The scan keeps the *first* strict maximum in enumeration order, i.e. the
+//! argmax with the smallest enumeration rank (core 0 is the most
+//! significant base-3 digit). The branch-and-bound does not visit leaves in
+//! that order, so it carries each partial assignment's rank explicitly and
+//! accepts a leaf only if its objective is strictly larger, or equal with a
+//! strictly smaller rank. Every pruning bound is slackened by
+//! [`BOUND_SLACK`] (absolute + relative), which covers the worst-case
+//! floating-point discrepancy between the bound's summation order and the
+//! leaf's — so a subtree is discarded only when no leaf in it can beat *or
+//! tie* the incumbent. Surviving leaves are evaluated through the exact
+//! same [`PowerBipsMatrices::chip_power`] /
+//! [`PowerBipsMatrices::chip_bips_with_transition`] calls as the scan,
+//! making the kept objective values bit-equal by construction.
+//!
+//! Degenerate inputs (non-finite or negative table entries, non-finite
+//! budget, non-positive explore interval) fall back to the literal
+//! [`exhaustive`] scan, which is also kept as the reference baseline for
+//! the equivalence tests and benchmarks.
+
+use gpm_power::DvfsParams;
+use gpm_types::{CoreId, Micros, ModeCombination, ModeOdometer, PowerMode, Watts};
+
+use crate::PowerBipsMatrices;
+
+/// Relative pruning slack. Bounds are computed in a different summation
+/// order than leaf objectives, so they disagree by at most a few ULPs per
+/// term; 1e-9 is ~1e5× the worst case at 80 cores while still pruning
+/// everything that is meaningfully worse than the incumbent.
+const BOUND_SLACK: f64 = 1e-9;
+
+/// Widest chip the rank bookkeeping supports (3^80 < 2^127).
+const MAX_CORES: usize = 80;
+
+/// Search-effort counters for one [`solve_with_stats`] call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound tree nodes visited (including leaves).
+    pub nodes: u64,
+    /// Full assignments evaluated exactly.
+    pub leaves: u64,
+    /// Distinct stall classes searched.
+    pub classes: usize,
+}
+
+/// Exact solve: the bit-identical result of [`exhaustive`] without the
+/// 3^N scan. See the module docs for the algorithm.
+///
+/// # Panics
+///
+/// Panics if `matrices` covers more than 80 cores.
+#[must_use]
+pub fn solve(
+    matrices: &PowerBipsMatrices,
+    current: &ModeCombination,
+    budget: Watts,
+    dvfs: &DvfsParams,
+    explore: Micros,
+) -> ModeCombination {
+    solve_with_stats(matrices, current, budget, dvfs, explore).0
+}
+
+/// [`solve`], plus counters for the complexity table in DESIGN.md §11.
+///
+/// # Panics
+///
+/// Panics if `matrices` covers more than 80 cores.
+#[must_use]
+pub fn solve_with_stats(
+    matrices: &PowerBipsMatrices,
+    current: &ModeCombination,
+    budget: Watts,
+    dvfs: &DvfsParams,
+    explore: Micros,
+) -> (ModeCombination, SolveStats) {
+    let n = matrices.cores();
+    assert!(n <= MAX_CORES, "solver supports at most {MAX_CORES} cores");
+    let tables = Tables::build(matrices, current, dvfs);
+    if n == 0 || current.len() != n || !tables.well_formed(budget, explore) {
+        let combo = exhaustive(matrices, current, budget, dvfs, explore);
+        return (combo, SolveStats::default());
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        tables
+            .bips_spread(b)
+            .total_cmp(&tables.bips_spread(a))
+            .then(a.cmp(&b))
+    });
+    let mut pos = vec![0usize; n];
+    for (depth, &core) in order.iter().enumerate() {
+        pos[core] = depth;
+    }
+    let mut pow3 = vec![1u128; n];
+    for core in (0..n.saturating_sub(1)).rev() {
+        pow3[core] = pow3[core + 1] * 3;
+    }
+
+    let max_power_sum: f64 = (0..n).map(|c| tables.row_max(&tables.power, c)).sum();
+    let max_bips_sum: f64 = (0..n).map(|c| tables.row_max(&tables.bips, c)).sum();
+
+    let mut classes: Vec<f64> = tables
+        .stall
+        .iter()
+        .flat_map(|row| row.iter().copied())
+        .collect();
+    classes.sort_by(f64::total_cmp);
+    classes.dedup();
+
+    let mut search = Search {
+        matrices,
+        current,
+        dvfs,
+        budget,
+        explore,
+        budget_w: budget.value(),
+        power_slack: BOUND_SLACK * (1.0 + budget.value().abs() + max_power_sum),
+        bips_slack: BOUND_SLACK * (1.0 + max_bips_sum),
+        tables,
+        order,
+        pos,
+        pow3,
+        factor: 1.0,
+        mode_ok: vec![[false; PowerMode::COUNT]; n],
+        hits_class: vec![[false; PowerMode::COUNT]; n],
+        base_p_suffix: vec![0.0; n + 1],
+        base_b_suffix: vec![0.0; n + 1],
+        reach_suffix: vec![false; n + 1],
+        segs: Vec::with_capacity(2 * n),
+        scratch: ModeCombination::uniform(n, PowerMode::Turbo),
+        best: None,
+        stats: SolveStats::default(),
+    };
+
+    // Warm start: a cheap demote-by-ratio heuristic seeds the incumbent so
+    // the very first class already prunes against a realistic objective.
+    let warm = search.greedy_feasible();
+    search.offer(&warm);
+
+    search.stats.classes = classes.len();
+    for &stall in &classes {
+        search.run_class(stall);
+    }
+
+    let combo = search.best.map_or_else(
+        || ModeCombination::uniform(n, PowerMode::Eff2),
+        |inc| inc.combo,
+    );
+    (combo, search.stats)
+}
+
+/// The literal exhaustive scan over an in-place [`ModeOdometer`]: the
+/// reference baseline the solver must match bit-for-bit, and the fallback
+/// for degenerate inputs. Allocates only when a candidate becomes the new
+/// best.
+#[must_use]
+pub fn exhaustive(
+    matrices: &PowerBipsMatrices,
+    current: &ModeCombination,
+    budget: Watts,
+    dvfs: &DvfsParams,
+    explore: Micros,
+) -> ModeCombination {
+    let cores = matrices.cores();
+    let mut best: Option<(f64, ModeCombination)> = None;
+    let mut odo = ModeOdometer::new(cores);
+    loop {
+        let combo = odo.current();
+        if matrices.chip_power(combo) > budget {
+            if !odo.advance() {
+                break;
+            }
+            continue;
+        }
+        let bips = matrices
+            .chip_bips_with_transition(current, combo, dvfs, explore)
+            .value();
+        if best.as_ref().is_none_or(|(b, _)| bips > *b) {
+            best = Some((bips, combo.clone()));
+        }
+        if !odo.advance() {
+            break;
+        }
+    }
+    best.map_or_else(
+        || ModeCombination::uniform(cores, PowerMode::Eff2),
+        |(_, combo)| combo,
+    )
+}
+
+/// The parallel arm of the exhaustive scan: rank-range chunks walked by
+/// per-chunk odometers on the worker pool (no 3^N materialisation), merged
+/// as chunk-local first-maxima in enumeration order — bit-identical to the
+/// serial scan for any pool width.
+#[must_use]
+pub fn exhaustive_chunked(
+    matrices: &PowerBipsMatrices,
+    current: &ModeCombination,
+    budget: Watts,
+    dvfs: &DvfsParams,
+    explore: Micros,
+    threads: usize,
+) -> ModeCombination {
+    let cores = matrices.cores();
+    let total = 3usize.checked_pow(cores as u32).expect("3^cores overflow");
+    let chunk = total.div_ceil(threads.saturating_mul(4)).max(1);
+    let ranges: Vec<(usize, usize)> = (0..total)
+        .step_by(chunk)
+        .map(|start| (start, (start + chunk).min(total)))
+        .collect();
+    let locals = gpm_par::parallel_map(&ranges, |&(start, end)| {
+        let mut odo = ModeOdometer::from_rank(cores, start);
+        let mut best: Option<(f64, ModeCombination)> = None;
+        for _ in start..end {
+            let combo = odo.current();
+            if matrices.chip_power(combo) > budget {
+                odo.advance();
+                continue;
+            }
+            let bips = matrices
+                .chip_bips_with_transition(current, combo, dvfs, explore)
+                .value();
+            if best.as_ref().is_none_or(|(b, _)| bips > *b) {
+                best = Some((bips, combo.clone()));
+            }
+            odo.advance();
+        }
+        best
+    });
+    let mut best: Option<(f64, ModeCombination)> = None;
+    for (bips, combo) in locals.into_iter().flatten() {
+        if best.as_ref().is_none_or(|(b, _)| bips > *b) {
+            best = Some((bips, combo));
+        }
+    }
+    best.map_or_else(
+        || ModeCombination::uniform(cores, PowerMode::Eff2),
+        |(_, combo)| combo,
+    )
+}
+
+/// Mode-major decision tables: `power[mode][core]`, `bips[mode][core]` and
+/// the stall each core pays to switch from its current mode, all read out
+/// of the matrices once per decision.
+struct Tables {
+    n: usize,
+    power: [Vec<f64>; PowerMode::COUNT],
+    bips: [Vec<f64>; PowerMode::COUNT],
+    stall: [Vec<f64>; PowerMode::COUNT],
+}
+
+impl Tables {
+    fn build(matrices: &PowerBipsMatrices, current: &ModeCombination, dvfs: &DvfsParams) -> Self {
+        let n = matrices.cores();
+        let mut tables = Self {
+            n,
+            power: std::array::from_fn(|_| vec![0.0; n]),
+            bips: std::array::from_fn(|_| vec![0.0; n]),
+            stall: std::array::from_fn(|_| vec![0.0; n]),
+        };
+        let cur = current.as_slice();
+        for (core, &from) in cur.iter().enumerate().take(n) {
+            let id = CoreId::new(core);
+            for mode in PowerMode::ALL {
+                let m = mode.index();
+                tables.power[m][core] = matrices.power(id, mode).value();
+                tables.bips[m][core] = matrices.bips(id, mode).value();
+                tables.stall[m][core] = dvfs.transition_time(from, mode).value();
+            }
+        }
+        tables
+    }
+
+    /// All entries finite and non-negative, budget finite, explore positive
+    /// — the preconditions the pruning bounds rely on.
+    fn well_formed(&self, budget: Watts, explore: Micros) -> bool {
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        budget.value().is_finite()
+            && explore.value().is_finite()
+            && explore.value() > 0.0
+            && (0..self.n).all(|c| {
+                (0..PowerMode::COUNT)
+                    .all(|m| ok(self.power[m][c]) && ok(self.bips[m][c]) && ok(self.stall[m][c]))
+            })
+    }
+
+    fn bips_spread(&self, core: usize) -> f64 {
+        let row = [self.bips[0][core], self.bips[1][core], self.bips[2][core]];
+        let hi = row[0].max(row[1]).max(row[2]);
+        let lo = row[0].min(row[1]).min(row[2]);
+        hi - lo
+    }
+
+    fn row_max(&self, table: &[Vec<f64>; PowerMode::COUNT], core: usize) -> f64 {
+        table[0][core].max(table[1][core]).max(table[2][core])
+    }
+}
+
+/// One segment of a core's concave (power, BIPS) frontier: spending
+/// `dp` extra Watts on this core buys `db` extra BIPS at `ratio = db/dp`.
+struct Seg {
+    ratio: f64,
+    core: usize,
+    dp: f64,
+    db: f64,
+}
+
+/// The incumbent best feasible assignment: exact objective, enumeration
+/// rank (for scan-identical tie-breaking) and the combination itself.
+struct Incumbent {
+    obj: f64,
+    rank: u128,
+    combo: ModeCombination,
+}
+
+struct Search<'a> {
+    matrices: &'a PowerBipsMatrices,
+    current: &'a ModeCombination,
+    dvfs: &'a DvfsParams,
+    budget: Watts,
+    explore: Micros,
+    budget_w: f64,
+    power_slack: f64,
+    bips_slack: f64,
+    tables: Tables,
+    /// Cores in branching order (descending BIPS spread).
+    order: Vec<usize>,
+    /// Inverse of `order`: depth at which each core is assigned.
+    pos: Vec<usize>,
+    /// Enumeration-rank weight of core `c`'s digit: 3^(n-1-c).
+    pow3: Vec<u128>,
+    // --- per-class state, rebuilt by `run_class` ---
+    factor: f64,
+    mode_ok: Vec<[bool; PowerMode::COUNT]>,
+    hits_class: Vec<[bool; PowerMode::COUNT]>,
+    /// Σ over unassigned cores of their cheapest allowed power.
+    base_p_suffix: Vec<f64>,
+    /// Σ over unassigned cores of the BIPS at that cheapest point.
+    base_b_suffix: Vec<f64>,
+    /// Whether any unassigned core can still realise the class stall.
+    reach_suffix: Vec<bool>,
+    /// Frontier segments of all cores, sorted by descending ratio.
+    segs: Vec<Seg>,
+    scratch: ModeCombination,
+    best: Option<Incumbent>,
+    stats: SolveStats,
+}
+
+impl Search<'_> {
+    /// Demote-by-ratio warm start (the `GreedyMaxBips` heuristic): from
+    /// all-Turbo, repeatedly demote the core with the best power-saved per
+    /// BIPS-lost ratio until the budget fits or no demotion is left.
+    fn greedy_feasible(&self) -> ModeCombination {
+        let n = self.tables.n;
+        let mut combo = ModeCombination::uniform(n, PowerMode::Turbo);
+        let mut steps = 2 * n;
+        while self.matrices.chip_power(&combo) > self.budget && steps > 0 {
+            steps -= 1;
+            let mut pick: Option<(f64, usize, PowerMode)> = None;
+            for core in 0..n {
+                let cur = combo.mode(CoreId::new(core));
+                let Some(next) = cur.slower() else { continue };
+                let dp =
+                    self.tables.power[cur.index()][core] - self.tables.power[next.index()][core];
+                let db = self.tables.bips[cur.index()][core] - self.tables.bips[next.index()][core];
+                let score = if db > 0.0 { dp / db } else { f64::INFINITY };
+                if pick.as_ref().is_none_or(|&(s, _, _)| score > s) {
+                    pick = Some((score, core, next));
+                }
+            }
+            match pick {
+                Some((_, core, next)) => combo.set(CoreId::new(core), next),
+                None => break,
+            }
+        }
+        combo
+    }
+
+    /// Evaluates `combo` exactly (the scan's arithmetic) and installs it as
+    /// the incumbent if it is feasible and better under the scan's
+    /// first-strict-max order.
+    fn offer(&mut self, combo: &ModeCombination) {
+        if self.matrices.chip_power(combo) > self.budget {
+            return;
+        }
+        let obj = self
+            .matrices
+            .chip_bips_with_transition(self.current, combo, self.dvfs, self.explore)
+            .value();
+        let rank = combo
+            .as_slice()
+            .iter()
+            .enumerate()
+            .map(|(core, mode)| mode.index() as u128 * self.pow3[core])
+            .sum();
+        let better = match &self.best {
+            None => true,
+            Some(inc) => obj > inc.obj || (obj == inc.obj && rank < inc.rank),
+        };
+        if better {
+            self.best = Some(Incumbent {
+                obj,
+                rank,
+                combo: combo.clone(),
+            });
+        }
+    }
+
+    /// Searches the subspace whose chip-wide max stall is exactly `stall`.
+    fn run_class(&mut self, stall: f64) {
+        let n = self.tables.n;
+        self.factor = self.explore.value() / (self.explore.value() + stall);
+        for core in 0..n {
+            for m in 0..PowerMode::COUNT {
+                let s = self.tables.stall[m][core];
+                self.mode_ok[core][m] = s <= stall;
+                self.hits_class[core][m] = s == stall;
+            }
+        }
+
+        self.base_p_suffix[n] = 0.0;
+        self.base_b_suffix[n] = 0.0;
+        self.reach_suffix[n] = false;
+        self.segs.clear();
+        for depth in (0..n).rev() {
+            let core = self.order[depth];
+            let (base_p, base_b) = self.push_frontier(core);
+            self.base_p_suffix[depth] = base_p + self.base_p_suffix[depth + 1];
+            self.base_b_suffix[depth] = base_b + self.base_b_suffix[depth + 1];
+            self.reach_suffix[depth] = self.reach_suffix[depth + 1]
+                || (0..PowerMode::COUNT).any(|m| self.hits_class[core][m]);
+        }
+        let pos = &self.pos;
+        self.segs.sort_by(|a, b| {
+            b.ratio
+                .total_cmp(&a.ratio)
+                .then(pos[a.core].cmp(&pos[b.core]))
+        });
+
+        if self.base_p_suffix[0] > self.budget_w + self.power_slack || !self.reach_suffix[0] {
+            return;
+        }
+        self.dfs(0, 0.0, 0.0, false, 0);
+    }
+
+    /// Builds `core`'s dominance-filtered concave frontier over its allowed
+    /// modes, pushes its segments and returns the (min-power, BIPS-there)
+    /// base point.
+    fn push_frontier(&mut self, core: usize) -> (f64, f64) {
+        let mut pts: [(f64, f64); PowerMode::COUNT] = [(0.0, 0.0); PowerMode::COUNT];
+        let mut len = 0;
+        for m in 0..PowerMode::COUNT {
+            if self.mode_ok[core][m] {
+                pts[len] = (self.tables.power[m][core], self.tables.bips[m][core]);
+                len += 1;
+            }
+        }
+        debug_assert!(len > 0, "every class admits the zero-stall current mode");
+        pts[..len].sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
+
+        // Dominance filter: keep points with strictly increasing BIPS.
+        let mut front: [(f64, f64); PowerMode::COUNT] = [(0.0, 0.0); PowerMode::COUNT];
+        let mut flen = 0;
+        for &(p, b) in &pts[..len] {
+            if flen == 0 || b > front[flen - 1].1 {
+                front[flen] = (p, b);
+                flen += 1;
+            }
+        }
+        // Concavity: drop the middle point when it lies on or below the
+        // chord (its left ratio does not exceed its right ratio).
+        if flen == 3 {
+            let r1 = (front[1].1 - front[0].1) / (front[1].0 - front[0].0);
+            let r2 = (front[2].1 - front[1].1) / (front[2].0 - front[1].0);
+            if r2 >= r1 {
+                front[1] = front[2];
+                flen = 2;
+            }
+        }
+        for w in 1..flen {
+            let dp = front[w].0 - front[w - 1].0;
+            let db = front[w].1 - front[w - 1].1;
+            self.segs.push(Seg {
+                ratio: db / dp,
+                core,
+                dp,
+                db,
+            });
+        }
+        front[0]
+    }
+
+    /// Fractional-relaxation bonus: the most extra BIPS the cores still
+    /// unassigned at `depth` can buy with `room` Watts above their base
+    /// points, filling frontier segments best-ratio-first with the last one
+    /// taken fractionally. An upper bound on every integer completion.
+    fn frac_extra(&self, depth: usize, mut room: f64) -> f64 {
+        if room <= 0.0 {
+            return 0.0;
+        }
+        let mut extra = 0.0;
+        for seg in &self.segs {
+            if self.pos[seg.core] < depth {
+                continue;
+            }
+            if seg.dp <= room {
+                room -= seg.dp;
+                extra += seg.db;
+            } else {
+                extra += seg.db * (room / seg.dp);
+                break;
+            }
+        }
+        extra
+    }
+
+    fn dfs(&mut self, depth: usize, power: f64, bips: f64, hit: bool, rank: u128) {
+        self.stats.nodes += 1;
+        let n = self.tables.n;
+        if depth == n {
+            self.stats.leaves += 1;
+            // Exact leaf evaluation through the same matrix methods (and
+            // hence the same core-order summations) as the scan. Leaves
+            // whose true max stall is below this class are duplicates of an
+            // earlier class; re-evaluating them is idempotent under the
+            // (obj, rank) order because the objective uses the *actual*
+            // stall, not the class constant.
+            if self.matrices.chip_power(&self.scratch) > self.budget {
+                return;
+            }
+            let obj = self
+                .matrices
+                .chip_bips_with_transition(self.current, &self.scratch, self.dvfs, self.explore)
+                .value();
+            let better = match &self.best {
+                None => true,
+                Some(inc) => obj > inc.obj || (obj == inc.obj && rank < inc.rank),
+            };
+            if better {
+                self.best = Some(Incumbent {
+                    obj,
+                    rank,
+                    combo: self.scratch.clone(),
+                });
+            }
+            return;
+        }
+        let core = self.order[depth];
+        for m in 0..PowerMode::COUNT {
+            if !self.mode_ok[core][m] {
+                continue;
+            }
+            let p2 = power + self.tables.power[m][core];
+            let b2 = bips + self.tables.bips[m][core];
+            let hit2 = hit || self.hits_class[core][m];
+            let rank2 = rank + m as u128 * self.pow3[core];
+            if p2 + self.base_p_suffix[depth + 1] > self.budget_w + self.power_slack {
+                continue;
+            }
+            if !hit2 && !self.reach_suffix[depth + 1] {
+                continue;
+            }
+            if let Some(inc) = &self.best {
+                let (inc_obj, inc_rank) = (inc.obj, inc.rank);
+                let room = self.budget_w - p2 - self.base_p_suffix[depth + 1] + self.power_slack;
+                let ub_bips = b2 + self.base_b_suffix[depth + 1] + self.frac_extra(depth + 1, room);
+                let ub = ub_bips * self.factor * (1.0 + BOUND_SLACK) + self.bips_slack;
+                // `rank2` is the smallest rank in this subtree (unassigned
+                // digits are Turbo = 0), so an equal-bound subtree with a
+                // larger rank cannot supply the scan's winner either.
+                if ub < inc_obj || (ub == inc_obj && rank2 > inc_rank) {
+                    continue;
+                }
+            }
+            self.scratch.set(CoreId::new(core), PowerMode::ALL[m]);
+            self.dfs(depth + 1, p2, b2, hit2, rank2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_ctx() -> (DvfsParams, Micros) {
+        (DvfsParams::paper(), Micros::new(500.0))
+    }
+
+    fn matrices(rows: &[(f64, f64)]) -> PowerBipsMatrices {
+        let power = rows
+            .iter()
+            .map(|&(p, _)| PowerMode::ALL.map(|m| p * m.power_scale()))
+            .collect();
+        let bips = rows
+            .iter()
+            .map(|&(_, b)| PowerMode::ALL.map(|m| b * m.bips_scale_bound()))
+            .collect();
+        PowerBipsMatrices::from_rows(power, bips)
+    }
+
+    fn assert_matches_scan(m: &PowerBipsMatrices, current: &ModeCombination, budget: f64) {
+        let (dvfs, explore) = paper_ctx();
+        let budget = Watts::new(budget);
+        let want = exhaustive(m, current, budget, &dvfs, explore);
+        let got = solve(m, current, budget, &dvfs, explore);
+        assert_eq!(got, want, "budget {budget:?}");
+    }
+
+    #[test]
+    fn matches_scan_across_budget_sweep() {
+        let m = matrices(&[(20.0, 2.0), (10.0, 0.4), (15.0, 1.1), (12.0, 1.7)]);
+        let current = ModeCombination::uniform(4, PowerMode::Turbo);
+        let all_turbo = 20.0 + 10.0 + 15.0 + 12.0;
+        for pct in 0..=110 {
+            assert_matches_scan(&m, &current, all_turbo * pct as f64 / 100.0);
+        }
+    }
+
+    #[test]
+    fn matches_scan_from_mixed_current_modes() {
+        let m = matrices(&[(20.0, 2.0), (10.0, 0.4), (15.0, 1.1)]);
+        for rank in 0..27 {
+            let current = ModeCombination::from_rank(3, rank);
+            for budget in [10.0, 30.0, 38.0, 45.0, 60.0] {
+                assert_matches_scan(&m, &current, budget);
+            }
+        }
+    }
+
+    #[test]
+    fn identical_cores_tie_resolves_to_scan_winner() {
+        // Four identical cores: huge argmax plateaus at every budget step.
+        let m = matrices(&[(10.0, 1.0); 4]);
+        let current = ModeCombination::uniform(4, PowerMode::Turbo);
+        for pct in 0..=100 {
+            assert_matches_scan(&m, &current, 40.0 * pct as f64 / 100.0);
+        }
+    }
+
+    #[test]
+    fn zero_spread_bips_ties_resolve_to_scan_winner() {
+        // BIPS identical across modes: the objective only moves through the
+        // stall factor and feasibility.
+        let power = vec![[20.0, 17.0, 12.0], [10.0, 8.0, 6.0]];
+        let bips = vec![[1.5, 1.5, 1.5], [0.7, 0.7, 0.7]];
+        let m = PowerBipsMatrices::from_rows(power, bips);
+        for rank in 0..9 {
+            let current = ModeCombination::from_rank(2, rank);
+            for budget in [10.0, 18.0, 20.0, 25.0, 31.0] {
+                assert_matches_scan(&m, &current, budget);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_budget_falls_back_to_all_eff2() {
+        let m = matrices(&[(20.0, 2.0), (18.0, 1.0)]);
+        let current = ModeCombination::uniform(2, PowerMode::Turbo);
+        let (dvfs, explore) = paper_ctx();
+        let combo = solve(&m, &current, Watts::new(1.0), &dvfs, explore);
+        assert!(combo.as_slice().iter().all(|&m| m == PowerMode::Eff2));
+        assert_matches_scan(&m, &current, 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_fall_back_to_scan() {
+        let m = PowerBipsMatrices::from_rows(vec![[f64::NAN, 1.0, 0.5]], vec![[1.0, 0.9, 0.8]]);
+        let current = ModeCombination::uniform(1, PowerMode::Turbo);
+        let (dvfs, explore) = paper_ctx();
+        let want = exhaustive(&m, &current, Watts::new(2.0), &dvfs, explore);
+        let got = solve(&m, &current, Watts::new(2.0), &dvfs, explore);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn prunes_most_of_the_space_on_hetero_chips() {
+        let rows: Vec<(f64, f64)> = (0..16)
+            .map(|i| {
+                (
+                    12.0 + (i * 7 % 11) as f64 * 1.3,
+                    0.4 + (i * 5 % 9) as f64 * 0.35,
+                )
+            })
+            .collect();
+        let m = matrices(&rows);
+        let current = (0..16)
+            .map(|i| PowerMode::ALL[i % 3])
+            .collect::<ModeCombination>();
+        let budget = Watts::new(0.8 * rows.iter().map(|r| r.0).sum::<f64>());
+        let (dvfs, explore) = paper_ctx();
+        let (_, stats) = solve_with_stats(&m, &current, budget, &dvfs, explore);
+        assert!(
+            stats.nodes < 200_000,
+            "16-way search visited {} nodes",
+            stats.nodes
+        );
+    }
+
+    #[test]
+    fn chunked_exhaustive_matches_serial() {
+        let m = matrices(&[(20.0, 2.0), (10.0, 0.4), (15.0, 1.1), (12.0, 1.7)]);
+        let current = ModeCombination::uniform(4, PowerMode::Turbo);
+        let (dvfs, explore) = paper_ctx();
+        for budget in [20.0, 40.0, 57.0] {
+            let budget = Watts::new(budget);
+            let serial = exhaustive(&m, &current, budget, &dvfs, explore);
+            for threads in [1, 2, 8] {
+                let chunked = exhaustive_chunked(&m, &current, budget, &dvfs, explore, threads);
+                assert_eq!(chunked, serial, "threads {threads}");
+            }
+        }
+    }
+}

@@ -22,7 +22,9 @@
 use std::sync::Arc;
 
 use gpm_trace::BenchmarkTraces;
-use gpm_types::{Bips, CoreId, GpmError, Micros, ModeCombination, PowerMode, Result, Watts};
+use gpm_types::{
+    Bips, CoreId, GpmError, Micros, ModeCombination, ModeOdometer, PowerMode, Result, Watts,
+};
 
 /// How a static assignment must satisfy the budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,20 +145,34 @@ pub fn best(
     budget: Watts,
     criterion: BudgetCriterion,
 ) -> Result<Option<StaticAssignment>> {
-    // The 3^N assignments are evaluated in enumeration-order chunks across
-    // the worker pool; each chunk keeps its first strict maximum, and the
-    // ordered merge below then selects the same assignment the serial scan
-    // would (ties resolve to the earliest-enumerated candidate).
-    let combos: Vec<ModeCombination> = ModeCombination::enumerate(traces.len()).collect();
-    let chunk_size = combos
-        .len()
+    // The 3^N assignments are evaluated in enumeration-order rank ranges
+    // across the worker pool — each range walked by an in-place
+    // [`ModeOdometer`], so the space is never materialised. Each range
+    // keeps its first strict maximum, and the ordered merge below then
+    // selects the same assignment the serial scan would (ties resolve to
+    // the earliest-enumerated candidate).
+    //
+    // Unlike the matrix-driven MaxBIPS argmax (see `gpm_core::solver`),
+    // this objective is *not* separable per core — the run terminates when
+    // the first benchmark completes, coupling every core's contribution to
+    // the chip-wide duration — so the branch-and-bound does not apply and
+    // the scan stays exhaustive.
+    let cores = traces.len();
+    let total = 3usize.checked_pow(cores as u32).expect("3^cores overflow");
+    let chunk_size = total
         .div_ceil(gpm_par::max_threads().saturating_mul(4))
         .max(1);
-    let chunks: Vec<&[ModeCombination]> = combos.chunks(chunk_size).collect();
-    let local_bests = gpm_par::try_parallel_map(&chunks, |chunk| {
+    let ranges: Vec<(usize, usize)> = (0..total)
+        .step_by(chunk_size)
+        .map(|start| (start, (start + chunk_size).min(total)))
+        .collect();
+    let local_bests = gpm_par::try_parallel_map(&ranges, |&(start, end)| {
+        let mut odometer = ModeOdometer::from_rank(cores, start);
         let mut best: Option<StaticAssignment> = None;
-        for modes in *chunk {
+        for _ in start..end {
+            let modes = odometer.current();
             let candidate = evaluate(traces, modes)?;
+            odometer.advance();
             let power = match criterion {
                 BudgetCriterion::AveragePower => candidate.average_power,
                 BudgetCriterion::PeakPower => candidate.peak_power,

@@ -1,7 +1,8 @@
-//! Figures 8, 9, 10 (2/4/8-way CMP policy curves) and Figure 11 (policy
-//! trends under CMP scaling).
+//! Figures 8, 9, 10 (2/4/8-way CMP policy curves), Figure 11 (policy
+//! trends under CMP scaling), and the beyond-the-paper wide-CMP tier
+//! (16/32-way MaxBIPS-exact vs GreedyMaxBIPS).
 
-use gpm_types::Result;
+use gpm_types::{GpmError, Result};
 use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
 
 use crate::render::pct2;
@@ -210,6 +211,150 @@ impl Fig11 {
     }
 }
 
+/// One budget point of the wide-CMP comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WideRow {
+    /// Budget as a fraction of the all-Turbo envelope.
+    pub budget: f64,
+    /// Performance degradation under the exact MaxBIPS argmax.
+    pub exact: f64,
+    /// Performance degradation under the O(N·modes) greedy heuristic.
+    pub greedy: f64,
+}
+
+impl WideRow {
+    /// How much throughput the greedy heuristic gives up against the exact
+    /// argmax (positive = greedy is worse).
+    #[must_use]
+    pub fn greedy_gap(&self) -> f64 {
+        self.greedy - self.exact
+    }
+}
+
+/// One wide-CMP panel: exact-vs-greedy curves at one core count.
+#[derive(Debug, Clone)]
+pub struct WidePanel {
+    /// Core count (16 or 32).
+    pub cores: usize,
+    /// The combo's `a|b|…` label.
+    pub combo: String,
+    /// One row per budget, lowest budget first.
+    pub rows: Vec<WideRow>,
+}
+
+/// The wide-CMP scaling experiment: MaxBIPS solved *exactly* by the
+/// branch-and-bound (`gpm_core::solver`) against the `GreedyMaxBips`
+/// heuristic at core counts where the literal 3^N scan is intractable.
+#[derive(Debug, Clone)]
+pub struct WideScaling {
+    /// One panel per requested core count, narrowest first.
+    pub panels: Vec<WidePanel>,
+}
+
+/// Builds the wide combo for a supported core count.
+///
+/// # Errors
+///
+/// Returns [`GpmError::InvalidConfig`] for counts other than 16 and 32.
+pub fn wide_combo(cores: usize) -> Result<WorkloadCombo> {
+    match cores {
+        16 => Ok(combos::sixteen_way_mixed()),
+        32 => Ok(combos::thirty_two_way_mixed()),
+        _ => Err(GpmError::InvalidConfig {
+            parameter: "cores",
+            reason: format!("wide-CMP tier supports 16 or 32 cores, got {cores}"),
+        }),
+    }
+}
+
+/// Runs the wide-CMP tier at the given core counts (16 and/or 32).
+///
+/// The optimistic-static bound is deliberately skipped: it is a *trace*
+/// search over all 3^N fixed assignments (not a matrix problem), so the
+/// branch-and-bound does not apply to it and it remains intractable at
+/// these widths.
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors; rejects unsupported core
+/// counts.
+pub fn wide(ctx: &ExperimentContext, core_counts: &[usize]) -> Result<WideScaling> {
+    let mut panels = Vec::with_capacity(core_counts.len());
+    for &cores in core_counts {
+        let combo = wide_combo(cores)?;
+        let curves = suite_curves(
+            ctx,
+            &combo,
+            &[PolicyKind::MaxBips, PolicyKind::GreedyMaxBips],
+            false,
+        )?;
+        let exact = curves
+            .curve("MaxBIPS")
+            .expect("MaxBIPS curve was requested");
+        let greedy = curves
+            .curve("GreedyMaxBIPS")
+            .expect("GreedyMaxBIPS curve was requested");
+        let rows = exact
+            .points
+            .iter()
+            .zip(&greedy.points)
+            .map(|(e, g)| WideRow {
+                budget: e.budget,
+                exact: e.perf_degradation,
+                greedy: g.perf_degradation,
+            })
+            .collect();
+        panels.push(WidePanel {
+            cores,
+            combo: curves.combo,
+            rows,
+        });
+    }
+    Ok(WideScaling { panels })
+}
+
+impl WideScaling {
+    /// Mean throughput the greedy heuristic gives up against the exact
+    /// argmax, across all panels and budgets.
+    #[must_use]
+    pub fn mean_greedy_gap(&self) -> f64 {
+        let rows: Vec<f64> = self
+            .panels
+            .iter()
+            .flat_map(|p| p.rows.iter().map(WideRow::greedy_gap))
+            .collect();
+        if rows.is_empty() {
+            0.0
+        } else {
+            rows.iter().sum::<f64>() / rows.len() as f64
+        }
+    }
+
+    /// Paper-style text rendering: one block per core count.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Wide-CMP tier: MaxBIPS-exact vs GreedyMaxBIPS perf degradation\n");
+        for panel in &self.panels {
+            out.push_str(&format!("\n{}-way ({})\n", panel.cores, panel.combo));
+            out.push_str(&format!(
+                "{:<10}{:>14}{:>16}{:>12}\n",
+                "budget", "MaxBIPS-exact", "GreedyMaxBIPS", "greedy gap"
+            ));
+            for row in &panel.rows {
+                out.push_str(&format!(
+                    "{:<10}{:>14}{:>16}{:>12}\n",
+                    format!("{:.0}%", row.budget * 100.0),
+                    pct2(row.exact),
+                    pct2(row.greedy),
+                    pct2(row.greedy_gap()),
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,5 +398,35 @@ mod tests {
         // And at each scale the ordering MaxBIPS < chip-wide holds.
         assert!(mb2 <= cw2 + 0.002);
         assert!(mb4 <= cw4 + 0.002);
+    }
+
+    #[test]
+    fn wide_16way_exact_beats_or_matches_greedy() {
+        let ctx = ExperimentContext::fast();
+        let result = wide(&ctx, &[16]).unwrap();
+        assert_eq!(result.panels.len(), 1);
+        let panel = &result.panels[0];
+        assert_eq!(panel.cores, 16);
+        assert_eq!(panel.rows.len(), ctx.budgets().len());
+        // The exact argmax can only be at least as good as the greedy
+        // heuristic at every budget (tiny tolerance for interval-boundary
+        // feedback noise in the closed control loop).
+        for row in &panel.rows {
+            assert!(
+                row.greedy_gap() >= -0.01,
+                "greedy beat exact at budget {}: {} vs {}",
+                row.budget,
+                row.greedy,
+                row.exact
+            );
+        }
+        assert!(result.render().contains("16-way"));
+    }
+
+    #[test]
+    fn wide_combo_rejects_unsupported_counts() {
+        assert!(wide_combo(16).is_ok());
+        assert!(wide_combo(32).is_ok());
+        assert!(wide_combo(8).is_err());
     }
 }

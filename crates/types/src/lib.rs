@@ -37,7 +37,7 @@ mod units;
 
 pub use error::GpmError;
 pub use ids::CoreId;
-pub use mode::{Enumerate, ModeCombination, PowerMode};
+pub use mode::{Enumerate, ModeCombination, ModeOdometer, PowerMode};
 pub use series::{Sample, TimeSeries};
 pub use stats::SummaryStats;
 pub use units::{Bips, Cycles, Hertz, Instructions, Joules, Micros, Seconds, Volts, Watts};

@@ -243,12 +243,15 @@ impl ModeCombination {
     /// (core 0 varies slowest; Turbo before Eff1 before Eff2).
     ///
     /// This is the exhaustive search space of the MaxBIPS policy. The
-    /// iterator is lazy, so callers can prune early.
+    /// iterator is lazy, so callers can prune early. Each yielded item is
+    /// an owned allocation; exhaustive hot loops should drive a
+    /// [`ModeOdometer`] in place instead and clone only the combinations
+    /// they keep.
     pub fn enumerate(cores: usize) -> Enumerate {
+        let total = 3usize.checked_pow(cores as u32).expect("3^cores overflow");
         Enumerate {
-            cores,
-            next: 0,
-            total: 3usize.checked_pow(cores as u32).expect("3^cores overflow"),
+            odometer: ModeOdometer::new(cores),
+            remaining: total,
         }
     }
 
@@ -293,29 +296,102 @@ impl FromIterator<PowerMode> for ModeCombination {
     }
 }
 
+/// In-place enumeration cursor over the `3^cores` combination space in
+/// [`ModeCombination::enumerate`] order (core 0 is the most significant
+/// base-3 digit; Turbo < Eff1 < Eff2 per digit).
+///
+/// Unlike [`Enumerate`], advancing the odometer performs no heap
+/// allocation: the exhaustive policy scans walk the space with
+/// [`advance`](Self::advance) and clone [`current`](Self::current) only
+/// when a candidate becomes the new best. Chunked scans seed mid-space
+/// cursors with [`from_rank`](Self::from_rank).
+///
+/// ```
+/// use gpm_types::{ModeCombination, ModeOdometer};
+///
+/// let mut odo = ModeOdometer::new(2);
+/// let mut seen = Vec::new();
+/// loop {
+///     seen.push(odo.current().clone());
+///     if !odo.advance() {
+///         break;
+///     }
+/// }
+/// let all: Vec<ModeCombination> = ModeCombination::enumerate(2).collect();
+/// assert_eq!(seen, all);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ModeOdometer {
+    combo: ModeCombination,
+}
+
+impl ModeOdometer {
+    /// Positions the cursor at rank 0 (all-Turbo).
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        Self {
+            combo: ModeCombination::uniform(cores, PowerMode::Turbo),
+        }
+    }
+
+    /// Positions the cursor at `rank` in enumeration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= 3^cores`.
+    #[must_use]
+    pub fn from_rank(cores: usize, rank: usize) -> Self {
+        Self {
+            combo: ModeCombination::from_rank(cores, rank),
+        }
+    }
+
+    /// The combination the cursor currently points at.
+    #[must_use]
+    pub fn current(&self) -> &ModeCombination {
+        &self.combo
+    }
+
+    /// Steps to the next combination in enumeration order.
+    ///
+    /// Returns `false` once the cursor wraps past the last combination
+    /// (all-Eff2) back to all-Turbo, i.e. when the space is exhausted.
+    pub fn advance(&mut self) -> bool {
+        for digit in self.combo.modes.iter_mut().rev() {
+            match digit.slower() {
+                Some(next) => {
+                    *digit = next;
+                    return true;
+                }
+                None => *digit = PowerMode::Turbo,
+            }
+        }
+        false
+    }
+}
+
 /// Iterator over all mode combinations; see [`ModeCombination::enumerate`].
 #[derive(Debug, Clone)]
 pub struct Enumerate {
-    cores: usize,
-    next: usize,
-    total: usize,
+    odometer: ModeOdometer,
+    remaining: usize,
 }
 
 impl Iterator for Enumerate {
     type Item = ModeCombination;
 
     fn next(&mut self) -> Option<ModeCombination> {
-        if self.next >= self.total {
+        if self.remaining == 0 {
             return None;
         }
-        let combo = ModeCombination::from_rank(self.cores, self.next);
-        self.next += 1;
+        self.remaining -= 1;
+        let combo = self.odometer.current().clone();
+        self.odometer.advance();
         Some(combo)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = self.total - self.next;
-        (remaining, Some(remaining))
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -391,6 +467,48 @@ mod tests {
         assert_eq!(it.len(), 27);
         it.next();
         assert_eq!(it.len(), 26);
+    }
+
+    #[test]
+    fn odometer_matches_enumerate_order() {
+        for cores in 0..=4 {
+            let expected: Vec<_> = ModeCombination::enumerate(cores).collect();
+            let mut odo = ModeOdometer::new(cores);
+            let mut seen = Vec::new();
+            loop {
+                seen.push(odo.current().clone());
+                if !odo.advance() {
+                    break;
+                }
+            }
+            // A zero-core odometer holds the single empty combination.
+            assert_eq!(seen.len(), expected.len().max(1));
+            assert_eq!(&seen[..expected.len()], &expected[..]);
+        }
+    }
+
+    #[test]
+    fn odometer_seeds_from_rank() {
+        let total = 3usize.pow(3);
+        for start in [0, 1, 13, total - 1] {
+            let mut odo = ModeOdometer::from_rank(3, start);
+            for rank in start..total {
+                assert_eq!(odo.current(), &ModeCombination::from_rank(3, rank));
+                let advanced = odo.advance();
+                assert_eq!(advanced, rank + 1 < total);
+            }
+        }
+    }
+
+    #[test]
+    fn odometer_exhaustion_wraps_to_all_turbo() {
+        let mut odo = ModeOdometer::from_rank(2, 8);
+        assert!(!odo.advance());
+        assert!(odo
+            .current()
+            .as_slice()
+            .iter()
+            .all(|&m| m == PowerMode::Turbo));
     }
 
     #[test]

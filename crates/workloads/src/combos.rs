@@ -168,6 +168,22 @@ pub fn eight_way_corners() -> WorkloadCombo {
     sixtrack_gap_perlbmk_wupwise().concat(&mcf_mcf_art_art())
 }
 
+/// 16-way wide-CMP combination: both 8-way workloads side by side. Beyond
+/// the paper's figures — the exact-solver scaling tier (3^16 ≈ 43M
+/// candidates, intractable for the literal scan).
+#[must_use]
+pub fn sixteen_way_mixed() -> WorkloadCombo {
+    eight_way_mixed().concat(&eight_way_corners())
+}
+
+/// 32-way wide-CMP combination: the 16-way workload doubled. The extreme
+/// point of the exact-solver scaling tier (3^32 ≈ 1.8e15 candidates).
+#[must_use]
+pub fn thirty_two_way_mixed() -> WorkloadCombo {
+    let sixteen = sixteen_way_mixed();
+    sixteen.concat(&sixteen)
+}
+
 /// The four 2-way combinations of Table 2 (Figure 8, panels a–d).
 #[must_use]
 pub fn two_way_suite() -> Vec<WorkloadCombo> {
@@ -245,5 +261,16 @@ mod tests {
         assert_eq!(two_way_suite().len(), 4);
         assert_eq!(four_way_suite().len(), 4);
         assert_eq!(eight_way_suite().len(), 2);
+    }
+
+    #[test]
+    fn wide_combos_cover_16_and_32_cores() {
+        let sixteen = sixteen_way_mixed();
+        assert_eq!(sixteen.cores(), 16);
+        assert_eq!(&sixteen.benchmarks()[..8], eight_way_mixed().benchmarks());
+        let thirty_two = thirty_two_way_mixed();
+        assert_eq!(thirty_two.cores(), 32);
+        assert_eq!(&thirty_two.benchmarks()[..16], sixteen.benchmarks());
+        assert_eq!(&thirty_two.benchmarks()[16..], sixteen.benchmarks());
     }
 }

@@ -33,9 +33,25 @@ GPM_THREADS=1 cargo test --quiet --test fault_recovery --test fault_invariants
 GPM_THREADS=2 cargo test --quiet --test fault_recovery --test fault_invariants
 cargo clippy -p gpm-faults --all-targets -- -D warnings
 
+# The exact branch-and-bound behind MaxBIPS promises bit-identical
+# decisions to the exhaustive scan; run its equivalence group explicitly
+# under both pool widths (the chunked reference scan and the 16-way run
+# ride the worker pool) and lint the solver's crate at zero-warning
+# strictness.
+echo "==> solver: equivalence tests under two pool widths + clippy -D warnings"
+GPM_THREADS=1 cargo test --quiet --test solver_equivalence
+GPM_THREADS=2 cargo test --quiet --test solver_equivalence
+cargo clippy -p gpm-core --all-targets -- -D warnings
+
+# 16-way wide-CMP smoke: the scaling tier must keep running end to end
+# from the CLI (exact MaxBIPS vs greedy on a 3^16 search space).
+echo "==> gpm figure wide --cores 16 --fast"
+cargo run --release --quiet -p gpm-cli -- figure wide --cores 16 --fast > /dev/null
+
 # Smoke-run the throughput baseline (including the full-CMP two-phase
-# cases) so the bench target cannot bit-rot; GPM_BENCH_QUICK bounds the
-# run and failure means panic, not regression.
+# cases and the policy-decide latency cases) so the bench target cannot
+# bit-rot; GPM_BENCH_QUICK bounds the run and failure means panic, not
+# regression.
 echo "==> GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput"
 GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput
 
