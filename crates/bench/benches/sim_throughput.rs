@@ -24,7 +24,9 @@ use gpm_core::{
 };
 use gpm_microarch::{CoreConfig, CoreModel};
 use gpm_power::{DvfsParams, PowerModel};
-use gpm_trace::{capture_benchmark, BenchmarkTraces, CaptureConfig, ModeTrace, TraceSample};
+use gpm_trace::{
+    capture_benchmark, BenchmarkTraces, CaptureConfig, CaptureEngine, ModeTrace, TraceSample,
+};
 use gpm_types::{Hertz, Micros, ModeCombination, PowerMode, Watts};
 use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
 
@@ -77,7 +79,26 @@ fn core_stream_mips(bench: SpecBenchmark, min_instructions: u64) -> Measurement 
 /// regime; the first capture in a process pays roughly one extra page
 /// fault per 4 KiB of tape.
 fn capture_mips(bench: SpecBenchmark, limit: u64) -> Measurement {
-    let config = CaptureConfig::fast(limit);
+    let name = match bench {
+        SpecBenchmark::Sixtrack => "capture_cpu_bound_sixtrack",
+        SpecBenchmark::Mcf => "capture_mem_bound_mcf",
+        _ => "capture_other",
+    };
+    capture_engine_mips(name, bench, limit, CaptureEngine::default())
+}
+
+/// `capture_mips` with an explicit stepping engine. The scalar-engine rows
+/// give the lane-batching speedup an in-process denominator: both engines
+/// run in the same binary and process, so the ratio is immune to
+/// cross-binary and cross-invocation noise.
+fn capture_engine_mips(
+    name: &'static str,
+    bench: SpecBenchmark,
+    limit: u64,
+    engine: CaptureEngine,
+) -> Measurement {
+    let mut config = CaptureConfig::fast(limit);
+    config.engine = engine;
     let _ = capture_benchmark(bench, &config).expect("warm capture");
     let start = Instant::now();
     let traces = capture_benchmark(bench, &config).expect("capture");
@@ -87,11 +108,7 @@ fn capture_mips(bench: SpecBenchmark, limit: u64) -> Measurement {
         .map(|&m| traces.trace(m).total_instructions())
         .sum();
     Measurement {
-        name: match bench {
-            SpecBenchmark::Sixtrack => "capture_cpu_bound_sixtrack",
-            SpecBenchmark::Mcf => "capture_mem_bound_mcf",
-            _ => "capture_other",
-        },
+        name,
         instructions,
         seconds,
     }
@@ -314,6 +331,18 @@ fn main() {
         core_stream_mips(SpecBenchmark::Mcf, core_target),
         capture_mips(SpecBenchmark::Sixtrack, capture_limit),
         capture_mips(SpecBenchmark::Mcf, capture_limit),
+        capture_engine_mips(
+            "capture_scalar_sixtrack",
+            SpecBenchmark::Sixtrack,
+            capture_limit,
+            CaptureEngine::Scalar,
+        ),
+        capture_engine_mips(
+            "capture_scalar_mcf",
+            SpecBenchmark::Mcf,
+            capture_limit,
+            CaptureEngine::Scalar,
+        ),
         cmp_full_mips("cmp_full_2way_gcc_mesa", &combos::gcc_mesa(), 4.0 * cmp_us),
         cmp_full_mips(
             "cmp_full_4way_ammp_mcf_crafty_art",
@@ -328,12 +357,19 @@ fn main() {
     let (decide_rounds, decide_inner) = if quick { (2, 20) } else { (5, 200) };
     let decides = policy_decides(decide_rounds, decide_inner);
 
+    let by_name = |name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.name == name)
+            .expect("measured above")
+    };
+
     // Wall-clock equivalent of one 500 µs explore interval: what the
     // full-CMP simulator spends advancing 500 µs of simulated time (8-way
     // figure; a 32-way chip costs ~4× more wall per simulated µs, so this
     // is the conservative bound). A decide latency below it means the
     // policy search is never the simulation bottleneck.
-    let cmp8 = &measurements[6];
+    let cmp8 = by_name("cmp_full_8way_mixed");
     let explore_equiv_us = 500.0 * cmp8.seconds * 1.0e6 / cmp_us;
 
     let mut json = String::from("{\n");
@@ -345,6 +381,17 @@ fn main() {
         println!("{:<28} {:>9.2} us/decide", d.name, d.micros_per_decide);
         let _ = writeln!(json, "  \"{}_us\": {:.2},", d.name, d.micros_per_decide);
     }
+    // In-process lane-batching speedup: default (lane-batched) capture vs
+    // the scalar reference engine on the same streams in the same process.
+    for (batched, scalar) in [
+        ("capture_cpu_bound_sixtrack", "capture_scalar_sixtrack"),
+        ("capture_mem_bound_mcf", "capture_scalar_mcf"),
+    ] {
+        let ratio = by_name(batched).mips() / by_name(scalar).mips();
+        println!("lane-batched capture speedup over scalar ({batched}): {ratio:.2}x");
+        let _ = writeln!(json, "  \"{batched}_engine_speedup\": {ratio:.2},");
+    }
+
     let speedup = decides[0].micros_per_decide / decides[1].micros_per_decide;
     println!("8-way exact solver speedup over the exhaustive scan: {speedup:.1}x");
     println!(

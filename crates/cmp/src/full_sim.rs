@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use gpm_microarch::{CoreConfig, CoreModel, DeferredL2, IntervalStats};
+use gpm_microarch::{CoreConfig, DeferredL2, IntervalStats, LaneBatch};
 use gpm_power::{DvfsParams, PowerModel};
 use gpm_types::{Bips, GpmError, Hertz, Micros, ModeCombination, PowerMode, Result, Watts};
 use gpm_workloads::{WorkloadCombo, WorkloadStream};
@@ -55,16 +55,12 @@ impl FullCmpOutcome {
     }
 }
 
-/// Everything one core needs to step a quantum without touching shared
-/// state: the core model, its workload stream, the request-recording L2
-/// stand-in, the correction-credit carry, and the run accumulators. Phase 1
-/// hands each lane to exactly one pool worker; phase 2 walks all lanes on
-/// a single thread.
+/// Per-core bookkeeping that lives *outside* the lane batch: identity,
+/// clocking, the correction-credit carry of the two-phase protocol, and the
+/// run accumulators. One `LaneAccounting` per core, in core order, split
+/// across the [`LaneGroup`]s.
 #[derive(Debug)]
-struct CoreLane {
-    core: CoreModel,
-    stream: WorkloadStream,
-    deferred: DeferredL2,
+struct LaneAccounting {
     benchmark: Arc<str>,
     mode: PowerMode,
     freq: Hertz,
@@ -89,52 +85,16 @@ struct CoreLane {
     energy_j: f64,
 }
 
-impl CoreLane {
-    /// Phase 1: step one quantum in isolation. Repays any positive
-    /// correction credit as stall cycles first, then runs the core against
-    /// the recording L2 for the remainder of the quantum, and finally
-    /// sorts the request log so phase 2 can k-way merge.
-    fn step_quantum(&mut self, power: &PowerModel) {
-        let quantum_cycles = self.cycles_per_quantum;
-        let stall = if self.pending_ns > 0.0 {
-            self.freq.cycles_for_ns(self.pending_ns).min(quantum_cycles)
-        } else {
-            0
-        };
-        if stall > 0 {
-            self.pending_ns -= stall as f64 * 1.0e9 / self.freq.value();
-            self.core.apply_stall_cycles(stall);
-        }
-
-        self.deferred.reset();
-        self.actual_ns = 0.0;
-        self.cursor = 0;
-
-        let mut stats = if stall < quantum_cycles {
-            self.core
-                .run_cycles_with(&mut self.stream, &mut self.deferred, quantum_cycles - stall)
-        } else {
-            IntervalStats::default()
-        };
-        stats.cycles += stall;
-
-        let power = power.power(&stats.activity(), self.mode);
-        let secs = stats.cycles as f64 / self.freq.value();
-        self.energy_j += power.value() * secs;
-        self.total.merge(&stats);
-
-        self.deferred.sort_log();
-    }
-
+impl LaneAccounting {
     /// Settles this quantum's replay against what phase 1 charged: the
     /// signed difference joins the correction credit, and the charge
     /// predictor moves to the quantum's observed mean latency so the next
     /// recording timeline already runs at a realistic speed (preserving
     /// the core model's latency overlap instead of converting all miss
     /// latency into un-overlappable stalls).
-    fn bank_correction(&mut self) {
+    fn bank_correction(&mut self, deferred: &mut DeferredL2) {
         let requests = self.cursor;
-        let charged_ns = requests as f64 * self.deferred.charge_ns();
+        let charged_ns = requests as f64 * deferred.charge_ns();
         self.pending_ns += self.actual_ns - charged_ns;
         // A run of overcharged quanta must not accumulate unbounded credit:
         // a core can at most have been one quantum ahead of reality.
@@ -142,8 +102,7 @@ impl CoreLane {
         self.pending_ns = self.pending_ns.max(-quantum_ns);
         if requests > 0 {
             let mean = self.actual_ns / requests as f64;
-            self.deferred
-                .set_charge_ns(mean.clamp(self.charge_min_ns, self.charge_max_ns));
+            deferred.set_charge_ns(mean.clamp(self.charge_min_ns, self.charge_max_ns));
         }
     }
 
@@ -160,22 +119,91 @@ impl CoreLane {
     }
 }
 
+/// A contiguous slice of the combo's cores advanced through one
+/// [`LaneBatch`] kernel call per quantum. Phase 1 hands each group to
+/// exactly one pool worker; within the group the kernel interleaves the
+/// lanes op-by-op, so a single worker still overlaps the cores'
+/// independent dependency chains. Phase 2 walks all groups' lanes on a
+/// single thread.
+#[derive(Debug)]
+struct LaneGroup {
+    batch: LaneBatch,
+    streams: Vec<WorkloadStream>,
+    deferred: Vec<DeferredL2>,
+    acct: Vec<LaneAccounting>,
+    /// Kernel scratch, one slot per lane (cycle targets and captured
+    /// per-quantum stats), retained across quanta to avoid reallocation.
+    targets: Vec<u64>,
+    seg: Vec<IntervalStats>,
+}
+
+impl LaneGroup {
+    /// Phase 1: step every lane of the group one quantum. Per lane: repay
+    /// any positive correction credit as stall cycles, then run the
+    /// remainder of the quantum against the recording L2 — all lanes
+    /// through one `step_lanes` call — and finally sort the request logs
+    /// so phase 2 can k-way merge.
+    fn step_quantum(&mut self, power: &PowerModel) {
+        let Self {
+            batch,
+            streams,
+            deferred,
+            acct,
+            targets,
+            seg,
+        } = self;
+        for (lane, acct) in acct.iter_mut().enumerate() {
+            let quantum_cycles = acct.cycles_per_quantum;
+            let stall = if acct.pending_ns > 0.0 {
+                acct.freq.cycles_for_ns(acct.pending_ns).min(quantum_cycles)
+            } else {
+                0
+            };
+            if stall > 0 {
+                acct.pending_ns -= stall as f64 * 1.0e9 / acct.freq.value();
+                batch.apply_stall_cycles(lane, stall);
+            }
+            deferred[lane].reset();
+            acct.actual_ns = 0.0;
+            acct.cursor = 0;
+            targets[lane] = quantum_cycles - stall;
+            seg[lane] = IntervalStats::default();
+        }
+
+        batch.step_lanes(streams, deferred, targets, |lane, stats| {
+            seg[lane] = *stats;
+            None
+        });
+
+        for (lane, acct) in acct.iter_mut().enumerate() {
+            let mut stats = seg[lane];
+            stats.cycles += acct.cycles_per_quantum - targets[lane];
+            let power = power.power(&stats.activity(), acct.mode);
+            let secs = stats.cycles as f64 / acct.freq.value();
+            acct.energy_j += power.value() * secs;
+            acct.total.merge(&stats);
+            deferred[lane].sort_log();
+        }
+    }
+}
+
 /// Phase 2: merge-replay all lanes' sorted request logs against the real
 /// shared L2 in global `(timestamp, core-id)` order.
 ///
 /// The deterministic tie-break — strictly-smaller timestamp wins, equal
 /// timestamps go to the lower core id — makes the replay order (and hence
 /// the shared tag-array state, queue accounting and per-core corrections)
-/// independent of how phase 1 was scheduled. Each lane accumulates the
-/// actual latency of its requests (queueing delay, and memory latency when
-/// the shared array misses); [`CoreLane::bank_correction`] settles that
-/// against what phase 1 charged. Misses are credited back to the owning
-/// core's counters.
-fn replay_quantum(lanes: &mut [&mut CoreLane], shared: &mut SharedL2) {
+/// independent of how phase 1 was scheduled *and* of how the cores were
+/// grouped into lane batches. Each lane accumulates the actual latency of
+/// its requests (queueing delay, and memory latency when the shared array
+/// misses); [`LaneAccounting::bank_correction`] settles that against what
+/// phase 1 charged. Misses are credited back to the owning core's
+/// counters. `lanes` must be in core order.
+fn replay_quantum(lanes: &mut [(&mut DeferredL2, &mut LaneAccounting)], shared: &mut SharedL2) {
     loop {
         let mut best: Option<(usize, f64)> = None;
-        for (i, lane) in lanes.iter().enumerate() {
-            if let Some(req) = lane.deferred.log().get(lane.cursor) {
+        for (i, (deferred, acct)) in lanes.iter().enumerate() {
+            if let Some(req) = deferred.log().get(acct.cursor) {
                 let earlier = best.is_none_or(|(_, t)| req.now_ns < t);
                 if earlier {
                     best = Some((i, req.now_ns));
@@ -183,17 +211,17 @@ fn replay_quantum(lanes: &mut [&mut CoreLane], shared: &mut SharedL2) {
             }
         }
         let Some((i, _)) = best else { break };
-        let lane = &mut *lanes[i];
-        let req = lane.deferred.log()[lane.cursor];
-        lane.cursor += 1;
+        let (deferred, acct) = &mut lanes[i];
+        let req = deferred.log()[acct.cursor];
+        acct.cursor += 1;
         let (actual_ns, hit) = shared.replay_access(req.addr);
-        lane.actual_ns += actual_ns;
+        acct.actual_ns += actual_ns;
         if !hit {
-            lane.total.l2_misses += 1;
+            acct.total.l2_misses += 1;
         }
     }
-    for lane in lanes {
-        lane.bank_correction();
+    for (deferred, acct) in lanes {
+        acct.bank_correction(deferred);
     }
 }
 
@@ -201,33 +229,39 @@ fn replay_quantum(lanes: &mut [&mut CoreLane], shared: &mut SharedL2) {
 /// `gpm-microarch` core models and a [`SharedL2`].
 ///
 /// Cores advance in short wall-clock quanta (5 µs by default) under a
-/// two-phase protocol. **Phase 1** steps every core for one quantum *in
-/// parallel* on the `gpm_par` persistent worker pool: L1 hits resolve
-/// locally, and every would-be L2 request is recorded into the core's
-/// [`DeferredL2`] log at the lane's *predicted* per-access latency — the
-/// array-hit latency initially, then the previous quantum's observed mean,
-/// so dependent-load serialisation and ROB latency overlap play out in the
+/// two-phase protocol. **Phase 1** steps every core for one quantum: the
+/// cores are partitioned into contiguous [`LaneGroup`]s — one per worker
+/// the `gpm_par` pool can supply — and each group advances all its lanes
+/// through a single [`LaneBatch::step_lanes`] kernel call, so parallelism
+/// comes from the pool *across* groups and from op-interleaved lane
+/// batching *within* a group (a single-threaded host still overlaps the
+/// cores' independent dependency chains). L1 hits resolve locally, and
+/// every would-be L2 request is recorded into the core's [`DeferredL2`]
+/// log at the lane's *predicted* per-access latency — the array-hit
+/// latency initially, then the previous quantum's observed mean, so
+/// dependent-load serialisation and ROB latency overlap play out in the
 /// recording timeline itself. **Phase 2** merge-replays all logs against
 /// the real [`SharedL2`] on a single thread in `(timestamp, core-id)`
 /// order; the signed difference between what the requests actually cost —
 /// bus queueing delay, memory latency on a shared-array miss — and what
 /// phase 1 charged is banked as a correction credit, repaid as stall
 /// cycles at the start of that core's next quantum (or offset against
-/// future debt when negative). Per-core DVFS is supported by clocking each core
-/// model at its mode's frequency — the quantum is measured in wall time,
+/// future debt when negative). Per-core DVFS is supported by clocking each
+/// lane at its mode's frequency — the quantum is measured in wall time,
 /// so cores stay aligned across clock domains.
 ///
 /// Results are bit-identical for every `GPM_THREADS` value (including the
-/// pool-free serial path): phase 1 lanes share no mutable state and
-/// phase 2's replay order is fully determined by the logs. The golden
-/// hashes in `tests/cmp_equivalence.rs` pin this.
+/// pool-free serial path) and for every grouping: lanes share no mutable
+/// state, the lane kernel steps each lane through the exact scalar
+/// scoreboard logic, and phase 2's replay order is fully determined by the
+/// logs. The golden hashes in `tests/cmp_equivalence.rs` pin this.
 ///
 /// This is the validation counterpart of
 /// [`TraceCmpSim`](crate::TraceCmpSim), mirroring the paper's full-CMP
 /// Turandot implementation "with time-driven L2 and thread synchronisation".
 #[derive(Debug)]
 pub struct FullCmpSim {
-    lanes: Vec<CoreLane>,
+    groups: Vec<LaneGroup>,
     shared: SharedL2,
     power: PowerModel,
     quantum: Micros,
@@ -260,18 +294,22 @@ impl FullCmpSim {
             memory_latency_ns: core_config.memory.memory_latency_ns,
             ..SharedL2Config::default()
         };
-        let mut lanes = Vec::with_capacity(combo.cores());
+        let cores = combo.cores();
+        let mut streams = Vec::with_capacity(cores);
+        let mut freqs = Vec::with_capacity(cores);
+        let mut accts = Vec::with_capacity(cores);
         for (i, &bench) in combo.benchmarks().iter().enumerate() {
             let mode = modes.mode(gpm_types::CoreId::new(i));
             let freq = dvfs.frequency(mode);
-            lanes.push(CoreLane {
-                core: CoreModel::new(core_config, freq)?,
-                // Distinct address bases and seed salts: four mcf instances
-                // must not literally share data.
-                stream: bench
+            // Distinct address bases and seed salts: four mcf instances
+            // must not literally share data.
+            streams.push(
+                bench
                     .profile()
                     .stream_with(i as u64 * CORE_ADDR_STRIDE, i as u64)?,
-                deferred: DeferredL2::new(shared_config.l2_latency_ns),
+            );
+            freqs.push(freq);
+            accts.push(LaneAccounting {
                 benchmark: Arc::from(bench.name()),
                 mode,
                 freq,
@@ -289,8 +327,43 @@ impl FullCmpSim {
                 energy_j: 0.0,
             });
         }
+
+        // One group per worker the pool can supply, contiguous and
+        // near-equal: with a full pool each group is a single lane (pure
+        // thread parallelism, as before); with fewer workers than cores the
+        // kernel's op interleaving recovers the lost overlap. Grouping
+        // affects scheduling only, never the simulated bytes.
+        let group_count = gpm_par::max_threads().min(cores).max(1);
+        let base = cores / group_count;
+        let extra = cores % group_count;
+        let mut groups = Vec::with_capacity(group_count);
+        let mut next = 0usize;
+        for g in 0..group_count {
+            let len = base + usize::from(g < extra);
+            let mut batch = LaneBatch::new(core_config, &freqs[next..next + len])?;
+            // Each core replays its own generator — no shared tape to stay
+            // close on — so round-robin interleaving buys nothing and only
+            // cycles N lanes' simulated state through the host cache. Run
+            // each lane straight through its quantum instead (chunk size
+            // never affects simulated results).
+            batch.set_chunk_ops(usize::MAX);
+            let acct: Vec<LaneAccounting> = accts.drain(..len).collect();
+            let group_streams: Vec<WorkloadStream> = streams.drain(..len).collect();
+            groups.push(LaneGroup {
+                batch,
+                streams: group_streams,
+                deferred: (0..len)
+                    .map(|_| DeferredL2::new(shared_config.l2_latency_ns))
+                    .collect(),
+                acct,
+                targets: vec![0; len],
+                seg: vec![IntervalStats::default(); len],
+            });
+            next += len;
+        }
+
         Ok(Self {
-            lanes,
+            groups,
             shared: SharedL2::new(shared_config)?,
             power,
             quantum: Micros::new(5.0),
@@ -326,10 +399,10 @@ impl FullCmpSim {
     pub fn run(&mut self, duration: Micros) -> FullCmpOutcome {
         let quanta = (duration.value() / self.quantum.value()).ceil() as usize;
         let window_ns = self.quantum.value() * 1.0e3;
-        for lane in &mut self.lanes {
-            lane.cycles_per_quantum = lane.freq.cycles_in(self.quantum).value();
-            lane.total = IntervalStats::default();
-            lane.energy_j = 0.0;
+        for acct in self.groups.iter_mut().flat_map(|g| g.acct.iter_mut()) {
+            acct.cycles_per_quantum = acct.freq.cycles_in(self.quantum).value();
+            acct.total = IntervalStats::default();
+            acct.energy_j = 0.0;
         }
 
         if quanta > 0 {
@@ -337,11 +410,17 @@ impl FullCmpSim {
             let shared = &mut self.shared;
             let mut round = 0usize;
             gpm_par::run_rounds(
-                &mut self.lanes,
-                |_, lane| lane.step_quantum(power),
+                &mut self.groups,
+                |_, group| group.step_quantum(power),
                 |view| {
-                    view.with_all(|lanes| {
-                        replay_quantum(lanes, shared);
+                    view.with_all(|groups| {
+                        // Contiguous groups flattened in order = core order,
+                        // which the replay tie-break depends on.
+                        let mut lanes: Vec<(&mut DeferredL2, &mut LaneAccounting)> = groups
+                            .iter_mut()
+                            .flat_map(|g| g.deferred.iter_mut().zip(g.acct.iter_mut()))
+                            .collect();
+                        replay_quantum(&mut lanes, shared);
                     });
                     shared.end_window(window_ns);
                     round += 1;
@@ -351,7 +430,11 @@ impl FullCmpSim {
         }
 
         FullCmpOutcome {
-            per_core: self.lanes.iter().map(CoreLane::outcome).collect(),
+            per_core: self
+                .groups
+                .iter()
+                .flat_map(|g| g.acct.iter().map(LaneAccounting::outcome))
+                .collect(),
             duration,
             l2_utilization: self.shared.average_utilization(),
         }

@@ -168,6 +168,12 @@ impl CoreConfig {
                 reason,
             })?;
         }
+        self.predictor
+            .validate()
+            .map_err(|reason| GpmError::InvalidConfig {
+                parameter: "predictor",
+                reason,
+            })?;
         Ok(())
     }
 }
@@ -236,6 +242,22 @@ mod tests {
         let mut c = CoreConfig::power4();
         c.memory.memory_latency_ns = 0.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_predictor() {
+        // A degenerate predictor table used to slip through validation and
+        // panic deep inside `BranchPredictor::new`; it must surface as a
+        // typed configuration error instead.
+        let mut c = CoreConfig::power4();
+        c.predictor.bimodal_entries = 1000;
+        assert!(matches!(
+            c.validate(),
+            Err(GpmError::InvalidConfig {
+                parameter: "predictor",
+                ..
+            })
+        ));
     }
 
     #[test]

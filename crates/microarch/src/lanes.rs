@@ -1,0 +1,601 @@
+//! Structure-of-arrays lane batching: N cores (or N candidate power modes
+//! of one core) stepped in lockstep by a single kernel.
+//!
+//! # Why lanes
+//!
+//! The scalar path simulates each core (or each candidate power mode) as a
+//! complete, separate run: N runs re-stream the op sequence N times and
+//! re-walk the memory hierarchy cold each time. A [`LaneBatch`] holds N
+//! *independent* cores' architectural state as parallel flat arrays and
+//! [`step_lanes`](LaneBatch::step_lanes) advances them in
+//! chunk-synchronous lockstep — a budget of retired ops
+//! ([`set_chunk_ops`](LaneBatch::set_chunk_ops), default [`CHUNK_OPS`])
+//! for one lane, then the next, round-robin. When the lanes replay the
+//! same tape (mode capture), lockstep keeps their read positions within
+//! one chunk of each other, so the tape window is streamed through host
+//! caches once per batch instead of once per lane. The chunk size
+//! balances that sharing against each lane's own working set (its
+//! simulated cache tags and predictor tables): per-op interleaving would
+//! thrash the host cache with N lane-state sets live at once, while
+//! whole-run granularity forfeits tape sharing entirely — the right
+//! choice for lanes with *independent* sources (the full-CMP simulator),
+//! which have nothing to share.
+//!
+//! # Determinism
+//!
+//! No data flows between lanes inside the kernel: each lane owns disjoint
+//! windows of the lane-major arrays ([`CacheLanes`], [`PredictorLanes`],
+//! completion rings, unit free-times) and steps through the *same*
+//! [`StepLane::step_op`] implementation the scalar engine runs. A lane's
+//! op sequence, cycle arithmetic and memory-subsystem call sequence are
+//! therefore bit-identical to a standalone [`CoreModel`](crate::CoreModel)
+//! fed the same source — pinned by the SoA-vs-scalar equivalence tests and
+//! the golden trace/CMP hashes.
+
+use gpm_types::{GpmError, Hertz, Result};
+
+use crate::branch::PredictorLanes;
+use crate::cache::CacheLanes;
+use crate::core_model::{StepLane, StepParams, OP_BATCH};
+use crate::{
+    CoreConfig, InstructionSource, IntervalStats, MemorySubsystem, MicroOp, StreamPrefetcher,
+};
+
+/// Retired ops one lane advances before the kernel switches to the next
+/// lane.
+///
+/// The round-robin granularity of [`LaneBatch::step_lanes`]: small enough
+/// that co-replaying lanes stay within one hot tape window of each other,
+/// large enough that a lane's simulated cache tags and predictor tables
+/// stay resident in host caches for many consecutive ops before the next
+/// lane evicts them. The budget is counted in *ops*, not cycles, because
+/// that is what bounds the drift between lanes' tape read positions: lanes
+/// chunked by cycles drift apart by their cumulative IPC difference (a
+/// slower mode retires more ops per cycle once memory latencies shrink in
+/// cycle terms), so the shared window grows with run length and falls out
+/// of host cache; an op budget pins every lane within one chunk of the
+/// leader for the whole run. Purely a scheduling knob — any value produces
+/// bit-identical results, because no data flows between lanes.
+pub const CHUNK_OPS: usize = 8_192;
+
+/// N cores' complete stepping state as structure-of-arrays, advanced in
+/// lockstep by [`step_lanes`](Self::step_lanes).
+///
+/// All lanes share one [`CoreConfig`] (geometry, latencies) but each lane
+/// has its own clock frequency — the lane↔mode mapping of a 3-mode capture
+/// batch — and fully private microarchitectural state.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_microarch::{CoreConfig, InstructionSource, LaneBatch, MicroOp, PrivateMemory};
+/// use gpm_types::Hertz;
+///
+/// struct Ones;
+/// impl InstructionSource for Ones {
+///     fn next_op(&mut self) -> MicroOp {
+///         MicroOp::int_alu(None)
+///     }
+/// }
+///
+/// let config = CoreConfig::power4();
+/// let freqs = [Hertz::from_ghz(1.0), Hertz::from_ghz(0.85)];
+/// let mut batch = LaneBatch::new(&config, &freqs)?;
+/// let mut sources = [Ones, Ones];
+/// let mut memories = [PrivateMemory::new(&config)?, PrivateMemory::new(&config)?];
+/// let mut stats = vec![Default::default(); 2];
+/// batch.step_lanes(&mut sources, &mut memories, &[10_000; 2], |lane, s| {
+///     stats[lane] = *s;
+///     None // one segment per lane, then stop
+/// });
+/// assert!(stats[0].ipc() > 1.8);
+/// # Ok::<(), gpm_types::GpmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneBatch {
+    params: StepParams,
+    lanes: usize,
+    chunk_ops: usize,
+
+    // Per-lane clocking.
+    freq: Vec<Hertz>,
+    ns_per_cycle: Vec<f64>,
+
+    // Lane-major microarchitectural structures.
+    l1i: CacheLanes,
+    l1d: CacheLanes,
+    predictors: PredictorLanes,
+    prefetchers: Vec<Option<StreamPrefetcher>>,
+
+    // Per-lane scoreboard state (SoA).
+    cur_cycle: Vec<u64>,
+    dispatched_in_cycle: Vec<u32>,
+    last_busy_cycle: Vec<u64>,
+    busy_cycles: Vec<u64>,
+    /// `lanes × rob_size`, lane-major.
+    completion: Vec<u64>,
+    op_index: Vec<u64>,
+    rob_slot: Vec<usize>,
+    /// `lanes × units_total`, lane-major; class boundaries per
+    /// `StepParams::fu_offsets`.
+    fu_free: Vec<u64>,
+    units_per_lane: usize,
+    last_fetch_block: Vec<u64>,
+    ns_cache: Vec<[(f64, u64); 2]>,
+
+    // Per-lane batched op delivery (`lanes × OP_BATCH`, lane-major).
+    op_buf: Vec<MicroOp>,
+    op_buf_pos: Vec<usize>,
+    op_buf_len: Vec<usize>,
+
+    // Kernel scratch, kept across calls to avoid reallocation.
+    seg_stats: Vec<IntervalStats>,
+    seg_start: Vec<u64>,
+    busy_start: Vec<u64>,
+    end_cycle: Vec<u64>,
+    active: Vec<bool>,
+}
+
+impl LaneBatch {
+    /// Builds a batch of `freqs.len()` lanes sharing `config`, lane `i`
+    /// clocked at `freqs[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] if `config` fails
+    /// [`CoreConfig::validate`], `freqs` is empty, or any frequency is not
+    /// positive.
+    pub fn new(config: &CoreConfig, freqs: &[Hertz]) -> Result<Self> {
+        config.validate()?;
+        if freqs.is_empty() {
+            return Err(GpmError::InvalidConfig {
+                parameter: "lanes",
+                reason: "a lane batch needs at least one lane".into(),
+            });
+        }
+        for freq in freqs {
+            if freq.value() <= 0.0 || freq.value().is_nan() {
+                return Err(GpmError::InvalidConfig {
+                    parameter: "frequency",
+                    reason: format!("must be positive, got {}", freq.value()),
+                });
+            }
+        }
+        let lanes = freqs.len();
+        let params = StepParams::from_config(config);
+        let units_per_lane = params.units_total();
+        let mut prefetchers = Vec::with_capacity(lanes);
+        for _ in 0..lanes {
+            prefetchers.push(if config.prefetch_streams > 0 {
+                Some(StreamPrefetcher::new(
+                    config.prefetch_streams,
+                    config.l1d.block_bytes,
+                )?)
+            } else {
+                None
+            });
+        }
+        Ok(Self {
+            lanes,
+            chunk_ops: CHUNK_OPS,
+            freq: freqs.to_vec(),
+            ns_per_cycle: freqs.iter().map(|f| 1.0e9 / f.value()).collect(),
+            l1i: CacheLanes::new(config.l1i, lanes)?,
+            l1d: CacheLanes::new(config.l1d, lanes)?,
+            predictors: PredictorLanes::new(config.predictor, lanes)?,
+            prefetchers,
+            cur_cycle: vec![0; lanes],
+            dispatched_in_cycle: vec![0; lanes],
+            last_busy_cycle: vec![u64::MAX; lanes],
+            busy_cycles: vec![0; lanes],
+            completion: vec![0; lanes * params.rob_size],
+            op_index: vec![0; lanes],
+            rob_slot: vec![0; lanes],
+            fu_free: vec![0; lanes * units_per_lane],
+            units_per_lane,
+            last_fetch_block: vec![u64::MAX; lanes],
+            ns_cache: vec![[(f64::NAN, 0); 2]; lanes],
+            op_buf: vec![MicroOp::int_alu(None); lanes * OP_BATCH],
+            op_buf_pos: vec![0; lanes],
+            op_buf_len: vec![0; lanes],
+            seg_stats: vec![IntervalStats::default(); lanes],
+            seg_start: vec![0; lanes],
+            busy_start: vec![0; lanes],
+            end_cycle: vec![0; lanes],
+            active: vec![false; lanes],
+            params,
+        })
+    }
+
+    /// Number of lanes in the batch.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Sets the round-robin granularity of
+    /// [`step_lanes`](Self::step_lanes), in retired ops per lane per turn
+    /// (default [`CHUNK_OPS`]).
+    ///
+    /// Purely a scheduling knob — results are bit-identical for any value.
+    /// The default suits lanes co-replaying one shared tape, where a small
+    /// chunk keeps every cursor inside one hot window of the recording.
+    /// Lanes with *independent* sources gain nothing from interleaving, so
+    /// callers like the full-CMP simulator pass `usize::MAX` to run each
+    /// lane straight through its segment, keeping that lane's simulated
+    /// cache tags and predictor tables hot instead of cycling N lanes'
+    /// state through the host cache every chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_ops` is 0.
+    pub fn set_chunk_ops(&mut self, chunk_ops: usize) {
+        assert!(chunk_ops > 0, "chunk_ops must be at least 1");
+        self.chunk_ops = chunk_ops;
+    }
+
+    /// The clock frequency of lane `lane`.
+    #[must_use]
+    pub fn frequency(&self, lane: usize) -> Hertz {
+        self.freq[lane]
+    }
+
+    /// Total core cycles elapsed on lane `lane` since construction.
+    #[must_use]
+    pub fn now_cycles(&self, lane: usize) -> u64 {
+        self.cur_cycle[lane]
+    }
+
+    /// Stalls lane `lane` for exactly `cycles` cycles: the clock advances,
+    /// no instructions dispatch, and the cycles count as idle (not busy).
+    /// The lane-batched counterpart of
+    /// [`CoreModel::apply_stall_cycles`](crate::CoreModel::apply_stall_cycles).
+    pub fn apply_stall_cycles(&mut self, lane: usize, cycles: u64) {
+        self.cur_cycle[lane] += cycles;
+        self.dispatched_in_cycle[lane] = 0;
+    }
+
+    /// Drops instructions fetched from the lanes' sources but not yet
+    /// executed, on every lane. Callers that swap instruction sources on a
+    /// live batch (e.g. capture restarting streams after warm-up) must
+    /// discard the stale tails; see
+    /// [`CoreModel::discard_pending_ops`](crate::CoreModel::discard_pending_ops).
+    pub fn discard_pending_ops(&mut self) {
+        self.op_buf_pos.fill(0);
+        self.op_buf_len.fill(0);
+    }
+
+    /// Advances all lanes in lockstep, one chunk of cycles per live lane
+    /// per round.
+    ///
+    /// Lane `i` steps ops against `sources[i]`/`memories[i]` until its
+    /// clock reaches `targets[i]` cycles past its current time (the same
+    /// "last op may overshoot" boundary as
+    /// [`CoreModel::run_cycles`](crate::CoreModel::run_cycles)). At each
+    /// boundary the lane's segment statistics are handed to `on_segment`;
+    /// returning `Some(next_target)` immediately opens the next segment
+    /// (the lane never pauses, so chunk-synchronous lockstep is preserved
+    /// across segment boundaries), returning `None` retires the lane. The
+    /// call returns when every lane has retired.
+    ///
+    /// A target of 0 yields an immediate, empty segment — callers encoding
+    /// "this quantum is fully stalled" get a default `IntervalStats` with
+    /// zero cycles, exactly as the scalar path produces. `on_segment` must
+    /// eventually return `None` (or a non-zero target) per lane, or the
+    /// kernel spins on zero-length segments forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources`, `memories` and `targets` are not all exactly
+    /// [`lanes`](Self::lanes) long, or if a source violates the
+    /// [`InstructionSource::fill_ops`] contract.
+    pub fn step_lanes<S, M, F>(
+        &mut self,
+        sources: &mut [S],
+        memories: &mut [M],
+        targets: &[u64],
+        mut on_segment: F,
+    ) where
+        S: InstructionSource,
+        M: MemorySubsystem,
+        F: FnMut(usize, &IntervalStats) -> Option<u64>,
+    {
+        let n = self.lanes;
+        assert!(
+            sources.len() == n && memories.len() == n && targets.len() == n,
+            "step_lanes needs exactly one source, memory and target per lane \
+             ({n} lanes; got {} sources, {} memories, {} targets)",
+            sources.len(),
+            memories.len(),
+            targets.len(),
+        );
+
+        for (lane, &target) in targets.iter().enumerate() {
+            self.seg_stats[lane] = IntervalStats::default();
+            self.seg_start[lane] = self.cur_cycle[lane];
+            self.busy_start[lane] = self.busy_cycles[lane];
+            self.end_cycle[lane] = self.cur_cycle[lane].saturating_add(target);
+            self.active[lane] = true;
+        }
+        let mut alive = n;
+
+        while alive > 0 {
+            for lane in 0..n {
+                if !self.active[lane] {
+                    continue;
+                }
+                let mut budget = self.chunk_ops;
+
+                'lane: loop {
+                    // Segment boundaries are pure bookkeeping in the
+                    // op-driven loop: finalize, hand off, and (maybe) open
+                    // the next segment without the lane missing a round.
+                    while self.cur_cycle[lane] >= self.end_cycle[lane] {
+                        let mut stats = self.seg_stats[lane];
+                        stats.cycles = self.cur_cycle[lane] - self.seg_start[lane];
+                        stats.busy_cycles = self.busy_cycles[lane] - self.busy_start[lane];
+                        match on_segment(lane, &stats) {
+                            Some(next) => {
+                                self.seg_stats[lane] = IntervalStats::default();
+                                self.seg_start[lane] = self.cur_cycle[lane];
+                                self.busy_start[lane] = self.busy_cycles[lane];
+                                self.end_cycle[lane] = self.cur_cycle[lane].saturating_add(next);
+                            }
+                            None => {
+                                self.active[lane] = false;
+                                alive -= 1;
+                                break 'lane;
+                            }
+                        }
+                    }
+                    if budget == 0 {
+                        break 'lane;
+                    }
+
+                    // Burst of ops for this lane, through one view over its
+                    // lane-major windows, until the segment ends or the
+                    // chunk's op budget runs out.
+                    let stop = self.end_cycle[lane];
+                    let rob = self.params.rob_size;
+                    let units = self.units_per_lane;
+                    let mut view = StepLane {
+                        params: &self.params,
+                        freq: self.freq[lane],
+                        ns_per_cycle: self.ns_per_cycle[lane],
+                        l1i: self.l1i.lane_view(lane),
+                        l1d: self.l1d.lane_view(lane),
+                        predictor: self.predictors.lane_view(lane),
+                        prefetcher: self.prefetchers[lane].as_mut(),
+                        cur_cycle: &mut self.cur_cycle[lane],
+                        dispatched_in_cycle: &mut self.dispatched_in_cycle[lane],
+                        last_busy_cycle: &mut self.last_busy_cycle[lane],
+                        busy_cycles: &mut self.busy_cycles[lane],
+                        completion_ring: &mut self.completion[lane * rob..(lane + 1) * rob],
+                        op_index: &mut self.op_index[lane],
+                        rob_slot: &mut self.rob_slot[lane],
+                        fu_free: &mut self.fu_free[lane * units..(lane + 1) * units],
+                        last_fetch_block: &mut self.last_fetch_block[lane],
+                        ns_cache: &mut self.ns_cache[lane],
+                    };
+                    let op_buf = &mut self.op_buf[lane * OP_BATCH..(lane + 1) * OP_BATCH];
+                    let pos = &mut self.op_buf_pos[lane];
+                    let len = &mut self.op_buf_len[lane];
+                    let stats = &mut self.seg_stats[lane];
+                    let source = &mut sources[lane];
+                    let memory = &mut memories[lane];
+                    // Delivery-style dispatch once per burst (the contract
+                    // requires a source to answer `borrow_ops`
+                    // consistently). The zero-copy tape loop stays written
+                    // out here, where the optimiser sees the view fields
+                    // come straight from the batch's own arrays (hoisting
+                    // it behind a call was measured ~5% slower on the
+                    // capture benches); the buffered loop wants the
+                    // opposite and lives in [`run_buffered_burst`].
+                    if source.borrow_ops(1).is_some() {
+                        while *view.cur_cycle < stop && budget > 0 {
+                            let Some(chunk) = source.borrow_ops(budget.min(OP_BATCH)) else {
+                                debug_assert!(
+                                    false,
+                                    "source stopped serving borrowed blocks mid-burst"
+                                );
+                                break;
+                            };
+                            let mut used = 0;
+                            while used < chunk.len() && *view.cur_cycle < stop {
+                                view.step_op(chunk[used], memory, stats);
+                                used += 1;
+                            }
+                            source.consume_ops(used);
+                            budget -= used;
+                        }
+                    } else {
+                        budget = run_buffered_burst(
+                            &mut view, op_buf, pos, len, source, memory, stats, stop, budget,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One lane's op burst off a generator source, via the lane's delivery
+/// buffer.
+///
+/// Deliberately `inline(never)`: folding this loop into
+/// [`LaneBatch::step_lanes`] — whose round-robin and segment bookkeeping
+/// would share one huge frame with it — was measured ~5% slower on the
+/// full-CMP benches, the shape the scalar path avoids by having
+/// `run_cycles_with` to itself.
+#[allow(clippy::too_many_arguments)]
+#[inline(never)]
+fn run_buffered_burst<S: InstructionSource, M: MemorySubsystem>(
+    view: &mut StepLane<'_>,
+    op_buf: &mut [MicroOp],
+    pos: &mut usize,
+    len: &mut usize,
+    source: &mut S,
+    memory: &mut M,
+    stats: &mut IntervalStats,
+    stop: u64,
+    mut budget: usize,
+) -> usize {
+    while *view.cur_cycle < stop && budget > 0 {
+        if *pos >= *len {
+            let filled = source.fill_ops(op_buf);
+            assert!(
+                filled > 0 && filled <= op_buf.len(),
+                "InstructionSource::fill_ops must deliver 1..=buf.len() ops"
+            );
+            *len = filled;
+            *pos = 0;
+        }
+        while *pos < *len && *view.cur_cycle < stop && budget > 0 {
+            let op = op_buf[*pos];
+            *pos += 1;
+            view.step_op(op, memory, stats);
+            budget -= 1;
+        }
+    }
+    budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CoreModel, PrivateMemory};
+
+    /// Deterministic mixed-op stream, seeded per lane.
+    struct Mix {
+        x: u64,
+    }
+
+    impl InstructionSource for Mix {
+        fn next_op(&mut self) -> MicroOp {
+            self.x ^= self.x << 13;
+            self.x ^= self.x >> 7;
+            self.x ^= self.x << 17;
+            let dep = if self.x & 4 == 0 {
+                Some(1 + (self.x >> 3) as u32 % 8)
+            } else {
+                None
+            };
+            match self.x % 5 {
+                0 => MicroOp::int_alu(dep),
+                1 => MicroOp::fp_alu(dep),
+                2 => MicroOp::load(self.x % (8 * 1024 * 1024), dep),
+                3 => MicroOp::store(self.x % (8 * 1024 * 1024), dep),
+                _ => MicroOp::branch(0x40 + self.x % 64, self.x & 2 == 0),
+            }
+        }
+    }
+
+    fn freqs(n: usize) -> Vec<Hertz> {
+        (0..n)
+            .map(|i| Hertz::from_ghz(1.0 - 0.05 * i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn lanes_match_scalar_cores_over_multiple_segments() {
+        let config = CoreConfig::power4();
+        let lane_freqs = freqs(4);
+        let mut batch = LaneBatch::new(&config, &lane_freqs).unwrap();
+        let mut sources: Vec<_> = (0..4).map(|i| Mix { x: 1 + i as u64 }).collect();
+        let mut memories: Vec<_> = (0..4)
+            .map(|_| PrivateMemory::new(&config).unwrap())
+            .collect();
+
+        // Three segments of 20k cycles per lane via the callback.
+        let mut batched: Vec<Vec<IntervalStats>> = vec![Vec::new(); 4];
+        batch.step_lanes(&mut sources, &mut memories, &[20_000; 4], |lane, s| {
+            batched[lane].push(*s);
+            if batched[lane].len() < 3 {
+                Some(20_000)
+            } else {
+                None
+            }
+        });
+
+        for lane in 0..4 {
+            let mut core = CoreModel::new(&config, lane_freqs[lane]).unwrap();
+            let mut source = Mix { x: 1 + lane as u64 };
+            for (seg, expected) in batched[lane].iter().enumerate() {
+                let scalar = core.run_cycles(&mut source, 20_000);
+                assert_eq!(
+                    *expected, scalar,
+                    "lane {lane} segment {seg} diverged from scalar"
+                );
+            }
+            assert_eq!(batch.now_cycles(lane), core.now_cycles());
+        }
+    }
+
+    #[test]
+    fn stall_and_zero_target_match_scalar_semantics() {
+        let config = CoreConfig::power4();
+        let mut batch = LaneBatch::new(&config, &freqs(2)).unwrap();
+        let mut sources = [Mix { x: 11 }, Mix { x: 22 }];
+        let mut memories = [
+            PrivateMemory::new(&config).unwrap(),
+            PrivateMemory::new(&config).unwrap(),
+        ];
+
+        batch.apply_stall_cycles(0, 5_000);
+        assert_eq!(batch.now_cycles(0), 5_000);
+
+        // Lane 0 fully stalled this quantum (target 0), lane 1 runs.
+        let mut seen = [IntervalStats::default(); 2];
+        batch.step_lanes(&mut sources, &mut memories, &[0, 10_000], |lane, s| {
+            seen[lane] = *s;
+            None
+        });
+        assert_eq!(seen[0], IntervalStats::default());
+        assert!(seen[1].instructions > 0);
+        assert_eq!(batch.now_cycles(0), 5_000, "stalled lane did not step");
+    }
+
+    #[test]
+    fn discard_pending_ops_restarts_from_new_sources() {
+        struct Only(fn(Option<u32>) -> MicroOp);
+        impl InstructionSource for Only {
+            fn next_op(&mut self) -> MicroOp {
+                (self.0)(None)
+            }
+        }
+        let config = CoreConfig::power4();
+        let mut batch = LaneBatch::new(&config, &freqs(2)).unwrap();
+        let mut ints = [Only(MicroOp::int_alu), Only(MicroOp::int_alu)];
+        let mut memories = [
+            PrivateMemory::new(&config).unwrap(),
+            PrivateMemory::new(&config).unwrap(),
+        ];
+        batch.step_lanes(&mut ints, &mut memories, &[1_000; 2], |_, _| None);
+        batch.discard_pending_ops();
+        let mut fps = [Only(MicroOp::fp_alu), Only(MicroOp::fp_alu)];
+        let mut seen = [IntervalStats::default(); 2];
+        batch.step_lanes(&mut fps, &mut memories, &[1_000; 2], |lane, s| {
+            seen[lane] = *s;
+            None
+        });
+        for s in seen {
+            assert!(s.fp_ops > 0);
+            assert_eq!(s.int_ops, 0, "stale buffered ops must not execute");
+        }
+    }
+
+    #[test]
+    fn new_rejects_degenerate_configs_without_panicking() {
+        let mut bad = CoreConfig::power4();
+        bad.predictor.bimodal_entries = 1000;
+        assert!(matches!(
+            LaneBatch::new(&bad, &freqs(2)),
+            Err(GpmError::InvalidConfig {
+                parameter: "predictor",
+                ..
+            })
+        ));
+        assert!(LaneBatch::new(&CoreConfig::power4(), &[]).is_err());
+        assert!(LaneBatch::new(&CoreConfig::power4(), &[Hertz::new(0.0)]).is_err());
+    }
+}

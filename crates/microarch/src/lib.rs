@@ -58,6 +58,7 @@ mod cache;
 mod config;
 mod core_model;
 mod deferred;
+mod lanes;
 mod op;
 mod prefetch;
 mod stats;
@@ -67,6 +68,7 @@ pub use cache::{AccessOutcome, CacheConfig, SetAssocCache};
 pub use config::{CoreConfig, MemoryConfig};
 pub use core_model::{AccessKind, CoreModel, MemorySubsystem, PrivateMemory};
 pub use deferred::{DeferredL2, L2Request};
+pub use lanes::LaneBatch;
 pub use op::{InstructionSource, MicroOp, OpKind};
 pub use prefetch::StreamPrefetcher;
 pub use stats::{ActivityFactors, IntervalStats};

@@ -4,9 +4,9 @@
 //! captures of one benchmark are spread across the `gpm_par` worker pool
 //! without changing the captured bytes.
 
-use gpm_microarch::{CoreConfig, CoreModel, InstructionSource};
+use gpm_microarch::{CoreConfig, CoreModel, InstructionSource, LaneBatch, PrivateMemory};
 use gpm_power::{DvfsParams, PowerModel};
-use gpm_types::{Micros, PowerMode, Result};
+use gpm_types::{Hertz, Micros, PowerMode, Result};
 use gpm_workloads::{SharedTape, SpecBenchmark, WorkloadCombo};
 
 use crate::{BenchmarkTraces, ModeTrace, TraceSample};
@@ -22,6 +22,27 @@ fn tape_max_ops() -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(TAPE_MAX_OPS)
+}
+
+/// Which stepping engine drives the per-mode capture runs.
+///
+/// Both engines produce byte-identical traces — the lane kernel steps each
+/// lane through the exact scalar scoreboard logic — so this is purely a
+/// performance choice, kept selectable so the scalar reference stays
+/// exercised (equivalence tests) and measurable (benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CaptureEngine {
+    /// All power modes of a benchmark batched through one
+    /// [`LaneBatch::step_lanes`] kernel call: the modes replay the same
+    /// instruction tape at adjacent positions, so a capture costs roughly
+    /// one memory pass instead of three and the host overlaps the lanes'
+    /// dependency chains.
+    #[default]
+    LaneBatched,
+    /// One scalar [`CoreModel`] per mode, spread across the `gpm_par`
+    /// worker pool — the reference implementation the lane kernel is
+    /// pinned against.
+    Scalar,
 }
 
 /// Parameters of a capture campaign.
@@ -52,6 +73,9 @@ pub struct CaptureConfig {
     /// Cycles of cache/predictor warm-up simulated (and discarded) before
     /// sample collection starts.
     pub warmup_cycles: u64,
+    /// Stepping engine for the per-mode runs; byte-identical outputs, see
+    /// [`CaptureEngine`].
+    pub engine: CaptureEngine,
 }
 
 impl Default for CaptureConfig {
@@ -65,6 +89,7 @@ impl Default for CaptureConfig {
             duration_limit: None,
             margin: 0.03,
             warmup_cycles: 200_000,
+            engine: CaptureEngine::default(),
         }
     }
 }
@@ -152,30 +177,59 @@ fn capture_all_modes<S: InstructionSource, F: Fn() -> S + Sync>(
     let traces = if let Some(limit) = config.duration_limit {
         // A duration limit is resolved against the Turbo run so that all
         // three modes are truncated at the same *instruction* position:
-        // Turbo must finish first, then Eff1/Eff2 go in parallel.
+        // Turbo must finish first, then Eff1/Eff2 follow together.
         let turbo_time_cap = limit * (1.0 + config.margin) + config.delta;
-        let turbo = capture_mode(
+        let turbo = capture_modes(
             make_source,
-            PowerMode::Turbo,
+            &[PowerMode::Turbo],
             margin_of(region),
             Some(turbo_time_cap),
             config,
-        );
+        )
+        .pop()
+        .expect("one mode in, one trace out");
         region = region.min(turbo.instructions_by(limit));
         let target = margin_of(region);
         let mut traces = vec![turbo];
-        traces.extend(gpm_par::parallel_map(
+        traces.extend(capture_modes(
+            make_source,
             &[PowerMode::Eff1, PowerMode::Eff2],
-            |&mode| capture_mode(make_source, mode, target, None, config),
+            target,
+            None,
+            config,
         ));
         traces
     } else {
         let target = margin_of(region);
-        gpm_par::parallel_map(&PowerMode::ALL, |&mode| {
-            capture_mode(make_source, mode, target, None, config)
-        })
+        capture_modes(make_source, &PowerMode::ALL, target, None, config)
     };
     (region, traces)
+}
+
+/// Captures `modes` over sources built by `make_source`, dispatching on the
+/// configured [`CaptureEngine`]. Both arms produce byte-identical traces in
+/// `modes` order: the scalar arm maps independent per-mode simulations over
+/// the worker pool, the batched arm runs one lane per mode through a single
+/// lockstep kernel call on the calling thread.
+fn capture_modes<S: InstructionSource, F: Fn() -> S + Sync>(
+    make_source: &F,
+    modes: &[PowerMode],
+    target_instructions: u64,
+    max_duration: Option<Micros>,
+    config: &CaptureConfig,
+) -> Vec<ModeTrace> {
+    match config.engine {
+        CaptureEngine::Scalar => gpm_par::parallel_map(modes, |&mode| {
+            capture_mode(make_source, mode, target_instructions, max_duration, config)
+        }),
+        CaptureEngine::LaneBatched => capture_modes_batched(
+            make_source,
+            modes,
+            target_instructions,
+            max_duration,
+            config,
+        ),
+    }
 }
 
 /// Captures every benchmark of `combo` (deduplicated by benchmark).
@@ -249,6 +303,81 @@ fn capture_mode<S: InstructionSource>(
         });
     }
     ModeTrace::new(mode, config.delta, samples)
+}
+
+/// Batched twin of [`capture_mode`]: one lane per mode through a single
+/// [`LaneBatch::step_lanes`] call, so the modes replay the shared tape at
+/// adjacent positions (one cache-hot memory pass over the op stream) while
+/// the host overlaps their independent dependency chains.
+///
+/// Every per-mode quantity the scalar path derives (warm-up drain, interval
+/// targets, the sample-loop continuation test) is computed per lane with the
+/// same arithmetic, so the assembled traces are byte-identical.
+fn capture_modes_batched<S: InstructionSource>(
+    make_source: &impl Fn() -> S,
+    modes: &[PowerMode],
+    target_instructions: u64,
+    max_duration: Option<Micros>,
+    config: &CaptureConfig,
+) -> Vec<ModeTrace> {
+    let lanes = modes.len();
+    let freqs: Vec<Hertz> = modes.iter().map(|&m| config.dvfs.frequency(m)).collect();
+    let mut batch = LaneBatch::new(&config.core, &freqs)
+        .expect("core config validated by capture entry points");
+    let mut memories: Vec<PrivateMemory> = (0..lanes)
+        .map(|_| PrivateMemory::new(&config.core).expect("validated"))
+        .collect();
+    let delta_cycles: Vec<u64> = freqs
+        .iter()
+        .map(|f| f.cycles_in(config.delta).value())
+        .collect();
+
+    // Warm up caches and predictors, then restart every lane's stream so
+    // instruction indices line up across modes; warm-up stats are discarded
+    // by a callback that never extends the segment.
+    if config.warmup_cycles > 0 {
+        let mut warm: Vec<S> = (0..lanes).map(|_| make_source()).collect();
+        let targets = vec![config.warmup_cycles; lanes];
+        batch.step_lanes(&mut warm, &mut memories, &targets, |_, _| None);
+        batch.discard_pending_ops();
+    }
+
+    let max_samples = max_duration
+        .map(|d| (d.value() / config.delta.value()).ceil() as usize)
+        .unwrap_or(usize::MAX);
+    let mut samples: Vec<Vec<TraceSample>> = vec![Vec::new(); lanes];
+    let mut committed = vec![0u64; lanes];
+    // The scalar loop tests its bounds *before* the first interval; an
+    // already-satisfied bound must produce zero samples here too.
+    let live = target_instructions > 0 && max_samples > 0;
+    let targets: Vec<u64> = if live {
+        delta_cycles.clone()
+    } else {
+        vec![0; lanes]
+    };
+    let mut sources: Vec<S> = (0..lanes).map(|_| make_source()).collect();
+    batch.step_lanes(&mut sources, &mut memories, &targets, |lane, stats| {
+        if !live {
+            return None;
+        }
+        committed[lane] += stats.instructions;
+        let power = config.power.power(&stats.activity(), modes[lane]);
+        samples[lane].push(TraceSample {
+            instructions_end: committed[lane],
+            power_w: power.value(),
+            bips: stats.bips_at(freqs[lane]).value(),
+        });
+        if committed[lane] < target_instructions && samples[lane].len() < max_samples {
+            Some(delta_cycles[lane])
+        } else {
+            None
+        }
+    });
+    modes
+        .iter()
+        .zip(samples)
+        .map(|(&mode, s)| ModeTrace::new(mode, config.delta, s))
+        .collect()
 }
 
 #[cfg(test)]

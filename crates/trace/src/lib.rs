@@ -37,6 +37,6 @@ mod capture;
 mod sample;
 mod store;
 
-pub use capture::{capture_benchmark, capture_combo, CaptureConfig};
+pub use capture::{capture_benchmark, capture_combo, CaptureConfig, CaptureEngine};
 pub use sample::{BenchmarkTraces, ModeTrace, TraceSample};
 pub use store::TraceStore;

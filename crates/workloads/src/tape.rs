@@ -10,6 +10,17 @@
 //! Readers see exactly the ops the wrapped stream would have produced — the
 //! tape's content is determined by position alone, so concurrent readers
 //! (e.g. per-mode captures running on the `gpm_par` pool) cannot perturb it.
+//!
+//! # Storage layout
+//!
+//! The recording is a sequence of immutable fixed-size blocks
+//! ([`TAPE_BLOCK`] ops each) behind `Arc`s. A reader caches the `Arc` of
+//! the block its cursor is in, so steady-state delivery — including the
+//! zero-copy [`borrow_ops`](InstructionSource::borrow_ops) path the core's
+//! run loops prefer — touches no lock at all: the tape's mutex is taken
+//! only when a cursor crosses into a block it has not cached (once per
+//! [`TAPE_BLOCK`] ops), where the block is generated if it does not exist
+//! yet.
 
 use std::sync::{Arc, Mutex};
 
@@ -17,33 +28,28 @@ use gpm_microarch::{InstructionSource, MicroOp};
 
 use crate::WorkloadStream;
 
-/// Ops generated per tape extension; amortises the lock acquisition and the
-/// generator call across a block while keeping the staging buffer
-/// cache-resident (1024 × ~40 B ≈ 40 KiB).
-const TAPE_CHUNK: usize = 1024;
+/// Ops per materialised tape block (~2.5 MiB): large enough that the
+/// once-per-block lock and `Arc` clone are invisible, small enough that
+/// generating a block ahead of demand is negligible against a full capture.
+const TAPE_BLOCK: usize = 65_536;
 
-/// Retired tape storage kept alive for reuse. A full capture tape runs to
+/// Retired tape blocks kept alive for reuse. A full capture tape runs to
 /// hundreds of megabytes, and glibc returns freed blocks that large to the
 /// kernel, so without recycling every capture re-pays first-touch page
 /// faults across the whole recording (~20 ns/op on a 4 KiB-page host).
-/// Keeping a bounded number of buffers mapped turns that into a one-time
+/// Keeping a bounded number of blocks mapped turns that into a one-time
 /// cost per process.
 static POOL: Mutex<Vec<Vec<MicroOp>>> = Mutex::new(Vec::new());
 
-/// Buffers retained in [`POOL`]; captures run one tape at a time, so one
-/// spare (plus headroom for an overlapping reader) is enough.
-const POOL_LIMIT: usize = 2;
+/// Blocks retained in [`POOL`] (~650 MiB): roughly two full capture tapes,
+/// matching the one-live-one-retiring pattern of sequential captures.
+const POOL_LIMIT: usize = 256;
 
-fn pooled_vec(expected_ops: usize) -> Vec<MicroOp> {
-    let recycled = POOL.lock().ok().and_then(|mut pool| pool.pop());
-    match recycled {
-        Some(mut ops) => {
-            ops.clear();
-            ops.reserve(expected_ops);
-            ops
-        }
-        None => Vec::with_capacity(expected_ops),
-    }
+fn pooled_block() -> Vec<MicroOp> {
+    POOL.lock()
+        .ok()
+        .and_then(|mut pool| pool.pop())
+        .unwrap_or_default()
 }
 
 /// A lazily-materialised, shareable recording of a [`WorkloadStream`].
@@ -69,32 +75,38 @@ pub struct SharedTape {
 #[derive(Debug)]
 struct TapeInner {
     stream: WorkloadStream,
-    ops: Vec<MicroOp>,
-    /// Reused staging block: the generator writes into this cache-resident
-    /// buffer, and one memcpy appends it to the (memory-streaming) tape, so
-    /// each materialised op costs a single pass over the tape's cold pages.
-    chunk: Vec<MicroOp>,
+    blocks: Vec<Arc<Vec<MicroOp>>>,
 }
 
 impl TapeInner {
-    /// Extends the recording until at least `len` ops are materialised.
-    fn ensure(&mut self, len: usize) {
-        while self.ops.len() < len {
-            let n = self.stream.fill_ops(&mut self.chunk);
-            self.ops.extend_from_slice(&self.chunk[..n]);
+    /// Extends the recording until block `idx` is materialised.
+    fn ensure_block(&mut self, idx: usize) {
+        while self.blocks.len() <= idx {
+            let mut ops = pooled_block();
+            ops.clear();
+            ops.resize(TAPE_BLOCK, MicroOp::int_alu(None));
+            let mut filled = 0;
+            while filled < TAPE_BLOCK {
+                filled += self.stream.fill_ops(&mut ops[filled..]);
+            }
+            self.blocks.push(Arc::new(ops));
         }
     }
 }
 
 impl Drop for TapeInner {
     fn drop(&mut self) {
-        let ops = std::mem::take(&mut self.ops);
-        if ops.capacity() == 0 {
-            return;
-        }
+        // All readers are gone by the time the inner drops (they keep the
+        // tape alive through their own `Arc`), so every block is uniquely
+        // owned again and can be recycled.
         if let Ok(mut pool) = POOL.lock() {
-            if pool.len() < POOL_LIMIT {
-                pool.push(ops);
+            for block in self.blocks.drain(..) {
+                if pool.len() >= POOL_LIMIT {
+                    break;
+                }
+                if let Ok(ops) = Arc::try_unwrap(block) {
+                    pool.push(ops);
+                }
             }
         }
     }
@@ -108,16 +120,15 @@ impl SharedTape {
         Self::with_capacity_hint(stream, 0)
     }
 
-    /// Like [`new`](Self::new), reserving room for `expected_ops` up front
-    /// so a predictable recording length avoids growth reallocations.
-    /// Storage comes from the process-wide recycling pool when available.
+    /// Like [`new`](Self::new), sizing the block table for `expected_ops`
+    /// up front. Block storage itself comes from the process-wide recycling
+    /// pool when available.
     #[must_use]
     pub fn with_capacity_hint(stream: WorkloadStream, expected_ops: usize) -> Self {
         Self {
             inner: Arc::new(Mutex::new(TapeInner {
                 stream,
-                ops: pooled_vec(expected_ops),
-                chunk: vec![MicroOp::int_alu(None); TAPE_CHUNK],
+                blocks: Vec::with_capacity(expected_ops.div_ceil(TAPE_BLOCK)),
             })),
         }
     }
@@ -129,13 +140,14 @@ impl SharedTape {
         TapeReader {
             inner: Arc::clone(&self.inner),
             pos: 0,
+            cached: None,
         }
     }
 
-    /// Number of ops materialised so far.
+    /// Number of ops materialised so far (whole blocks).
     #[must_use]
     pub fn generated(&self) -> usize {
-        self.inner.lock().expect("tape lock").ops.len()
+        self.inner.lock().expect("tape lock").blocks.len() * TAPE_BLOCK
     }
 }
 
@@ -144,24 +156,54 @@ impl SharedTape {
 pub struct TapeReader {
     inner: Arc<Mutex<TapeInner>>,
     pos: usize,
+    /// The block the cursor is in, held locally so steady-state reads skip
+    /// the tape lock entirely.
+    cached: Option<(usize, Arc<Vec<MicroOp>>)>,
+}
+
+impl TapeReader {
+    /// The block containing `idx`, from the local cache when possible and
+    /// from the (extending) tape otherwise.
+    fn block(&mut self, idx: usize) -> &[MicroOp] {
+        if self.cached.as_ref().map(|(i, _)| *i) != Some(idx) {
+            let mut inner = self.inner.lock().expect("tape lock");
+            inner.ensure_block(idx);
+            self.cached = Some((idx, Arc::clone(&inner.blocks[idx])));
+        }
+        self.cached.as_ref().expect("just cached").1.as_slice()
+    }
 }
 
 impl InstructionSource for TapeReader {
     fn next_op(&mut self) -> MicroOp {
-        let mut inner = self.inner.lock().expect("tape lock");
-        inner.ensure(self.pos + 1);
-        let op = inner.ops[self.pos];
+        let (idx, off) = (self.pos / TAPE_BLOCK, self.pos % TAPE_BLOCK);
+        let op = self.block(idx)[off];
         self.pos += 1;
         op
     }
 
-    /// Block copy out of the recording: one lock and one memcpy per batch.
+    /// Block copy out of the recording — at most one (usually zero) lock
+    /// acquisitions and one memcpy per batch. May deliver fewer ops than
+    /// requested at a block boundary, as the contract allows.
     fn fill_ops(&mut self, buf: &mut [MicroOp]) -> usize {
-        let mut inner = self.inner.lock().expect("tape lock");
-        inner.ensure(self.pos + buf.len());
-        buf.copy_from_slice(&inner.ops[self.pos..self.pos + buf.len()]);
-        self.pos += buf.len();
-        buf.len()
+        let (idx, off) = (self.pos / TAPE_BLOCK, self.pos % TAPE_BLOCK);
+        let n = buf.len().min(TAPE_BLOCK - off);
+        let block = self.block(idx);
+        buf[..n].copy_from_slice(&block[off..off + n]);
+        self.pos += n;
+        n
+    }
+
+    /// Zero-copy delivery: a slice straight into the cached block.
+    fn borrow_ops(&mut self, max: usize) -> Option<&[MicroOp]> {
+        let (idx, off) = (self.pos / TAPE_BLOCK, self.pos % TAPE_BLOCK);
+        let n = max.min(TAPE_BLOCK - off);
+        let block = self.block(idx);
+        Some(&block[off..off + n])
+    }
+
+    fn consume_ops(&mut self, n: usize) {
+        self.pos += n;
     }
 }
 
@@ -183,10 +225,16 @@ mod tests {
         let mut got = Vec::new();
         got.push(reader.next_op());
         let mut batch = vec![MicroOp::int_alu(None); 613];
-        assert_eq!(reader.fill_ops(&mut batch), 613);
+        let mut filled = 0;
+        while filled < batch.len() {
+            filled += reader.fill_ops(&mut batch[filled..]);
+        }
         got.extend_from_slice(&batch);
         let mut rest = vec![MicroOp::int_alu(None); 386];
-        assert_eq!(reader.fill_ops(&mut rest), 386);
+        filled = 0;
+        while filled < rest.len() {
+            filled += reader.fill_ops(&mut rest[filled..]);
+        }
         got.extend_from_slice(&rest);
         assert_eq!(got, live_buf);
     }
@@ -201,5 +249,28 @@ mod tests {
         let again: Vec<_> = (0..100).map(|_| b.next_op()).collect();
         assert_eq!(first, again);
         assert!(tape.generated() >= 100);
+    }
+
+    #[test]
+    fn borrowed_blocks_match_next_op_sequence() {
+        let tape = SharedTape::new(SpecBenchmark::Art.stream());
+        let mut live = SpecBenchmark::Art.stream();
+        let mut reader = tape.reader();
+        let mut seen = 0usize;
+        // Borrow in uneven chunks, consuming fewer ops than borrowed to
+        // exercise the borrow/consume split the core's cycle loops use.
+        for (i, take) in [400usize, 1, 77, 1000, 3].into_iter().enumerate() {
+            let chunk = reader.borrow_ops(take + i).expect("tape serves blocks");
+            assert!(!chunk.is_empty() && chunk.len() <= take + i);
+            let use_n = chunk.len().min(take);
+            for &op in &chunk[..use_n] {
+                assert_eq!(op, live.next_op());
+            }
+            reader.consume_ops(use_n);
+            seen += use_n;
+        }
+        // The cursor advanced by exactly the consumed ops.
+        assert_eq!(reader.next_op(), live.next_op());
+        assert!(seen > 0);
     }
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Regression gate over the recorded benchmark trajectory.
+
+Walks BENCH_sim_throughput.json (repo root) and fails if any recorded
+``"speedup"`` ratio sits below the floor (default 0.95, i.e. a >5%
+regression against that row's recorded baseline). The floor matches the
+measured round-to-round noise of the benchmark host (~±10%, best-of-N
+recorded): a best-of ratio under 0.95 is a real regression, not noise.
+
+Usage:
+    scripts/bench_check.py [--floor 0.95] [--file BENCH_sim_throughput.json]
+
+The check is structural, not positional: every object anywhere in the
+JSON document with a ``speedup`` key is gated, so new measurement sections
+are covered automatically. Rows document themselves via their JSON path.
+
+Exit status: 0 when all speedups clear the floor, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def walk_speedups(node, path=""):
+    """Yields (json_path, value) for every "speedup" key in the document."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            child = f"{path}.{key}" if path else key
+            if key == "speedup" and isinstance(value, (int, float)):
+                yield path or "<root>", float(value)
+            else:
+                yield from walk_speedups(value, child)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from walk_speedups(value, f"{path}[{i}]")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.95,
+        help="minimum acceptable speedup ratio (default: 0.95)",
+    )
+    parser.add_argument(
+        "--file",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_sim_throughput.json",
+        help="benchmark record to check (default: repo-root BENCH_sim_throughput.json)",
+    )
+    args = parser.parse_args()
+
+    try:
+        document = json.loads(args.file.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"bench_check: cannot read {args.file}: {err}", file=sys.stderr)
+        return 1
+
+    rows = list(walk_speedups(document))
+    if not rows:
+        print(f"bench_check: no 'speedup' rows found in {args.file}", file=sys.stderr)
+        return 1
+
+    failures = [(path, value) for path, value in rows if value < args.floor]
+    for path, value in failures:
+        print(f"bench_check: {path}: speedup {value} < floor {args.floor}")
+    print(
+        f"bench_check: {len(rows) - len(failures)}/{len(rows)} rows at or above "
+        f"{args.floor} in {args.file.name}"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,16 +43,35 @@ GPM_THREADS=1 cargo test --quiet --test solver_equivalence
 GPM_THREADS=2 cargo test --quiet --test solver_equivalence
 cargo clippy -p gpm-core --all-targets -- -D warnings
 
+# The SoA lane-batched kernel promises bit-identity with the scalar
+# stepping path for any lane count, chunk schedule and pool width; run
+# the equivalence group (golden trace hashes, scalar-vs-batched engines,
+# the mixed-mode lane batch and the quantum-boundary proptest) under a
+# serial and a saturated pool, and lint the core-model crate at
+# zero-warning strictness.
+echo "==> lane kernel: step_equivalence under two pool widths + clippy -D warnings"
+GPM_THREADS=1 cargo test --quiet --test step_equivalence
+GPM_THREADS=8 cargo test --quiet --test step_equivalence
+cargo clippy -p gpm-microarch --all-targets -- -D warnings
+
 # 16-way wide-CMP smoke: the scaling tier must keep running end to end
 # from the CLI (exact MaxBIPS vs greedy on a 3^16 search space).
 echo "==> gpm figure wide --cores 16 --fast"
 cargo run --release --quiet -p gpm-cli -- figure wide --cores 16 --fast > /dev/null
 
 # Smoke-run the throughput baseline (including the full-CMP two-phase
-# cases and the policy-decide latency cases) so the bench target cannot
-# bit-rot; GPM_BENCH_QUICK bounds the run and failure means panic, not
+# cases, the lane-batched vs scalar capture-engine cases and the
+# policy-decide latency cases) so the bench target cannot bit-rot;
+# GPM_BENCH_QUICK bounds the run and failure means panic, not
 # regression.
 echo "==> GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput"
 GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput
+
+# Gate the recorded benchmark trajectory: any before/after speedup row
+# in BENCH_sim_throughput.json below 0.95 (a >5% regression against its
+# recorded baseline, beyond best-of-N noise) fails CI. Tune with
+# --floor; see the methodology block in that file.
+echo "==> scripts/bench_check.py"
+python3 scripts/bench_check.py
 
 echo "CI OK"
