@@ -17,10 +17,10 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use gpm_cmp::{FullCmpSim, SimParams, TraceCmpSim};
+use gpm_cmp::{ClusterTopology, FullCmpSim, InterconnectConfig, SimParams, TraceCmpSim};
 use gpm_core::{
-    solver, BudgetSchedule, GlobalManager, GreedyMaxBips, MaxBips, Policy, PolicyContext,
-    PowerBipsMatrices, RunOptions,
+    solver, BudgetSchedule, GlobalManager, GreedyMaxBips, HierMaxBips, MaxBips, Policy,
+    PolicyContext, PowerBipsMatrices, RunOptions,
 };
 use gpm_microarch::{CoreConfig, CoreModel};
 use gpm_power::{DvfsParams, PowerModel};
@@ -145,6 +145,42 @@ fn cmp_full_mips(name: &'static str, combo: &WorkloadCombo, sim_us: f64) -> Meas
     }
 }
 
+/// `cmp_full_mips` on the cluster-sharded drive: `combo` partitioned into
+/// clusters of `cluster_cores` private L2s behind the default bounded
+/// interconnect. Pairs with the flat row at the same width so the recorded
+/// speedup isolates the sharding (per-cluster replay scans `cluster_cores`
+/// lanes instead of the whole chip even on one worker; on a multi-core
+/// host both phases additionally overlap per cluster).
+fn cmp_sharded_mips(
+    name: &'static str,
+    combo: &WorkloadCombo,
+    cluster_cores: usize,
+    sim_us: f64,
+) -> Measurement {
+    let modes = ModeCombination::uniform(combo.cores(), PowerMode::Turbo);
+    let mut sim = FullCmpSim::with_topology(
+        combo,
+        &modes,
+        &CoreConfig::power4(),
+        PowerModel::power4_calibrated(),
+        DvfsParams::paper(),
+        ClusterTopology::for_cores(combo.cores(), cluster_cores).expect("combo divides"),
+        InterconnectConfig::default(),
+    )
+    .expect("combo and topology agree");
+    let _ = sim.run(Micros::new(sim_us * 0.1));
+
+    let start = Instant::now();
+    let outcome = sim.run(Micros::new(sim_us));
+    let seconds = start.elapsed().as_secs_f64();
+    let instructions = outcome.per_core.iter().map(|c| c.instructions).sum();
+    Measurement {
+        name,
+        instructions,
+        seconds,
+    }
+}
+
 /// Synthetic constant-rate traces so the manager-loop measurement has no
 /// capture dependency and a deterministic interval count.
 fn constant_traces(name: &str, total: u64, bips: f64, power: f64) -> Arc<BenchmarkTraces> {
@@ -241,14 +277,17 @@ fn decide_fixture(cores: usize) -> (PowerBipsMatrices, ModeCombination, Watts) {
     (PowerBipsMatrices::from_rows(power, bips), current, budget)
 }
 
-/// Measures the MaxBIPS decision latency at 8/16/32 cores: the paper's
+/// Measures the MaxBIPS decision latency at 8/16/32 cores — the paper's
 /// exhaustive 3^N scan (8-way only — 3^16 is already intractable), the
 /// exact branch-and-bound that replaced it, and the approximate
-/// `GreedyMaxBips` baseline at the wide widths. All cases run interleaved
-/// (round-robin, best-of-`rounds`) so ambient load biases none of them.
+/// `GreedyMaxBips` baseline at the wide widths — plus the two-level
+/// `HierMaxBips` (water-filling arbiter + per-cluster exact solves) at
+/// 256 cores, where the flat exact solver no longer runs at all. All
+/// cases run interleaved (round-robin, best-of-`rounds`) so ambient load
+/// biases none of them.
 fn policy_decides(rounds: usize, inner: usize) -> Vec<DecideMeasurement> {
     let (dvfs, explore) = (DvfsParams::paper(), Micros::new(500.0));
-    let fixtures: Vec<_> = [8usize, 16, 32]
+    let fixtures: Vec<_> = [8usize, 16, 32, 256]
         .iter()
         .map(|&n| decide_fixture(n))
         .collect();
@@ -283,6 +322,23 @@ fn policy_decides(rounds: usize, inner: usize) -> Vec<DecideMeasurement> {
             label,
             Box::new(move || {
                 greedy.decide(&PolicyContext {
+                    current_modes: cur,
+                    matrices: m,
+                    future: None,
+                    budget: *budget,
+                    dvfs: &dvfs,
+                    explore,
+                })
+            }),
+        ));
+    }
+    {
+        let (m, cur, budget) = &fixtures[3];
+        let mut hier = HierMaxBips::new();
+        cases.push((
+            "policy_decide_256way_hier",
+            Box::new(move || {
+                hier.decide(&PolicyContext {
                     current_modes: cur,
                     matrices: m,
                     future: None,
@@ -350,6 +406,17 @@ fn main() {
             2.0 * cmp_us,
         ),
         cmp_full_mips("cmp_full_8way_mixed", &combos::eight_way_mixed(), cmp_us),
+        cmp_full_mips(
+            "cmp_full_64way_flat",
+            &combos::sixty_four_way_mixed(),
+            cmp_us / 8.0,
+        ),
+        cmp_sharded_mips(
+            "cmp_full_64way_sharded",
+            &combos::sixty_four_way_mixed(),
+            8,
+            cmp_us / 8.0,
+        ),
         manager_loop_mips("manager_fault_free", false, manager_repeats),
         manager_loop_mips("manager_guarded", true, manager_repeats),
     ];
@@ -397,6 +464,21 @@ fn main() {
     println!(
         "32-way exact decide {:.2} us vs 500 us-explore wall equivalent {:.2} us",
         decides[3].micros_per_decide, explore_equiv_us
+    );
+    let hier256 = decides
+        .iter()
+        .find(|d| d.name == "policy_decide_256way_hier")
+        .expect("measured above");
+    println!(
+        "256-way hierarchical decide {:.2} us against the 500 us explore interval",
+        hier256.micros_per_decide
+    );
+    let shard_speedup =
+        by_name("cmp_full_64way_sharded").mips() / by_name("cmp_full_64way_flat").mips();
+    println!("64-way sharded-vs-flat simulator speedup: {shard_speedup:.2}x");
+    let _ = writeln!(
+        json,
+        "  \"cmp_full_64way_sharding_speedup\": {shard_speedup:.2},"
     );
     let _ = writeln!(json, "  \"decide_8way_exact_speedup\": {speedup:.2},");
     let _ = writeln!(

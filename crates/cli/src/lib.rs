@@ -96,8 +96,9 @@ pub enum Command {
         name: String,
         /// Use truncated captures.
         fast: bool,
-        /// Core-count restriction for the wide-CMP tier (`--cores 16|32`;
-        /// `None` runs both widths).
+        /// Core-count restriction for the wide/hierarchical scaling tiers
+        /// (`--cores 16|32|64|128|256`; `None` runs each tier's default
+        /// widths).
         cores: Option<usize>,
     },
     /// List benchmarks, combos, policies and experiments.
@@ -119,7 +120,7 @@ pub enum PolicySpec {
 
 impl PolicySpec {
     /// Parses `maxbips`, `priority`, `pullhipushlo`, `chipwide`, `oracle`,
-    /// `greedy`, `static`, or `minpower:<target>`.
+    /// `greedy`, `hier`, `static`, or `minpower:<target>`.
     ///
     /// # Errors
     ///
@@ -140,6 +141,7 @@ impl PolicySpec {
             "chipwide" | "chipwidedvfs" => PolicySpec::Kind(PolicyKind::ChipWide),
             "oracle" => PolicySpec::Kind(PolicyKind::Oracle),
             "greedy" | "greedymaxbips" => PolicySpec::Kind(PolicyKind::GreedyMaxBips),
+            "hier" | "hiermaxbips" => PolicySpec::Kind(PolicyKind::HierMaxBips),
             "static" => PolicySpec::Static,
             _ => {
                 return Err(GpmError::InvalidConfig {
@@ -281,8 +283,13 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                 let n = v
                     .parse::<usize>()
                     .ok()
-                    .filter(|n| [16, 32].contains(n))
-                    .ok_or_else(|| bad(format!("bad core count `{v}` (need 16 or 32)")))?;
+                    .filter(|n| [16, 32, 64, 128, 256].contains(n))
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "bad core count `{v}` (need 16, 32, 64, 128 or 256 — \
+                             a power-of-two multiple of the 8-core cluster size)"
+                        ))
+                    })?;
                 cores = Some(n);
             }
             "--no-guards" => no_guards = true,
@@ -359,10 +366,12 @@ USAGE:
   gpm run    [--combo \"a|b|c\"] [--policy NAME] [--budget F] [--json] [--fast]
              [--faults SPEC] [--fault-seed N] [--no-guards]
   gpm sweep  [--combo \"a|b|c\"] [--policies a,b,c] [--budgets lo:hi:step] [--fast]
-  gpm figure NAME [--fast] [--cores 16|32]
+  gpm figure NAME [--fast] [--cores 16|32|64|128|256]
                                 regenerate a paper experiment (see `gpm list`);
-                                --cores restricts the `wide` scaling tier to
-                                one CMP width (default: both 16 and 32)
+                                --cores picks one CMP width for the `wide`
+                                scaling tier (default 16 and 32; 64/128/256
+                                route to the hierarchical tier) or for the
+                                `hier` tier (default 64, 128 and 256)
   gpm list                      benchmarks, combos, policies, experiments
   gpm help
 
@@ -371,7 +380,7 @@ GLOBAL OPTIONS:
                  (default: GPM_THREADS env var, else the detected core
                  count; results are identical for any value)
 
-POLICIES: maxbips, priority, pullhipushlo, chipwide, oracle, greedy,
+POLICIES: maxbips, priority, pullhipushlo, chipwide, oracle, greedy, hier,
           minpower:<target>, static (sweep only)
 
 FAULTS:   SPEC is `kind[@cores][:key=val,...]` clauses joined by `;`.
@@ -439,18 +448,21 @@ fn list_text() -> String {
     }
     let _ = writeln!(
         out,
-        "\ncombos (wide-CMP tier):\n  16-way: {}\n  32-way: 16-way doubled",
+        "\ncombos (wide-CMP tier):\n  16-way: {}\n  32-way: 16-way doubled\n  \
+         64/128/256-way: doubled again (hierarchical tier, 8-core clusters)",
         combos::sixteen_way_mixed().label()
     );
     out.push_str(
-        "\npolicies: maxbips priority pullhipushlo chipwide oracle greedy minpower:<t> static\n",
+        "\npolicies: maxbips priority pullhipushlo chipwide oracle greedy hier \
+         minpower:<t> static\n",
     );
     out.push_str(
         "\nexperiments: table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig6_faulted fig7\n",
     );
     out.push_str(
-        "             fig8 fig9 fig10 fig11 wide validation prediction minpower thermal transition\n",
+        "             fig8 fig9 fig10 fig11 wide hier validation prediction minpower thermal\n",
     );
+    out.push_str("             transition\n");
     out
 }
 
@@ -614,7 +626,16 @@ fn run_figure(name: &str, fast: bool, cores: Option<usize>) -> Result<String> {
         "fig11" => exp::scaling::fig11(&ctx)?.render(),
         "wide" => {
             let widths = cores.map_or_else(|| vec![16, 32], |c| vec![c]);
-            exp::scaling::wide(&ctx, &widths)?.render()
+            if widths.iter().any(|&c| c > 32) {
+                // 64-way and up belong to the hierarchical tier.
+                exp::scaling::hier(&ctx, &widths)?.render()
+            } else {
+                exp::scaling::wide(&ctx, &widths)?.render()
+            }
+        }
+        "hier" => {
+            let widths = cores.map_or_else(|| vec![64, 128, 256], |c| vec![c]);
+            exp::scaling::hier(&ctx, &widths)?.render()
         }
         "validation" => exp::validation::render_trace_vs_full(&exp::validation::run_trace_vs_full(
             &ctx,
@@ -703,7 +724,18 @@ mod tests {
                 ..
             }
         ));
+        for cores in [64, 128, 256] {
+            assert!(
+                matches!(
+                    parse(&format!("figure hier --cores {cores}")).unwrap(),
+                    Command::Figure { cores: Some(c), .. } if c == cores
+                ),
+                "--cores {cores} must parse"
+            );
+        }
         assert!(parse("figure wide --cores 7").is_err());
+        assert!(parse("figure wide --cores 48").is_err());
+        assert!(parse("figure wide --cores 512").is_err());
         assert!(parse("figure wide --cores lots").is_err());
         assert!(parse("figure wide --cores").is_err());
     }
@@ -744,6 +776,8 @@ mod tests {
         let list = execute(Command::List).unwrap();
         assert!(list.contains("ammp|mcf|crafty|art"));
         assert!(list.contains("maxbips"));
+        assert!(list.contains("hier"));
+        assert!(list.contains("64/128/256-way"));
     }
 
     #[test]

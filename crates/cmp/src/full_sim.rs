@@ -7,7 +7,7 @@ use gpm_power::{DvfsParams, PowerModel};
 use gpm_types::{Bips, GpmError, Hertz, Micros, ModeCombination, PowerMode, Result, Watts};
 use gpm_workloads::{WorkloadCombo, WorkloadStream};
 
-use crate::{SharedL2, SharedL2Config};
+use crate::{ClusterTopology, Interconnect, InterconnectConfig, SharedL2, SharedL2Config};
 
 /// Address-space separation between cores' data regions, so co-scheduled
 /// benchmarks do not alias in the shared L2.
@@ -37,8 +37,13 @@ pub struct FullCmpOutcome {
     pub per_core: Vec<PerCoreOutcome>,
     /// Wall-clock duration simulated.
     pub duration: Micros,
-    /// Mean shared-bus utilisation over the run.
+    /// Mean shared-bus utilisation over the run (averaged across clusters
+    /// in a clustered configuration).
     pub l2_utilization: f64,
+    /// Mean inter-cluster interconnect utilisation over the run. Always
+    /// `0.0` for the flat (single shared L2) configuration, which has no
+    /// interconnect.
+    pub interconnect_utilization: f64,
 }
 
 impl FullCmpOutcome {
@@ -123,8 +128,10 @@ impl LaneAccounting {
 /// [`LaneBatch`] kernel call per quantum. Phase 1 hands each group to
 /// exactly one pool worker; within the group the kernel interleaves the
 /// lanes op-by-op, so a single worker still overlaps the cores'
-/// independent dependency chains. Phase 2 walks all groups' lanes on a
-/// single thread.
+/// independent dependency chains. In the flat configuration phase 2 walks
+/// all groups' lanes on a single thread; in the clustered configuration
+/// each cluster owns exactly one group and replays it against its private
+/// L2 inside the parallel phase.
 #[derive(Debug)]
 struct LaneGroup {
     batch: LaneBatch,
@@ -188,7 +195,8 @@ impl LaneGroup {
 }
 
 /// Phase 2: merge-replay all lanes' sorted request logs against the real
-/// shared L2 in global `(timestamp, core-id)` order.
+/// shared L2 in global `(timestamp, core-id)` order. Returns the number of
+/// L2 misses the replay produced.
 ///
 /// The deterministic tie-break — strictly-smaller timestamp wins, equal
 /// timestamps go to the lower core id — makes the replay order (and hence
@@ -197,9 +205,16 @@ impl LaneGroup {
 /// grouped into lane batches. Each lane accumulates the actual latency of
 /// its requests (queueing delay, and memory latency when the shared array
 /// misses); [`LaneAccounting::bank_correction`] settles that against what
-/// phase 1 charged. Misses are credited back to the owning core's
-/// counters. `lanes` must be in core order.
-fn replay_quantum(lanes: &mut [(&mut DeferredL2, &mut LaneAccounting)], shared: &mut SharedL2) {
+/// phase 1 charged. Misses are credited back to the owning core's counters
+/// and additionally charged `miss_extra_ns` — the inter-cluster
+/// interconnect penalty in a clustered configuration, `0.0` (exact, by
+/// IEEE 754 identity) for the flat path. `lanes` must be in core order.
+fn replay_quantum(
+    lanes: &mut [(&mut DeferredL2, &mut LaneAccounting)],
+    shared: &mut SharedL2,
+    miss_extra_ns: f64,
+) -> u64 {
+    let mut misses = 0u64;
     loop {
         let mut best: Option<(usize, f64)> = None;
         for (i, (deferred, acct)) in lanes.iter().enumerate() {
@@ -214,19 +229,174 @@ fn replay_quantum(lanes: &mut [(&mut DeferredL2, &mut LaneAccounting)], shared: 
         let (deferred, acct) = &mut lanes[i];
         let req = deferred.log()[acct.cursor];
         acct.cursor += 1;
-        let (actual_ns, hit) = shared.replay_access(req.addr);
-        acct.actual_ns += actual_ns;
+        let (mut actual_ns, hit) = shared.replay_access(req.addr);
         if !hit {
+            actual_ns += miss_extra_ns;
+            misses += 1;
             acct.total.l2_misses += 1;
         }
+        acct.actual_ns += actual_ns;
     }
     for (deferred, acct) in lanes {
         acct.bank_correction(deferred);
     }
+    misses
+}
+
+/// One cluster of the sharded drive: a [`LaneGroup`] over the cluster's
+/// cores plus the cluster's private L2. Both phases of the two-phase
+/// protocol run inside the parallel round callback — the interconnect is
+/// read-only during a quantum (its penalty is frozen in `icn_penalty_ns`
+/// at each window boundary), so nothing a cluster touches is shared.
+#[derive(Debug)]
+struct ClusterLanes {
+    group: LaneGroup,
+    l2: SharedL2,
+    /// Per-miss interconnect penalty for the current window, broadcast by
+    /// the serial phase after it closes the interconnect window.
+    icn_penalty_ns: f64,
+    /// Misses this cluster's replay produced in the last quantum — the
+    /// traffic the serial phase feeds into the interconnect accounting.
+    quantum_misses: u64,
+}
+
+impl ClusterLanes {
+    /// Steps the cluster one quantum: phase-1 lane stepping, then the
+    /// per-cluster phase-2 replay against the private L2, then the L2
+    /// window close. All of it runs on this cluster's pool worker.
+    fn run_quantum(&mut self, power: &PowerModel, window_ns: f64) {
+        self.group.step_quantum(power);
+        let mut lanes: Vec<(&mut DeferredL2, &mut LaneAccounting)> = self
+            .group
+            .deferred
+            .iter_mut()
+            .zip(self.group.acct.iter_mut())
+            .collect();
+        self.quantum_misses = replay_quantum(&mut lanes, &mut self.l2, self.icn_penalty_ns);
+        self.l2.end_window(window_ns);
+    }
+}
+
+/// Per-core construction state shared by the flat and clustered builders.
+struct CoreSetup {
+    streams: Vec<WorkloadStream>,
+    freqs: Vec<Hertz>,
+    accts: Vec<LaneAccounting>,
+    shared_config: SharedL2Config,
+}
+
+/// Builds the streams, clocks and accounting rows for every core.
+/// `miss_extra_max_ns` widens the charge predictor's upper bound by the
+/// worst interconnect penalty a miss can pay; the flat path passes `0.0`,
+/// keeping its bound bit-identical to the pre-cluster arithmetic.
+fn build_cores(
+    combo: &WorkloadCombo,
+    modes: &ModeCombination,
+    core_config: &CoreConfig,
+    dvfs: &DvfsParams,
+    miss_extra_max_ns: f64,
+) -> Result<CoreSetup> {
+    if modes.len() != combo.cores() {
+        return Err(GpmError::CoreCountMismatch {
+            expected: combo.cores(),
+            actual: modes.len(),
+        });
+    }
+    core_config.validate()?;
+    let shared_config = SharedL2Config {
+        cache: core_config.l2,
+        l2_latency_ns: core_config.memory.l2_latency_ns,
+        memory_latency_ns: core_config.memory.memory_latency_ns,
+        ..SharedL2Config::default()
+    };
+    let cores = combo.cores();
+    let mut streams = Vec::with_capacity(cores);
+    let mut freqs = Vec::with_capacity(cores);
+    let mut accts = Vec::with_capacity(cores);
+    for (i, &bench) in combo.benchmarks().iter().enumerate() {
+        let mode = modes.mode(gpm_types::CoreId::new(i));
+        let freq = dvfs.frequency(mode);
+        // Distinct address bases and seed salts: four mcf instances
+        // must not literally share data.
+        streams.push(
+            bench
+                .profile()
+                .stream_with(i as u64 * CORE_ADDR_STRIDE, i as u64)?,
+        );
+        freqs.push(freq);
+        accts.push(LaneAccounting {
+            benchmark: Arc::from(bench.name()),
+            mode,
+            freq,
+            cycles_per_quantum: 0,
+            pending_ns: 0.0,
+            charge_min_ns: shared_config.l2_latency_ns,
+            // Hit latency + memory latency + the M/D/1 wait at the
+            // utilisation cap (+ the worst interconnect crossing, when
+            // clustered): the worst latency a replay can report.
+            charge_max_ns: shared_config.l2_latency_ns
+                + shared_config.memory_latency_ns
+                + shared_config.service_ns * 0.98 / (2.0 * (1.0 - 0.98))
+                + miss_extra_max_ns,
+            actual_ns: 0.0,
+            cursor: 0,
+            total: IntervalStats::default(),
+            energy_j: 0.0,
+        });
+    }
+    Ok(CoreSetup {
+        streams,
+        freqs,
+        accts,
+        shared_config,
+    })
+}
+
+/// Builds one lane group over a contiguous run of cores.
+fn build_group(
+    core_config: &CoreConfig,
+    shared_config: &SharedL2Config,
+    streams: Vec<WorkloadStream>,
+    accts: Vec<LaneAccounting>,
+    freqs: &[Hertz],
+) -> Result<LaneGroup> {
+    let len = freqs.len();
+    let mut batch = LaneBatch::new(core_config, freqs)?;
+    // Each core replays its own generator — no shared tape to stay
+    // close on — so round-robin interleaving buys nothing and only
+    // cycles N lanes' simulated state through the host cache. Run
+    // each lane straight through its quantum instead (chunk size
+    // never affects simulated results).
+    batch.set_chunk_ops(usize::MAX);
+    Ok(LaneGroup {
+        batch,
+        streams,
+        deferred: (0..len)
+            .map(|_| DeferredL2::new(shared_config.l2_latency_ns))
+            .collect(),
+        acct: accts,
+        targets: vec![0; len],
+        seg: vec![IntervalStats::default(); len],
+    })
+}
+
+/// The two drive shapes of the simulator: the flat single-shared-L2
+/// protocol (serial global replay) and the cluster-sharded protocol
+/// (parallel per-cluster replays, serialised interconnect merge).
+#[derive(Debug)]
+enum Drive {
+    Flat {
+        groups: Vec<LaneGroup>,
+        shared: SharedL2,
+    },
+    Sharded {
+        clusters: Vec<ClusterLanes>,
+        interconnect: Interconnect,
+    },
 }
 
 /// A time-quantum-synchronised multi-core simulation over the real
-/// `gpm-microarch` core models and a [`SharedL2`].
+/// `gpm-microarch` core models and one or more [`SharedL2`]s.
 ///
 /// Cores advance in short wall-clock quanta (5 µs by default) under a
 /// two-phase protocol. **Phase 1** steps every core for one quantum: the
@@ -240,35 +410,50 @@ fn replay_quantum(lanes: &mut [(&mut DeferredL2, &mut LaneAccounting)], shared: 
 /// log at the lane's *predicted* per-access latency — the array-hit
 /// latency initially, then the previous quantum's observed mean, so
 /// dependent-load serialisation and ROB latency overlap play out in the
-/// recording timeline itself. **Phase 2** merge-replays all logs against
-/// the real [`SharedL2`] on a single thread in `(timestamp, core-id)`
-/// order; the signed difference between what the requests actually cost —
-/// bus queueing delay, memory latency on a shared-array miss — and what
-/// phase 1 charged is banked as a correction credit, repaid as stall
-/// cycles at the start of that core's next quantum (or offset against
-/// future debt when negative). Per-core DVFS is supported by clocking each
-/// lane at its mode's frequency — the quantum is measured in wall time,
-/// so cores stay aligned across clock domains.
+/// recording timeline itself. **Phase 2** merge-replays the logs against
+/// the real [`SharedL2`] in `(timestamp, core-id)` order; the signed
+/// difference between what the requests actually cost — bus queueing
+/// delay, memory latency on a shared-array miss — and what phase 1 charged
+/// is banked as a correction credit, repaid as stall cycles at the start
+/// of that core's next quantum (or offset against future debt when
+/// negative). Per-core DVFS is supported by clocking each lane at its
+/// mode's frequency — the quantum is measured in wall time, so cores stay
+/// aligned across clock domains.
+///
+/// Two drive shapes exist:
+///
+/// * **Flat** ([`FullCmpSim::new`]) — one chip-wide shared L2; phase 2 is
+///   a single serial global merge. This is the paper's configuration.
+/// * **Cluster-sharded** ([`FullCmpSim::with_topology`]) — K clusters of
+///   cores, each with a private L2 ([`ClusterTopology`]); misses
+///   additionally cross the global [`Interconnect`]. Each cluster maps
+///   onto one pool worker and runs *both* phases inside the parallel
+///   round; the interconnect's per-miss penalty is frozen per window, so
+///   the only serialised work is summing the clusters' miss counts and
+///   closing the interconnect window. With one cluster and a zero-cost
+///   interconnect this is bit-identical to the flat drive.
 ///
 /// Results are bit-identical for every `GPM_THREADS` value (including the
 /// pool-free serial path) and for every grouping: lanes share no mutable
 /// state, the lane kernel steps each lane through the exact scalar
-/// scoreboard logic, and phase 2's replay order is fully determined by the
-/// logs. The golden hashes in `tests/cmp_equivalence.rs` pin this.
+/// scoreboard logic, phase 2's replay order is fully determined by the
+/// logs, and the interconnect merge sums unsigned counters. The golden
+/// hashes in `tests/cmp_equivalence.rs` and `tests/hier_equivalence.rs`
+/// pin this.
 ///
 /// This is the validation counterpart of
 /// [`TraceCmpSim`](crate::TraceCmpSim), mirroring the paper's full-CMP
 /// Turandot implementation "with time-driven L2 and thread synchronisation".
 #[derive(Debug)]
 pub struct FullCmpSim {
-    groups: Vec<LaneGroup>,
-    shared: SharedL2,
+    drive: Drive,
     power: PowerModel,
     quantum: Micros,
 }
 
 impl FullCmpSim {
-    /// Builds a full-CMP simulation of `combo` with fixed per-core `modes`.
+    /// Builds a flat (single shared L2) full-CMP simulation of `combo`
+    /// with fixed per-core `modes`.
     ///
     /// # Errors
     ///
@@ -281,52 +466,13 @@ impl FullCmpSim {
         power: PowerModel,
         dvfs: DvfsParams,
     ) -> Result<Self> {
-        if modes.len() != combo.cores() {
-            return Err(GpmError::CoreCountMismatch {
-                expected: combo.cores(),
-                actual: modes.len(),
-            });
-        }
-        core_config.validate()?;
-        let shared_config = SharedL2Config {
-            cache: core_config.l2,
-            l2_latency_ns: core_config.memory.l2_latency_ns,
-            memory_latency_ns: core_config.memory.memory_latency_ns,
-            ..SharedL2Config::default()
-        };
-        let cores = combo.cores();
-        let mut streams = Vec::with_capacity(cores);
-        let mut freqs = Vec::with_capacity(cores);
-        let mut accts = Vec::with_capacity(cores);
-        for (i, &bench) in combo.benchmarks().iter().enumerate() {
-            let mode = modes.mode(gpm_types::CoreId::new(i));
-            let freq = dvfs.frequency(mode);
-            // Distinct address bases and seed salts: four mcf instances
-            // must not literally share data.
-            streams.push(
-                bench
-                    .profile()
-                    .stream_with(i as u64 * CORE_ADDR_STRIDE, i as u64)?,
-            );
-            freqs.push(freq);
-            accts.push(LaneAccounting {
-                benchmark: Arc::from(bench.name()),
-                mode,
-                freq,
-                cycles_per_quantum: 0,
-                pending_ns: 0.0,
-                charge_min_ns: shared_config.l2_latency_ns,
-                // Hit latency + memory latency + the M/D/1 wait at the
-                // utilisation cap: the worst latency a replay can report.
-                charge_max_ns: shared_config.l2_latency_ns
-                    + shared_config.memory_latency_ns
-                    + shared_config.service_ns * 0.98 / (2.0 * (1.0 - 0.98)),
-                actual_ns: 0.0,
-                cursor: 0,
-                total: IntervalStats::default(),
-                energy_j: 0.0,
-            });
-        }
+        let CoreSetup {
+            mut streams,
+            freqs,
+            mut accts,
+            shared_config,
+        } = build_cores(combo, modes, core_config, &dvfs, 0.0)?;
+        let cores = freqs.len();
 
         // One group per worker the pool can supply, contiguous and
         // near-equal: with a full pool each group is a single lane (pure
@@ -340,31 +486,92 @@ impl FullCmpSim {
         let mut next = 0usize;
         for g in 0..group_count {
             let len = base + usize::from(g < extra);
-            let mut batch = LaneBatch::new(core_config, &freqs[next..next + len])?;
-            // Each core replays its own generator — no shared tape to stay
-            // close on — so round-robin interleaving buys nothing and only
-            // cycles N lanes' simulated state through the host cache. Run
-            // each lane straight through its quantum instead (chunk size
-            // never affects simulated results).
-            batch.set_chunk_ops(usize::MAX);
-            let acct: Vec<LaneAccounting> = accts.drain(..len).collect();
-            let group_streams: Vec<WorkloadStream> = streams.drain(..len).collect();
-            groups.push(LaneGroup {
-                batch,
-                streams: group_streams,
-                deferred: (0..len)
-                    .map(|_| DeferredL2::new(shared_config.l2_latency_ns))
-                    .collect(),
-                acct,
-                targets: vec![0; len],
-                seg: vec![IntervalStats::default(); len],
-            });
+            groups.push(build_group(
+                core_config,
+                &shared_config,
+                streams.drain(..len).collect(),
+                accts.drain(..len).collect(),
+                &freqs[next..next + len],
+            )?);
             next += len;
         }
 
         Ok(Self {
-            groups,
-            shared: SharedL2::new(shared_config)?,
+            drive: Drive::Flat {
+                groups,
+                shared: SharedL2::new(shared_config)?,
+            },
+            power,
+            quantum: Micros::new(5.0),
+        })
+    }
+
+    /// Builds a cluster-sharded full-CMP simulation: `topology` partitions
+    /// the combo's cores into clusters, each with a private L2 of the
+    /// configured geometry, joined by an [`Interconnect`] with
+    /// `interconnect` timing. One [`LaneGroup`] per cluster maps onto the
+    /// `gpm_par` pool.
+    ///
+    /// A single-cluster topology with [`InterconnectConfig::zero`] is
+    /// bit-identical to [`FullCmpSim::new`] — useful for pinning the
+    /// sharded drive against the flat golden hashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::CoreCountMismatch`] when the topology or the
+    /// modes do not cover the combo, and propagates configuration
+    /// validation failures.
+    pub fn with_topology(
+        combo: &WorkloadCombo,
+        modes: &ModeCombination,
+        core_config: &CoreConfig,
+        power: PowerModel,
+        dvfs: DvfsParams,
+        topology: ClusterTopology,
+        interconnect: InterconnectConfig,
+    ) -> Result<Self> {
+        if topology.cores() != combo.cores() {
+            return Err(GpmError::CoreCountMismatch {
+                expected: combo.cores(),
+                actual: topology.cores(),
+            });
+        }
+        // Worst-case crossing: hop latency + the M/D/1 wait at the
+        // utilisation cap. Zero for a zero-cost interconnect, keeping the
+        // charge bound bit-identical to the flat path's.
+        let miss_extra_max_ns =
+            interconnect.hop_latency_ns + interconnect.service_ns * 0.98 / (2.0 * (1.0 - 0.98));
+        let CoreSetup {
+            mut streams,
+            freqs,
+            mut accts,
+            shared_config,
+        } = build_cores(combo, modes, core_config, &dvfs, miss_extra_max_ns)?;
+
+        let interconnect = Interconnect::new(interconnect)?;
+        let per = topology.cores_per_cluster();
+        let mut clusters = Vec::with_capacity(topology.clusters());
+        for k in 0..topology.clusters() {
+            let range = topology.core_range(k);
+            clusters.push(ClusterLanes {
+                group: build_group(
+                    core_config,
+                    &shared_config,
+                    streams.drain(..per).collect(),
+                    accts.drain(..per).collect(),
+                    &freqs[range],
+                )?,
+                l2: SharedL2::new(shared_config)?,
+                icn_penalty_ns: interconnect.penalty_ns(),
+                quantum_misses: 0,
+            });
+        }
+
+        Ok(Self {
+            drive: Drive::Sharded {
+                clusters,
+                interconnect,
+            },
             power,
             quantum: Micros::new(5.0),
         })
@@ -393,57 +600,132 @@ impl FullCmpSim {
     /// averages.
     ///
     /// Phase 1 of each quantum fans out over the `gpm_par` pool
-    /// (`GPM_THREADS` workers, persistent across quanta); phase 2 replays
-    /// the merged request logs serially. The outcome is bit-identical for
-    /// any thread count.
+    /// (`GPM_THREADS` workers, persistent across quanta); in the flat
+    /// drive phase 2 replays the merged request logs serially, while the
+    /// cluster-sharded drive replays per cluster inside the parallel phase
+    /// and serialises only the interconnect merge. The outcome is
+    /// bit-identical for any thread count.
     pub fn run(&mut self, duration: Micros) -> FullCmpOutcome {
         let quanta = (duration.value() / self.quantum.value()).ceil() as usize;
         let window_ns = self.quantum.value() * 1.0e3;
-        for acct in self.groups.iter_mut().flat_map(|g| g.acct.iter_mut()) {
-            acct.cycles_per_quantum = acct.freq.cycles_in(self.quantum).value();
-            acct.total = IntervalStats::default();
-            acct.energy_j = 0.0;
-        }
+        let power = &self.power;
+        match &mut self.drive {
+            Drive::Flat { groups, shared } => {
+                for acct in groups.iter_mut().flat_map(|g| g.acct.iter_mut()) {
+                    acct.cycles_per_quantum = acct.freq.cycles_in(self.quantum).value();
+                    acct.total = IntervalStats::default();
+                    acct.energy_j = 0.0;
+                }
 
-        if quanta > 0 {
-            let power = &self.power;
-            let shared = &mut self.shared;
-            let mut round = 0usize;
-            gpm_par::run_rounds(
-                &mut self.groups,
-                |_, group| group.step_quantum(power),
-                |view| {
-                    view.with_all(|groups| {
-                        // Contiguous groups flattened in order = core order,
-                        // which the replay tie-break depends on.
-                        let mut lanes: Vec<(&mut DeferredL2, &mut LaneAccounting)> = groups
-                            .iter_mut()
-                            .flat_map(|g| g.deferred.iter_mut().zip(g.acct.iter_mut()))
-                            .collect();
-                        replay_quantum(&mut lanes, shared);
-                    });
-                    shared.end_window(window_ns);
-                    round += 1;
-                    round < quanta
-                },
-            );
-        }
+                if quanta > 0 {
+                    let mut round = 0usize;
+                    gpm_par::run_rounds(
+                        groups,
+                        |_, group| group.step_quantum(power),
+                        |view| {
+                            view.with_all(|groups| {
+                                // Contiguous groups flattened in order = core order,
+                                // which the replay tie-break depends on.
+                                let mut lanes: Vec<(&mut DeferredL2, &mut LaneAccounting)> = groups
+                                    .iter_mut()
+                                    .flat_map(|g| g.deferred.iter_mut().zip(g.acct.iter_mut()))
+                                    .collect();
+                                replay_quantum(&mut lanes, shared, 0.0);
+                            });
+                            shared.end_window(window_ns);
+                            round += 1;
+                            round < quanta
+                        },
+                    );
+                }
 
-        FullCmpOutcome {
-            per_core: self
-                .groups
-                .iter()
-                .flat_map(|g| g.acct.iter().map(LaneAccounting::outcome))
-                .collect(),
-            duration,
-            l2_utilization: self.shared.average_utilization(),
+                FullCmpOutcome {
+                    per_core: groups
+                        .iter()
+                        .flat_map(|g| g.acct.iter().map(LaneAccounting::outcome))
+                        .collect(),
+                    duration,
+                    l2_utilization: shared.average_utilization(),
+                    interconnect_utilization: 0.0,
+                }
+            }
+            Drive::Sharded {
+                clusters,
+                interconnect,
+            } => {
+                for cluster in clusters.iter_mut() {
+                    for acct in cluster.group.acct.iter_mut() {
+                        acct.cycles_per_quantum = acct.freq.cycles_in(self.quantum).value();
+                        acct.total = IntervalStats::default();
+                        acct.energy_j = 0.0;
+                    }
+                    cluster.icn_penalty_ns = interconnect.penalty_ns();
+                    cluster.quantum_misses = 0;
+                }
+
+                if quanta > 0 {
+                    let mut round = 0usize;
+                    gpm_par::run_rounds(
+                        clusters,
+                        |_, cluster| cluster.run_quantum(power, window_ns),
+                        |view| {
+                            view.with_all(|clusters| {
+                                // The only cross-cluster state: summed miss
+                                // traffic (order-independent) and the next
+                                // window's frozen penalty.
+                                let mut misses = 0u64;
+                                for c in clusters.iter() {
+                                    misses += c.quantum_misses;
+                                }
+                                interconnect.note_traffic(misses);
+                                interconnect.end_window(window_ns);
+                                let penalty = interconnect.penalty_ns();
+                                for c in clusters.iter_mut() {
+                                    c.icn_penalty_ns = penalty;
+                                }
+                            });
+                            round += 1;
+                            round < quanta
+                        },
+                    );
+                }
+
+                let cluster_count = clusters.len();
+                FullCmpOutcome {
+                    per_core: clusters
+                        .iter()
+                        .flat_map(|c| c.group.acct.iter().map(LaneAccounting::outcome))
+                        .collect(),
+                    duration,
+                    l2_utilization: clusters
+                        .iter()
+                        .map(|c| c.l2.average_utilization())
+                        .sum::<f64>()
+                        / cluster_count as f64,
+                    interconnect_utilization: interconnect.average_utilization(),
+                }
+            }
         }
     }
 
-    /// The shared L2 (for diagnostics).
+    /// The shared L2 of the flat drive (for diagnostics). `None` for a
+    /// cluster-sharded simulation, which has one private L2 per cluster.
     #[must_use]
-    pub fn shared_l2(&self) -> &SharedL2 {
-        &self.shared
+    pub fn shared_l2(&self) -> Option<&SharedL2> {
+        match &self.drive {
+            Drive::Flat { shared, .. } => Some(shared),
+            Drive::Sharded { .. } => None,
+        }
+    }
+
+    /// The inter-cluster interconnect of the sharded drive (for
+    /// diagnostics). `None` for the flat drive.
+    #[must_use]
+    pub fn interconnect(&self) -> Option<&Interconnect> {
+        match &self.drive {
+            Drive::Flat { .. } => None,
+            Drive::Sharded { interconnect, .. } => Some(interconnect),
+        }
     }
 }
 
@@ -461,8 +743,26 @@ mod tests {
             PowerModel::power4_calibrated(),
             DvfsParams::paper(),
         )
-        .unwrap();
+        .expect("flat sim builds for a valid combo");
         sim.run(Micros::from_millis(ms))
+    }
+
+    fn sharded_sim(
+        combo: &WorkloadCombo,
+        cluster_cores: usize,
+        icn: InterconnectConfig,
+    ) -> FullCmpSim {
+        FullCmpSim::with_topology(
+            combo,
+            &ModeCombination::uniform(combo.cores(), PowerMode::Turbo),
+            &CoreConfig::power4(),
+            PowerModel::power4_calibrated(),
+            DvfsParams::paper(),
+            ClusterTopology::for_cores(combo.cores(), cluster_cores)
+                .expect("combo divides into clusters"),
+            icn,
+        )
+        .expect("sharded sim builds for a valid combo")
     }
 
     #[test]
@@ -473,6 +773,7 @@ mod tests {
         assert!(out.per_core.iter().all(|c| c.instructions > 10_000));
         assert!(out.chip_power().value() > 10.0);
         assert!(out.chip_bips().value() > 0.5);
+        assert_eq!(out.interconnect_utilization, 0.0, "flat has no fabric");
     }
 
     #[test]
@@ -493,11 +794,11 @@ mod tests {
             &CoreConfig::power4(),
             DvfsParams::paper().frequency(PowerMode::Turbo),
         )
-        .unwrap();
+        .expect("POWER4 core config is valid");
         let mut stream = gpm_workloads::SpecBenchmark::Mcf
             .profile()
             .stream_with(0, 0)
-            .unwrap();
+            .expect("mcf stream builds");
         let stats = solo.run_cycles(&mut stream, 1_000_000);
         let solo_bips = stats.bips_at(DvfsParams::paper().frequency(PowerMode::Turbo));
 
@@ -538,7 +839,7 @@ mod tests {
             PowerModel::power4_calibrated(),
             DvfsParams::paper(),
         )
-        .unwrap();
+        .expect("flat sim builds for mixed modes");
         let out = sim.run(Micros::from_millis(0.5));
         assert_eq!(out.per_core[1].mode, PowerMode::Eff2);
         // The Eff2 core burns markedly less power per unit activity.
@@ -558,6 +859,87 @@ mod tests {
     }
 
     #[test]
+    fn topology_core_count_mismatch_rejected() {
+        let err = FullCmpSim::with_topology(
+            &combos::gcc_mesa(),
+            &ModeCombination::uniform(2, PowerMode::Turbo),
+            &CoreConfig::power4(),
+            PowerModel::power4_calibrated(),
+            DvfsParams::paper(),
+            ClusterTopology::for_cores(8, 4).expect("8 divides by 4"),
+            InterconnectConfig::zero(),
+        );
+        assert!(matches!(err, Err(GpmError::CoreCountMismatch { .. })));
+    }
+
+    #[test]
+    fn sharded_single_cluster_zero_interconnect_matches_flat() {
+        // The full golden-hash bit-identity lives in
+        // tests/hier_equivalence.rs; this is the cheap in-crate check that
+        // the degenerate sharded drive is *exactly* the flat drive.
+        let combo = combos::gcc_mesa();
+        let flat = run_combo(&combo, 0.25);
+        let mut sharded = sharded_sim(&combo, combo.cores(), InterconnectConfig::zero());
+        let out = sharded.run(Micros::from_millis(0.25));
+        assert_eq!(out, flat, "K=1 + zero interconnect must be bit-identical");
+    }
+
+    #[test]
+    fn sharded_clusters_cross_interconnect() {
+        // Memory-bound 4-way split into two 2-core clusters: misses cross
+        // the fabric, so the interconnect sees traffic and a non-trivial
+        // hop penalty slows the cores relative to a free interconnect.
+        let combo = combos::mcf_mcf_art_art();
+        let mut free = sharded_sim(&combo, 2, InterconnectConfig::zero());
+        let mut slow = sharded_sim(
+            &combo,
+            2,
+            InterconnectConfig {
+                hop_latency_ns: 200.0,
+                service_ns: 4.0,
+            },
+        );
+        let out_free = free.run(Micros::from_millis(1.0));
+        let out_slow = slow.run(Micros::from_millis(1.0));
+        assert!(
+            out_slow.interconnect_utilization > 0.0,
+            "miss traffic must register on the fabric"
+        );
+        assert!(
+            out_slow.chip_bips().value() < out_free.chip_bips().value(),
+            "a 200 ns hop must cost throughput: {} vs {}",
+            out_slow.chip_bips().value(),
+            out_free.chip_bips().value()
+        );
+    }
+
+    #[test]
+    fn sharded_private_l2_reduces_capacity_contention() {
+        // mcf|mcf|art|art in one 4-core cluster shares a 2 MB L2; split
+        // into two clusters each pair gets a private 2 MB array, so chip
+        // miss counts can only drop (same streams, more total capacity).
+        let combo = combos::mcf_mcf_art_art();
+        let mut one = sharded_sim(&combo, 4, InterconnectConfig::zero());
+        let mut two = sharded_sim(&combo, 2, InterconnectConfig::zero());
+        let misses_one: u64 = one
+            .run(Micros::from_millis(1.0))
+            .per_core
+            .iter()
+            .map(|c| c.l2_misses)
+            .sum();
+        let misses_two: u64 = two
+            .run(Micros::from_millis(1.0))
+            .per_core
+            .iter()
+            .map(|c| c.l2_misses)
+            .sum();
+        assert!(
+            misses_two < misses_one,
+            "private per-cluster L2s must cut misses: {misses_two} vs {misses_one}"
+        );
+    }
+
+    #[test]
     fn invalid_quantum_rejected() {
         let combo = combos::gcc_mesa();
         let modes = ModeCombination::uniform(2, PowerMode::Turbo);
@@ -568,7 +950,7 @@ mod tests {
             PowerModel::power4_calibrated(),
             DvfsParams::paper(),
         )
-        .unwrap();
+        .expect("flat sim builds for a valid combo");
         for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
             assert!(
                 matches!(
@@ -598,7 +980,7 @@ mod tests {
             PowerModel::power4_calibrated(),
             DvfsParams::paper(),
         )
-        .unwrap();
+        .expect("flat sim builds for a valid combo");
         let first = sim.run(Micros::from_millis(0.25));
         let second = sim.run(Micros::from_millis(0.25));
         for (a, b) in first.per_core.iter().zip(&second.per_core) {
@@ -610,5 +992,24 @@ mod tests {
             );
             assert!(b.instructions > 10_000);
         }
+    }
+
+    #[test]
+    fn diagnostics_match_drive_shape() {
+        let combo = combos::gcc_mesa();
+        let modes = ModeCombination::uniform(2, PowerMode::Turbo);
+        let flat = FullCmpSim::new(
+            &combo,
+            &modes,
+            &CoreConfig::power4(),
+            PowerModel::power4_calibrated(),
+            DvfsParams::paper(),
+        )
+        .expect("flat sim builds");
+        assert!(flat.shared_l2().is_some());
+        assert!(flat.interconnect().is_none());
+        let sharded = sharded_sim(&combo, 1, InterconnectConfig::default());
+        assert!(sharded.shared_l2().is_none());
+        assert!(sharded.interconnect().is_some());
     }
 }

@@ -47,6 +47,16 @@ impl L2Bus {
         self.current_queue_ns
     }
 
+    /// Notes `count` accesses in the current window without reading the
+    /// queueing delay — the bulk path used by the inter-cluster
+    /// interconnect, whose per-miss penalty is charged from a read-only
+    /// snapshot during the parallel phase and whose traffic is summed in
+    /// once per window by the serial merge.
+    #[inline]
+    pub fn note_accesses(&mut self, count: u64) {
+        self.window_accesses += count;
+    }
+
     /// Closes the current observation window of `window_ns` wall time: the
     /// window's bus utilisation determines the queueing delay applied to
     /// the next window's accesses.

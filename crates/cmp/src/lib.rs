@@ -43,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cluster;
 mod full_sim;
 mod l2_bus;
 mod params;
 mod shared_l2;
 mod trace_sim;
 
+pub use cluster::{ClusterTopology, Interconnect, InterconnectConfig};
 pub use full_sim::{FullCmpOutcome, FullCmpSim, PerCoreOutcome};
 pub use l2_bus::L2Bus;
 pub use params::{SensorModel, SimParams, TransitionBehavior};

@@ -420,7 +420,9 @@ mod tests {
                 ModeTrace::new(mode, delta, samples)
             })
             .to_vec();
-        Arc::new(BenchmarkTraces::new(name, total, traces).unwrap())
+        Arc::new(
+            BenchmarkTraces::new(name, total, traces).expect("constant traces are well-formed"),
+        )
     }
 
     fn two_core_sim() -> TraceCmpSim {
@@ -428,14 +430,16 @@ mod tests {
             constant_traces("fast", 2_000_000, 2.0, 20.0),
             constant_traces("slow", 2_000_000, 0.5, 12.0),
         ];
-        TraceCmpSim::new(traces, SimParams::default()).unwrap()
+        TraceCmpSim::new(traces, SimParams::default()).expect("two-core sim builds")
     }
 
     #[test]
     fn all_turbo_interval_accounting() {
         let mut sim = two_core_sim();
         let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
-        let out = sim.advance_explore(&turbo).unwrap();
+        let out = sim
+            .advance_explore(&turbo)
+            .expect("first interval advances");
         assert_eq!(out.duration, Micros::new(500.0));
         assert_eq!(out.transition_stall, Micros::ZERO);
         assert!((out.average_chip_power().value() - 32.0).abs() < 1e-6);
@@ -452,9 +456,13 @@ mod tests {
         // Eff2; observe the third (transition-free Eff2 steady state).
         let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
         let eff2 = ModeCombination::uniform(2, PowerMode::Eff2);
-        sim.advance_explore(&turbo).unwrap();
-        sim.advance_explore(&eff2).unwrap();
-        let out = sim.advance_explore(&eff2).unwrap();
+        sim.advance_explore(&turbo)
+            .expect("turbo interval advances");
+        sim.advance_explore(&eff2)
+            .expect("transition interval advances");
+        let out = sim
+            .advance_explore(&eff2)
+            .expect("steady eff2 interval advances");
         assert!((out.average_chip_power().value() - 32.0 * 0.614125).abs() < 1e-6);
         assert!((out.total_bips().value() - 2.5 * 0.85).abs() < 1e-6);
     }
@@ -464,8 +472,11 @@ mod tests {
         let mut sim = two_core_sim();
         let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
         let eff2 = ModeCombination::uniform(2, PowerMode::Eff2);
-        sim.advance_explore(&turbo).unwrap();
-        let out = sim.advance_explore(&eff2).unwrap();
+        sim.advance_explore(&turbo)
+            .expect("turbo interval advances");
+        let out = sim
+            .advance_explore(&eff2)
+            .expect("transition interval advances");
         assert!((out.transition_stall.value() - 19.5).abs() < 1e-9);
         // Throughput is de-rated by roughly explore/(explore + stall)…
         // here the stall eats into the first delta: 19.5/500 of the work.
@@ -492,12 +503,12 @@ mod tests {
             constant_traces("fast", 100_000_000, 2.0, 20.0),
             constant_traces("slow", 100_000_000, 0.5, 12.0),
         ];
-        let mut sim = TraceCmpSim::new(traces, params).unwrap();
+        let mut sim = TraceCmpSim::new(traces, params).expect("overlapped-transition sim builds");
         sim.advance_explore(&ModeCombination::uniform(2, PowerMode::Turbo))
-            .unwrap();
+            .expect("turbo interval advances");
         let out = sim
             .advance_explore(&ModeCombination::uniform(2, PowerMode::Eff2))
-            .unwrap();
+            .expect("transition interval advances");
         assert_eq!(out.transition_stall, Micros::ZERO);
         // Full Eff2 throughput from the first delta: no de-rating at all.
         assert!((out.total_bips().value() - 2.5 * 0.85).abs() < 1e-9);
@@ -509,10 +520,11 @@ mod tests {
             constant_traces("short", 300_000, 2.0, 20.0), // completes in 150 µs
             constant_traces("long", 1_000_000_000, 0.5, 12.0),
         ];
-        let mut sim = TraceCmpSim::new(traces, SimParams::default()).unwrap();
+        let mut sim =
+            TraceCmpSim::new(traces, SimParams::default()).expect("termination sim builds");
         let out = sim
             .advance_explore(&ModeCombination::uniform(2, PowerMode::Turbo))
-            .unwrap();
+            .expect("interval up to completion advances");
         assert!(out.finished);
         assert!(sim.finished());
         // 300k instructions at 2 BIPS = 150 µs = 3 deltas.
@@ -531,10 +543,10 @@ mod tests {
             ..SimParams::default()
         };
         let traces = vec![constant_traces("x", u64::MAX / 2, 1.0, 10.0)];
-        let mut sim = TraceCmpSim::new(traces, params).unwrap();
+        let mut sim = TraceCmpSim::new(traces, params).expect("capped sim builds");
         let out = sim
             .advance_explore(&ModeCombination::uniform(1, PowerMode::Turbo))
-            .unwrap();
+            .expect("capped interval advances");
         assert!(out.finished);
         assert_eq!(out.duration, Micros::new(200.0));
     }
@@ -571,12 +583,19 @@ mod tests {
         let mut sim = two_core_sim();
         let turbo = ModeCombination::uniform(2, PowerMode::Turbo);
         let eff1 = ModeCombination::uniform(2, PowerMode::Eff1);
-        sim.advance_explore(&turbo).unwrap();
-        sim.advance_explore(&eff1).unwrap();
+        sim.advance_explore(&turbo)
+            .expect("turbo interval advances");
+        sim.advance_explore(&eff1).expect("eff1 interval advances");
         let h = sim.history();
         assert_eq!(h.mode_changes.len(), 2);
         assert_eq!(h.mode_changes[1].0, Micros::new(500.0));
-        assert_eq!(h.chip_power.as_ref().unwrap().len(), 20);
+        assert_eq!(
+            h.chip_power
+                .as_ref()
+                .expect("history retains chip power")
+                .len(),
+            20
+        );
         assert_eq!(h.per_core_power.len(), 2);
         assert_eq!(h.per_core_bips[0].len(), 20);
     }
@@ -591,11 +610,13 @@ mod tests {
             ..SimParams::default()
         };
         let traces = vec![constant_traces("x", u64::MAX / 2, 1.0, 10.0)];
-        let mut sim = TraceCmpSim::new(traces, params).unwrap();
+        let mut sim = TraceCmpSim::new(traces, params).expect("noisy-sensor sim builds");
         let turbo = ModeCombination::uniform(1, PowerMode::Turbo);
         let outs: Vec<f64> = (0..8)
             .map(|_| {
-                sim.advance_explore(&turbo).unwrap().observed[0]
+                sim.advance_explore(&turbo)
+                    .expect("noisy interval advances")
+                    .observed[0]
                     .power
                     .value()
             })

@@ -28,6 +28,10 @@
 //! * [`GreedyMaxBips`] — an O(N·modes) incremental search for large core
 //!   counts (our scalability extension; the paper notes the superlinear
 //!   growth of exhaustive exploration).
+//! * [`HierMaxBips`] — the two-level controller for 64–256-way CMPs: a
+//!   global water-filling budget arbiter ([`cluster_budgets`]) over
+//!   per-cluster exact solves that parallelise on the `gpm-par` pool (our
+//!   scalability extension, after "Scaling Turbo Boost to a 1000 cores").
 //! * [`MinPower`] — the paper's stated-but-unanalysed dual problem:
 //!   minimise power subject to a throughput target (our extension).
 //! * [`ThermalGuard`] — wraps any policy with per-core junction-temperature
@@ -78,6 +82,6 @@ pub use matrices::PowerBipsMatrices;
 pub use metrics::{throughput_degradation, weighted_slowdown, weighted_speedup_slowdown};
 pub use policy::solver;
 pub use policy::{
-    ChipWide, Constant, GreedyMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext, Priority,
-    PullHiPushLo, ThermalGuard,
+    cluster_budgets, ChipWide, Constant, GreedyMaxBips, HierMaxBips, MaxBips, MinPower, Oracle,
+    Policy, PolicyContext, Priority, PullHiPushLo, ThermalGuard,
 };

@@ -8,6 +8,7 @@ use crate::PowerBipsMatrices;
 mod chipwide;
 mod constant;
 mod greedy;
+mod hier;
 mod maxbips;
 mod minpower;
 mod oracle;
@@ -19,6 +20,7 @@ mod thermal_guard;
 pub use chipwide::ChipWide;
 pub use constant::Constant;
 pub use greedy::GreedyMaxBips;
+pub use hier::{cluster_budgets, HierMaxBips};
 pub use maxbips::MaxBips;
 pub use minpower::MinPower;
 pub use oracle::Oracle;

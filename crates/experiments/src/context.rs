@@ -5,7 +5,7 @@ use std::sync::{Arc, OnceLock};
 use gpm_cmp::SimParams;
 use gpm_core::{
     evaluate_policy_point, static_oracle, turbo_baseline, ChipWide, CurvePoint, GreedyMaxBips,
-    MaxBips, Oracle, Policy, PolicyCurve, Priority, PullHiPushLo, DEFAULT_BUDGETS,
+    HierMaxBips, MaxBips, Oracle, Policy, PolicyCurve, Priority, PullHiPushLo, DEFAULT_BUDGETS,
 };
 use gpm_trace::{BenchmarkTraces, CaptureConfig, TraceStore};
 use gpm_types::{Result, Watts};
@@ -114,6 +114,7 @@ pub enum PolicyKind {
     ChipWide,
     Oracle,
     GreedyMaxBips,
+    HierMaxBips,
 }
 
 impl PolicyKind {
@@ -127,6 +128,7 @@ impl PolicyKind {
             PolicyKind::ChipWide => Box::new(ChipWide::new()),
             PolicyKind::Oracle => Box::new(Oracle::new()),
             PolicyKind::GreedyMaxBips => Box::new(GreedyMaxBips::new()),
+            PolicyKind::HierMaxBips => Box::new(HierMaxBips::new()),
         }
     }
 
@@ -140,6 +142,7 @@ impl PolicyKind {
             PolicyKind::ChipWide => "ChipWideDVFS",
             PolicyKind::Oracle => "Oracle",
             PolicyKind::GreedyMaxBips => "GreedyMaxBIPS",
+            PolicyKind::HierMaxBips => "HierMaxBIPS",
         }
     }
 }
@@ -269,6 +272,7 @@ mod tests {
             PolicyKind::ChipWide,
             PolicyKind::Oracle,
             PolicyKind::GreedyMaxBips,
+            PolicyKind::HierMaxBips,
         ] {
             assert_eq!(kind.make().name(), kind.name());
         }

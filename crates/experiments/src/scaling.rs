@@ -1,6 +1,7 @@
 //! Figures 8, 9, 10 (2/4/8-way CMP policy curves), Figure 11 (policy
-//! trends under CMP scaling), and the beyond-the-paper wide-CMP tier
-//! (16/32-way MaxBIPS-exact vs GreedyMaxBIPS).
+//! trends under CMP scaling), the beyond-the-paper wide-CMP tier
+//! (16/32-way MaxBIPS-exact vs GreedyMaxBIPS), and the hierarchical tier
+//! (64/128/256-way HierMaxBIPS vs flat-exact-where-tractable vs greedy).
 
 use gpm_types::{GpmError, Result};
 use gpm_workloads::{combos, SpecBenchmark, WorkloadCombo};
@@ -255,17 +256,26 @@ pub struct WideScaling {
 ///
 /// # Errors
 ///
-/// Returns [`GpmError::InvalidConfig`] for counts other than 16 and 32.
+/// Returns [`GpmError::InvalidConfig`] for counts other than 16, 32, 64,
+/// 128 and 256.
 pub fn wide_combo(cores: usize) -> Result<WorkloadCombo> {
     match cores {
         16 => Ok(combos::sixteen_way_mixed()),
         32 => Ok(combos::thirty_two_way_mixed()),
+        64 => Ok(combos::sixty_four_way_mixed()),
+        128 => Ok(combos::one_twenty_eight_way_mixed()),
+        256 => Ok(combos::two_fifty_six_way_mixed()),
         _ => Err(GpmError::InvalidConfig {
             parameter: "cores",
-            reason: format!("wide-CMP tier supports 16 or 32 cores, got {cores}"),
+            reason: format!("wide-CMP tier supports 16, 32, 64, 128 or 256 cores, got {cores}"),
         }),
     }
 }
+
+/// Widest chip the flat exact branch-and-bound is run on in the
+/// hierarchical tier. The solver itself supports up to 80 cores; beyond
+/// 64 only the hierarchical and greedy controllers are compared.
+pub const FLAT_EXACT_LIMIT: usize = 64;
 
 /// Runs the wide-CMP tier at the given core counts (16 and/or 32).
 ///
@@ -355,6 +365,139 @@ impl WideScaling {
     }
 }
 
+/// One budget point of the hierarchical-tier comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HierRow {
+    /// Budget as a fraction of the all-Turbo envelope.
+    pub budget: f64,
+    /// Performance degradation under the flat exact MaxBIPS argmax, when
+    /// tractable ([`FLAT_EXACT_LIMIT`]); `None` at 128/256 cores.
+    pub exact: Option<f64>,
+    /// Performance degradation under the two-level HierMaxBIPS controller.
+    pub hier: f64,
+    /// Performance degradation under the O(N·modes) greedy heuristic.
+    pub greedy: f64,
+}
+
+impl HierRow {
+    /// How much throughput the hierarchical controller gives up against
+    /// the flat exact argmax (positive = hierarchical is worse); `None`
+    /// where flat-exact was not run.
+    #[must_use]
+    pub fn hier_gap(&self) -> Option<f64> {
+        self.exact.map(|e| self.hier - e)
+    }
+}
+
+/// One hierarchical-tier panel: flat-exact (where tractable) vs
+/// hierarchical vs greedy at one core count.
+#[derive(Debug, Clone)]
+pub struct HierPanel {
+    /// Core count (64, 128 or 256).
+    pub cores: usize,
+    /// The combo's `a|b|…` label.
+    pub combo: String,
+    /// One row per budget, lowest budget first.
+    pub rows: Vec<HierRow>,
+}
+
+/// The hierarchical scaling experiment: the two-level HierMaxBIPS
+/// controller against the flat exact argmax (up to [`FLAT_EXACT_LIMIT`]
+/// cores, where the branch-and-bound is still tractable) and the greedy
+/// heuristic, at cluster-CMP core counts.
+#[derive(Debug, Clone)]
+pub struct HierScaling {
+    /// One panel per requested core count, narrowest first.
+    pub panels: Vec<HierPanel>,
+}
+
+/// Runs the hierarchical tier at the given core counts (any of 16–256).
+///
+/// # Errors
+///
+/// Propagates capture and simulation errors; rejects unsupported core
+/// counts.
+pub fn hier(ctx: &ExperimentContext, core_counts: &[usize]) -> Result<HierScaling> {
+    let mut panels = Vec::with_capacity(core_counts.len());
+    for &cores in core_counts {
+        let combo = wide_combo(cores)?;
+        let mut policies = vec![PolicyKind::HierMaxBips, PolicyKind::GreedyMaxBips];
+        if cores <= FLAT_EXACT_LIMIT {
+            policies.insert(0, PolicyKind::MaxBips);
+        }
+        let curves = suite_curves(ctx, &combo, &policies, false)?;
+        let hier = curves
+            .curve("HierMaxBIPS")
+            .expect("HierMaxBIPS curve was requested");
+        let greedy = curves
+            .curve("GreedyMaxBIPS")
+            .expect("GreedyMaxBIPS curve was requested");
+        let exact = curves.curve("MaxBIPS");
+        let rows = hier
+            .points
+            .iter()
+            .zip(&greedy.points)
+            .enumerate()
+            .map(|(i, (h, g))| HierRow {
+                budget: h.budget,
+                exact: exact.map(|e| e.points[i].perf_degradation),
+                hier: h.perf_degradation,
+                greedy: g.perf_degradation,
+            })
+            .collect();
+        panels.push(HierPanel {
+            cores,
+            combo: curves.combo,
+            rows,
+        });
+    }
+    Ok(HierScaling { panels })
+}
+
+impl HierScaling {
+    /// Mean throughput the hierarchical controller gives up against the
+    /// flat exact argmax, across all panels and budgets where flat-exact
+    /// was run.
+    #[must_use]
+    pub fn mean_hier_gap(&self) -> f64 {
+        let gaps: Vec<f64> = self
+            .panels
+            .iter()
+            .flat_map(|p| p.rows.iter().filter_map(HierRow::hier_gap))
+            .collect();
+        if gaps.is_empty() {
+            0.0
+        } else {
+            gaps.iter().sum::<f64>() / gaps.len() as f64
+        }
+    }
+
+    /// Paper-style text rendering: one block per core count.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Hierarchical tier: flat-exact vs HierMaxBIPS vs GreedyMaxBIPS perf degradation\n",
+        );
+        for panel in &self.panels {
+            out.push_str(&format!("\n{}-way\n", panel.cores));
+            out.push_str(&format!(
+                "{:<10}{:>14}{:>14}{:>16}\n",
+                "budget", "MaxBIPS-exact", "HierMaxBIPS", "GreedyMaxBIPS"
+            ));
+            for row in &panel.rows {
+                out.push_str(&format!(
+                    "{:<10}{:>14}{:>14}{:>16}\n",
+                    format!("{:.0}%", row.budget * 100.0),
+                    row.exact.map_or_else(|| "—".to_owned(), pct2),
+                    pct2(row.hier),
+                    pct2(row.greedy),
+                ));
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +570,37 @@ mod tests {
     fn wide_combo_rejects_unsupported_counts() {
         assert!(wide_combo(16).is_ok());
         assert!(wide_combo(32).is_ok());
+        for cores in [64, 128, 256] {
+            assert_eq!(
+                wide_combo(cores).expect("hier tier count").cores(),
+                cores,
+                "{cores}-way combo"
+            );
+        }
         assert!(wide_combo(8).is_err());
+        assert!(wide_combo(48).is_err());
+    }
+
+    #[test]
+    fn hier_16way_tracks_flat_exact() {
+        let ctx = ExperimentContext::fast();
+        let result = hier(&ctx, &[16]).unwrap();
+        assert_eq!(result.panels.len(), 1);
+        let panel = &result.panels[0];
+        assert_eq!(panel.cores, 16);
+        assert_eq!(panel.rows.len(), ctx.budgets().len());
+        for row in &panel.rows {
+            let gap = row.hier_gap().expect("flat-exact runs at 16 cores");
+            // The partitioned controller may give up a little throughput
+            // against the flat argmax, but must stay close — and must not
+            // somehow beat it by more than feedback noise.
+            assert!(
+                (-0.01..=0.05).contains(&gap),
+                "hier gap {gap} at budget {}",
+                row.budget
+            );
+        }
+        assert!(result.render().contains("16-way"));
+        assert!(result.mean_hier_gap().abs() <= 0.05);
     }
 }

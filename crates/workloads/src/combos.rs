@@ -184,6 +184,30 @@ pub fn thirty_two_way_mixed() -> WorkloadCombo {
     sixteen.concat(&sixteen)
 }
 
+/// 64-way cluster-CMP combination: the 32-way workload doubled. Beyond the
+/// flat exact solver's comfortable range — the tier where the hierarchical
+/// (cluster-sharded) simulator and controller take over.
+#[must_use]
+pub fn sixty_four_way_mixed() -> WorkloadCombo {
+    let thirty_two = thirty_two_way_mixed();
+    thirty_two.concat(&thirty_two)
+}
+
+/// 128-way cluster-CMP combination: the 64-way workload doubled.
+#[must_use]
+pub fn one_twenty_eight_way_mixed() -> WorkloadCombo {
+    let sixty_four = sixty_four_way_mixed();
+    sixty_four.concat(&sixty_four)
+}
+
+/// 256-way cluster-CMP combination: the 128-way workload doubled — the
+/// widest configuration the hierarchical tier targets.
+#[must_use]
+pub fn two_fifty_six_way_mixed() -> WorkloadCombo {
+    let octo = one_twenty_eight_way_mixed();
+    octo.concat(&octo)
+}
+
 /// The four 2-way combinations of Table 2 (Figure 8, panels a–d).
 #[must_use]
 pub fn two_way_suite() -> Vec<WorkloadCombo> {
@@ -272,5 +296,18 @@ mod tests {
         assert_eq!(thirty_two.cores(), 32);
         assert_eq!(&thirty_two.benchmarks()[..16], sixteen.benchmarks());
         assert_eq!(&thirty_two.benchmarks()[16..], sixteen.benchmarks());
+    }
+
+    #[test]
+    fn hier_combos_cover_64_through_256_cores() {
+        let thirty_two = thirty_two_way_mixed();
+        let sixty_four = sixty_four_way_mixed();
+        assert_eq!(sixty_four.cores(), 64);
+        assert_eq!(&sixty_four.benchmarks()[..32], thirty_two.benchmarks());
+        assert_eq!(&sixty_four.benchmarks()[32..], thirty_two.benchmarks());
+        assert_eq!(one_twenty_eight_way_mixed().cores(), 128);
+        let wide = two_fifty_six_way_mixed();
+        assert_eq!(wide.cores(), 256);
+        assert_eq!(&wide.benchmarks()[..64], sixty_four.benchmarks());
     }
 }

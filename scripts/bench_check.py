@@ -7,14 +7,21 @@ regression against that row's recorded baseline). The floor matches the
 measured round-to-round noise of the benchmark host (~±10%, best-of-N
 recorded): a best-of ratio under 0.95 is a real regression, not noise.
 
+It also fails if any REQUIRED_PATHS row is missing: load-bearing rows
+(the wide-CMP sharding comparison, the 256-way hierarchical decide
+latency) must not silently drop out of the record when the harness or the
+JSON is reorganised.
+
 Usage:
     scripts/bench_check.py [--floor 0.95] [--file BENCH_sim_throughput.json]
 
-The check is structural, not positional: every object anywhere in the
-JSON document with a ``speedup`` key is gated, so new measurement sections
-are covered automatically. Rows document themselves via their JSON path.
+The speedup check is structural, not positional: every object anywhere in
+the JSON document with a ``speedup`` key is gated, so new measurement
+sections are covered automatically. Rows document themselves via their
+JSON path.
 
-Exit status: 0 when all speedups clear the floor, 1 otherwise.
+Exit status: 0 when all required rows are present and all speedups clear
+the floor, 1 otherwise.
 """
 
 from __future__ import annotations
@@ -23,6 +30,35 @@ import argparse
 import json
 import pathlib
 import sys
+
+
+# Dotted JSON paths that must resolve to a number in the record. These are
+# the rows later PRs' gates reason about; losing one silently would turn the
+# trajectory file into noise.
+REQUIRED_PATHS = (
+    "simulated_mips.cmp_full_8way_mixed.speedup",
+    "simulated_mips.cmp_full_64way.speedup",
+    "policy_decide_latency.micros_per_decide.policy_decide_32way_exact",
+    "policy_decide_latency.micros_per_decide.policy_decide_256way_hier",
+)
+
+
+def resolve(document, dotted):
+    """Follows a dotted key path through nested dicts; None when absent."""
+    node = document
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def missing_required(document):
+    """Yields every REQUIRED_PATHS entry absent or non-numeric."""
+    for dotted in REQUIRED_PATHS:
+        value = resolve(document, dotted)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            yield dotted
 
 
 def walk_speedups(node, path=""):
@@ -62,6 +98,10 @@ def main() -> int:
         print(f"bench_check: cannot read {args.file}: {err}", file=sys.stderr)
         return 1
 
+    absent = list(missing_required(document))
+    for dotted in absent:
+        print(f"bench_check: required row missing or non-numeric: {dotted}")
+
     rows = list(walk_speedups(document))
     if not rows:
         print(f"bench_check: no 'speedup' rows found in {args.file}", file=sys.stderr)
@@ -71,10 +111,11 @@ def main() -> int:
     for path, value in failures:
         print(f"bench_check: {path}: speedup {value} < floor {args.floor}")
     print(
-        f"bench_check: {len(rows) - len(failures)}/{len(rows)} rows at or above "
-        f"{args.floor} in {args.file.name}"
+        f"bench_check: {len(REQUIRED_PATHS) - len(absent)}/{len(REQUIRED_PATHS)} "
+        f"required rows present; {len(rows) - len(failures)}/{len(rows)} speedups "
+        f"at or above {args.floor} in {args.file.name}"
     )
-    return 1 if failures else 0
+    return 1 if failures or absent else 0
 
 
 if __name__ == "__main__":

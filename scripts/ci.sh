@@ -54,10 +54,26 @@ GPM_THREADS=1 cargo test --quiet --test step_equivalence
 GPM_THREADS=8 cargo test --quiet --test step_equivalence
 cargo clippy -p gpm-microarch --all-targets -- -D warnings
 
+# The cluster-sharded drive promises K=1/zero-interconnect bit-identity
+# with the flat path and a scheduling-independent 64-way golden hash;
+# run the hierarchical equivalence group (flat goldens, 64-way sharded
+# golden across thread counts, arbiter conservation proptest) under a
+# serial and a saturated pool, and lint the simulator crate at
+# zero-warning strictness.
+echo "==> hierarchical tier: hier_equivalence under two pool widths + clippy -D warnings"
+GPM_THREADS=1 cargo test --quiet --test hier_equivalence
+GPM_THREADS=8 cargo test --quiet --test hier_equivalence
+cargo clippy -p gpm-cmp --all-targets -- -D warnings
+
 # 16-way wide-CMP smoke: the scaling tier must keep running end to end
 # from the CLI (exact MaxBIPS vs greedy on a 3^16 search space).
 echo "==> gpm figure wide --cores 16 --fast"
 cargo run --release --quiet -p gpm-cli -- figure wide --cores 16 --fast > /dev/null
+
+# 64-way hierarchical smoke: the cluster-sharded drive plus the two-level
+# HierMaxBips must keep running end to end from the CLI.
+echo "==> gpm figure wide --cores 64 --fast"
+cargo run --release --quiet -p gpm-cli -- figure wide --cores 64 --fast > /dev/null
 
 # Smoke-run the throughput baseline (including the full-CMP two-phase
 # cases, the lane-batched vs scalar capture-engine cases and the
@@ -69,8 +85,10 @@ GPM_BENCH_QUICK=1 cargo bench -p gpm-bench --bench sim_throughput
 
 # Gate the recorded benchmark trajectory: any before/after speedup row
 # in BENCH_sim_throughput.json below 0.95 (a >5% regression against its
-# recorded baseline, beyond best-of-N noise) fails CI. Tune with
-# --floor; see the methodology block in that file.
+# recorded baseline, beyond best-of-N noise) fails CI, as does a missing
+# required row (the 64-way sharding comparison, the 256-way hierarchical
+# decide latency). Tune with --floor; see the methodology block in that
+# file.
 echo "==> scripts/bench_check.py"
 python3 scripts/bench_check.py
 
