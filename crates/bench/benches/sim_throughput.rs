@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use gpm_cmp::{ClusterTopology, FullCmpSim, InterconnectConfig, SimParams, TraceCmpSim};
 use gpm_core::{
-    solver, BudgetSchedule, GlobalManager, GreedyMaxBips, HierMaxBips, MaxBips, Policy,
-    PolicyContext, PowerBipsMatrices, RunOptions,
+    solver, BudgetSchedule, CacheConfig, DecisionCache, GlobalManager, GreedyMaxBips, HierMaxBips,
+    MaxBips, Policy, PolicyContext, PowerBipsMatrices, RunOptions,
 };
 use gpm_microarch::{CoreConfig, CoreModel};
 use gpm_power::{DvfsParams, PowerModel};
@@ -349,6 +349,17 @@ fn policy_decides(rounds: usize, inner: usize) -> Vec<DecideMeasurement> {
             }),
         ));
     }
+    {
+        // The memoized hit path on the same 8-way problem the exact row
+        // solves: the first (warm-up round) call misses and populates the
+        // cache, every timed call is key construction + LRU lookup.
+        let (m, cur, budget) = &fixtures[0];
+        let mut cache = DecisionCache::new(CacheConfig::default()).expect("default config valid");
+        cases.push((
+            "policy_decide_8way_cached",
+            Box::new(move || cache.solve(m, cur, *budget, &dvfs, explore)),
+        ));
+    }
 
     let mut best = vec![f64::INFINITY; cases.len()];
     for round in 0..=rounds {
@@ -424,6 +435,11 @@ fn main() {
     let (decide_rounds, decide_inner) = if quick { (2, 20) } else { (5, 200) };
     let decides = policy_decides(decide_rounds, decide_inner);
 
+    // Fleet saturating load: phase-replaying nodes against one engine,
+    // measured at steady state (warm epoch excluded inside `run`).
+    let (fleet_nodes, fleet_ticks) = if quick { (1_000, 4) } else { (10_000, 12) };
+    let fleet = gpm_experiments::fleet::run(fleet_nodes, fleet_ticks).expect("fleet run");
+
     let by_name = |name: &str| {
         measurements
             .iter()
@@ -458,6 +474,32 @@ fn main() {
         println!("lane-batched capture speedup over scalar ({batched}): {ratio:.2}x");
         let _ = writeln!(json, "  \"{batched}_engine_speedup\": {ratio:.2},");
     }
+
+    let cached = decides
+        .iter()
+        .find(|d| d.name == "policy_decide_8way_cached")
+        .expect("measured above");
+    let cached_speedup = decides[1].micros_per_decide / cached.micros_per_decide;
+    println!(
+        "8-way cached hit path {:.3} us = {cached_speedup:.1}x over the exact solve",
+        cached.micros_per_decide
+    );
+    let _ = writeln!(
+        json,
+        "  \"decide_8way_cached_speedup\": {cached_speedup:.2},"
+    );
+    println!(
+        "fleet_decisions_{}k_nodes      {:>9.0} decisions/s  hit rate {:.1}%",
+        fleet_nodes / 1000,
+        fleet.decisions_per_sec,
+        100.0 * fleet.hit_rate()
+    );
+    let _ = writeln!(
+        json,
+        "  \"fleet_decisions_per_sec\": {:.0},\n  \"fleet_hit_rate\": {:.4},",
+        fleet.decisions_per_sec,
+        fleet.hit_rate()
+    );
 
     let speedup = decides[0].micros_per_decide / decides[1].micros_per_decide;
     println!("8-way exact solver speedup over the exhaustive scan: {speedup:.1}x");

@@ -100,6 +100,9 @@ pub enum Command {
         /// (`--cores 16|32|64|128|256`; `None` runs each tier's default
         /// widths).
         cores: Option<usize>,
+        /// Fleet size for the `fleet` saturating-load tier
+        /// (`--nodes N`; `None` = 10 000 nodes).
+        nodes: Option<usize>,
     },
     /// List benchmarks, combos, policies and experiments.
     List,
@@ -120,7 +123,7 @@ pub enum PolicySpec {
 
 impl PolicySpec {
     /// Parses `maxbips`, `priority`, `pullhipushlo`, `chipwide`, `oracle`,
-    /// `greedy`, `hier`, `static`, or `minpower:<target>`.
+    /// `greedy`, `hier`, `cached`, `static`, or `minpower:<target>`.
     ///
     /// # Errors
     ///
@@ -142,6 +145,7 @@ impl PolicySpec {
             "oracle" => PolicySpec::Kind(PolicyKind::Oracle),
             "greedy" | "greedymaxbips" => PolicySpec::Kind(PolicyKind::GreedyMaxBips),
             "hier" | "hiermaxbips" => PolicySpec::Kind(PolicyKind::HierMaxBips),
+            "cached" | "cachedmaxbips" => PolicySpec::Kind(PolicyKind::CachedMaxBips),
             "static" => PolicySpec::Static,
             _ => {
                 return Err(GpmError::InvalidConfig {
@@ -225,6 +229,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
     let mut budgets = None;
     let mut threads = None;
     let mut cores = None;
+    let mut nodes = None;
     let mut fast = false;
     let mut json = false;
     let mut faults: Option<FaultPlan> = None;
@@ -292,6 +297,16 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                     })?;
                 cores = Some(n);
             }
+            "--nodes" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--nodes needs a value".into()))?;
+                let n =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        bad(format!("bad node count `{v}` (need an integer ≥ 1)"))
+                    })?;
+                nodes = Some(n);
+            }
             "--no-guards" => no_guards = true,
             "--faults" => {
                 let v = args
@@ -350,7 +365,12 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                 .first()
                 .cloned()
                 .ok_or_else(|| bad("figure needs an experiment name (e.g. fig4)".into()))?;
-            Command::Figure { name, fast, cores }
+            Command::Figure {
+                name,
+                fast,
+                cores,
+                nodes,
+            }
         }
         "list" => Command::List,
         "help" | "--help" | "-h" => Command::Help,
@@ -366,12 +386,14 @@ USAGE:
   gpm run    [--combo \"a|b|c\"] [--policy NAME] [--budget F] [--json] [--fast]
              [--faults SPEC] [--fault-seed N] [--no-guards]
   gpm sweep  [--combo \"a|b|c\"] [--policies a,b,c] [--budgets lo:hi:step] [--fast]
-  gpm figure NAME [--fast] [--cores 16|32|64|128|256]
+  gpm figure NAME [--fast] [--cores 16|32|64|128|256] [--nodes N]
                                 regenerate a paper experiment (see `gpm list`);
                                 --cores picks one CMP width for the `wide`
                                 scaling tier (default 16 and 32; 64/128/256
                                 route to the hierarchical tier) or for the
-                                `hier` tier (default 64, 128 and 256)
+                                `hier` tier (default 64, 128 and 256);
+                                --nodes sizes the `fleet` saturating-load
+                                tier (default 10000 simulated CMP nodes)
   gpm list                      benchmarks, combos, policies, experiments
   gpm help
 
@@ -381,7 +403,8 @@ GLOBAL OPTIONS:
                  count; results are identical for any value)
 
 POLICIES: maxbips, priority, pullhipushlo, chipwide, oracle, greedy, hier,
-          minpower:<target>, static (sweep only)
+          cached (MaxBIPS behind the decision cache), minpower:<target>,
+          static (sweep only)
 
 FAULTS:   SPEC is `kind[@cores][:key=val,...]` clauses joined by `;`.
           Kinds: noise (std=F), bias (factor=F), stale (lag=N),
@@ -425,7 +448,12 @@ pub fn execute(command: Command) -> Result<String> {
             budgets,
             fast,
         } => run_sweep(&combo, &policies, &budgets, fast),
-        Command::Figure { name, fast, cores } => run_figure(&name, fast, cores),
+        Command::Figure {
+            name,
+            fast,
+            cores,
+            nodes,
+        } => run_figure(&name, fast, cores, nodes),
     }
 }
 
@@ -454,15 +482,15 @@ fn list_text() -> String {
     );
     out.push_str(
         "\npolicies: maxbips priority pullhipushlo chipwide oracle greedy hier \
-         minpower:<t> static\n",
+         cached minpower:<t> static\n",
     );
     out.push_str(
         "\nexperiments: table3 table4 table5 fig2 fig3 fig4 fig5 fig6 fig6_faulted fig7\n",
     );
     out.push_str(
-        "             fig8 fig9 fig10 fig11 wide hier validation prediction minpower thermal\n",
+        "             fig8 fig9 fig10 fig11 wide hier fleet validation prediction minpower\n",
     );
-    out.push_str("             transition\n");
+    out.push_str("             thermal transition\n");
     out
 }
 
@@ -552,6 +580,18 @@ fn run_one(
             run.longest_violation_run(),
         );
     }
+    let cc = run.cache_counters;
+    if cc.decisions_total > 0 {
+        let _ = writeln!(
+            out,
+            "  cache: {} decisions  {} hits ({:.0}%)  {} dedup  solver µs saved {:.0}",
+            cc.decisions_total,
+            cc.cache_hits,
+            cc.hit_rate() * 100.0,
+            cc.dedup_hits,
+            cc.solver_us_saved,
+        );
+    }
     Ok(out)
 }
 
@@ -602,7 +642,12 @@ fn run_sweep(
     Ok(out)
 }
 
-fn run_figure(name: &str, fast: bool, cores: Option<usize>) -> Result<String> {
+fn run_figure(
+    name: &str,
+    fast: bool,
+    cores: Option<usize>,
+    nodes: Option<usize>,
+) -> Result<String> {
     use gpm_experiments as exp;
     let ctx = context(fast);
     let unknown = || GpmError::InvalidConfig {
@@ -636,6 +681,10 @@ fn run_figure(name: &str, fast: bool, cores: Option<usize>) -> Result<String> {
         "hier" => {
             let widths = cores.map_or_else(|| vec![64, 128, 256], |c| vec![c]);
             exp::scaling::hier(&ctx, &widths)?.render()
+        }
+        "fleet" => {
+            let ticks = if fast { 4 } else { 12 };
+            exp::fleet::run(nodes.unwrap_or(10_000), ticks)?.render()
         }
         "validation" => exp::validation::render_trace_vs_full(&exp::validation::run_trace_vs_full(
             &ctx,
@@ -704,7 +753,7 @@ mod tests {
     fn parses_figure_and_list_and_help() {
         assert!(matches!(
             parse("figure fig4 --fast").unwrap(),
-            Command::Figure { ref name, fast: true, cores: None } if name == "fig4"
+            Command::Figure { ref name, fast: true, cores: None, nodes: None } if name == "fig4"
         ));
         assert_eq!(parse("list").unwrap(), Command::List);
         assert_eq!(parse("help").unwrap(), Command::Help);
@@ -715,7 +764,7 @@ mod tests {
     fn parses_cores_flag() {
         assert!(matches!(
             parse("figure wide --cores 16 --fast").unwrap(),
-            Command::Figure { ref name, fast: true, cores: Some(16) } if name == "wide"
+            Command::Figure { ref name, fast: true, cores: Some(16), .. } if name == "wide"
         ));
         assert!(matches!(
             parse("figure wide --cores 32").unwrap(),
@@ -738,6 +787,53 @@ mod tests {
         assert!(parse("figure wide --cores 512").is_err());
         assert!(parse("figure wide --cores lots").is_err());
         assert!(parse("figure wide --cores").is_err());
+    }
+
+    #[test]
+    fn parses_nodes_flag_and_cached_policy() {
+        assert!(matches!(
+            parse("figure fleet --nodes 64 --fast").unwrap(),
+            Command::Figure { ref name, fast: true, cores: None, nodes: Some(64) }
+                if name == "fleet"
+        ));
+        assert!(matches!(
+            parse("figure fleet").unwrap(),
+            Command::Figure { nodes: None, .. }
+        ));
+        assert!(parse("figure fleet --nodes 0").is_err());
+        assert!(parse("figure fleet --nodes many").is_err());
+        assert!(parse("figure fleet --nodes").is_err());
+        for spec in ["cached", "CachedMaxBIPS"] {
+            assert_eq!(
+                PolicySpec::parse(spec).unwrap(),
+                PolicySpec::Kind(PolicyKind::CachedMaxBips)
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_figure_reports_steady_state_hits() {
+        let out = run_figure("fleet", true, None, Some(64)).unwrap();
+        assert!(out.contains("64 nodes x 4 ticks"), "{out}");
+        assert!(out.contains("hit rate"), "{out}");
+        assert!(out.contains("100.0%"), "{out}");
+    }
+
+    #[test]
+    fn cached_run_prints_cache_summary() {
+        let out = execute(Command::Run {
+            combo: combos::art_mcf(),
+            policy: PolicySpec::Kind(PolicyKind::CachedMaxBips),
+            budget: 0.8,
+            json: false,
+            fast: true,
+            faults: None,
+            no_guards: false,
+        })
+        .unwrap();
+        assert!(out.contains("CachedMaxBIPS"), "{out}");
+        assert!(out.contains("cache:"), "{out}");
+        assert!(out.contains("decisions"), "{out}");
     }
 
     #[test]
@@ -783,10 +879,10 @@ mod tests {
     #[test]
     fn static_tables_execute_without_captures() {
         for name in ["table3", "table4", "table5"] {
-            let out = run_figure(name, true, None).unwrap();
+            let out = run_figure(name, true, None, None).unwrap();
             assert!(out.contains("Table"), "{name}: {out}");
         }
-        assert!(run_figure("nope", true, None).is_err());
+        assert!(run_figure("nope", true, None, None).is_err());
     }
 
     #[test]

@@ -1,0 +1,559 @@
+//! The fleet-mode decision engine: batched, memoized mode decisions for
+//! thousands of simulated CMP nodes per tick.
+//!
+//! A rack-scale deployment runs one global manager *service* instead of one
+//! controller per chip: every tick, each node reports its predictive
+//! Power/BIPS matrices and the service returns next-interval mode vectors
+//! for all of them. [`FleetEngine`] is that service's decision core:
+//!
+//! 1. **Ingest + guard rails.** Telemetry enters through a bounded tick
+//!    queue ([`FleetEngine::submit`]; overflow is rejected and counted as
+//!    backpressure). At tick processing, each report's age is classified
+//!    with the `gpm-faults` freshness vocabulary ([`SensorStatus`]): fresh
+//!    and tolerably-stale reports are decided, anything older is dropped —
+//!    a stale mode vector applied to a drifted phase is worse than letting
+//!    the node hold its current modes.
+//! 2. **Within-tick dedup.** Reports are canonicalized to
+//!    [`QuantizedKey`]s; identical problems collapse onto one leader per
+//!    tick (first occurrence wins), so a phase-aligned fleet costs one
+//!    solve for thousands of nodes.
+//! 3. **Memoized solve.** Leaders probe the cross-tick [`DecisionCache`];
+//!    residual misses fan out over the `gpm_par` pool — the flat exact
+//!    branch-and-bound up to [`FleetConfig::flat_core_limit`] cores,
+//!    [`HierMaxBips`] above — and are inserted back serially in miss
+//!    order, which keeps the cache's LRU state (and therefore every later
+//!    decision) independent of the pool width.
+//!
+//! With exact keying (the default quanta) the emitted decisions are
+//! bit-identical to solving every accepted report individually.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use gpm_faults::SensorStatus;
+use gpm_power::DvfsParams;
+use gpm_types::{GpmError, Micros, ModeCombination, QuantizedKey, Result, Watts};
+
+use crate::policy::{solver, CacheConfig, HierMaxBips, Policy, PolicyContext};
+use crate::{DecisionCache, PowerBipsMatrices};
+
+/// Configuration for a [`FleetEngine`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Cross-tick decision cache settings (capacity, quanta, verify mode).
+    pub cache: CacheConfig,
+    /// Bound on telemetry queued between ticks; submissions beyond it are
+    /// rejected (backpressure). Must be at least 1.
+    pub queue_capacity: usize,
+    /// Maximum telemetry age, in ticks, still decided rather than dropped
+    /// (0 = fresh-only).
+    pub stale_tolerance: usize,
+    /// Largest core count solved by the flat exact branch-and-bound;
+    /// wider nodes use [`HierMaxBips`]. Must be at least 1.
+    pub flat_core_limit: usize,
+    /// Cluster width for the hierarchical solver on wide nodes.
+    pub cluster_cores: usize,
+    /// DVFS operating points assumed for every node (homogeneous fleet).
+    pub dvfs: DvfsParams,
+    /// Explore-interval length assumed for transition de-rating.
+    pub explore: Micros,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            cache: CacheConfig::default(),
+            queue_capacity: 16_384,
+            stale_tolerance: 1,
+            flat_core_limit: 32,
+            cluster_cores: 8,
+            dvfs: DvfsParams::paper(),
+            explore: Micros::new(500.0),
+        }
+    }
+}
+
+/// One node's per-tick report to the fleet engine.
+#[derive(Debug, Clone)]
+pub struct NodeTelemetry {
+    /// Stable node identifier, echoed on the decision.
+    pub node: u64,
+    /// Tick the enclosed observations were taken at.
+    pub tick: u64,
+    /// The node's predictive Power/BIPS matrices for the next interval.
+    pub matrices: PowerBipsMatrices,
+    /// Modes the node's cores currently run in.
+    pub current: ModeCombination,
+    /// The node's chip power budget.
+    pub budget: Watts,
+}
+
+/// The engine's answer for one accepted report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeDecision {
+    /// Node the decision is for.
+    pub node: u64,
+    /// Tick the decision was made at.
+    pub tick: u64,
+    /// Mode assignment for the node's next interval.
+    pub modes: ModeCombination,
+}
+
+/// Cumulative fleet-engine accounting.
+///
+/// Invariant: `decisions_total == cache_hits + dedup_hits + unique_solves`
+/// (dropped and rejected reports never become decisions).
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetStats {
+    /// Decisions emitted in total.
+    pub decisions_total: u64,
+    /// Tick-group leaders answered by the cross-tick cache.
+    pub cache_hits: u64,
+    /// Decisions answered by within-tick deduplication (group followers).
+    pub dedup_hits: u64,
+    /// Decisions that ran the solver.
+    pub unique_solves: u64,
+    /// Reports dropped for exceeding the staleness tolerance.
+    pub dropped_stale: u64,
+    /// Submissions rejected by the bounded tick queue.
+    pub rejected_backpressure: u64,
+    /// Measured microseconds spent in the solver.
+    pub solver_us_spent: f64,
+    /// Estimated solver microseconds avoided (hits × mean solve time).
+    pub solver_us_saved: f64,
+}
+
+impl FleetStats {
+    /// Fraction of decisions answered without running the solver.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.decisions_total == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.dedup_hits) as f64 / self.decisions_total as f64
+        }
+    }
+}
+
+/// The batched, memoized decision engine (see the module docs for the
+/// tick protocol).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_core::{FleetConfig, FleetEngine, NodeTelemetry, PowerBipsMatrices};
+/// use gpm_types::{ModeCombination, PowerMode, Watts};
+///
+/// let mut engine = FleetEngine::new(FleetConfig::default())?;
+/// for node in 0..4 {
+///     engine.submit(NodeTelemetry {
+///         node,
+///         tick: 0,
+///         matrices: PowerBipsMatrices::from_rows(
+///             vec![[20.0, 12.0, 7.0], [18.0, 11.0, 6.5]],
+///             vec![[2.0, 1.7, 1.4], [1.5, 1.3, 1.1]],
+///         ),
+///         current: ModeCombination::uniform(2, PowerMode::Turbo),
+///         budget: Watts::new(30.0),
+///     });
+/// }
+/// let decisions = engine.run_tick(0);
+/// assert_eq!(decisions.len(), 4);
+/// // Four identical problems cost one solve.
+/// assert_eq!(engine.stats().unique_solves, 1);
+/// assert_eq!(engine.stats().dedup_hits, 3);
+/// # Ok::<(), gpm_types::GpmError>(())
+/// ```
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: FleetConfig,
+    cache: DecisionCache,
+    queue: Vec<NodeTelemetry>,
+    stats: FleetStats,
+}
+
+impl FleetEngine {
+    /// Creates an engine, validating every config bound.
+    pub fn new(config: FleetConfig) -> Result<Self> {
+        if config.queue_capacity == 0 {
+            return Err(GpmError::InvalidConfig {
+                parameter: "fleet.queue_capacity",
+                reason: "tick queue must hold at least one report".into(),
+            });
+        }
+        if config.flat_core_limit == 0 {
+            return Err(GpmError::InvalidConfig {
+                parameter: "fleet.flat_core_limit",
+                reason: "flat solver limit must be at least 1".into(),
+            });
+        }
+        // Validates cluster_cores (and pre-flights the wide-node path).
+        HierMaxBips::with_cluster_cores(config.cluster_cores)?;
+        let cache = DecisionCache::new(config.cache.clone())?;
+        Ok(Self {
+            cache,
+            queue: Vec::new(),
+            stats: FleetStats::default(),
+            config,
+        })
+    }
+
+    /// The configuration the engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Cumulative accounting across all ticks so far.
+    #[must_use]
+    pub fn stats(&self) -> FleetStats {
+        self.stats
+    }
+
+    /// The cross-tick decision cache (length, counters).
+    #[must_use]
+    pub fn cache(&self) -> &DecisionCache {
+        &self.cache
+    }
+
+    /// Reports currently queued for the next tick.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Enqueues one report for the next [`run_tick`](Self::run_tick).
+    /// Returns `false` (and counts backpressure) when the tick queue is
+    /// full — the caller should retry next tick.
+    pub fn submit(&mut self, telemetry: NodeTelemetry) -> bool {
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.rejected_backpressure += 1;
+            return false;
+        }
+        self.queue.push(telemetry);
+        true
+    }
+
+    /// Classifies a report's age against the staleness tolerance, in the
+    /// `gpm-faults` freshness vocabulary: beyond-tolerance telemetry is
+    /// treated like a dark sensor for this tick.
+    fn freshness(&self, now: u64, report_tick: u64) -> SensorStatus {
+        let age = now.saturating_sub(report_tick) as usize;
+        if age == 0 {
+            SensorStatus::Fresh
+        } else if age <= self.config.stale_tolerance {
+            SensorStatus::Stale { age }
+        } else {
+            SensorStatus::Dark
+        }
+    }
+
+    /// Drains the tick queue and decides every accepted report, in
+    /// submission order. `now` is the current tick, used for stale-drop.
+    pub fn run_tick(&mut self, now: u64) -> Vec<NodeDecision> {
+        let batch = std::mem::take(&mut self.queue);
+        let mut accepted = Vec::with_capacity(batch.len());
+        for report in batch {
+            match self.freshness(now, report.tick) {
+                SensorStatus::Fresh | SensorStatus::Stale { .. } => accepted.push(report),
+                SensorStatus::Dark => self.stats.dropped_stale += 1,
+            }
+        }
+        self.stats.decisions_total += accepted.len() as u64;
+
+        // Within-tick dedup: group by canonical key, first occurrence
+        // leads. Group order (= first-occurrence order) drives every
+        // later cache access, so nothing depends on hash iteration order.
+        let mut index: HashMap<QuantizedKey, usize> = HashMap::new();
+        let mut groups: Vec<(QuantizedKey, Vec<usize>)> = Vec::new();
+        for (i, report) in accepted.iter().enumerate() {
+            let key = self.cache.key(
+                &report.matrices,
+                &report.current,
+                report.budget,
+                &self.config.dvfs,
+                self.config.explore,
+            );
+            match index.entry(key.clone()) {
+                Entry::Occupied(entry) => groups[*entry.get()].1.push(i),
+                Entry::Vacant(entry) => {
+                    entry.insert(groups.len());
+                    groups.push((key, vec![i]));
+                }
+            }
+        }
+
+        // Leaders probe the cross-tick cache serially, in group order.
+        let mut results: Vec<Option<ModeCombination>> = vec![None; accepted.len()];
+        let mut avoided_this_tick: u64 = 0;
+        let mut misses: Vec<usize> = Vec::new();
+        for (g, (key, members)) in groups.iter().enumerate() {
+            self.stats.dedup_hits += members.len() as u64 - 1;
+            if let Some(combo) = self.cache.get(key) {
+                self.stats.cache_hits += 1;
+                avoided_this_tick += members.len() as u64;
+                if self.config.cache.verify_hits {
+                    let leader = &accepted[members[0]];
+                    let fresh = self.solve_one(leader);
+                    assert_eq!(
+                        combo, fresh,
+                        "fleet cache hit diverged from a fresh solve; \
+                         quantization is too coarse for this workload"
+                    );
+                }
+                for &i in members {
+                    results[i] = Some(combo.clone());
+                }
+            } else {
+                avoided_this_tick += members.len() as u64 - 1;
+                misses.push(g);
+            }
+        }
+
+        // Residual misses fan out over the pool (order-preserving map),
+        // then insert serially in miss order: cache state — and with it
+        // every later eviction — is identical for any pool width.
+        let miss_leaders: Vec<&NodeTelemetry> =
+            misses.iter().map(|&g| &accepted[groups[g].1[0]]).collect();
+        let config = &self.config;
+        let solved: Vec<(ModeCombination, f64)> = gpm_par::parallel_map(&miss_leaders, |report| {
+            let start = Instant::now();
+            let combo = solve_report(config, report);
+            (combo, start.elapsed().as_secs_f64() * 1e6)
+        });
+        for (&g, (combo, micros)) in misses.iter().zip(solved) {
+            self.stats.unique_solves += 1;
+            self.stats.solver_us_spent += micros;
+            self.cache.insert(groups[g].0.clone(), combo.clone());
+            for &i in &groups[g].1 {
+                results[i] = Some(combo.clone());
+            }
+        }
+        if self.stats.unique_solves > 0 {
+            let mean = self.stats.solver_us_spent / self.stats.unique_solves as f64;
+            self.stats.solver_us_saved += avoided_this_tick as f64 * mean;
+        }
+
+        accepted
+            .into_iter()
+            .zip(results)
+            .map(|(report, modes)| NodeDecision {
+                node: report.node,
+                tick: now,
+                modes: modes.expect("every accepted report was decided"),
+            })
+            .collect()
+    }
+
+    /// Solves one report without the cache (verify-hits audit path).
+    fn solve_one(&self, report: &NodeTelemetry) -> ModeCombination {
+        solve_report(&self.config, report)
+    }
+}
+
+/// The fleet's solver dispatch: flat exact branch-and-bound up to the
+/// configured width, the two-level hierarchical policy above it.
+fn solve_report(config: &FleetConfig, report: &NodeTelemetry) -> ModeCombination {
+    if report.matrices.cores() <= config.flat_core_limit {
+        solver::solve(
+            &report.matrices,
+            &report.current,
+            report.budget,
+            &config.dvfs,
+            config.explore,
+        )
+    } else {
+        let mut hier = HierMaxBips::with_cluster_cores(config.cluster_cores)
+            .expect("cluster width validated at engine construction");
+        hier.decide(&PolicyContext {
+            current_modes: &report.current,
+            matrices: &report.matrices,
+            future: None,
+            budget: report.budget,
+            dvfs: &config.dvfs,
+            explore: config.explore,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpm_types::PowerMode;
+
+    /// Telemetry for a `cores`-way node whose matrix rows vary with
+    /// `phase`, so distinct phases are distinct cache keys.
+    fn telemetry(node: u64, tick: u64, cores: usize, phase: u64) -> NodeTelemetry {
+        let power: Vec<[f64; 3]> = (0..cores)
+            .map(|i| {
+                let t = 12.0 + ((i as u64 * 7 + phase * 5) % 11) as f64 * 1.3;
+                [t, t * 0.55, t * 0.3]
+            })
+            .collect();
+        let bips: Vec<[f64; 3]> = (0..cores)
+            .map(|i| {
+                let t = 0.4 + ((i as u64 * 5 + phase * 3) % 9) as f64 * 0.35;
+                [t, t * 0.85, t * 0.7]
+            })
+            .collect();
+        let budget = Watts::new(0.8 * power.iter().map(|row| row[0]).sum::<f64>());
+        NodeTelemetry {
+            node,
+            tick,
+            matrices: PowerBipsMatrices::from_rows(power, bips),
+            current: ModeCombination::uniform(cores, PowerMode::Turbo),
+            budget,
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        for (mutate, _) in [
+            (
+                Box::new(|c: &mut FleetConfig| c.queue_capacity = 0) as Box<dyn Fn(&mut _)>,
+                "queue",
+            ),
+            (Box::new(|c: &mut FleetConfig| c.cluster_cores = 0), "hier"),
+            (
+                Box::new(|c: &mut FleetConfig| c.flat_core_limit = 0),
+                "flat",
+            ),
+            (
+                Box::new(|c: &mut FleetConfig| c.cache.capacity = 0),
+                "cache",
+            ),
+        ] {
+            let mut config = FleetConfig::default();
+            mutate(&mut config);
+            assert!(matches!(
+                FleetEngine::new(config),
+                Err(GpmError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_identical_reports_preserving_order() {
+        let mut engine = FleetEngine::new(FleetConfig::default()).expect("valid config");
+        for node in 0..6 {
+            // Nodes 0,2,4 share phase 0; nodes 1,3,5 share phase 1.
+            assert!(engine.submit(telemetry(node, 0, 4, node % 2)));
+        }
+        let decisions = engine.run_tick(0);
+        assert_eq!(
+            decisions.iter().map(|d| d.node).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5],
+            "decisions come back in submission order"
+        );
+        // Same phase ⇒ same modes; and the followers' answers equal their
+        // leader's, which equals an uncached solve.
+        for d in &decisions {
+            let fresh = solve_report(engine.config(), &telemetry(d.node, 0, 4, d.node % 2));
+            assert_eq!(d.modes, fresh, "node {}", d.node);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.decisions_total, 6);
+        assert_eq!(stats.unique_solves, 2);
+        assert_eq!(stats.dedup_hits, 4);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn repeated_phases_hit_across_ticks() {
+        let mut engine = FleetEngine::new(FleetConfig::default()).expect("valid config");
+        for tick in 0..3 {
+            for node in 0..4 {
+                assert!(engine.submit(telemetry(node, tick, 4, node % 2)));
+            }
+            let decisions = engine.run_tick(tick);
+            assert_eq!(decisions.len(), 4);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.decisions_total, 12);
+        assert_eq!(stats.unique_solves, 2, "only tick 0's two phases solve");
+        assert_eq!(stats.cache_hits, 4, "two leaders hit on each later tick");
+        assert_eq!(stats.dedup_hits, 6);
+        assert!(stats.hit_rate() > 0.8);
+        assert!(stats.solver_us_saved > 0.0);
+        assert_eq!(engine.cache().len(), 2);
+    }
+
+    #[test]
+    fn stale_reports_are_dropped_fresh_ones_decided() {
+        let mut engine = FleetEngine::new(FleetConfig {
+            stale_tolerance: 1,
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        assert!(engine.submit(telemetry(0, 5, 4, 0))); // fresh
+        assert!(engine.submit(telemetry(1, 4, 4, 0))); // stale, in tolerance
+        assert!(engine.submit(telemetry(2, 3, 4, 0))); // too old
+        let decisions = engine.run_tick(5);
+        assert_eq!(
+            decisions.iter().map(|d| d.node).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(engine.stats().dropped_stale, 1);
+        assert_eq!(engine.stats().decisions_total, 2);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_backpressure() {
+        let mut engine = FleetEngine::new(FleetConfig {
+            queue_capacity: 2,
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        assert!(engine.submit(telemetry(0, 0, 4, 0)));
+        assert!(engine.submit(telemetry(1, 0, 4, 1)));
+        assert!(!engine.submit(telemetry(2, 0, 4, 2)));
+        assert_eq!(engine.stats().rejected_backpressure, 1);
+        assert_eq!(engine.queued(), 2);
+        // The queue drains on the tick and accepts again.
+        assert_eq!(engine.run_tick(0).len(), 2);
+        assert!(engine.submit(telemetry(2, 1, 4, 2)));
+    }
+
+    #[test]
+    fn wide_nodes_take_the_hierarchical_path() {
+        let config = FleetConfig {
+            flat_core_limit: 8,
+            cluster_cores: 8,
+            ..FleetConfig::default()
+        };
+        let mut engine = FleetEngine::new(config.clone()).expect("valid config");
+        let report = telemetry(0, 0, 16, 0);
+        assert!(engine.submit(report.clone()));
+        let decisions = engine.run_tick(0);
+        let mut hier = HierMaxBips::with_cluster_cores(8).expect("valid width");
+        let expected = hier.decide(&PolicyContext {
+            current_modes: &report.current,
+            matrices: &report.matrices,
+            future: None,
+            budget: report.budget,
+            dvfs: &config.dvfs,
+            explore: config.explore,
+        });
+        assert_eq!(decisions[0].modes, expected);
+    }
+
+    #[test]
+    fn verify_hits_audits_cached_fleet_decisions() {
+        let mut engine = FleetEngine::new(FleetConfig {
+            cache: CacheConfig {
+                verify_hits: true,
+                ..CacheConfig::default()
+            },
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        for tick in 0..2 {
+            for node in 0..3 {
+                assert!(engine.submit(telemetry(node, tick, 4, 0)));
+            }
+            engine.run_tick(tick);
+        }
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+}

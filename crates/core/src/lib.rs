@@ -65,6 +65,7 @@
 
 mod budget;
 mod curves;
+mod fleet;
 mod manager;
 mod matrices;
 mod metrics;
@@ -75,6 +76,7 @@ pub use budget::BudgetSchedule;
 pub use curves::{
     evaluate_policy_point, sweep_policy, turbo_baseline, CurvePoint, PolicyCurve, DEFAULT_BUDGETS,
 };
+pub use fleet::{FleetConfig, FleetEngine, FleetStats, NodeDecision, NodeTelemetry};
 pub use manager::{
     ExploreRecord, GlobalManager, GuardAction, GuardActionKind, GuardRails, RunOptions, RunResult,
 };
@@ -82,6 +84,7 @@ pub use matrices::PowerBipsMatrices;
 pub use metrics::{throughput_degradation, weighted_slowdown, weighted_speedup_slowdown};
 pub use policy::solver;
 pub use policy::{
-    cluster_budgets, ChipWide, Constant, GreedyMaxBips, HierMaxBips, MaxBips, MinPower, Oracle,
-    Policy, PolicyContext, Priority, PullHiPushLo, ThermalGuard,
+    cluster_budgets, CacheConfig, CacheCounters, CachedMaxBips, ChipWide, Constant, DecisionCache,
+    GreedyMaxBips, HierMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext, Priority,
+    PullHiPushLo, ThermalGuard,
 };

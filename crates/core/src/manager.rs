@@ -4,7 +4,7 @@ use gpm_cmp::{CoreObservation, SimHistory, TraceCmpSim};
 use gpm_faults::{FaultEvent, FaultPlan, FaultSession, SensorFrame, SensorStatus};
 use gpm_types::{Bips, CoreId, Micros, ModeCombination, PowerMode, Result, Watts};
 
-use crate::{BudgetSchedule, Policy, PolicyContext, PowerBipsMatrices};
+use crate::{BudgetSchedule, CacheCounters, Policy, PolicyContext, PowerBipsMatrices};
 
 /// One explore interval as the manager saw it.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -156,6 +156,9 @@ pub struct RunResult {
     pub fault_events: Vec<FaultEvent>,
     /// Guard rails that fired during the run (empty when guards are off).
     pub guard_actions: Vec<GuardAction>,
+    /// Decision-cache accounting, when the policy memoizes (all zero for
+    /// plain policies).
+    pub cache_counters: CacheCounters,
 }
 
 impl RunResult {
@@ -674,6 +677,7 @@ impl GlobalManager {
             records,
             fault_events: session.map(|mut s| s.drain_events()).unwrap_or_default(),
             guard_actions: guard.map(|g| g.actions).unwrap_or_default(),
+            cache_counters: policy.cache_counters().unwrap_or_default(),
         })
     }
 }
@@ -706,6 +710,7 @@ mod tests {
             duration: Micros::new(500.0),
             fault_events: Vec::new(),
             guard_actions: Vec::new(),
+            cache_counters: CacheCounters::default(),
         }
     }
 

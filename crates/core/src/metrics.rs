@@ -75,6 +75,7 @@ mod tests {
             duration: Micros::new(duration_us),
             fault_events: vec![],
             guard_actions: vec![],
+            cache_counters: crate::CacheCounters::default(),
         }
     }
 

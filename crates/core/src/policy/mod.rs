@@ -5,6 +5,7 @@ use gpm_types::{Micros, ModeCombination, Watts};
 
 use crate::PowerBipsMatrices;
 
+mod cache;
 mod chipwide;
 mod constant;
 mod greedy;
@@ -17,6 +18,7 @@ mod pullhipushlo;
 pub mod solver;
 mod thermal_guard;
 
+pub use cache::{CacheConfig, CacheCounters, CachedMaxBips, DecisionCache};
 pub use chipwide::ChipWide;
 pub use constant::Constant;
 pub use greedy::GreedyMaxBips;
@@ -69,6 +71,13 @@ pub trait Policy {
 
     /// Picks the mode combination for the next interval.
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> ModeCombination;
+
+    /// Decision-cache counters, for policies that memoize
+    /// ([`CachedMaxBips`]); `None` for plain policies. The manager copies
+    /// these onto `RunResult` at the end of a run.
+    fn cache_counters(&self) -> Option<CacheCounters> {
+        None
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -80,6 +89,9 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     }
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> ModeCombination {
         (**self).decide(ctx)
+    }
+    fn cache_counters(&self) -> Option<CacheCounters> {
+        (**self).cache_counters()
     }
 }
 

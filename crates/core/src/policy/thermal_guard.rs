@@ -141,6 +141,10 @@ impl<P: Policy> Policy for ThermalGuard<P> {
         }
         modes
     }
+
+    fn cache_counters(&self) -> Option<super::CacheCounters> {
+        self.inner.cache_counters()
+    }
 }
 
 #[cfg(test)]

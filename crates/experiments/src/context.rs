@@ -4,8 +4,9 @@ use std::sync::{Arc, OnceLock};
 
 use gpm_cmp::SimParams;
 use gpm_core::{
-    evaluate_policy_point, static_oracle, turbo_baseline, ChipWide, CurvePoint, GreedyMaxBips,
-    HierMaxBips, MaxBips, Oracle, Policy, PolicyCurve, Priority, PullHiPushLo, DEFAULT_BUDGETS,
+    evaluate_policy_point, static_oracle, turbo_baseline, CachedMaxBips, ChipWide, CurvePoint,
+    GreedyMaxBips, HierMaxBips, MaxBips, Oracle, Policy, PolicyCurve, Priority, PullHiPushLo,
+    DEFAULT_BUDGETS,
 };
 use gpm_trace::{BenchmarkTraces, CaptureConfig, TraceStore};
 use gpm_types::{Result, Watts};
@@ -115,6 +116,7 @@ pub enum PolicyKind {
     Oracle,
     GreedyMaxBips,
     HierMaxBips,
+    CachedMaxBips,
 }
 
 impl PolicyKind {
@@ -129,6 +131,7 @@ impl PolicyKind {
             PolicyKind::Oracle => Box::new(Oracle::new()),
             PolicyKind::GreedyMaxBips => Box::new(GreedyMaxBips::new()),
             PolicyKind::HierMaxBips => Box::new(HierMaxBips::new()),
+            PolicyKind::CachedMaxBips => Box::new(CachedMaxBips::new()),
         }
     }
 
@@ -143,6 +146,7 @@ impl PolicyKind {
             PolicyKind::Oracle => "Oracle",
             PolicyKind::GreedyMaxBips => "GreedyMaxBIPS",
             PolicyKind::HierMaxBips => "HierMaxBIPS",
+            PolicyKind::CachedMaxBips => "CachedMaxBIPS",
         }
     }
 }
@@ -273,6 +277,7 @@ mod tests {
             PolicyKind::Oracle,
             PolicyKind::GreedyMaxBips,
             PolicyKind::HierMaxBips,
+            PolicyKind::CachedMaxBips,
         ] {
             assert_eq!(kind.make().name(), kind.name());
         }

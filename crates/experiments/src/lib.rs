@@ -19,6 +19,7 @@
 //! | [`scaling`] | Figures 8, 9, 10 (2/4/8-way suites) and Figure 11 (trends vs core count) |
 //! | [`validation`] | Section 3.1 trace-tool validation + Section 5.5 prediction-error audit |
 //! | [`ablation`] | Extensions: greedy-vs-exhaustive search, sensor noise, explore-interval sweeps |
+//! | [`fleet`] | Extension: saturating-load fleet decision engine (10k nodes, cache + dedup) |
 //!
 //! # Examples
 //!
@@ -43,6 +44,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig6_faulted;
 pub mod fig7;
+pub mod fleet;
 mod render;
 pub mod scaling;
 pub mod tables;

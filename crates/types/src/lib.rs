@@ -31,6 +31,7 @@
 mod error;
 mod ids;
 mod mode;
+mod quant;
 mod series;
 mod stats;
 mod units;
@@ -38,6 +39,7 @@ mod units;
 pub use error::GpmError;
 pub use ids::CoreId;
 pub use mode::{Enumerate, ModeCombination, ModeOdometer, PowerMode};
+pub use quant::{quantize_value, QuantizedKey, QuantizedKeyBuilder};
 pub use series::{Sample, TimeSeries};
 pub use stats::SummaryStats;
 pub use units::{Bips, Cycles, Hertz, Instructions, Joules, Micros, Seconds, Volts, Watts};

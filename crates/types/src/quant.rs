@@ -1,0 +1,168 @@
+//! Quantized canonical keys for memoizing mode decisions.
+//!
+//! The fleet-mode decision cache (`gpm-core`) keys each solved interval on
+//! the exact inputs of the MaxBIPS argmax: the per-core Power/BIPS
+//! prediction matrix, the current mode vector, the budget and the interval
+//! parameters. Every float input is mapped to one `u64` *cell* by
+//! [`quantize_value`]:
+//!
+//! * **quantum ≤ 0 (exact keying)** — the cell is the raw IEEE-754 bit
+//!   pattern. Two inputs share a key only when they are bit-identical, so
+//!   a cache hit returns exactly what a fresh solve of the same inputs
+//!   would have returned: the solver is a pure function of its arguments.
+//! * **quantum > 0 (bucketed keying)** — the cell is the index of the
+//!   nearest quantum multiple (`round(value / quantum)`). Matrices within
+//!   half a quantum of each other per cell collapse onto one key, trading
+//!   exactness for hit rate; the decision error is bounded by the solver's
+//!   sensitivity to a half-quantum perturbation of each cell.
+//!
+//! The key itself ([`QuantizedKey`]) is just the canonical word sequence —
+//! cells in a fixed row-major order, prefixed with the shape — wrapped for
+//! use as a `HashMap` key. [`QuantizedKeyBuilder`] keeps construction
+//! allocation-cheap and the canonical order explicit at the call site.
+
+/// Maps one float to its canonical key cell. Exact bit pattern when
+/// `quantum <= 0`, nearest-multiple bucket index otherwise.
+///
+/// The bucketed path is deterministic for every input: the `f64 → i64`
+/// cast saturates, so `±∞` pin to the extreme buckets and NaN lands on
+/// bucket zero (degenerate matrices never promise cache exactness — the
+/// solver itself falls back to the exhaustive scan on them).
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::quantize_value;
+///
+/// // Exact keying: distinct bit patterns stay distinct (even -0.0 vs 0.0).
+/// assert_eq!(quantize_value(1.5, 0.0), 1.5f64.to_bits());
+/// assert_ne!(quantize_value(0.0, 0.0), quantize_value(-0.0, 0.0));
+///
+/// // Bucketed keying: values within half a quantum collapse.
+/// assert_eq!(quantize_value(10.01, 0.1), quantize_value(9.98, 0.1));
+/// assert_ne!(quantize_value(10.01, 0.1), quantize_value(10.07, 0.1));
+/// ```
+#[must_use]
+pub fn quantize_value(value: f64, quantum: f64) -> u64 {
+    if quantum <= 0.0 {
+        value.to_bits()
+    } else {
+        ((value / quantum).round() as i64) as u64
+    }
+}
+
+/// A canonicalized, hashable decision-cache key: the quantized cells of
+/// one decision problem in a fixed order.
+///
+/// Equality and hashing are over the exact word sequence, so two keys are
+/// equal iff they were built from the same shape and the same quantized
+/// cells in the same order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuantizedKey {
+    words: Vec<u64>,
+}
+
+impl QuantizedKey {
+    /// The canonical word sequence (shape prefix plus quantized cells).
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Builds a [`QuantizedKey`] cell by cell in canonical order.
+///
+/// # Examples
+///
+/// ```
+/// use gpm_types::QuantizedKeyBuilder;
+///
+/// let mut builder = QuantizedKeyBuilder::with_capacity(3);
+/// builder.push_word(2); // shape prefix: core count
+/// builder.push_value(17.15, 0.0);
+/// builder.push_value(1.9, 0.0);
+/// let key = builder.finish();
+/// assert_eq!(key.words().len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct QuantizedKeyBuilder {
+    words: Vec<u64>,
+}
+
+impl QuantizedKeyBuilder {
+    /// A builder expecting about `words` cells (exact capacity is a hint).
+    #[must_use]
+    pub fn with_capacity(words: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(words),
+        }
+    }
+
+    /// Appends a raw word (shape prefixes, mode indices, counts).
+    pub fn push_word(&mut self, word: u64) {
+        self.words.push(word);
+    }
+
+    /// Appends one float cell quantized by [`quantize_value`].
+    pub fn push_value(&mut self, value: f64, quantum: f64) {
+        self.words.push(quantize_value(value, quantum));
+    }
+
+    /// Finalizes the key.
+    #[must_use]
+    pub fn finish(self) -> QuantizedKey {
+        QuantizedKey { words: self.words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_keying_is_the_bit_pattern() {
+        for v in [0.0, -0.0, 1.5, -3.25, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(quantize_value(v, 0.0), v.to_bits());
+            assert_eq!(quantize_value(v, -1.0), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn bucketed_keying_merges_within_half_quantum() {
+        assert_eq!(quantize_value(9.96, 0.1), quantize_value(10.04, 0.1));
+        assert_ne!(quantize_value(9.94, 0.1), quantize_value(10.04, 0.1));
+        // Negative values bucket symmetrically.
+        assert_eq!(quantize_value(-9.96, 0.1), quantize_value(-10.04, 0.1));
+        assert_ne!(quantize_value(-10.0, 0.1), quantize_value(10.0, 0.1));
+    }
+
+    #[test]
+    fn bucketed_keying_is_total_on_degenerate_inputs() {
+        // Saturating casts: the non-finite inputs map deterministically.
+        assert_eq!(quantize_value(f64::INFINITY, 0.5), i64::MAX as u64);
+        assert_eq!(quantize_value(f64::NEG_INFINITY, 0.5), i64::MIN as u64);
+        assert_eq!(quantize_value(f64::NAN, 0.5), 0);
+    }
+
+    #[test]
+    fn keys_compare_by_word_sequence() {
+        let build = |cells: &[f64], quantum: f64| {
+            let mut b = QuantizedKeyBuilder::with_capacity(cells.len() + 1);
+            b.push_word(cells.len() as u64);
+            for &c in cells {
+                b.push_value(c, quantum);
+            }
+            b.finish()
+        };
+        assert_eq!(build(&[1.0, 2.0], 0.0), build(&[1.0, 2.0], 0.0));
+        assert_ne!(build(&[1.0, 2.0], 0.0), build(&[2.0, 1.0], 0.0));
+        // Shape prefix keeps a 2-cell key distinct from a 3-cell key that
+        // happens to share a word prefix.
+        assert_ne!(
+            build(&[1.0, 2.0], 0.0).words().first(),
+            build(&[1.0, 2.0, 3.0], 0.0).words().first()
+        );
+        // Bucketing makes near-identical cell lists collide on purpose.
+        assert_eq!(build(&[10.01, 0.499], 0.05), build(&[9.99, 0.501], 0.05));
+    }
+}

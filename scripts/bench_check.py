@@ -9,11 +9,18 @@ recorded): a best-of ratio under 0.95 is a real regression, not noise.
 
 It also fails if any REQUIRED_PATHS row is missing: load-bearing rows
 (the wide-CMP sharding comparison, the 256-way hierarchical decide
-latency) must not silently drop out of the record when the harness or the
-JSON is reorganised.
+latency, the cached 8-way decide latency, the fleet engine's sustained
+decision throughput) must not silently drop out of the record when the
+harness or the JSON is reorganised.
 
 Usage:
     scripts/bench_check.py [--floor 0.95] [--file BENCH_sim_throughput.json]
+
+The ``--floor`` knob sets the minimum acceptable value for every
+``speedup`` row (default 0.95). Raise it to tighten the gate on a quieter
+host, or lower it temporarily when a known-noisy row needs to land with a
+recorded explanation; the floor applies uniformly to all speedup rows, so
+per-row waivers belong in the record's notes, not here.
 
 The speedup check is structural, not positional: every object anywhere in
 the JSON document with a ``speedup`` key is gated, so new measurement
@@ -40,6 +47,9 @@ REQUIRED_PATHS = (
     "simulated_mips.cmp_full_64way.speedup",
     "policy_decide_latency.micros_per_decide.policy_decide_32way_exact",
     "policy_decide_latency.micros_per_decide.policy_decide_256way_hier",
+    "policy_decide_latency.micros_per_decide.policy_decide_8way_cached",
+    "fleet_decisions.fleet_decisions_10k_nodes.decisions_per_sec",
+    "fleet_decisions.fleet_decisions_10k_nodes.hit_rate",
 )
 
 

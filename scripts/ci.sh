@@ -65,6 +65,19 @@ GPM_THREADS=1 cargo test --quiet --test hier_equivalence
 GPM_THREADS=8 cargo test --quiet --test hier_equivalence
 cargo clippy -p gpm-cmp --all-targets -- -D warnings
 
+# The fleet-mode decision engine promises bit-identical cached decisions
+# under exact keying (memoized solves, CachedMaxBips manager runs) and a
+# pool-width-independent tick protocol (dedup groups, residual misses over
+# the worker pool, serial insert replay); run its equivalence group under
+# a serial and a saturated pool and lint every crate the engine touches at
+# zero-warning strictness (gpm-core is already linted above).
+echo "==> fleet engine: fleet_equivalence under two pool widths + clippy -D warnings"
+GPM_THREADS=1 cargo test --quiet --test fleet_equivalence
+GPM_THREADS=8 cargo test --quiet --test fleet_equivalence
+cargo clippy -p gpm-types --all-targets -- -D warnings
+cargo clippy -p gpm-experiments --all-targets -- -D warnings
+cargo clippy -p gpm-cli --all-targets -- -D warnings
+
 # 16-way wide-CMP smoke: the scaling tier must keep running end to end
 # from the CLI (exact MaxBIPS vs greedy on a 3^16 search space).
 echo "==> gpm figure wide --cores 16 --fast"
@@ -74,6 +87,12 @@ cargo run --release --quiet -p gpm-cli -- figure wide --cores 16 --fast > /dev/n
 # HierMaxBips must keep running end to end from the CLI.
 echo "==> gpm figure wide --cores 64 --fast"
 cargo run --release --quiet -p gpm-cli -- figure wide --cores 64 --fast > /dev/null
+
+# Fleet smoke: the saturating-load tier (decision cache + within-tick
+# dedup over replayed phase telemetry) must keep running end to end from
+# the CLI.
+echo "==> gpm figure fleet --nodes 64 --fast"
+cargo run --release --quiet -p gpm-cli -- figure fleet --nodes 64 --fast > /dev/null
 
 # Smoke-run the throughput baseline (including the full-CMP two-phase
 # cases, the lane-batched vs scalar capture-engine cases and the
