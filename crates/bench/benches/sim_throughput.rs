@@ -436,9 +436,15 @@ fn main() {
     let decides = policy_decides(decide_rounds, decide_inner);
 
     // Fleet saturating load: phase-replaying nodes against one engine,
-    // measured at steady state (warm epoch excluded inside `run`).
+    // measured at steady state (warm epoch excluded inside `run`). The
+    // armed variant runs the identical load with the chaos layer compiled
+    // in and armed but never firing (fault session probes, freshness
+    // triage, rack accounting all execute); the armed/disarmed throughput
+    // ratio is the fault-free overhead of the fleet hardening.
     let (fleet_nodes, fleet_ticks) = if quick { (1_000, 4) } else { (10_000, 12) };
     let fleet = gpm_experiments::fleet::run(fleet_nodes, fleet_ticks).expect("fleet run");
+    let fleet_armed =
+        gpm_experiments::fleet::run_armed(fleet_nodes, fleet_ticks).expect("armed fleet run");
 
     let by_name = |name: &str| {
         measurements
@@ -499,6 +505,19 @@ fn main() {
         "  \"fleet_decisions_per_sec\": {:.0},\n  \"fleet_hit_rate\": {:.4},",
         fleet.decisions_per_sec,
         fleet.hit_rate()
+    );
+    let chaos_ratio = fleet_armed.decisions_per_sec / fleet.decisions_per_sec;
+    println!(
+        "fleet_chaos_armed_{}k_nodes   {:>9.0} decisions/s  armed/disarmed {:.3}x",
+        fleet_nodes / 1000,
+        fleet_armed.decisions_per_sec,
+        chaos_ratio
+    );
+    let _ = writeln!(
+        json,
+        "  \"fleet_chaos_armed_decisions_per_sec\": {:.0},\n  \
+         \"fleet_chaos_armed_vs_disarmed_ratio\": {chaos_ratio:.3},",
+        fleet_armed.decisions_per_sec
     );
 
     let speedup = decides[0].micros_per_decide / decides[1].micros_per_decide;

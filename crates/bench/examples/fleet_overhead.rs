@@ -1,0 +1,41 @@
+//! Isolation probe: the fault-free overhead of the fleet chaos layer,
+//! with nothing else having run in the process. Runs the saturating
+//! fleet load disarmed and armed-but-never-firing in interleaved rounds
+//! and prints per-round throughputs plus the best-of ratio — the number
+//! `BENCH_sim_throughput.json` records as the `fleet_chaos_overhead`
+//! speedup row. Not part of the recorded suite.
+
+fn main() {
+    let rounds: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let (nodes, ticks) = (10_000, 12);
+    let (mut best_plain, mut best_armed) = (0.0f64, 0.0f64);
+    for round in 0..rounds {
+        // Alternate the order so within-round drift (thermal, background
+        // load ramping) biases neither variant.
+        let (plain, armed) = if round % 2 == 0 {
+            let plain = gpm_experiments::fleet::run(nodes, ticks).expect("fleet run");
+            let armed = gpm_experiments::fleet::run_armed(nodes, ticks).expect("armed run");
+            (plain, armed)
+        } else {
+            let armed = gpm_experiments::fleet::run_armed(nodes, ticks).expect("armed run");
+            let plain = gpm_experiments::fleet::run(nodes, ticks).expect("fleet run");
+            (plain, armed)
+        };
+        println!(
+            "round {round}: disarmed {:>9.0} dec/s, armed {:>9.0} dec/s, ratio {:.3}",
+            plain.decisions_per_sec,
+            armed.decisions_per_sec,
+            armed.decisions_per_sec / plain.decisions_per_sec
+        );
+        best_plain = best_plain.max(plain.decisions_per_sec);
+        best_armed = best_armed.max(armed.decisions_per_sec);
+    }
+    println!(
+        "best-of-{rounds}: disarmed {best_plain:.0} dec/s, armed {best_armed:.0} dec/s, \
+         armed/disarmed {:.3}",
+        best_armed / best_plain
+    );
+}

@@ -103,6 +103,12 @@ pub enum Command {
         /// Fleet size for the `fleet` saturating-load tier
         /// (`--nodes N`; `None` = 10 000 nodes).
         nodes: Option<usize>,
+        /// Raw fleet fault spec for the `fleet` chaos tier
+        /// (`--faults SPEC`; the fleet grammar — flap/skew/corrupt/
+        /// timeout — parsed by `gpm_faults::FleetFaultPlan`).
+        faults: Option<String>,
+        /// Seed override for the chaos tier's probability draws.
+        fault_seed: Option<u64>,
     },
     /// List benchmarks, combos, policies and experiments.
     List,
@@ -232,7 +238,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
     let mut nodes = None;
     let mut fast = false;
     let mut json = false;
-    let mut faults: Option<FaultPlan> = None;
+    let mut faults: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
     let mut no_guards = false;
     let mut positional = Vec::new();
@@ -312,7 +318,7 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                 let v = args
                     .next()
                     .ok_or_else(|| bad("--faults needs a spec (see README)".into()))?;
-                faults = Some(FaultPlan::parse(&v)?);
+                faults = Some(v);
             }
             "--fault-seed" => {
                 let v = args
@@ -344,8 +350,9 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
             json,
             fast,
             faults: match (faults, fault_seed) {
-                (Some(plan), Some(seed)) => Some(plan.seeded(seed)),
-                (plan, _) => plan,
+                (Some(spec), Some(seed)) => Some(FaultPlan::parse(&spec)?.seeded(seed)),
+                (Some(spec), None) => Some(FaultPlan::parse(&spec)?),
+                (None, _) => None,
             },
             no_guards,
         },
@@ -370,6 +377,8 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                 fast,
                 cores,
                 nodes,
+                faults,
+                fault_seed,
             }
         }
         "list" => Command::List,
@@ -387,13 +396,22 @@ USAGE:
              [--faults SPEC] [--fault-seed N] [--no-guards]
   gpm sweep  [--combo \"a|b|c\"] [--policies a,b,c] [--budgets lo:hi:step] [--fast]
   gpm figure NAME [--fast] [--cores 16|32|64|128|256] [--nodes N]
+                  [--faults SPEC] [--fault-seed N]
                                 regenerate a paper experiment (see `gpm list`);
                                 --cores picks one CMP width for the `wide`
                                 scaling tier (default 16 and 32; 64/128/256
                                 route to the hierarchical tier) or for the
                                 `hier` tier (default 64, 128 and 256);
                                 --nodes sizes the `fleet` saturating-load
-                                tier (default 10000 simulated CMP nodes)
+                                tier (default 10000 simulated CMP nodes);
+                                --faults switches the `fleet` tier to the
+                                chaos runs (default 1000 nodes): fleet
+                                grammar `kind[@nodes][:key=val,...]` with
+                                kinds flap (period=, down=), skew (ticks=),
+                                corrupt (field=nan|neg|shape, rate=),
+                                timeout (rate=); windows from=/to= in
+                                ticks, nodes `all` or `+`-joined ids.
+                                Example: --faults \"flap@0+1:period=4,from=2,to=8\"
   gpm list                      benchmarks, combos, policies, experiments
   gpm help
 
@@ -453,7 +471,9 @@ pub fn execute(command: Command) -> Result<String> {
             fast,
             cores,
             nodes,
-        } => run_figure(&name, fast, cores, nodes),
+            faults,
+            fault_seed,
+        } => run_figure(&name, fast, cores, nodes, faults.as_deref(), fault_seed),
     }
 }
 
@@ -647,6 +667,8 @@ fn run_figure(
     fast: bool,
     cores: Option<usize>,
     nodes: Option<usize>,
+    faults: Option<&str>,
+    fault_seed: Option<u64>,
 ) -> Result<String> {
     use gpm_experiments as exp;
     let ctx = context(fast);
@@ -682,10 +704,19 @@ fn run_figure(
             let widths = cores.map_or_else(|| vec![64, 128, 256], |c| vec![c]);
             exp::scaling::hier(&ctx, &widths)?.render()
         }
-        "fleet" => {
-            let ticks = if fast { 4 } else { 12 };
-            exp::fleet::run(nodes.unwrap_or(10_000), ticks)?.render()
-        }
+        "fleet" => match faults {
+            Some(spec) => {
+                // Chaos tier: cold-start runs per fault class. More ticks
+                // than the load tier so windowed faults can close and the
+                // service can demonstrate recovery.
+                let ticks = if fast { 12 } else { 24 };
+                exp::fleet_chaos::run(nodes.unwrap_or(1_000), ticks, spec, fault_seed)?.render()
+            }
+            None => {
+                let ticks = if fast { 4 } else { 12 };
+                exp::fleet::run(nodes.unwrap_or(10_000), ticks)?.render()
+            }
+        },
         "validation" => exp::validation::render_trace_vs_full(&exp::validation::run_trace_vs_full(
             &ctx,
             gpm_types::Micros::from_millis(2.0),
@@ -753,7 +784,7 @@ mod tests {
     fn parses_figure_and_list_and_help() {
         assert!(matches!(
             parse("figure fig4 --fast").unwrap(),
-            Command::Figure { ref name, fast: true, cores: None, nodes: None } if name == "fig4"
+            Command::Figure { ref name, fast: true, cores: None, nodes: None, .. } if name == "fig4"
         ));
         assert_eq!(parse("list").unwrap(), Command::List);
         assert_eq!(parse("help").unwrap(), Command::Help);
@@ -793,7 +824,7 @@ mod tests {
     fn parses_nodes_flag_and_cached_policy() {
         assert!(matches!(
             parse("figure fleet --nodes 64 --fast").unwrap(),
-            Command::Figure { ref name, fast: true, cores: None, nodes: Some(64) }
+            Command::Figure { ref name, fast: true, cores: None, nodes: Some(64), .. }
                 if name == "fleet"
         ));
         assert!(matches!(
@@ -813,7 +844,7 @@ mod tests {
 
     #[test]
     fn fleet_figure_reports_steady_state_hits() {
-        let out = run_figure("fleet", true, None, Some(64)).unwrap();
+        let out = run_figure("fleet", true, None, Some(64), None, None).unwrap();
         assert!(out.contains("64 nodes x 4 ticks"), "{out}");
         assert!(out.contains("hit rate"), "{out}");
         assert!(out.contains("100.0%"), "{out}");
@@ -879,10 +910,10 @@ mod tests {
     #[test]
     fn static_tables_execute_without_captures() {
         for name in ["table3", "table4", "table5"] {
-            let out = run_figure(name, true, None, None).unwrap();
+            let out = run_figure(name, true, None, None, None, None).unwrap();
             assert!(out.contains("Table"), "{name}: {out}");
         }
-        assert!(run_figure("nope", true, None, None).is_err());
+        assert!(run_figure("nope", true, None, None, None, None).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The fleet-mode decision engine: batched, memoized mode decisions for
-//! thousands of simulated CMP nodes per tick.
+//! thousands of simulated CMP nodes per tick, hardened for degraded
+//! operation.
 //!
 //! A rack-scale deployment runs one global manager *service* instead of one
 //! controller per chip: every tick, each node reports its predictive
@@ -7,36 +8,130 @@
 //! for all of them. [`FleetEngine`] is that service's decision core:
 //!
 //! 1. **Ingest + guard rails.** Telemetry enters through a bounded tick
-//!    queue ([`FleetEngine::submit`]; overflow is rejected and counted as
-//!    backpressure). At tick processing, each report's age is classified
-//!    with the `gpm-faults` freshness vocabulary ([`SensorStatus`]): fresh
-//!    and tolerably-stale reports are decided, anything older is dropped —
-//!    a stale mode vector applied to a drifted phase is worse than letting
-//!    the node hold its current modes.
-//! 2. **Within-tick dedup.** Reports are canonicalized to
+//!    queue ([`FleetEngine::submit`] / [`FleetEngine::try_submit`]).
+//!    Reports with non-finite or negative power cells, mismatched matrix
+//!    shapes or degenerate budgets are rejected up front (counted in
+//!    [`FleetStats::rejected_invalid`]) so they can never poison the cache
+//!    key space; queue overflow is rejected and counted as backpressure,
+//!    with an exponential per-node retry hint when degraded mode is on. At
+//!    tick processing, each report's age is classified with the
+//!    `gpm-faults` freshness vocabulary ([`SensorStatus`]): fresh and
+//!    tolerably-stale reports are decided, older ones are dropped as stale,
+//!    and reports at or beyond [`FleetConfig::dark_after`] ticks are
+//!    dropped as *dark* — each with its own counter, so the two failure
+//!    classes (late node vs. presumed-dead node) stay distinguishable.
+//! 2. **Chaos seam.** With [`FleetConfig::faults`] armed, a stateless
+//!    seeded [`FleetFaultSession`] perturbs delivery on the serial intake
+//!    path: flapping nodes lose their reports, skewed reports age in
+//!    transit, corrupted reports fail validation, and solver invocations
+//!    time out — all pure functions of `(seed, tick, node)`, so the fault
+//!    schedule is bit-identical for any pool width and across restores.
+//! 3. **Within-tick dedup.** Accepted reports are canonicalized to
 //!    [`QuantizedKey`]s; identical problems collapse onto one leader per
 //!    tick (first occurrence wins), so a phase-aligned fleet costs one
 //!    solve for thousands of nodes.
-//! 3. **Memoized solve.** Leaders probe the cross-tick [`DecisionCache`];
+//! 4. **Memoized solve.** Leaders probe the cross-tick [`DecisionCache`];
 //!    residual misses fan out over the `gpm_par` pool — the flat exact
 //!    branch-and-bound up to [`FleetConfig::flat_core_limit`] cores,
 //!    [`HierMaxBips`] above — and are inserted back serially in miss
 //!    order, which keeps the cache's LRU state (and therefore every later
 //!    decision) independent of the pool width.
+//! 5. **Degraded-mode fallback.** With [`FleetConfig::degraded`] set, a
+//!    node whose report was dropped, invalidated or timed out still gets a
+//!    decision: its last successfully-issued assignment stepped down
+//!    [`DegradedConfig::clamp_steps`] modes (power-safe: staleness only
+//!    ever lowers power), or all-Eff2 when no last-good assignment exists.
+//!    Fallback decisions are flagged [`NodeDecision::degraded`] and counted
+//!    separately — they never enter the cache-accounting identity.
+//! 6. **Rack budget + watchdog.** With [`FleetConfig::rack`] set, the
+//!    engine estimates total rack power each tick; when the estimate
+//!    exceeds the rack budget (e.g. after [`FleetEngine::set_rack_budget`]
+//!    steps it down mid-run), emergency shedding clamps nodes to all-Eff2
+//!    in deterministic priority order (highest estimated power first, node
+//!    id as tie-break) until the estimate fits. A rack-level violation
+//!    watchdog mirrors the per-chip one in `manager.rs`: K consecutive
+//!    violation ticks force a whole-rack Eff2 clamp whose hold time backs
+//!    off exponentially.
 //!
-//! With exact keying (the default quanta) the emitted decisions are
-//! bit-identical to solving every accepted report individually.
+//! With exact keying (the default quanta) and no chaos/degraded/rack
+//! configuration, the emitted decisions are bit-identical to solving every
+//! accepted report individually — and bit-identical to the engine before
+//! the fault-tolerance layer existed.
+//!
+//! [`FleetFaultSession`]: gpm_faults::FleetFaultSession
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::time::Instant;
 
-use gpm_faults::SensorStatus;
+use gpm_faults::{CorruptField, FleetFaultPlan, FleetFaultSession, SensorStatus};
 use gpm_power::DvfsParams;
-use gpm_types::{GpmError, Micros, ModeCombination, QuantizedKey, Result, Watts};
+use gpm_types::{
+    CoreId, GpmError, Micros, ModeCombination, PowerMode, QuantizedKey, Result, Watts,
+};
 
-use crate::policy::{solver, CacheConfig, HierMaxBips, Policy, PolicyContext};
+use crate::policy::{solver, CacheConfig, CacheSnapshot, HierMaxBips, Policy, PolicyContext};
 use crate::{DecisionCache, PowerBipsMatrices};
+
+/// Version tag stamped on every [`FleetCheckpoint`]; bumped whenever the
+/// snapshot layout changes incompatibly.
+pub const FLEET_CHECKPOINT_VERSION: u32 = 1;
+
+/// Degraded-operation knobs: what the engine does for nodes whose reports
+/// were dropped, invalidated or timed out, and how rejected submitters
+/// should back off.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradedConfig {
+    /// How many modes a fallback decision steps each core down from the
+    /// node's last-good assignment (power-safe clamp; saturates at Eff2).
+    pub clamp_steps: usize,
+    /// Base retry delay, in ticks, after a node's first backpressure
+    /// rejection.
+    pub retry_base: u64,
+    /// Cap on the backoff exponent: the n-th consecutive rejection yields
+    /// a `retry_base << min(n - 1, retry_max_exp)` tick delay.
+    pub retry_max_exp: u32,
+}
+
+impl Default for DegradedConfig {
+    fn default() -> Self {
+        Self {
+            clamp_steps: 1,
+            retry_base: 1,
+            retry_max_exp: 6,
+        }
+    }
+}
+
+/// Rack-level power-budget enforcement: emergency shedding plus a
+/// violation watchdog mirroring the per-chip guard rails.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RackConfig {
+    /// Total rack power budget the per-tick estimate must fit under.
+    pub budget: Watts,
+    /// Consecutive estimated-violation ticks tolerated before the
+    /// watchdog clamps the whole rack to Eff2.
+    pub watchdog_k: usize,
+    /// How many ticks the first whole-rack clamp holds.
+    pub clamp_hold: u64,
+    /// Ceiling on the exponential clamp-hold backoff.
+    pub max_backoff: u64,
+}
+
+impl RackConfig {
+    /// A rack config with the default watchdog parameters (K = 3, first
+    /// hold 2 ticks, backoff ceiling 32 — matching the per-chip guard
+    /// rails).
+    #[must_use]
+    pub fn new(budget: Watts) -> Self {
+        Self {
+            budget,
+            watchdog_k: 3,
+            clamp_hold: 2,
+            max_backoff: 32,
+        }
+    }
+}
 
 /// Configuration for a [`FleetEngine`].
 #[derive(Debug, Clone)]
@@ -49,6 +144,10 @@ pub struct FleetConfig {
     /// Maximum telemetry age, in ticks, still decided rather than dropped
     /// (0 = fresh-only).
     pub stale_tolerance: usize,
+    /// Age, in ticks, at which a report counts as *dark* (node presumed
+    /// unreachable) rather than merely stale. Must exceed
+    /// `stale_tolerance`.
+    pub dark_after: usize,
     /// Largest core count solved by the flat exact branch-and-bound;
     /// wider nodes use [`HierMaxBips`]. Must be at least 1.
     pub flat_core_limit: usize,
@@ -58,6 +157,16 @@ pub struct FleetConfig {
     pub dvfs: DvfsParams,
     /// Explore-interval length assumed for transition de-rating.
     pub explore: Micros,
+    /// Fleet chaos plan; `None` (the default) disables the fault seam
+    /// entirely.
+    pub faults: Option<FleetFaultPlan>,
+    /// Degraded-mode fallback behaviour; `None` (the default) reproduces
+    /// the pre-hardening engine exactly — dropped reports yield no
+    /// decision.
+    pub degraded: Option<DegradedConfig>,
+    /// Rack-level budget enforcement; `None` (the default) disables
+    /// shedding and the rack watchdog.
+    pub rack: Option<RackConfig>,
 }
 
 impl Default for FleetConfig {
@@ -66,10 +175,14 @@ impl Default for FleetConfig {
             cache: CacheConfig::default(),
             queue_capacity: 16_384,
             stale_tolerance: 1,
+            dark_after: 8,
             flat_core_limit: 32,
             cluster_cores: 8,
             dvfs: DvfsParams::paper(),
             explore: Micros::new(500.0),
+            faults: None,
+            degraded: None,
+            rack: None,
         }
     }
 }
@@ -89,7 +202,8 @@ pub struct NodeTelemetry {
     pub budget: Watts,
 }
 
-/// The engine's answer for one accepted report.
+/// The engine's answer for one report (or, in degraded mode, for a node
+/// whose report failed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct NodeDecision {
     /// Node the decision is for.
@@ -98,15 +212,37 @@ pub struct NodeDecision {
     pub tick: u64,
     /// Mode assignment for the node's next interval.
     pub modes: ModeCombination,
+    /// Whether this decision came from the degraded path (last-good
+    /// fallback, emergency shed or watchdog clamp) rather than straight
+    /// from a solver- or cache-backed answer.
+    pub degraded: bool,
+}
+
+/// Outcome of one [`FleetEngine::try_submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The report is queued for the next tick.
+    Accepted,
+    /// The tick queue is full; the node should retry no earlier than
+    /// `retry_at` (exponential per-node backoff when degraded mode is on,
+    /// the next tick otherwise).
+    Rejected {
+        /// Earliest tick at which a retry is advised.
+        retry_at: u64,
+    },
+    /// The report failed numeric/shape validation and was discarded.
+    Invalid,
 }
 
 /// Cumulative fleet-engine accounting.
 ///
 /// Invariant: `decisions_total == cache_hits + dedup_hits + unique_solves`
-/// (dropped and rejected reports never become decisions).
+/// — dropped, rejected and timed-out reports never become solver-path
+/// decisions. Degraded-path decisions are counted separately in
+/// `fallback_decisions` and do not participate in the identity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct FleetStats {
-    /// Decisions emitted in total.
+    /// Solver-path decisions emitted in total.
     pub decisions_total: u64,
     /// Tick-group leaders answered by the cross-tick cache.
     pub cache_hits: u64,
@@ -114,10 +250,38 @@ pub struct FleetStats {
     pub dedup_hits: u64,
     /// Decisions that ran the solver.
     pub unique_solves: u64,
-    /// Reports dropped for exceeding the staleness tolerance.
+    /// Reports dropped as stale (older than the tolerance, younger than
+    /// `dark_after`).
     pub dropped_stale: u64,
+    /// Reports dropped as dark (age at or beyond `dark_after`, or lost to
+    /// a node-flap outage).
+    pub dropped_dark: u64,
     /// Submissions rejected by the bounded tick queue.
     pub rejected_backpressure: u64,
+    /// Reports rejected by numeric/shape validation (at submit or after
+    /// in-flight corruption).
+    pub rejected_invalid: u64,
+    /// Degraded-path decisions emitted (last-good fallback or all-Eff2).
+    pub fallback_decisions: u64,
+    /// Solver invocations lost to injected timeouts (one per dedup group).
+    pub solver_timeouts: u64,
+    /// Reports lost to node-flap outages (also counted in `dropped_dark`).
+    pub flap_drops: u64,
+    /// Reports whose delivery was delayed by tick skew.
+    pub skew_delayed: u64,
+    /// Reports mangled by corruption injection (also counted in
+    /// `rejected_invalid` when the mangling failed validation).
+    pub corrupted_reports: u64,
+    /// Node decisions clamped to all-Eff2 by emergency budget shedding.
+    pub shed_clamps: u64,
+    /// Ticks whose estimated rack power exceeded the rack budget.
+    pub rack_violation_ticks: u64,
+    /// Ticks spent under an active whole-rack watchdog clamp.
+    pub watchdog_clamp_ticks: u64,
+    /// Longest run of consecutive rack-violation ticks seen so far.
+    pub longest_rack_violation_run: u64,
+    /// Worst single-tick estimated rack overshoot, in watts.
+    pub worst_rack_overshoot_watts: f64,
     /// Measured microseconds spent in the solver.
     pub solver_us_spent: f64,
     /// Estimated solver microseconds avoided (hits × mean solve time).
@@ -125,7 +289,8 @@ pub struct FleetStats {
 }
 
 impl FleetStats {
-    /// Fraction of decisions answered without running the solver.
+    /// Fraction of solver-path decisions answered without running the
+    /// solver.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         if self.decisions_total == 0 {
@@ -133,6 +298,126 @@ impl FleetStats {
         } else {
             (self.cache_hits + self.dedup_hits) as f64 / self.decisions_total as f64
         }
+    }
+}
+
+/// A node's last successfully-issued assignment, kept for degraded-mode
+/// fallback.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct LastGood {
+    modes: ModeCombination,
+    /// Estimated chip power of that assignment, for rack accounting.
+    watts: f64,
+}
+
+/// Per-node degraded-operation state.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+struct NodeState {
+    last_good: Option<LastGood>,
+    /// Consecutive backpressure rejections (drives the retry backoff).
+    rejections: u32,
+    /// Earliest tick a retry is advised after the last rejection.
+    retry_at: u64,
+}
+
+/// Live rack-watchdog state.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+struct RackState {
+    /// Consecutive violation ticks counted toward the watchdog trigger.
+    violation_streak: usize,
+    /// Length of the current violation run (for the longest-run metric).
+    current_run: u64,
+    /// Remaining ticks of an active whole-rack clamp.
+    clamp_remaining: u64,
+    /// Hold length the next clamp will use (doubles up to the ceiling).
+    backoff: u64,
+}
+
+/// Hashes `u64` node ids with one splitmix64 finalizer round. The node
+/// map is only ever *probed* by key — iteration never reaches decisions
+/// (the checkpoint sorts by node id) — so a fast deterministic finalizer
+/// is safe, and it removes the default hasher's cost from the
+/// one-lookup-per-report hot path of the armed engine.
+#[derive(Debug, Clone, Copy, Default)]
+struct NodeIdHasher(u64);
+
+impl std::hash::Hasher for NodeIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.write_u64(u64::from(byte));
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        let mut z = (self.0 ^ x).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type NodeMap = HashMap<u64, NodeState, std::hash::BuildHasherDefault<NodeIdHasher>>;
+
+/// One per-node entry in a [`FleetCheckpoint`], ordered by node id.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct NodeSnapshot {
+    node: u64,
+    state: NodeState,
+}
+
+/// A versioned, serializable image of a [`FleetEngine`]'s inter-tick
+/// state: the decision cache (entries in recency order), every node's
+/// degraded-operation state, the rack-watchdog state, the cumulative
+/// stats and the tick cursor.
+///
+/// Produced by [`FleetEngine::checkpoint`]; an engine rebuilt with
+/// [`FleetEngine::restore`] under the same configuration continues
+/// bit-identically to one that never stopped. Queued (not yet processed)
+/// telemetry is *not* captured — checkpoint between ticks, and nodes
+/// re-submit as usual after a restart. The fault session needs no state
+/// here: fleet fault draws are pure functions of `(seed, tick, node)`,
+/// so a restored engine observes the same fault schedule by
+/// construction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FleetCheckpoint {
+    version: u32,
+    /// Fingerprint of the decision-relevant configuration; restore
+    /// refuses a checkpoint taken under a different configuration.
+    config_fingerprint: u64,
+    next_tick: u64,
+    stats: FleetStats,
+    cache: CacheSnapshot,
+    nodes: Vec<NodeSnapshot>,
+    rack: RackState,
+}
+
+impl FleetCheckpoint {
+    /// The layout version this checkpoint was written with.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Serializes the checkpoint to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint state always serializes")
+    }
+
+    /// Deserializes a checkpoint from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json).map_err(|e| GpmError::InvalidConfig {
+            parameter: "fleet.checkpoint",
+            reason: format!("unparseable checkpoint: {e}"),
+        })
     }
 }
 
@@ -171,6 +456,15 @@ pub struct FleetEngine {
     cache: DecisionCache,
     queue: Vec<NodeTelemetry>,
     stats: FleetStats,
+    session: Option<FleetFaultSession>,
+    nodes: NodeMap,
+    /// Nodes currently holding a nonzero rejection streak. Zero at steady
+    /// state, letting the accept path skip its node-map lookup entirely.
+    backoff_nodes: usize,
+    rack_state: RackState,
+    /// The tick after the last processed one (backoff hints count from
+    /// here between ticks).
+    next_tick: u64,
 }
 
 impl FleetEngine {
@@ -188,13 +482,63 @@ impl FleetEngine {
                 reason: "flat solver limit must be at least 1".into(),
             });
         }
+        if config.dark_after <= config.stale_tolerance {
+            return Err(GpmError::InvalidConfig {
+                parameter: "fleet.dark_after",
+                reason: format!(
+                    "dark_after ({}) must exceed stale_tolerance ({})",
+                    config.dark_after, config.stale_tolerance
+                ),
+            });
+        }
+        if let Some(degraded) = &config.degraded {
+            if degraded.retry_base == 0 {
+                return Err(GpmError::InvalidConfig {
+                    parameter: "fleet.degraded.retry_base",
+                    reason: "retry backoff base must be at least one tick".into(),
+                });
+            }
+            if degraded.retry_max_exp >= 32 {
+                return Err(GpmError::InvalidConfig {
+                    parameter: "fleet.degraded.retry_max_exp",
+                    reason: "retry backoff exponent cap must be below 32".into(),
+                });
+            }
+        }
+        if let Some(rack) = &config.rack {
+            if !(rack.budget.value().is_finite() && rack.budget.value() > 0.0) {
+                return Err(GpmError::InvalidConfig {
+                    parameter: "fleet.rack.budget",
+                    reason: "rack budget must be finite and positive".into(),
+                });
+            }
+            if rack.watchdog_k == 0 || rack.clamp_hold == 0 {
+                return Err(GpmError::InvalidConfig {
+                    parameter: "fleet.rack.watchdog",
+                    reason: "watchdog K and clamp hold must be at least 1".into(),
+                });
+            }
+        }
         // Validates cluster_cores (and pre-flights the wide-node path).
         HierMaxBips::with_cluster_cores(config.cluster_cores)?;
         let cache = DecisionCache::new(config.cache.clone())?;
+        let session = match &config.faults {
+            Some(plan) => Some(FleetFaultSession::new(plan)?),
+            None => None,
+        };
+        let rack_state = RackState {
+            backoff: config.rack.as_ref().map_or(0, |r| r.clamp_hold),
+            ..RackState::default()
+        };
         Ok(Self {
             cache,
             queue: Vec::new(),
             stats: FleetStats::default(),
+            session,
+            nodes: NodeMap::default(),
+            backoff_nodes: 0,
+            rack_state,
+            next_tick: 0,
             config,
         })
     }
@@ -223,26 +567,96 @@ impl FleetEngine {
         self.queue.len()
     }
 
-    /// Enqueues one report for the next [`run_tick`](Self::run_tick).
-    /// Returns `false` (and counts backpressure) when the tick queue is
-    /// full — the caller should retry next tick.
-    pub fn submit(&mut self, telemetry: NodeTelemetry) -> bool {
-        if self.queue.len() >= self.config.queue_capacity {
-            self.stats.rejected_backpressure += 1;
-            return false;
-        }
-        self.queue.push(telemetry);
-        true
+    /// The earliest tick `node` is advised to retry at after backpressure
+    /// rejections, if it is currently backing off.
+    #[must_use]
+    pub fn retry_at(&self, node: u64) -> Option<u64> {
+        let state = self.nodes.get(&node)?;
+        (state.rejections > 0).then_some(state.retry_at)
     }
 
-    /// Classifies a report's age against the staleness tolerance, in the
-    /// `gpm-faults` freshness vocabulary: beyond-tolerance telemetry is
-    /// treated like a dark sensor for this tick.
-    fn freshness(&self, now: u64, report_tick: u64) -> SensorStatus {
-        let age = now.saturating_sub(report_tick) as usize;
+    /// Replaces the rack budget (or disables rack enforcement with
+    /// `None`) mid-run — the emergency-shedding trigger. Watchdog
+    /// parameters are retained from the existing rack config when only
+    /// the budget steps; enabling rack enforcement for the first time
+    /// uses [`RackConfig::new`] defaults.
+    pub fn set_rack_budget(&mut self, budget: Option<Watts>) {
+        match budget {
+            Some(b) => {
+                let rack = match self.config.rack.take() {
+                    Some(mut rack) => {
+                        rack.budget = b;
+                        rack
+                    }
+                    None => RackConfig::new(b),
+                };
+                if self.rack_state.backoff == 0 {
+                    self.rack_state.backoff = rack.clamp_hold;
+                }
+                self.config.rack = Some(rack);
+            }
+            None => {
+                self.config.rack = None;
+                self.rack_state = RackState::default();
+            }
+        }
+    }
+
+    /// Enqueues one report for the next [`run_tick`](Self::run_tick).
+    /// Returns `true` only when the report was accepted; rejections
+    /// (backpressure or validation) are counted. See
+    /// [`try_submit`](Self::try_submit) for the distinguishing outcome.
+    pub fn submit(&mut self, telemetry: NodeTelemetry) -> bool {
+        matches!(self.try_submit(telemetry), SubmitOutcome::Accepted)
+    }
+
+    /// Enqueues one report, reporting exactly why it was not queued:
+    /// validation failure (non-finite/negative power or BIPS cells,
+    /// mismatched matrix shapes, degenerate budget) or queue
+    /// backpressure, the latter with a per-node exponential-backoff retry
+    /// hint when degraded mode is configured.
+    pub fn try_submit(&mut self, telemetry: NodeTelemetry) -> SubmitOutcome {
+        if !telemetry_valid(&telemetry) {
+            self.stats.rejected_invalid += 1;
+            return SubmitOutcome::Invalid;
+        }
+        if self.queue.len() >= self.config.queue_capacity {
+            self.stats.rejected_backpressure += 1;
+            let retry_at = match &self.config.degraded {
+                Some(degraded) => {
+                    let state = self.nodes.entry(telemetry.node).or_default();
+                    if state.rejections == 0 {
+                        self.backoff_nodes += 1;
+                    }
+                    let exp = state.rejections.min(degraded.retry_max_exp);
+                    state.rejections = state.rejections.saturating_add(1);
+                    state.retry_at = self.next_tick + (degraded.retry_base << exp);
+                    state.retry_at
+                }
+                None => self.next_tick,
+            };
+            return SubmitOutcome::Rejected { retry_at };
+        }
+        if self.backoff_nodes > 0 {
+            if let Some(state) = self.nodes.get_mut(&telemetry.node) {
+                if state.rejections != 0 {
+                    state.rejections = 0;
+                    state.retry_at = 0;
+                    self.backoff_nodes -= 1;
+                }
+            }
+        }
+        self.queue.push(telemetry);
+        SubmitOutcome::Accepted
+    }
+
+    /// Classifies a report's effective age in the `gpm-faults` freshness
+    /// vocabulary: within `dark_after` the report is merely stale; at or
+    /// beyond it the node is presumed unreachable.
+    fn freshness(&self, age: usize) -> SensorStatus {
         if age == 0 {
             SensorStatus::Fresh
-        } else if age <= self.config.stale_tolerance {
+        } else if age < self.config.dark_after {
             SensorStatus::Stale { age }
         } else {
             SensorStatus::Dark
@@ -251,23 +665,87 @@ impl FleetEngine {
 
     /// Drains the tick queue and decides every accepted report, in
     /// submission order. `now` is the current tick, used for stale-drop.
+    /// With degraded mode configured, nodes whose reports failed still
+    /// receive (flagged) fallback decisions, interleaved at their
+    /// submission positions.
     pub fn run_tick(&mut self, now: u64) -> Vec<NodeDecision> {
-        let batch = std::mem::take(&mut self.queue);
-        let mut accepted = Vec::with_capacity(batch.len());
-        for report in batch {
-            match self.freshness(now, report.tick) {
-                SensorStatus::Fresh | SensorStatus::Stale { .. } => accepted.push(report),
-                SensorStatus::Dark => self.stats.dropped_stale += 1,
+        let mut batch = std::mem::take(&mut self.queue);
+        let degraded_on = self.config.degraded.is_some();
+        let track_power = degraded_on || self.config.rack.is_some();
+
+        // Phase A — serial intake: chaos seam, validation, freshness.
+        // `Accept` entries index into `accepted`; fallback entries carry
+        // whether the (untrusted) report is still usable for its shape.
+        enum Triage {
+            Accept(usize),
+            FallbackShaped,
+            FallbackBlind,
+            Drop,
+        }
+        let mut triage: Vec<Triage> = Vec::with_capacity(batch.len());
+        let mut accepted: Vec<usize> = Vec::new();
+        for (i, report) in batch.iter_mut().enumerate() {
+            let failed = |on: bool, shaped: bool| {
+                if !on {
+                    Triage::Drop
+                } else if shaped {
+                    Triage::FallbackShaped
+                } else {
+                    Triage::FallbackBlind
+                }
+            };
+            let mut skew = 0u64;
+            if let Some(session) = &self.session {
+                if session.node_down(now, report.node) {
+                    self.stats.flap_drops += 1;
+                    self.stats.dropped_dark += 1;
+                    triage.push(failed(degraded_on, false));
+                    continue;
+                }
+                skew = session.tick_skew(report.tick, report.node);
+                if skew > 0 {
+                    self.stats.skew_delayed += 1;
+                }
+                if let Some(field) = session.corrupt(report.tick, report.node) {
+                    corrupt_report(report, field);
+                    self.stats.corrupted_reports += 1;
+                    if !telemetry_valid(report) {
+                        self.stats.rejected_invalid += 1;
+                        triage.push(failed(degraded_on, true));
+                        continue;
+                    }
+                }
+            }
+            let age = now.saturating_sub(report.tick).saturating_add(skew) as usize;
+            match self.freshness(age) {
+                SensorStatus::Fresh => {
+                    triage.push(Triage::Accept(accepted.len()));
+                    accepted.push(i);
+                }
+                SensorStatus::Stale { age } if age <= self.config.stale_tolerance => {
+                    triage.push(Triage::Accept(accepted.len()));
+                    accepted.push(i);
+                }
+                SensorStatus::Stale { .. } => {
+                    self.stats.dropped_stale += 1;
+                    triage.push(failed(degraded_on, true));
+                }
+                SensorStatus::Dark => {
+                    self.stats.dropped_dark += 1;
+                    triage.push(failed(degraded_on, true));
+                }
             }
         }
-        self.stats.decisions_total += accepted.len() as u64;
 
-        // Within-tick dedup: group by canonical key, first occurrence
-        // leads. Group order (= first-occurrence order) drives every
-        // later cache access, so nothing depends on hash iteration order.
+        // Phase B — within-tick dedup: group by canonical key, first
+        // occurrence leads. Group order (= first-occurrence order) drives
+        // every later cache access, so nothing depends on hash iteration
+        // order.
         let mut index: HashMap<QuantizedKey, usize> = HashMap::new();
         let mut groups: Vec<(QuantizedKey, Vec<usize>)> = Vec::new();
-        for (i, report) in accepted.iter().enumerate() {
+        let mut group_of: Vec<usize> = Vec::with_capacity(accepted.len());
+        for &i in accepted.iter() {
+            let report = &batch[i];
             let key = self.cache.key(
                 &report.matrices,
                 &report.current,
@@ -275,26 +753,43 @@ impl FleetEngine {
                 &self.config.dvfs,
                 self.config.explore,
             );
+            let a = group_of.len();
             match index.entry(key.clone()) {
-                Entry::Occupied(entry) => groups[*entry.get()].1.push(i),
+                Entry::Occupied(entry) => {
+                    group_of.push(*entry.get());
+                    groups[*entry.get()].1.push(a);
+                }
                 Entry::Vacant(entry) => {
                     entry.insert(groups.len());
-                    groups.push((key, vec![i]));
+                    group_of.push(groups.len());
+                    groups.push((key, vec![a]));
                 }
             }
         }
 
-        // Leaders probe the cross-tick cache serially, in group order.
+        // Phase C — leaders probe the cross-tick cache serially, in group
+        // order; solver-timeout injection diverts residual-miss groups to
+        // the degraded path before they can touch the accounting identity.
         let mut results: Vec<Option<ModeCombination>> = vec![None; accepted.len()];
+        let mut timed_out: Vec<bool> = vec![false; accepted.len()];
+        let mut timed_out_members: u64 = 0;
         let mut avoided_this_tick: u64 = 0;
         let mut misses: Vec<usize> = Vec::new();
+        // Power estimate per group, computed once from the leader's
+        // matrices: members of a dedup group share one quantization
+        // bucket, so at the exact default their matrices are bit-identical
+        // and the leader's estimate IS every member's estimate. (Coarse
+        // quanta make this the bucket representative's estimate, same as
+        // the served decision itself.) Keeps rack accounting O(groups),
+        // not O(nodes), per tick.
+        let mut group_watts: Vec<f64> = vec![0.0; if track_power { groups.len() } else { 0 }];
         for (g, (key, members)) in groups.iter().enumerate() {
-            self.stats.dedup_hits += members.len() as u64 - 1;
             if let Some(combo) = self.cache.get(key) {
                 self.stats.cache_hits += 1;
+                self.stats.dedup_hits += members.len() as u64 - 1;
                 avoided_this_tick += members.len() as u64;
                 if self.config.cache.verify_hits {
-                    let leader = &accepted[members[0]];
+                    let leader = &batch[accepted[members[0]]];
                     let fresh = self.solve_one(leader);
                     assert_eq!(
                         combo, fresh,
@@ -302,20 +797,42 @@ impl FleetEngine {
                          quantization is too coarse for this workload"
                     );
                 }
-                for &i in members {
-                    results[i] = Some(combo.clone());
+                if track_power {
+                    let leader = &batch[accepted[members[0]]];
+                    group_watts[g] = leader.matrices.chip_power(&combo).value();
+                }
+                for &a in members {
+                    results[a] = Some(combo.clone());
                 }
             } else {
-                avoided_this_tick += members.len() as u64 - 1;
-                misses.push(g);
+                let leader = &batch[accepted[members[0]]];
+                let timeout = self
+                    .session
+                    .as_ref()
+                    .is_some_and(|s| s.solver_timeout(now, leader.node));
+                if timeout {
+                    self.stats.solver_timeouts += 1;
+                    timed_out_members += members.len() as u64;
+                    for &a in members {
+                        timed_out[a] = true;
+                    }
+                } else {
+                    self.stats.dedup_hits += members.len() as u64 - 1;
+                    avoided_this_tick += members.len() as u64 - 1;
+                    misses.push(g);
+                }
             }
         }
+        self.stats.decisions_total += accepted.len() as u64 - timed_out_members;
 
-        // Residual misses fan out over the pool (order-preserving map),
-        // then insert serially in miss order: cache state — and with it
-        // every later eviction — is identical for any pool width.
-        let miss_leaders: Vec<&NodeTelemetry> =
-            misses.iter().map(|&g| &accepted[groups[g].1[0]]).collect();
+        // Phase D — residual misses fan out over the pool
+        // (order-preserving map), then insert serially in miss order:
+        // cache state — and with it every later eviction — is identical
+        // for any pool width.
+        let miss_leaders: Vec<&NodeTelemetry> = misses
+            .iter()
+            .map(|&g| &batch[accepted[groups[g].1[0]]])
+            .collect();
         let config = &self.config;
         let solved: Vec<(ModeCombination, f64)> = gpm_par::parallel_map(&miss_leaders, |report| {
             let start = Instant::now();
@@ -326,8 +843,12 @@ impl FleetEngine {
             self.stats.unique_solves += 1;
             self.stats.solver_us_spent += micros;
             self.cache.insert(groups[g].0.clone(), combo.clone());
-            for &i in &groups[g].1 {
-                results[i] = Some(combo.clone());
+            if track_power {
+                let leader = &batch[accepted[groups[g].1[0]]];
+                group_watts[g] = leader.matrices.chip_power(&combo).value();
+            }
+            for &a in &groups[g].1 {
+                results[a] = Some(combo.clone());
             }
         }
         if self.stats.unique_solves > 0 {
@@ -335,21 +856,447 @@ impl FleetEngine {
             self.stats.solver_us_saved += avoided_this_tick as f64 * mean;
         }
 
-        accepted
-            .into_iter()
-            .zip(results)
-            .map(|(report, modes)| NodeDecision {
-                node: report.node,
-                tick: now,
-                modes: modes.expect("every accepted report was decided"),
+        // Phase E — assemble the output in submission order: solver-path
+        // decisions at their positions, degraded-path fallbacks (flagged)
+        // where reports failed. `sources[j]` remembers the backing report
+        // of each solver-path decision for rack re-estimation and
+        // last-good bookkeeping.
+        let mut out: Vec<NodeDecision> = Vec::with_capacity(batch.len());
+        let capacity = if track_power { batch.len() } else { 0 };
+        let mut estimates: Vec<f64> = Vec::with_capacity(capacity);
+        let mut sources: Vec<Option<usize>> = Vec::with_capacity(capacity);
+        for (i, disposition) in triage.iter().enumerate() {
+            let report = &batch[i];
+            match disposition {
+                Triage::Accept(a) if !timed_out[*a] => {
+                    let modes = results[*a].clone().expect("every live group was decided");
+                    if track_power {
+                        estimates.push(group_watts[group_of[*a]]);
+                        sources.push(Some(i));
+                    }
+                    out.push(NodeDecision {
+                        node: report.node,
+                        tick: now,
+                        modes,
+                        degraded: false,
+                    });
+                }
+                Triage::Accept(_) | Triage::FallbackShaped => {
+                    let shape = Some(report);
+                    if let Some((modes, watts)) = self.make_fallback(report.node, shape) {
+                        self.stats.fallback_decisions += 1;
+                        if track_power {
+                            estimates.push(watts);
+                            sources.push(None);
+                        }
+                        out.push(NodeDecision {
+                            node: report.node,
+                            tick: now,
+                            modes,
+                            degraded: true,
+                        });
+                    }
+                }
+                Triage::FallbackBlind => {
+                    if let Some((modes, watts)) = self.make_fallback(report.node, None) {
+                        self.stats.fallback_decisions += 1;
+                        if track_power {
+                            estimates.push(watts);
+                            sources.push(None);
+                        }
+                        out.push(NodeDecision {
+                            node: report.node,
+                            tick: now,
+                            modes,
+                            degraded: true,
+                        });
+                    }
+                }
+                Triage::Drop => {}
+            }
+        }
+
+        // Phase F — rack budget enforcement: emergency shedding in
+        // deterministic priority order, plus the violation watchdog.
+        if self.config.rack.is_some() {
+            self.enforce_rack(&mut out, &mut estimates, &sources, &batch);
+        }
+
+        // Phase G — remember what was actually issued (post-shed) for
+        // every solver-backed node, so the next fallback clamps down from
+        // reality rather than from a pre-clamp intent.
+        if degraded_on {
+            for (j, decision) in out.iter().enumerate() {
+                if sources[j].is_some() {
+                    let state = self.nodes.entry(decision.node).or_default();
+                    match &mut state.last_good {
+                        // Reuse the standing allocation: at steady state
+                        // this is a same-width copy, not an alloc.
+                        Some(last) => {
+                            last.modes.clone_from(&decision.modes);
+                            last.watts = estimates[j];
+                        }
+                        None => {
+                            state.last_good = Some(LastGood {
+                                modes: decision.modes.clone(),
+                                watts: estimates[j],
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        self.next_tick = now + 1;
+        out
+    }
+
+    /// Builds a degraded-mode fallback decision for `node`: its last-good
+    /// assignment stepped down `clamp_steps` modes, or all-Eff2 when no
+    /// last-good assignment exists and the failed report still shows the
+    /// node's shape. Returns `None` when the node's width is unknowable
+    /// (no history, no report) or degraded mode is off.
+    fn make_fallback(
+        &self,
+        node: u64,
+        shape: Option<&NodeTelemetry>,
+    ) -> Option<(ModeCombination, f64)> {
+        let degraded = self.config.degraded.as_ref()?;
+        if let Some(last_good) = self.nodes.get(&node).and_then(|s| s.last_good.as_ref()) {
+            let modes = step_down(&last_good.modes, degraded.clamp_steps);
+            let watts = last_good.watts * scale_ratio(&modes, &last_good.modes);
+            return Some((modes, watts));
+        }
+        let report = shape?;
+        let cores = report.matrices.cores();
+        if cores == 0 {
+            return None;
+        }
+        let modes = ModeCombination::uniform(cores, PowerMode::Eff2);
+        // A corrupted matrix cannot be trusted for the estimate; the node
+        // is already at the floor, so it sheds nothing either way.
+        let watts = if report.matrices.cells_valid() {
+            report.matrices.chip_power(&modes).value()
+        } else {
+            0.0
+        };
+        Some((modes, watts))
+    }
+
+    /// Rack budget enforcement for one tick: watchdog clamp when active
+    /// or triggered, emergency shedding otherwise.
+    fn enforce_rack(
+        &mut self,
+        out: &mut [NodeDecision],
+        estimates: &mut [f64],
+        sources: &[Option<usize>],
+        batch: &[NodeTelemetry],
+    ) {
+        let rack = self.config.rack.clone().expect("caller checked rack");
+        let budget = rack.budget.value();
+        // All-Eff2 floor estimate for output position `j`: solver-backed
+        // decisions re-estimate from the node's own matrices; fallback
+        // decisions (no trusted matrices) rescale their watts figure by
+        // the cubic power-scale ratio.
+        let eff2_estimate = |j: usize, modes: &ModeCombination, estimate: f64| -> f64 {
+            match sources[j] {
+                Some(i) => {
+                    let cores = batch[i].matrices.cores();
+                    batch[i]
+                        .matrices
+                        .chip_power(&ModeCombination::uniform(cores, PowerMode::Eff2))
+                        .value()
+                }
+                None => {
+                    let floor = ModeCombination::uniform(modes.len(), PowerMode::Eff2);
+                    estimate * scale_ratio(&floor, modes)
+                }
+            }
+        };
+        let clamp_all = |out: &mut [NodeDecision], estimates: &mut [f64]| {
+            for (j, decision) in out.iter_mut().enumerate() {
+                let floor = ModeCombination::uniform(decision.modes.len(), PowerMode::Eff2);
+                if decision.modes != floor {
+                    estimates[j] = eff2_estimate(j, &decision.modes, estimates[j]);
+                    decision.modes = floor;
+                    decision.degraded = true;
+                }
+            }
+        };
+
+        if self.rack_state.clamp_remaining > 0 {
+            // An active whole-rack clamp overrides everything; violation
+            // accounting is suspended (the watchdog is already doing all
+            // it can), mirroring the per-chip guard rails.
+            clamp_all(out, estimates);
+            self.stats.watchdog_clamp_ticks += 1;
+            self.rack_state.clamp_remaining -= 1;
+            return;
+        }
+
+        let intent: f64 = estimates.iter().sum();
+        let violation = intent > budget;
+        if violation {
+            self.stats.rack_violation_ticks += 1;
+            self.rack_state.current_run += 1;
+            self.stats.longest_rack_violation_run = self
+                .stats
+                .longest_rack_violation_run
+                .max(self.rack_state.current_run);
+            self.stats.worst_rack_overshoot_watts =
+                self.stats.worst_rack_overshoot_watts.max(intent - budget);
+            self.rack_state.violation_streak += 1;
+        } else {
+            self.rack_state.current_run = 0;
+            self.rack_state.violation_streak = 0;
+        }
+
+        if self.rack_state.violation_streak >= rack.watchdog_k {
+            // Trigger: clamp the whole rack now and hold with exponential
+            // backoff, exactly like the per-chip watchdog.
+            self.rack_state.clamp_remaining = self.rack_state.backoff;
+            self.rack_state.backoff = (self.rack_state.backoff * 2).min(rack.max_backoff);
+            self.rack_state.violation_streak = 0;
+            clamp_all(out, estimates);
+            self.stats.watchdog_clamp_ticks += 1;
+            self.rack_state.clamp_remaining -= 1;
+            return;
+        }
+
+        if violation {
+            // Emergency shedding: clamp the highest-estimated-power nodes
+            // to the all-Eff2 floor, node id (then output position) as
+            // tie-break, until the estimate fits the budget. The order is
+            // a pure function of the estimates, so it is pool-width
+            // independent.
+            let mut order: Vec<usize> = (0..out.len()).collect();
+            order.sort_by(|&a, &b| {
+                estimates[b]
+                    .total_cmp(&estimates[a])
+                    .then(out[a].node.cmp(&out[b].node))
+            });
+            let mut total = intent;
+            for j in order {
+                if total <= budget {
+                    break;
+                }
+                let cores = out[j].modes.len();
+                let floor = ModeCombination::uniform(cores, PowerMode::Eff2);
+                if out[j].modes == floor {
+                    continue;
+                }
+                let new_estimate = eff2_estimate(j, &out[j].modes, estimates[j]);
+                total -= estimates[j] - new_estimate;
+                estimates[j] = new_estimate;
+                out[j].modes = floor;
+                out[j].degraded = true;
+                self.stats.shed_clamps += 1;
+            }
+        }
+    }
+
+    /// Exports the engine's inter-tick state as a versioned checkpoint.
+    /// Queued telemetry is not captured; checkpoint between ticks.
+    #[must_use]
+    pub fn checkpoint(&self) -> FleetCheckpoint {
+        let mut nodes: Vec<NodeSnapshot> = self
+            .nodes
+            .iter()
+            .map(|(&node, state)| NodeSnapshot {
+                node,
+                state: state.clone(),
             })
-            .collect()
+            .collect();
+        nodes.sort_by_key(|snap| snap.node);
+        FleetCheckpoint {
+            version: FLEET_CHECKPOINT_VERSION,
+            config_fingerprint: config_fingerprint(&self.config),
+            next_tick: self.next_tick,
+            stats: self.stats,
+            cache: self.cache.snapshot(),
+            nodes,
+            rack: self.rack_state.clone(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpoint taken under the same
+    /// configuration. The restored engine continues bit-identically to
+    /// one that never stopped: the cache holds the same entries in the
+    /// same recency order, every node's last-good state and backoff is
+    /// back, and the rack watchdog resumes mid-hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] if the checkpoint's version or
+    /// configuration fingerprint does not match, or if `config` itself is
+    /// invalid.
+    pub fn restore(config: FleetConfig, checkpoint: &FleetCheckpoint) -> Result<Self> {
+        if checkpoint.version != FLEET_CHECKPOINT_VERSION {
+            return Err(GpmError::InvalidConfig {
+                parameter: "fleet.checkpoint",
+                reason: format!(
+                    "checkpoint version {} does not match engine version {}",
+                    checkpoint.version, FLEET_CHECKPOINT_VERSION
+                ),
+            });
+        }
+        if checkpoint.config_fingerprint != config_fingerprint(&config) {
+            return Err(GpmError::InvalidConfig {
+                parameter: "fleet.checkpoint",
+                reason: "checkpoint was taken under a different configuration".into(),
+            });
+        }
+        let mut engine = Self::new(config)?;
+        engine.cache = DecisionCache::restore(engine.config.cache.clone(), &checkpoint.cache)?;
+        engine.nodes = checkpoint
+            .nodes
+            .iter()
+            .map(|snap| (snap.node, snap.state.clone()))
+            .collect();
+        engine.backoff_nodes = engine
+            .nodes
+            .values()
+            .filter(|state| state.rejections != 0)
+            .count();
+        engine.stats = checkpoint.stats;
+        engine.rack_state = checkpoint.rack.clone();
+        engine.next_tick = checkpoint.next_tick;
+        Ok(engine)
     }
 
     /// Solves one report without the cache (verify-hits audit path).
     fn solve_one(&self, report: &NodeTelemetry) -> ModeCombination {
         solve_report(&self.config, report)
     }
+}
+
+/// Whether a report is numerically sound: positive core count, matching
+/// mode-vector shape, finite non-negative matrix cells, finite positive
+/// budget.
+fn telemetry_valid(telemetry: &NodeTelemetry) -> bool {
+    telemetry.matrices.cores() > 0
+        && telemetry.current.len() == telemetry.matrices.cores()
+        && telemetry.budget.value().is_finite()
+        && telemetry.budget.value() > 0.0
+        && telemetry.matrices.cells_valid()
+}
+
+/// Applies one injected corruption to a report in place, modelling
+/// in-flight mangling between the node and the service.
+fn corrupt_report(report: &mut NodeTelemetry, field: CorruptField) {
+    match field {
+        CorruptField::Nan | CorruptField::Negative => {
+            let cores = report.matrices.cores();
+            let mut power: Vec<[f64; PowerMode::COUNT]> = Vec::with_capacity(cores);
+            let mut bips: Vec<[f64; PowerMode::COUNT]> = Vec::with_capacity(cores);
+            for core in 0..cores {
+                let id = CoreId::new(core);
+                power.push(PowerMode::ALL.map(|m| report.matrices.power(id, m).value()));
+                bips.push(PowerMode::ALL.map(|m| report.matrices.bips(id, m).value()));
+            }
+            if let Some(row) = power.first_mut() {
+                row[0] = match field {
+                    CorruptField::Nan => f64::NAN,
+                    _ => -row[0].abs() - 1.0,
+                };
+            }
+            report.matrices = PowerBipsMatrices::from_rows(power, bips);
+        }
+        CorruptField::Shape => {
+            let mut modes = report.current.as_slice().to_vec();
+            modes.push(PowerMode::Turbo);
+            report.current = ModeCombination::new(modes);
+        }
+    }
+}
+
+/// Steps every core's mode down (toward Eff2) `steps` times, saturating
+/// at the floor.
+fn step_down(modes: &ModeCombination, steps: usize) -> ModeCombination {
+    modes
+        .as_slice()
+        .iter()
+        .map(|&mode| {
+            let mut m = mode;
+            for _ in 0..steps {
+                match m.slower() {
+                    Some(next) => m = next,
+                    None => break,
+                }
+            }
+            m
+        })
+        .collect()
+}
+
+/// Ratio of summed cubic power scales between two mode vectors — the
+/// matrix-free power-estimate rescaling used when only a last-good watts
+/// figure is available.
+fn scale_ratio(new: &ModeCombination, old: &ModeCombination) -> f64 {
+    let sum = |c: &ModeCombination| c.as_slice().iter().map(|m| m.power_scale()).sum::<f64>();
+    let denominator = sum(old);
+    if denominator > 0.0 {
+        sum(new) / denominator
+    } else {
+        1.0
+    }
+}
+
+/// FNV-1a over the decision-relevant configuration, used to refuse
+/// restoring a checkpoint under a different configuration.
+fn config_fingerprint(config: &FleetConfig) -> u64 {
+    fn eat_byte(hash: &mut u64, byte: u8) {
+        *hash ^= u64::from(byte);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    fn eat(hash: &mut u64, word: u64) {
+        for byte in word.to_le_bytes() {
+            eat_byte(hash, byte);
+        }
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    eat(&mut hash, config.cache.capacity as u64);
+    eat(&mut hash, config.cache.watt_quantum.to_bits());
+    eat(&mut hash, config.cache.bips_quantum.to_bits());
+    eat(&mut hash, config.cache.budget_quantum.to_bits());
+    eat(&mut hash, u64::from(config.cache.verify_hits));
+    eat(&mut hash, config.queue_capacity as u64);
+    eat(&mut hash, config.stale_tolerance as u64);
+    eat(&mut hash, config.dark_after as u64);
+    eat(&mut hash, config.flat_core_limit as u64);
+    eat(&mut hash, config.cluster_cores as u64);
+    eat(&mut hash, config.dvfs.nominal_vdd.value().to_bits());
+    eat(&mut hash, config.dvfs.nominal_frequency.value().to_bits());
+    eat(&mut hash, config.dvfs.slew_rate_v_per_us.to_bits());
+    eat(&mut hash, config.explore.value().to_bits());
+    match &config.faults {
+        Some(plan) => {
+            let json = serde_json::to_string(plan).expect("fault plans serialize");
+            eat(&mut hash, json.len() as u64);
+            for &byte in json.as_bytes() {
+                eat_byte(&mut hash, byte);
+            }
+        }
+        None => eat(&mut hash, u64::MAX),
+    }
+    match &config.degraded {
+        Some(d) => {
+            eat(&mut hash, d.clamp_steps as u64);
+            eat(&mut hash, d.retry_base);
+            eat(&mut hash, u64::from(d.retry_max_exp));
+        }
+        None => eat(&mut hash, u64::MAX - 1),
+    }
+    match &config.rack {
+        Some(r) => {
+            eat(&mut hash, r.budget.value().to_bits());
+            eat(&mut hash, r.watchdog_k as u64);
+            eat(&mut hash, r.clamp_hold);
+            eat(&mut hash, r.max_backoff);
+        }
+        None => eat(&mut hash, u64::MAX - 2),
+    }
+    hash
 }
 
 /// The fleet's solver dispatch: flat exact branch-and-bound up to the
@@ -407,6 +1354,13 @@ mod tests {
         }
     }
 
+    fn degraded_config() -> FleetConfig {
+        FleetConfig {
+            degraded: Some(DegradedConfig::default()),
+            ..FleetConfig::default()
+        }
+    }
+
     #[test]
     fn invalid_configs_are_rejected() {
         for (mutate, _) in [
@@ -422,6 +1376,25 @@ mod tests {
             (
                 Box::new(|c: &mut FleetConfig| c.cache.capacity = 0),
                 "cache",
+            ),
+            (
+                Box::new(|c: &mut FleetConfig| c.dark_after = 1),
+                "dark_after <= stale_tolerance",
+            ),
+            (
+                Box::new(|c: &mut FleetConfig| {
+                    c.degraded = Some(DegradedConfig {
+                        retry_base: 0,
+                        ..DegradedConfig::default()
+                    });
+                }),
+                "retry base",
+            ),
+            (
+                Box::new(|c: &mut FleetConfig| {
+                    c.rack = Some(RackConfig::new(Watts::new(f64::NAN)));
+                }),
+                "rack budget",
             ),
         ] {
             let mut config = FleetConfig::default();
@@ -451,6 +1424,7 @@ mod tests {
         for d in &decisions {
             let fresh = solve_report(engine.config(), &telemetry(d.node, 0, 4, d.node % 2));
             assert_eq!(d.modes, fresh, "node {}", d.node);
+            assert!(!d.degraded);
         }
         let stats = engine.stats();
         assert_eq!(stats.decisions_total, 6);
@@ -495,7 +1469,33 @@ mod tests {
             vec![0, 1]
         );
         assert_eq!(engine.stats().dropped_stale, 1);
+        assert_eq!(engine.stats().dropped_dark, 0);
         assert_eq!(engine.stats().decisions_total, 2);
+    }
+
+    #[test]
+    fn dark_reports_are_counted_separately_from_stale() {
+        let mut engine = FleetEngine::new(FleetConfig {
+            stale_tolerance: 1,
+            dark_after: 4,
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        assert!(engine.submit(telemetry(0, 10, 4, 0))); // fresh
+        assert!(engine.submit(telemetry(1, 8, 4, 0))); // age 2: stale-dropped
+        assert!(engine.submit(telemetry(2, 7, 4, 0))); // age 3: stale-dropped
+        assert!(engine.submit(telemetry(3, 6, 4, 0))); // age 4: dark
+        assert!(engine.submit(telemetry(4, 1, 4, 0))); // age 9: dark
+        let decisions = engine.run_tick(10);
+        assert_eq!(decisions.len(), 1);
+        let stats = engine.stats();
+        assert_eq!(stats.dropped_stale, 2);
+        assert_eq!(stats.dropped_dark, 2);
+        assert_eq!(stats.decisions_total, 1);
+        assert_eq!(
+            stats.decisions_total,
+            stats.cache_hits + stats.dedup_hits + stats.unique_solves
+        );
     }
 
     #[test]
@@ -513,6 +1513,53 @@ mod tests {
         // The queue drains on the tick and accepts again.
         assert_eq!(engine.run_tick(0).len(), 2);
         assert!(engine.submit(telemetry(2, 1, 4, 2)));
+    }
+
+    #[test]
+    fn backpressure_backoff_grows_exponentially_and_resets() {
+        let mut engine = FleetEngine::new(FleetConfig {
+            queue_capacity: 1,
+            ..degraded_config()
+        })
+        .expect("valid config");
+        assert!(engine.submit(telemetry(0, 0, 4, 0)));
+        // Node 7 keeps getting rejected: 1, 2, 4 tick hints.
+        for expected in [1u64, 2, 4] {
+            match engine.try_submit(telemetry(7, 0, 4, 0)) {
+                SubmitOutcome::Rejected { retry_at } => assert_eq!(retry_at, expected),
+                other => panic!("expected backpressure, got {other:?}"),
+            }
+        }
+        assert_eq!(engine.retry_at(7), Some(4));
+        engine.run_tick(0);
+        // Queue has room again: acceptance resets the backoff.
+        assert_eq!(
+            engine.try_submit(telemetry(7, 1, 4, 0)),
+            SubmitOutcome::Accepted
+        );
+        assert_eq!(engine.retry_at(7), None);
+        assert_eq!(engine.stats().rejected_backpressure, 3);
+    }
+
+    #[test]
+    fn invalid_telemetry_is_rejected_on_submit() {
+        let mut engine = FleetEngine::new(FleetConfig::default()).expect("valid config");
+        let mut nan = telemetry(0, 0, 2, 0);
+        corrupt_report(&mut nan, CorruptField::Nan);
+        let mut neg = telemetry(1, 0, 2, 0);
+        corrupt_report(&mut neg, CorruptField::Negative);
+        let mut shape = telemetry(2, 0, 2, 0);
+        corrupt_report(&mut shape, CorruptField::Shape);
+        let mut bad_budget = telemetry(3, 0, 2, 0);
+        bad_budget.budget = Watts::new(-5.0);
+        for bad in [nan, neg, shape, bad_budget] {
+            assert_eq!(engine.try_submit(bad), SubmitOutcome::Invalid);
+        }
+        assert_eq!(engine.stats().rejected_invalid, 4);
+        assert_eq!(engine.queued(), 0);
+        // A valid report still goes through; the key space is unpoisoned.
+        assert!(engine.submit(telemetry(4, 0, 2, 0)));
+        assert_eq!(engine.run_tick(0).len(), 1);
     }
 
     #[test]
@@ -555,5 +1602,397 @@ mod tests {
             engine.run_tick(tick);
         }
         assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn flap_yields_last_good_fallback_stepped_down() {
+        let plan = FleetFaultPlan::parse("flap@1:period=4,down=1,from=1,to=2").unwrap();
+        let mut engine = FleetEngine::new(FleetConfig {
+            faults: Some(plan),
+            ..degraded_config()
+        })
+        .expect("valid config");
+        // Tick 0: both nodes decided normally; node 1's assignment is
+        // remembered as last-good.
+        for node in 0..2 {
+            assert!(engine.submit(telemetry(node, 0, 4, node)));
+        }
+        let first = engine.run_tick(0);
+        assert_eq!(first.len(), 2);
+        let good = first[1].modes.clone();
+        // Tick 1: node 1 flaps; it still gets a decision — last-good
+        // stepped one mode down — flagged degraded.
+        for node in 0..2 {
+            assert!(engine.submit(telemetry(node, 1, 4, node)));
+        }
+        let second = engine.run_tick(1);
+        assert_eq!(second.len(), 2);
+        assert!(!second[0].degraded);
+        assert!(second[1].degraded);
+        assert_eq!(second[1].modes, step_down(&good, 1));
+        let stats = engine.stats();
+        assert_eq!(stats.flap_drops, 1);
+        assert_eq!(stats.dropped_dark, 1);
+        assert_eq!(stats.fallback_decisions, 1);
+        assert_eq!(stats.decisions_total, 3);
+        assert_eq!(
+            stats.decisions_total,
+            stats.cache_hits + stats.dedup_hits + stats.unique_solves
+        );
+        // Tick 2: the window closed; node 1 is decided normally again.
+        for node in 0..2 {
+            assert!(engine.submit(telemetry(node, 2, 4, node)));
+        }
+        let third = engine.run_tick(2);
+        assert!(!third[1].degraded);
+        assert_eq!(third[1].modes, good);
+    }
+
+    #[test]
+    fn flap_without_history_emits_no_decision() {
+        let plan = FleetFaultPlan::parse("flap@0:period=2,down=2").unwrap();
+        let mut engine = FleetEngine::new(FleetConfig {
+            faults: Some(plan),
+            ..degraded_config()
+        })
+        .expect("valid config");
+        assert!(engine.submit(telemetry(0, 0, 4, 0)));
+        // Node 0 is down and has never been decided: the engine cannot
+        // even know its width, so no fallback is possible.
+        assert!(engine.run_tick(0).is_empty());
+        assert_eq!(engine.stats().fallback_decisions, 0);
+        assert_eq!(engine.stats().flap_drops, 1);
+    }
+
+    #[test]
+    fn corrupt_report_falls_back_to_floor_without_history() {
+        let plan = FleetFaultPlan::parse("corrupt@0:field=nan,rate=1.0").unwrap();
+        let mut engine = FleetEngine::new(FleetConfig {
+            faults: Some(plan),
+            ..degraded_config()
+        })
+        .expect("valid config");
+        assert!(engine.submit(telemetry(0, 0, 4, 0)));
+        let decisions = engine.run_tick(0);
+        assert_eq!(decisions.len(), 1);
+        assert!(decisions[0].degraded);
+        assert_eq!(
+            decisions[0].modes,
+            ModeCombination::uniform(4, PowerMode::Eff2),
+            "no last-good assignment: the fallback is the all-Eff2 floor"
+        );
+        let stats = engine.stats();
+        assert_eq!(stats.corrupted_reports, 1);
+        assert_eq!(stats.rejected_invalid, 1);
+        assert_eq!(stats.fallback_decisions, 1);
+        assert_eq!(stats.decisions_total, 0);
+    }
+
+    #[test]
+    fn skew_ages_reports_into_the_stale_drop() {
+        let plan = FleetFaultPlan::parse("skew@0:ticks=3").unwrap();
+        let mut engine = FleetEngine::new(FleetConfig {
+            stale_tolerance: 1,
+            faults: Some(plan),
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        assert!(engine.submit(telemetry(0, 5, 4, 0))); // fresh, but skewed to age 3
+        assert!(engine.submit(telemetry(1, 5, 4, 0))); // untouched
+        let decisions = engine.run_tick(5);
+        assert_eq!(decisions.len(), 1);
+        assert_eq!(decisions[0].node, 1);
+        let stats = engine.stats();
+        assert_eq!(stats.skew_delayed, 1);
+        assert_eq!(stats.dropped_stale, 1);
+    }
+
+    #[test]
+    fn solver_timeout_diverts_group_to_fallback() {
+        let plan = FleetFaultPlan::parse("timeout:rate=1.0,from=0,to=1").unwrap();
+        let mut engine = FleetEngine::new(FleetConfig {
+            faults: Some(plan),
+            ..degraded_config()
+        })
+        .expect("valid config");
+        // Two identical reports: one group, one (timed-out) solve.
+        for node in 0..2 {
+            assert!(engine.submit(telemetry(node, 0, 4, 0)));
+        }
+        let decisions = engine.run_tick(0);
+        assert_eq!(decisions.len(), 2);
+        assert!(decisions.iter().all(|d| d.degraded));
+        let stats = engine.stats();
+        assert_eq!(stats.solver_timeouts, 1);
+        assert_eq!(stats.fallback_decisions, 2);
+        assert_eq!(stats.decisions_total, 0);
+        assert_eq!(stats.unique_solves, 0);
+        assert_eq!(engine.cache().len(), 0, "timed-out groups never insert");
+        // Tick 1 (window closed): the same problem now solves and the
+        // accounting identity holds.
+        for node in 0..2 {
+            assert!(engine.submit(telemetry(node, 1, 4, 0)));
+        }
+        let decisions = engine.run_tick(1);
+        assert!(decisions.iter().all(|d| !d.degraded));
+        let stats = engine.stats();
+        assert_eq!(stats.decisions_total, 2);
+        assert_eq!(stats.unique_solves, 1);
+        assert_eq!(stats.dedup_hits, 1);
+    }
+
+    #[test]
+    fn rack_shedding_clamps_highest_power_first() {
+        // Three 2-core nodes; phase 0 draws the most power.
+        let mut engine = FleetEngine::new(FleetConfig {
+            rack: Some(RackConfig::new(Watts::new(1e9))),
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        for node in 0..3 {
+            assert!(engine.submit(telemetry(node, 0, 2, node)));
+        }
+        let unshedded = engine.run_tick(0);
+        let full_power: f64 = unshedded
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                telemetry(i as u64, 0, 2, i as u64)
+                    .matrices
+                    .chip_power(&d.modes)
+                    .value()
+            })
+            .sum();
+
+        // Re-run with a budget that forces exactly the hungriest node out.
+        let per_node: Vec<f64> = unshedded
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                telemetry(i as u64, 0, 2, i as u64)
+                    .matrices
+                    .chip_power(&d.modes)
+                    .value()
+            })
+            .collect();
+        let hungriest = per_node
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let budget = full_power - 0.1;
+        let mut engine = FleetEngine::new(FleetConfig {
+            rack: Some(RackConfig::new(Watts::new(budget))),
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        for node in 0..3 {
+            assert!(engine.submit(telemetry(node, 0, 2, node)));
+        }
+        let shed = engine.run_tick(0);
+        assert_eq!(
+            shed[hungriest].modes,
+            ModeCombination::uniform(2, PowerMode::Eff2)
+        );
+        assert!(shed[hungriest].degraded);
+        let others: Vec<_> = (0..3).filter(|&i| i != hungriest).collect();
+        for &i in &others {
+            assert_eq!(shed[i].modes, unshedded[i].modes, "node {i} untouched");
+            assert!(!shed[i].degraded);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.shed_clamps, 1);
+        assert_eq!(stats.rack_violation_ticks, 1);
+        assert!(stats.worst_rack_overshoot_watts > 0.0);
+    }
+
+    #[test]
+    fn rack_watchdog_clamps_whole_rack_after_k_violations() {
+        // An absurdly small budget violates every tick even after full
+        // shedding-to-floor, so the watchdog must fire on tick K-1.
+        let rack = RackConfig {
+            budget: Watts::new(0.001),
+            watchdog_k: 3,
+            clamp_hold: 2,
+            max_backoff: 8,
+        };
+        let mut engine = FleetEngine::new(FleetConfig {
+            rack: Some(rack),
+            ..FleetConfig::default()
+        })
+        .expect("valid config");
+        let floor = ModeCombination::uniform(2, PowerMode::Eff2);
+        for tick in 0..6u64 {
+            for node in 0..2 {
+                assert!(engine.submit(telemetry(node, tick, 2, node)));
+            }
+            let decisions = engine.run_tick(tick);
+            // Every tick sheds (or clamps) everything to the floor.
+            assert!(decisions.iter().all(|d| d.modes == floor), "tick {tick}");
+        }
+        let stats = engine.stats();
+        // Ticks 0-1 shed; tick 2 trips the watchdog (streak of 3) and is
+        // clamped; tick 3 rides the hold; tick 4-5 rebuild the streak.
+        assert_eq!(stats.watchdog_clamp_ticks, 2);
+        assert!(stats.rack_violation_ticks >= 3);
+        assert!(stats.longest_rack_violation_run >= 3);
+        assert_eq!(
+            stats.shed_clamps,
+            2 * 4,
+            "two nodes shed on non-clamp ticks"
+        );
+    }
+
+    #[test]
+    fn mid_run_budget_step_triggers_shedding() {
+        let mut engine = FleetEngine::new(FleetConfig::default()).expect("valid config");
+        for node in 0..2 {
+            assert!(engine.submit(telemetry(node, 0, 2, node)));
+        }
+        let before = engine.run_tick(0);
+        assert!(before.iter().all(|d| !d.degraded));
+        assert_eq!(engine.stats().shed_clamps, 0);
+        // The rack budget steps down mid-run: next tick must shed.
+        engine.set_rack_budget(Some(Watts::new(1.0)));
+        for node in 0..2 {
+            assert!(engine.submit(telemetry(node, 1, 2, node)));
+        }
+        let after = engine.run_tick(1);
+        assert!(after
+            .iter()
+            .all(|d| d.modes == ModeCombination::uniform(2, PowerMode::Eff2)));
+        assert_eq!(engine.stats().shed_clamps, 2);
+        assert_eq!(engine.stats().rack_violation_ticks, 1);
+    }
+
+    #[test]
+    fn fault_free_chaos_armed_engine_matches_disarmed() {
+        // A plan whose only clause targets a node that never reports,
+        // plus degraded mode and a generous rack budget: the full
+        // machinery runs but every decision must be bit-identical to the
+        // plain engine's.
+        let plan = FleetFaultPlan::parse("flap@999983:period=2").unwrap();
+        let armed_config = FleetConfig {
+            faults: Some(plan),
+            degraded: Some(DegradedConfig::default()),
+            rack: Some(RackConfig::new(Watts::new(1e12))),
+            ..FleetConfig::default()
+        };
+        let mut armed = FleetEngine::new(armed_config).expect("valid config");
+        let mut plain = FleetEngine::new(FleetConfig::default()).expect("valid config");
+        for tick in 0..4u64 {
+            for node in 0..12 {
+                assert!(armed.submit(telemetry(node, tick, 4, node % 3)));
+                assert!(plain.submit(telemetry(node, tick, 4, node % 3)));
+            }
+            assert_eq!(armed.run_tick(tick), plain.run_tick(tick), "tick {tick}");
+        }
+        let (a, p) = (armed.stats(), plain.stats());
+        assert_eq!(a.decisions_total, p.decisions_total);
+        assert_eq!(a.cache_hits, p.cache_hits);
+        assert_eq!(a.dedup_hits, p.dedup_hits);
+        assert_eq!(a.unique_solves, p.unique_solves);
+        assert_eq!(a.fallback_decisions, 0);
+        assert_eq!(a.shed_clamps, 0);
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bit_identically() {
+        let plan =
+            FleetFaultPlan::parse("flap@2:period=3,down=1,from=2,to=8;corrupt@5:rate=0.7").unwrap();
+        let config = FleetConfig {
+            faults: Some(plan),
+            degraded: Some(DegradedConfig::default()),
+            rack: Some(RackConfig::new(Watts::new(220.0))),
+            ..FleetConfig::default()
+        };
+        let drive = |engine: &mut FleetEngine, tick: u64| -> Vec<NodeDecision> {
+            for node in 0..8 {
+                engine.submit(telemetry(node, tick, 4, node % 3));
+            }
+            engine.run_tick(tick)
+        };
+
+        // Reference: run 8 ticks uninterrupted.
+        let mut reference = FleetEngine::new(config.clone()).expect("valid config");
+        let mut expected = Vec::new();
+        for tick in 0..8u64 {
+            expected.push(drive(&mut reference, tick));
+        }
+
+        // Candidate: run 4 ticks, checkpoint through JSON, restore,
+        // run the rest.
+        let mut first_half = FleetEngine::new(config.clone()).expect("valid config");
+        let mut got = Vec::new();
+        for tick in 0..4u64 {
+            got.push(drive(&mut first_half, tick));
+        }
+        let json = first_half.checkpoint().to_json();
+        let checkpoint = FleetCheckpoint::from_json(&json).expect("roundtrips");
+        let mut restored = FleetEngine::restore(config.clone(), &checkpoint).expect("restores");
+        for tick in 4..8u64 {
+            got.push(drive(&mut restored, tick));
+        }
+
+        assert_eq!(got, expected, "decision stream diverged across restore");
+        // Cache entries (keys, values, recency order) and counters must
+        // match exactly; solve timing is wall-clock and excluded.
+        let (rs, es) = (restored.cache().snapshot(), reference.cache().snapshot());
+        assert_eq!(
+            rs.entries, es.entries,
+            "cache state diverged across restore"
+        );
+        assert_eq!(rs.counters, es.counters);
+        assert_eq!(rs.solve_count, es.solve_count);
+        let (r, e) = (restored.stats(), reference.stats());
+        assert_eq!(r.decisions_total, e.decisions_total);
+        assert_eq!(r.fallback_decisions, e.fallback_decisions);
+        assert_eq!(r.shed_clamps, e.shed_clamps);
+        assert_eq!(r.dropped_dark, e.dropped_dark);
+        assert_eq!(r.rejected_invalid, e.rejected_invalid);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config_and_version() {
+        let config = FleetConfig::default();
+        let mut engine = FleetEngine::new(config.clone()).expect("valid config");
+        for node in 0..4 {
+            engine.submit(telemetry(node, 0, 4, node));
+        }
+        engine.run_tick(0);
+        let checkpoint = engine.checkpoint();
+        // Same config restores.
+        assert!(FleetEngine::restore(config.clone(), &checkpoint).is_ok());
+        // A different stale tolerance is a different decision function.
+        let other = FleetConfig {
+            stale_tolerance: 3,
+            ..config
+        };
+        assert!(matches!(
+            FleetEngine::restore(other, &checkpoint),
+            Err(GpmError::InvalidConfig { .. })
+        ));
+        // A future version is refused.
+        let mut doctored = checkpoint;
+        doctored.version = FLEET_CHECKPOINT_VERSION + 1;
+        assert!(matches!(
+            FleetEngine::restore(FleetConfig::default(), &doctored),
+            Err(GpmError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn step_down_saturates_at_the_floor() {
+        let mixed = ModeCombination::new(vec![PowerMode::Turbo, PowerMode::Eff1, PowerMode::Eff2]);
+        assert_eq!(
+            step_down(&mixed, 1).as_slice(),
+            &[PowerMode::Eff1, PowerMode::Eff2, PowerMode::Eff2]
+        );
+        assert_eq!(
+            step_down(&mixed, 5),
+            ModeCombination::uniform(3, PowerMode::Eff2)
+        );
+        assert_eq!(step_down(&mixed, 0), mixed);
     }
 }

@@ -76,7 +76,10 @@ pub use budget::BudgetSchedule;
 pub use curves::{
     evaluate_policy_point, sweep_policy, turbo_baseline, CurvePoint, PolicyCurve, DEFAULT_BUDGETS,
 };
-pub use fleet::{FleetConfig, FleetEngine, FleetStats, NodeDecision, NodeTelemetry};
+pub use fleet::{
+    DegradedConfig, FleetCheckpoint, FleetConfig, FleetEngine, FleetStats, NodeDecision,
+    NodeTelemetry, RackConfig, SubmitOutcome, FLEET_CHECKPOINT_VERSION,
+};
 pub use manager::{
     ExploreRecord, GlobalManager, GuardAction, GuardActionKind, GuardRails, RunOptions, RunResult,
 };
@@ -84,7 +87,7 @@ pub use matrices::PowerBipsMatrices;
 pub use metrics::{throughput_degradation, weighted_slowdown, weighted_speedup_slowdown};
 pub use policy::solver;
 pub use policy::{
-    cluster_budgets, CacheConfig, CacheCounters, CachedMaxBips, ChipWide, Constant, DecisionCache,
-    GreedyMaxBips, HierMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext, Priority,
-    PullHiPushLo, ThermalGuard,
+    cluster_budgets, CacheConfig, CacheCounters, CacheSnapshot, CachedMaxBips, ChipWide, Constant,
+    DecisionCache, GreedyMaxBips, HierMaxBips, MaxBips, MinPower, Oracle, Policy, PolicyContext,
+    Priority, PullHiPushLo, ThermalGuard,
 };

@@ -125,6 +125,19 @@ impl PowerBipsMatrices {
         Bips::new(self.bips[core.value()][mode.index()])
     }
 
+    /// Whether every power and BIPS cell is finite and non-negative — the
+    /// fleet engine's telemetry-validation fast path (one contiguous scan,
+    /// no per-cell accessor indirection).
+    #[must_use]
+    pub fn cells_valid(&self) -> bool {
+        let ok = |rows: &[[f64; PowerMode::COUNT]]| {
+            rows.iter()
+                .flatten()
+                .all(|&cell| cell.is_finite() && cell >= 0.0)
+        };
+        ok(&self.power) && ok(&self.bips)
+    }
+
     /// Predicted total chip power under a mode combination.
     #[must_use]
     pub fn chip_power(&self, combo: &ModeCombination) -> Watts {

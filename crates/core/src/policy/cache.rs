@@ -100,6 +100,24 @@ impl CacheCounters {
     }
 }
 
+/// A serializable image of a [`DecisionCache`]: every memoized entry in
+/// recency order plus the accumulated counters and solve-time statistics.
+/// Produced by [`DecisionCache::snapshot`]; replayed by
+/// [`DecisionCache::restore`]. The entry order is oldest (least recently
+/// used) first, so re-inserting in order reproduces the LRU state — and
+/// with it every future eviction — exactly.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CacheSnapshot {
+    /// Memoized `(key, decision)` pairs, least-recently-used first.
+    pub entries: Vec<(QuantizedKey, ModeCombination)>,
+    /// Accumulated hit/savings counters at snapshot time.
+    pub counters: CacheCounters,
+    /// Total measured microseconds across fresh solves.
+    pub solve_us_total: f64,
+    /// Number of fresh solves measured.
+    pub solve_count: u64,
+}
+
 /// One memoized decision in the slot arena.
 #[derive(Debug)]
 struct Slot {
@@ -307,6 +325,44 @@ impl DecisionCache {
         self.solve_count += 1;
         self.insert(key, combo.clone());
         combo
+    }
+
+    /// Exports the cache's full state: entries in recency order (oldest
+    /// first) plus counters and solve-time statistics. The walk follows
+    /// the intrusive list from the LRU tail, never `HashMap` iteration
+    /// order, so the snapshot is deterministic.
+    #[must_use]
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut entries = Vec::with_capacity(self.map.len());
+        let mut slot = self.tail;
+        while slot != NIL {
+            entries.push((self.slots[slot].key.clone(), self.slots[slot].combo.clone()));
+            slot = self.slots[slot].prev;
+        }
+        CacheSnapshot {
+            entries,
+            counters: self.counters,
+            solve_us_total: self.solve_us_total,
+            solve_count: self.solve_count,
+        }
+    }
+
+    /// Rebuilds a cache from a [`snapshot`](Self::snapshot): entries are
+    /// re-inserted oldest-first, reproducing the exact LRU recency order,
+    /// and the counters and solve statistics are restored verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpmError::InvalidConfig`] if `config` is invalid.
+    pub fn restore(config: CacheConfig, snapshot: &CacheSnapshot) -> Result<Self> {
+        let mut cache = Self::new(config)?;
+        for (key, combo) in &snapshot.entries {
+            cache.insert(key.clone(), combo.clone());
+        }
+        cache.counters = snapshot.counters;
+        cache.solve_us_total = snapshot.solve_us_total;
+        cache.solve_count = snapshot.solve_count;
+        Ok(cache)
     }
 
     /// Unlinks `slot` from the recency list.

@@ -18,7 +18,7 @@ mod pullhipushlo;
 pub mod solver;
 mod thermal_guard;
 
-pub use cache::{CacheConfig, CacheCounters, CachedMaxBips, DecisionCache};
+pub use cache::{CacheConfig, CacheCounters, CacheSnapshot, CachedMaxBips, DecisionCache};
 pub use chipwide::ChipWide;
 pub use constant::Constant;
 pub use greedy::GreedyMaxBips;

@@ -15,7 +15,11 @@
 
 use std::time::Instant;
 
-use gpm_core::{FleetConfig, FleetEngine, FleetStats, NodeTelemetry, PowerBipsMatrices};
+use gpm_core::{
+    DegradedConfig, FleetConfig, FleetEngine, FleetStats, NodeTelemetry, PowerBipsMatrices,
+    RackConfig,
+};
+use gpm_faults::{FleetFaultKind, FleetFaultPlan, IntervalWindow, NodeSet};
 use gpm_types::{GpmError, ModeCombination, PowerMode, Result, Watts};
 
 /// Distinct workload families in the synthetic fleet.
@@ -42,7 +46,7 @@ pub struct FleetLoad {
 
 /// Builds the telemetry for `node` at `tick`: its family's matrix for the
 /// phase the node is currently in.
-fn telemetry(tables: &PhaseTables, node: u64, tick: u64) -> NodeTelemetry {
+pub(crate) fn telemetry(tables: &PhaseTables, node: u64, tick: u64) -> NodeTelemetry {
     let family = node as usize % FAMILIES;
     let offset = node as usize / FAMILIES;
     let phase = (tick as usize + offset) % PHASES;
@@ -57,12 +61,12 @@ fn telemetry(tables: &PhaseTables, node: u64, tick: u64) -> NodeTelemetry {
 }
 
 /// Precomputed per-(family, phase) decision problems.
-struct PhaseTables {
+pub(crate) struct PhaseTables {
     cells: Vec<(PowerBipsMatrices, ModeCombination, Watts)>,
 }
 
 impl PhaseTables {
-    fn build() -> Self {
+    pub(crate) fn build() -> Self {
         let mut cells = Vec::with_capacity(FAMILIES * PHASES);
         for family in 0..FAMILIES {
             // 8/16/32-way chips in rotation across families.
@@ -93,15 +97,29 @@ impl PhaseTables {
 }
 
 /// Subtracts warm-epoch accounting so the result covers only the
-/// measured epoch.
-fn delta(after: FleetStats, before: FleetStats) -> FleetStats {
+/// measured epoch. Running maxima (`longest_rack_violation_run`,
+/// `worst_rack_overshoot_watts`) are not differences and keep their
+/// whole-run values.
+pub(crate) fn delta(after: FleetStats, before: FleetStats) -> FleetStats {
     FleetStats {
         decisions_total: after.decisions_total - before.decisions_total,
         cache_hits: after.cache_hits - before.cache_hits,
         dedup_hits: after.dedup_hits - before.dedup_hits,
         unique_solves: after.unique_solves - before.unique_solves,
         dropped_stale: after.dropped_stale - before.dropped_stale,
+        dropped_dark: after.dropped_dark - before.dropped_dark,
         rejected_backpressure: after.rejected_backpressure - before.rejected_backpressure,
+        rejected_invalid: after.rejected_invalid - before.rejected_invalid,
+        fallback_decisions: after.fallback_decisions - before.fallback_decisions,
+        solver_timeouts: after.solver_timeouts - before.solver_timeouts,
+        flap_drops: after.flap_drops - before.flap_drops,
+        skew_delayed: after.skew_delayed - before.skew_delayed,
+        corrupted_reports: after.corrupted_reports - before.corrupted_reports,
+        shed_clamps: after.shed_clamps - before.shed_clamps,
+        rack_violation_ticks: after.rack_violation_ticks - before.rack_violation_ticks,
+        watchdog_clamp_ticks: after.watchdog_clamp_ticks - before.watchdog_clamp_ticks,
+        longest_rack_violation_run: after.longest_rack_violation_run,
+        worst_rack_overshoot_watts: after.worst_rack_overshoot_watts,
         solver_us_spent: after.solver_us_spent - before.solver_us_spent,
         solver_us_saved: after.solver_us_saved - before.solver_us_saved,
     }
@@ -114,6 +132,25 @@ fn delta(after: FleetStats, before: FleetStats) -> FleetStats {
 ///
 /// Rejects zero `nodes` or `ticks`, and propagates engine-config errors.
 pub fn run(nodes: usize, ticks: usize) -> Result<FleetLoad> {
+    run_inner(nodes, ticks, false)
+}
+
+/// [`run`] with the chaos layer armed but never firing: a fault plan
+/// whose only clause targets a node id outside the fleet, degraded mode
+/// on and a rack budget far above the fleet's draw. The engine executes
+/// the full fault-tolerant tick protocol (fault session probes, freshness
+/// triage, rack accounting) while every decision stays bit-identical to
+/// the disarmed run — the ratio of the two sustained throughputs is the
+/// fault-free overhead of the hardening.
+///
+/// # Errors
+///
+/// Rejects zero `nodes` or `ticks`, and propagates engine-config errors.
+pub fn run_armed(nodes: usize, ticks: usize) -> Result<FleetLoad> {
+    run_inner(nodes, ticks, true)
+}
+
+fn run_inner(nodes: usize, ticks: usize, armed: bool) -> Result<FleetLoad> {
     if nodes == 0 {
         return Err(GpmError::InvalidConfig {
             parameter: "fleet.nodes",
@@ -127,10 +164,20 @@ pub fn run(nodes: usize, ticks: usize) -> Result<FleetLoad> {
         });
     }
     let tables = PhaseTables::build();
-    let mut engine = FleetEngine::new(FleetConfig {
+    let mut config = FleetConfig {
         queue_capacity: nodes,
         ..FleetConfig::default()
-    })?;
+    };
+    if armed {
+        config.faults = Some(FleetFaultPlan::none().with(
+            FleetFaultKind::NodeFlap { period: 2, down: 1 },
+            NodeSet::Nodes(vec![u64::MAX]),
+            IntervalWindow::ALWAYS,
+        ));
+        config.degraded = Some(DegradedConfig::default());
+        config.rack = Some(RackConfig::new(Watts::new(1.0e12)));
+    }
+    let mut engine = FleetEngine::new(config)?;
 
     let drive = |engine: &mut FleetEngine, tick: u64| -> u64 {
         for node in 0..nodes as u64 {
@@ -233,6 +280,20 @@ mod tests {
         let text = load.render();
         assert!(text.contains("96 nodes x 3 ticks"));
         assert!(text.contains("hit rate"));
+    }
+
+    #[test]
+    fn armed_run_matches_disarmed_accounting() {
+        let armed = run_armed(96, 3).expect("armed fleet run succeeds");
+        // A never-firing plan leaves the steady state untouched: same
+        // all-hit accounting as the disarmed run, nothing degraded.
+        assert_eq!(armed.stats.decisions_total, 96 * 3);
+        assert_eq!(armed.stats.unique_solves, 0);
+        assert!((armed.hit_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(armed.stats.fallback_decisions, 0);
+        assert_eq!(armed.stats.flap_drops, 0);
+        assert_eq!(armed.stats.shed_clamps, 0);
+        assert_eq!(armed.stats.rack_violation_ticks, 0);
     }
 
     #[test]

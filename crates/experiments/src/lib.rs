@@ -45,6 +45,7 @@ pub mod fig6;
 pub mod fig6_faulted;
 pub mod fig7;
 pub mod fleet;
+pub mod fleet_chaos;
 mod render;
 pub mod scaling;
 pub mod tables;

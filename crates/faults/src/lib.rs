@@ -45,8 +45,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fleet;
 mod plan;
 mod session;
 
+pub use fleet::{
+    CorruptField, FleetFaultClause, FleetFaultKind, FleetFaultPlan, FleetFaultSession, NodeSet,
+    FLEET_DEFAULT_SEED,
+};
 pub use plan::{CoreSet, DvfsFault, FaultClause, FaultKind, FaultPlan, IntervalWindow};
 pub use session::{FaultEvent, FaultEventKind, FaultSession, SensorFrame, SensorStatus};

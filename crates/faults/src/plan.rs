@@ -23,6 +23,7 @@ impl IntervalWindow {
     pub const ALWAYS: Self = Self { from: 0, to: None };
 
     /// Whether `interval` falls inside the window.
+    #[inline]
     #[must_use]
     pub fn contains(&self, interval: usize) -> bool {
         interval >= self.from && self.to.is_none_or(|to| interval < to)

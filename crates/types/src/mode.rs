@@ -167,9 +167,24 @@ impl fmt::Display for PowerMode {
 /// assert!(!c.is_uniform());
 /// assert_eq!(ModeCombination::enumerate(2).count(), 9);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct ModeCombination {
     modes: Vec<PowerMode>,
+}
+
+impl Clone for ModeCombination {
+    fn clone(&self) -> Self {
+        Self {
+            modes: self.modes.clone(),
+        }
+    }
+
+    /// Reuses the destination's allocation — hot loops that re-record a
+    /// same-width combination every tick (e.g. the fleet engine's
+    /// last-good bookkeeping) stay allocation-free at steady state.
+    fn clone_from(&mut self, source: &Self) {
+        self.modes.clone_from(&source.modes);
+    }
 }
 
 impl ModeCombination {

@@ -57,7 +57,7 @@ pub fn quantize_value(value: f64, quantum: f64) -> u64 {
 /// Equality and hashing are over the exact word sequence, so two keys are
 /// equal iff they were built from the same shape and the same quantized
 /// cells in the same order.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct QuantizedKey {
     words: Vec<u64>,
 }

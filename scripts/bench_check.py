@@ -50,6 +50,7 @@ REQUIRED_PATHS = (
     "policy_decide_latency.micros_per_decide.policy_decide_8way_cached",
     "fleet_decisions.fleet_decisions_10k_nodes.decisions_per_sec",
     "fleet_decisions.fleet_decisions_10k_nodes.hit_rate",
+    "fleet_chaos_overhead.fleet_chaos_armed_10k_nodes.speedup",
 )
 
 

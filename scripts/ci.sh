@@ -74,6 +74,15 @@ cargo clippy -p gpm-cmp --all-targets -- -D warnings
 echo "==> fleet engine: fleet_equivalence under two pool widths + clippy -D warnings"
 GPM_THREADS=1 cargo test --quiet --test fleet_equivalence
 GPM_THREADS=8 cargo test --quiet --test fleet_equivalence
+
+# The fleet fault-tolerance layer promises three things that must stay
+# pinned: a chaos-armed engine with a never-firing plan is bit-identical
+# to the plain engine, any windowed fault schedule recovers to a steady
+# tick with pool-width-independent decisions, and checkpoint/restore
+# through JSON resumes bit-identically at every pool width.
+echo "==> fleet chaos: fleet_chaos under two pool widths"
+GPM_THREADS=1 cargo test --quiet --test fleet_chaos
+GPM_THREADS=8 cargo test --quiet --test fleet_chaos
 cargo clippy -p gpm-types --all-targets -- -D warnings
 cargo clippy -p gpm-experiments --all-targets -- -D warnings
 cargo clippy -p gpm-cli --all-targets -- -D warnings
@@ -93,6 +102,14 @@ cargo run --release --quiet -p gpm-cli -- figure wide --cores 64 --fast > /dev/n
 # the CLI.
 echo "==> gpm figure fleet --nodes 64 --fast"
 cargo run --release --quiet -p gpm-cli -- figure fleet --nodes 64 --fast > /dev/null
+
+# Fleet chaos smoke: the fault-injection tier (per-fault-class recovery
+# time, worst rack overshoot, longest violation run) must keep running
+# end to end from the CLI, fault grammar included.
+echo "==> gpm figure fleet --faults ... --nodes 64 --fast"
+cargo run --release --quiet -p gpm-cli -- figure fleet --nodes 64 --fast \
+    --faults 'flap@0+8:period=4,down=2,from=2,to=8;corrupt:rate=0.5,to=8;timeout:rate=0.3,to=8' \
+    --fault-seed 7 > /dev/null
 
 # Smoke-run the throughput baseline (including the full-CMP two-phase
 # cases, the lane-batched vs scalar capture-engine cases and the
