@@ -18,11 +18,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gpm_cmp::{ClusterTopology, FullCmpSim, InterconnectConfig, SimParams, TraceCmpSim};
+use gpm_core::fleet_load::{PhaseTables, PHASES};
 use gpm_core::{
     solver, BudgetSchedule, CacheConfig, DecisionCache, GlobalManager, GreedyMaxBips, HierMaxBips,
     MaxBips, Policy, PolicyContext, PowerBipsMatrices, RunOptions,
 };
+use gpm_core::{FleetConfig, FleetEngine};
 use gpm_microarch::{CoreConfig, CoreModel};
+use gpm_net::{Endpoint, LoadgenOptions, ServeOptions, Server, ShardedEngine};
 use gpm_power::{DvfsParams, PowerModel};
 use gpm_trace::{
     capture_benchmark, BenchmarkTraces, CaptureConfig, CaptureEngine, ModeTrace, TraceSample,
@@ -247,6 +250,136 @@ fn manager_loop_mips(name: &'static str, guarded: bool, repeats: usize) -> Measu
     }
 }
 
+/// Serve-path throughput rows: the single-engine drive, the in-process
+/// [`ShardedEngine`] at 1 and 4 shards, and the full wire path (loadgen
+/// against a loopback TCP server). All in-process variants run
+/// interleaved round-robin, best-of-`rounds`, so ambient load biases
+/// none of them; the sharded1/direct ratio is the service layer's
+/// single-shard neutrality floor (`scripts/bench_check.py` gates it at
+/// 0.95 via the recorded `speedup` key). `crates/bench/examples/
+/// serve_probe.rs` is the standalone version for longer recording runs.
+struct ServeRates {
+    direct: f64,
+    sharded1: f64,
+    sharded4: f64,
+    tcp1: f64,
+    tcp4: f64,
+    p50_tick_ms: f64,
+    p99_tick_ms: f64,
+}
+
+fn serve_fleet_config(nodes: usize) -> FleetConfig {
+    FleetConfig {
+        queue_capacity: nodes,
+        ..FleetConfig::default()
+    }
+}
+
+/// Sustained decisions/s of the plain single-engine drive (the
+/// `fleet_decisions_10k_nodes` path), measured after a warm rotation.
+fn serve_direct_rate(tables: &PhaseTables, nodes: usize, ticks: u64) -> f64 {
+    let mut engine = FleetEngine::new(serve_fleet_config(nodes)).expect("config valid");
+    for tick in 0..PHASES as u64 {
+        for node in 0..nodes as u64 {
+            engine.submit(tables.telemetry(node, tick));
+        }
+        engine.run_tick(tick);
+    }
+    let start = Instant::now();
+    let mut measured = 0u64;
+    for tick in 0..ticks {
+        let now = PHASES as u64 + tick;
+        for node in 0..nodes as u64 {
+            engine.submit(tables.telemetry(node, now));
+        }
+        measured += engine.run_tick(now).len() as u64;
+    }
+    measured as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Sustained decisions/s of the in-process sharded engine at `shards`.
+fn serve_sharded_rate(tables: &PhaseTables, shards: usize, nodes: usize, ticks: u64) -> f64 {
+    let mut engine =
+        ShardedEngine::homogeneous(&serve_fleet_config(nodes), shards).expect("config valid");
+    for tick in 0..PHASES as u64 {
+        for node in 0..nodes as u64 {
+            engine.try_submit(tables.telemetry(node, tick));
+        }
+        engine.run_tick(tick);
+    }
+    let start = Instant::now();
+    let mut measured = 0u64;
+    for tick in 0..ticks {
+        let now = PHASES as u64 + tick;
+        for node in 0..nodes as u64 {
+            engine.try_submit(tables.telemetry(node, now));
+        }
+        measured += engine.run_tick(now).len() as u64;
+    }
+    measured as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Full wire path: loadgen against a loopback TCP server.
+fn serve_loopback_rate(shards: usize, nodes: usize, ticks: u64) -> (f64, f64, f64) {
+    let server = Server::bind(
+        &Endpoint::Tcp("127.0.0.1:0".into()),
+        ServeOptions {
+            shards,
+            config: serve_fleet_config(nodes),
+            once: true,
+        },
+    )
+    .expect("server binds");
+    let endpoint = server.local_endpoint();
+    let handle = std::thread::spawn(move || server.run().expect("server runs"));
+    let report = gpm_net::loadgen::run(
+        &endpoint,
+        &LoadgenOptions {
+            nodes,
+            ticks: ticks as usize,
+            shutdown: false,
+        },
+    )
+    .expect("loadgen runs");
+    handle.join().expect("server thread joins");
+    (
+        report.decisions_per_sec,
+        report.p50_tick_ms,
+        report.p99_tick_ms,
+    )
+}
+
+fn serve_rates(rounds: usize, nodes: usize, ticks: u64) -> ServeRates {
+    let tables = PhaseTables::build();
+    let mut best = ServeRates {
+        direct: 0.0,
+        sharded1: 0.0,
+        sharded4: 0.0,
+        tcp1: 0.0,
+        tcp4: 0.0,
+        p50_tick_ms: f64::INFINITY,
+        p99_tick_ms: f64::INFINITY,
+    };
+    for _ in 0..rounds {
+        best.direct = best.direct.max(serve_direct_rate(&tables, nodes, ticks));
+        best.sharded1 = best
+            .sharded1
+            .max(serve_sharded_rate(&tables, 1, nodes, ticks));
+        best.sharded4 = best
+            .sharded4
+            .max(serve_sharded_rate(&tables, 4, nodes, ticks));
+        let (tcp1, p50, p99) = serve_loopback_rate(1, nodes, ticks);
+        let (tcp4, _, _) = serve_loopback_rate(4, nodes, ticks);
+        best.tcp1 = best.tcp1.max(tcp1);
+        best.tcp4 = best.tcp4.max(tcp4);
+        if p50 < best.p50_tick_ms {
+            best.p50_tick_ms = p50;
+            best.p99_tick_ms = p99;
+        }
+    }
+    best
+}
+
 /// One policy-decision latency figure: best-of-N wall time per `decide`.
 struct DecideMeasurement {
     name: &'static str,
@@ -446,6 +579,11 @@ fn main() {
     let fleet_armed =
         gpm_experiments::fleet::run_armed(fleet_nodes, fleet_ticks).expect("armed fleet run");
 
+    // Serve path: the same saturating load through the sharded service
+    // layer (in-process at 1 and 4 shards) and over loopback TCP.
+    let serve_rounds = if quick { 1 } else { 3 };
+    let serve = serve_rates(serve_rounds, fleet_nodes, fleet_ticks as u64);
+
     let by_name = |name: &str| {
         measurements
             .iter()
@@ -518,6 +656,42 @@ fn main() {
         "  \"fleet_chaos_armed_decisions_per_sec\": {:.0},\n  \
          \"fleet_chaos_armed_vs_disarmed_ratio\": {chaos_ratio:.3},",
         fleet_armed.decisions_per_sec
+    );
+
+    println!(
+        "serve_decisions_{}k_nodes     direct {:.0}  sharded1 {:.0} ({:.3}x)  \
+         sharded4 {:.0} ({:.3}x)  tcp1 {:.0}  tcp4 {:.0}  p50 {:.3} ms  p99 {:.3} ms",
+        fleet_nodes / 1000,
+        serve.direct,
+        serve.sharded1,
+        serve.sharded1 / serve.direct,
+        serve.sharded4,
+        serve.sharded4 / serve.direct,
+        serve.tcp1,
+        serve.tcp4,
+        serve.p50_tick_ms,
+        serve.p99_tick_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"serve_engine_direct_decisions_per_sec\": {:.0},\n  \
+         \"serve_sharded_1_decisions_per_sec\": {:.0},\n  \
+         \"serve_sharded_1_vs_engine_speedup\": {:.3},\n  \
+         \"serve_sharded_4_decisions_per_sec\": {:.0},\n  \
+         \"serve_sharded_4_vs_engine_ratio\": {:.3},\n  \
+         \"serve_loopback_tcp_1shard_decisions_per_sec\": {:.0},\n  \
+         \"serve_loopback_tcp_4shard_decisions_per_sec\": {:.0},\n  \
+         \"serve_loopback_p50_tick_ms\": {:.3},\n  \
+         \"serve_loopback_p99_tick_ms\": {:.3},",
+        serve.direct,
+        serve.sharded1,
+        serve.sharded1 / serve.direct,
+        serve.sharded4,
+        serve.sharded4 / serve.direct,
+        serve.tcp1,
+        serve.tcp4,
+        serve.p50_tick_ms,
+        serve.p99_tick_ms
     );
 
     let speedup = decides[0].micros_per_decide / decides[1].micros_per_decide;

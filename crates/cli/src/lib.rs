@@ -109,6 +109,39 @@ pub enum Command {
         faults: Option<String>,
         /// Seed override for the chaos tier's probability draws.
         fault_seed: Option<u64>,
+        /// Emit machine-readable JSON instead of the text rendering
+        /// (currently the `fleet` saturating-load tier only).
+        json: bool,
+    },
+    /// Serve the sharded fleet decision engine over TCP or a Unix socket.
+    Serve {
+        /// Endpoint to listen on (`tcp:host:port`, `unix:path`, or bare
+        /// `host:port`).
+        listen: String,
+        /// Shard count: engines and worker threads.
+        shards: usize,
+        /// Fleet fault spec armed on every shard, if any.
+        faults: Option<String>,
+        /// Seed override for the fault plan's probability draws.
+        fault_seed: Option<u64>,
+        /// Whole-rack power budget in watts, divided evenly across
+        /// shards.
+        rack_budget: Option<f64>,
+        /// Exit after the first client disconnects (scripted smokes).
+        once: bool,
+    },
+    /// Drive a serve endpoint with the synthetic fleet load.
+    Loadgen {
+        /// Endpoint to connect to (same grammar as `--listen`).
+        connect: String,
+        /// Nodes submitted per tick.
+        nodes: usize,
+        /// Measured ticks (after the warm epoch).
+        ticks: usize,
+        /// Emit the report as JSON.
+        json: bool,
+        /// Send a shutdown frame when done, stopping the server.
+        shutdown: bool,
     },
     /// List benchmarks, combos, policies and experiments.
     List,
@@ -241,11 +274,63 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
     let mut faults: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
     let mut no_guards = false;
+    let mut listen: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut shards: Option<usize> = None;
+    let mut ticks: Option<usize> = None;
+    let mut rack_budget: Option<f64> = None;
+    let mut once = false;
+    let mut shutdown = false;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => fast = true,
             "--json" => json = true,
+            "--once" => once = true,
+            "--shutdown" => shutdown = true,
+            "--listen" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--listen needs an endpoint".into()))?;
+                listen = Some(v);
+            }
+            "--connect" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--connect needs an endpoint".into()))?;
+                connect = Some(v);
+            }
+            "--shards" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--shards needs a value".into()))?;
+                let n =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        bad(format!("bad shard count `{v}` (need an integer ≥ 1)"))
+                    })?;
+                shards = Some(n);
+            }
+            "--ticks" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--ticks needs a value".into()))?;
+                let n =
+                    v.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        bad(format!("bad tick count `{v}` (need an integer ≥ 1)"))
+                    })?;
+                ticks = Some(n);
+            }
+            "--rack-budget" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| bad("--rack-budget needs watts".into()))?;
+                let w = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|w| w.is_finite() && *w > 0.0)
+                    .ok_or_else(|| bad(format!("bad rack budget `{v}` (need watts > 0)")))?;
+                rack_budget = Some(w);
+            }
             "--threads" => {
                 let v = args
                     .next()
@@ -379,8 +464,24 @@ pub fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Invocation>
                 nodes,
                 faults,
                 fault_seed,
+                json,
             }
         }
+        "serve" => Command::Serve {
+            listen: listen.ok_or_else(|| bad("serve needs --listen <endpoint>".into()))?,
+            shards: shards.unwrap_or(1),
+            faults,
+            fault_seed,
+            rack_budget,
+            once,
+        },
+        "loadgen" => Command::Loadgen {
+            connect: connect.ok_or_else(|| bad("loadgen needs --connect <endpoint>".into()))?,
+            nodes: nodes.unwrap_or(1_000),
+            ticks: ticks.unwrap_or(8),
+            json,
+            shutdown,
+        },
         "list" => Command::List,
         "help" | "--help" | "-h" => Command::Help,
         other => return Err(bad(format!("unknown command `{other}`"))),
@@ -412,6 +513,28 @@ USAGE:
                                 timeout (rate=); windows from=/to= in
                                 ticks, nodes `all` or `+`-joined ids.
                                 Example: --faults \"flap@0+1:period=4,from=2,to=8\"
+                                --json emits the `fleet` load tier as JSON
+  gpm serve   --listen EP [--shards K] [--faults SPEC] [--fault-seed N]
+              [--rack-budget W] [--once]
+                                serve the sharded fleet decision engine;
+                                EP is tcp:host:port, unix:path, or bare
+                                host:port (tcp:host:0 binds an ephemeral
+                                port, announced on stdout); --shards K
+                                pins K engines to K worker threads
+                                (node → shard via splitmix64); --faults
+                                arms the fleet chaos plan on every shard
+                                (degraded mode on); --rack-budget W
+                                splits a whole-rack watt budget evenly
+                                across shards; --once exits after the
+                                first client disconnects; a client's
+                                shutdown frame always stops the server
+  gpm loadgen --connect EP [--nodes N] [--ticks T] [--json] [--shutdown]
+                                drive a serve endpoint with the synthetic
+                                phase-repeating fleet (default 1000 nodes,
+                                8 measured ticks after a warm epoch);
+                                reports decisions/s and p50/p99 per-tick
+                                latency; --shutdown stops the server when
+                                done
   gpm list                      benchmarks, combos, policies, experiments
   gpm help
 
@@ -473,8 +596,128 @@ pub fn execute(command: Command) -> Result<String> {
             nodes,
             faults,
             fault_seed,
-        } => run_figure(&name, fast, cores, nodes, faults.as_deref(), fault_seed),
+            json,
+        } => run_figure(
+            &name,
+            fast,
+            cores,
+            nodes,
+            faults.as_deref(),
+            fault_seed,
+            json,
+        ),
+        Command::Serve {
+            listen,
+            shards,
+            faults,
+            fault_seed,
+            rack_budget,
+            once,
+        } => run_serve(
+            &listen,
+            shards,
+            faults.as_deref(),
+            fault_seed,
+            rack_budget,
+            once,
+        ),
+        Command::Loadgen {
+            connect,
+            nodes,
+            ticks,
+            json,
+            shutdown,
+        } => run_loadgen(&connect, nodes, ticks, json, shutdown),
     }
+}
+
+/// Builds the per-shard engine config for `gpm serve`: the PR 9 chaos /
+/// degraded / rack machinery armed per shard when requested. A whole-rack
+/// budget is divided evenly across shards — deterministic, but each shard
+/// enforces its slice independently (a single global arbiter would shed
+/// differently; see DESIGN.md §15).
+fn serve_config(
+    shards: usize,
+    faults: Option<&str>,
+    fault_seed: Option<u64>,
+    rack_budget: Option<f64>,
+) -> Result<gpm_core::FleetConfig> {
+    let mut config = gpm_core::FleetConfig::default();
+    if let Some(spec) = faults {
+        let mut plan = gpm_faults::FleetFaultPlan::parse(spec)?;
+        if let Some(seed) = fault_seed {
+            plan = plan.seeded(seed);
+        }
+        config.faults = Some(plan);
+        config.degraded = Some(gpm_core::DegradedConfig::default());
+    }
+    if let Some(watts) = rack_budget {
+        config.rack = Some(gpm_core::RackConfig::new(gpm_types::Watts::new(
+            watts / shards as f64,
+        )));
+    }
+    Ok(config)
+}
+
+fn run_serve(
+    listen: &str,
+    shards: usize,
+    faults: Option<&str>,
+    fault_seed: Option<u64>,
+    rack_budget: Option<f64>,
+    once: bool,
+) -> Result<String> {
+    let endpoint = gpm_net::Endpoint::parse(listen)?;
+    let config = serve_config(shards, faults, fault_seed, rack_budget)?;
+    let server = gpm_net::Server::bind(
+        &endpoint,
+        gpm_net::ServeOptions {
+            shards,
+            config,
+            once,
+        },
+    )?;
+    // Announce the bound endpoint before blocking so scripts driving
+    // `--listen tcp:127.0.0.1:0` can learn the ephemeral port.
+    println!(
+        "gpm serve: listening on {} ({shards} shards)",
+        server.local_endpoint()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = server.run()?;
+    Ok(format!(
+        "gpm serve: done — {} connections, {} ticks, {} decisions\n\
+         hit rate {:.1}%  router rejected {}\n",
+        summary.connections,
+        summary.ticks,
+        summary.decisions,
+        100.0 * summary.stats.fleet.hit_rate(),
+        summary.stats.router_rejected,
+    ))
+}
+
+fn run_loadgen(
+    connect: &str,
+    nodes: usize,
+    ticks: usize,
+    json: bool,
+    shutdown: bool,
+) -> Result<String> {
+    let endpoint = gpm_net::Endpoint::parse(connect)?;
+    let report = gpm_net::loadgen::run(
+        &endpoint,
+        &gpm_net::LoadgenOptions {
+            nodes,
+            ticks,
+            shutdown,
+        },
+    )?;
+    Ok(if json {
+        report.to_json()
+    } else {
+        report.render()
+    })
 }
 
 fn list_text() -> String {
@@ -669,6 +912,7 @@ fn run_figure(
     nodes: Option<usize>,
     faults: Option<&str>,
     fault_seed: Option<u64>,
+    json: bool,
 ) -> Result<String> {
     use gpm_experiments as exp;
     let ctx = context(fast);
@@ -706,6 +950,12 @@ fn run_figure(
         }
         "fleet" => match faults {
             Some(spec) => {
+                if json {
+                    return Err(GpmError::InvalidConfig {
+                        parameter: "json",
+                        reason: "--json covers the fleet load tier only, not the chaos tier".into(),
+                    });
+                }
                 // Chaos tier: cold-start runs per fault class. More ticks
                 // than the load tier so windowed faults can close and the
                 // service can demonstrate recovery.
@@ -714,7 +964,12 @@ fn run_figure(
             }
             None => {
                 let ticks = if fast { 4 } else { 12 };
-                exp::fleet::run(nodes.unwrap_or(10_000), ticks)?.render()
+                let load = exp::fleet::run(nodes.unwrap_or(10_000), ticks)?;
+                if json {
+                    load.to_json()
+                } else {
+                    load.render()
+                }
             }
         },
         "validation" => exp::validation::render_trace_vs_full(&exp::validation::run_trace_vs_full(
@@ -844,7 +1099,7 @@ mod tests {
 
     #[test]
     fn fleet_figure_reports_steady_state_hits() {
-        let out = run_figure("fleet", true, None, Some(64), None, None).unwrap();
+        let out = run_figure("fleet", true, None, Some(64), None, None, false).unwrap();
         assert!(out.contains("64 nodes x 4 ticks"), "{out}");
         assert!(out.contains("hit rate"), "{out}");
         assert!(out.contains("100.0%"), "{out}");
@@ -910,10 +1165,10 @@ mod tests {
     #[test]
     fn static_tables_execute_without_captures() {
         for name in ["table3", "table4", "table5"] {
-            let out = run_figure(name, true, None, None, None, None).unwrap();
+            let out = run_figure(name, true, None, None, None, None, false).unwrap();
             assert!(out.contains("Table"), "{name}: {out}");
         }
-        assert!(run_figure("nope", true, None, None, None, None).is_err());
+        assert!(run_figure("nope", true, None, None, None, None, false).is_err());
     }
 
     #[test]

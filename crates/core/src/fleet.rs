@@ -188,7 +188,7 @@ impl Default for FleetConfig {
 }
 
 /// One node's per-tick report to the fleet engine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeTelemetry {
     /// Stable node identifier, echoed on the decision.
     pub node: u64,
@@ -299,6 +299,39 @@ impl FleetStats {
             (self.cache_hits + self.dedup_hits) as f64 / self.decisions_total as f64
         }
     }
+
+    /// Folds another engine's accounting into this one: counters add,
+    /// running maxima (`longest_rack_violation_run`,
+    /// `worst_rack_overshoot_watts`) take the max. This is how the sharded
+    /// service aggregates per-shard engine stats into one fleet-wide view;
+    /// the accounting identity (`decisions_total = cache_hits + dedup_hits
+    /// + unique_solves`) survives because it holds per shard.
+    pub fn merge(&mut self, other: &FleetStats) {
+        self.decisions_total += other.decisions_total;
+        self.cache_hits += other.cache_hits;
+        self.dedup_hits += other.dedup_hits;
+        self.unique_solves += other.unique_solves;
+        self.dropped_stale += other.dropped_stale;
+        self.dropped_dark += other.dropped_dark;
+        self.rejected_backpressure += other.rejected_backpressure;
+        self.rejected_invalid += other.rejected_invalid;
+        self.fallback_decisions += other.fallback_decisions;
+        self.solver_timeouts += other.solver_timeouts;
+        self.flap_drops += other.flap_drops;
+        self.skew_delayed += other.skew_delayed;
+        self.corrupted_reports += other.corrupted_reports;
+        self.shed_clamps += other.shed_clamps;
+        self.rack_violation_ticks += other.rack_violation_ticks;
+        self.watchdog_clamp_ticks += other.watchdog_clamp_ticks;
+        self.longest_rack_violation_run = self
+            .longest_rack_violation_run
+            .max(other.longest_rack_violation_run);
+        self.worst_rack_overshoot_watts = self
+            .worst_rack_overshoot_watts
+            .max(other.worst_rack_overshoot_watts);
+        self.solver_us_spent += other.solver_us_spent;
+        self.solver_us_saved += other.solver_us_saved;
+    }
 }
 
 /// A node's last successfully-issued assignment, kept for degraded-mode
@@ -338,8 +371,13 @@ struct RackState {
 /// (the checkpoint sorts by node id) — so a fast deterministic finalizer
 /// is safe, and it removes the default hasher's cost from the
 /// one-lookup-per-report hot path of the armed engine.
+///
+/// The same finalizer round is the fleet *shard* function (see
+/// [`node_shard`]): the service layer routes node ids to shard-pinned
+/// engines with exactly this mixing, so node placement is a pure,
+/// documented function of the id alone.
 #[derive(Debug, Clone, Copy, Default)]
-struct NodeIdHasher(u64);
+pub struct NodeIdHasher(u64);
 
 impl std::hash::Hasher for NodeIdHasher {
     fn finish(&self) -> u64 {
@@ -361,6 +399,25 @@ impl std::hash::Hasher for NodeIdHasher {
 }
 
 type NodeMap = HashMap<u64, NodeState, std::hash::BuildHasherDefault<NodeIdHasher>>;
+
+/// The fleet shard function: which of `shards` shard-pinned engines owns
+/// `node`. One splitmix64 finalizer round (the [`NodeIdHasher`] mixing)
+/// reduced modulo the shard count — a pure function of the node id, so a
+/// node's shard assignment is stable across runs, transports and pool
+/// widths, and sequential node ids spread uniformly instead of clumping
+/// onto shard `id % shards`.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+#[must_use]
+pub fn node_shard(node: u64, shards: usize) -> usize {
+    assert!(shards > 0, "shard count must be at least 1");
+    use std::hash::Hasher as _;
+    let mut hasher = NodeIdHasher::default();
+    hasher.write_u64(node);
+    (hasher.finish() % shards as u64) as usize
+}
 
 /// One per-node entry in a [`FleetCheckpoint`], ordered by node id.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -1606,7 +1663,8 @@ mod tests {
 
     #[test]
     fn flap_yields_last_good_fallback_stepped_down() {
-        let plan = FleetFaultPlan::parse("flap@1:period=4,down=1,from=1,to=2").unwrap();
+        let plan = FleetFaultPlan::parse("flap@1:period=4,down=1,from=1,to=2")
+            .expect("flap@1:period=4,down=1,from=1,to=2 spec parses");
         let mut engine = FleetEngine::new(FleetConfig {
             faults: Some(plan),
             ..degraded_config()
@@ -1650,7 +1708,8 @@ mod tests {
 
     #[test]
     fn flap_without_history_emits_no_decision() {
-        let plan = FleetFaultPlan::parse("flap@0:period=2,down=2").unwrap();
+        let plan = FleetFaultPlan::parse("flap@0:period=2,down=2")
+            .expect("flap@0:period=2,down=2 spec parses");
         let mut engine = FleetEngine::new(FleetConfig {
             faults: Some(plan),
             ..degraded_config()
@@ -1666,7 +1725,8 @@ mod tests {
 
     #[test]
     fn corrupt_report_falls_back_to_floor_without_history() {
-        let plan = FleetFaultPlan::parse("corrupt@0:field=nan,rate=1.0").unwrap();
+        let plan = FleetFaultPlan::parse("corrupt@0:field=nan,rate=1.0")
+            .expect("corrupt@0:field=nan,rate=1.0 spec parses");
         let mut engine = FleetEngine::new(FleetConfig {
             faults: Some(plan),
             ..degraded_config()
@@ -1690,7 +1750,7 @@ mod tests {
 
     #[test]
     fn skew_ages_reports_into_the_stale_drop() {
-        let plan = FleetFaultPlan::parse("skew@0:ticks=3").unwrap();
+        let plan = FleetFaultPlan::parse("skew@0:ticks=3").expect("skew@0:ticks=3 spec parses");
         let mut engine = FleetEngine::new(FleetConfig {
             stale_tolerance: 1,
             faults: Some(plan),
@@ -1709,7 +1769,8 @@ mod tests {
 
     #[test]
     fn solver_timeout_diverts_group_to_fallback() {
-        let plan = FleetFaultPlan::parse("timeout:rate=1.0,from=0,to=1").unwrap();
+        let plan = FleetFaultPlan::parse("timeout:rate=1.0,from=0,to=1")
+            .expect("timeout:rate=1.0,from=0,to=1 spec parses");
         let mut engine = FleetEngine::new(FleetConfig {
             faults: Some(plan),
             ..degraded_config()
@@ -1872,7 +1933,8 @@ mod tests {
         // plus degraded mode and a generous rack budget: the full
         // machinery runs but every decision must be bit-identical to the
         // plain engine's.
-        let plan = FleetFaultPlan::parse("flap@999983:period=2").unwrap();
+        let plan = FleetFaultPlan::parse("flap@999983:period=2")
+            .expect("flap@999983:period=2 spec parses");
         let armed_config = FleetConfig {
             faults: Some(plan),
             degraded: Some(DegradedConfig::default()),
@@ -1899,8 +1961,8 @@ mod tests {
 
     #[test]
     fn checkpoint_restore_continues_bit_identically() {
-        let plan =
-            FleetFaultPlan::parse("flap@2:period=3,down=1,from=2,to=8;corrupt@5:rate=0.7").unwrap();
+        let plan = FleetFaultPlan::parse("flap@2:period=3,down=1,from=2,to=8;corrupt@5:rate=0.7")
+            .expect("flap@2:period=3,down=1,from=2,to=8;corrupt@5:rate=0.7 spec parses");
         let config = FleetConfig {
             faults: Some(plan),
             degraded: Some(DegradedConfig::default()),

@@ -1,0 +1,106 @@
+//! Shared synthetic fleet workload: phase-repeating telemetry for the
+//! saturating-load tiers.
+//!
+//! Three consumers replay exactly the same traffic — the in-process
+//! `gpm figure fleet` experiment, the `gpm loadgen` network client and
+//! the throughput bench — so the decision streams they produce are
+//! directly comparable. The load models a rack of heterogeneous nodes
+//! running phase-repeating workloads: nodes belong to [`FAMILIES`]
+//! workload families (8-, 16- and 32-way chips in rotation), each family
+//! cycles through [`PHASES`] distinct prediction matrices, and nodes
+//! within a family are offset in phase — so every tick presents the
+//! engine with the full `FAMILIES × PHASES` key population, replicated
+//! across the fleet.
+
+use crate::fleet::NodeTelemetry;
+use crate::matrices::PowerBipsMatrices;
+use gpm_types::{ModeCombination, PowerMode, Watts};
+
+/// Distinct workload families in the synthetic fleet.
+pub const FAMILIES: usize = 64;
+/// Phases each family cycles through.
+pub const PHASES: usize = 4;
+
+/// Precomputed per-(family, phase) decision problems.
+pub struct PhaseTables {
+    cells: Vec<(PowerBipsMatrices, ModeCombination, Watts)>,
+}
+
+impl PhaseTables {
+    /// Builds the full `FAMILIES × PHASES` table of decision problems.
+    #[must_use]
+    pub fn build() -> Self {
+        let mut cells = Vec::with_capacity(FAMILIES * PHASES);
+        for family in 0..FAMILIES {
+            // 8/16/32-way chips in rotation across families.
+            let cores = 8usize << (family % 3);
+            for phase in 0..PHASES {
+                let power: Vec<[f64; 3]> = (0..cores)
+                    .map(|i| {
+                        let t = 12.0 + ((i * 7 + family * 3 + phase * 5) % 11) as f64 * 1.3;
+                        [t, t * 0.55, t * 0.3]
+                    })
+                    .collect();
+                let bips: Vec<[f64; 3]> = (0..cores)
+                    .map(|i| {
+                        let t = 0.4 + ((i * 5 + family * 2 + phase * 3) % 9) as f64 * 0.35;
+                        [t, t * 0.85, t * 0.7]
+                    })
+                    .collect();
+                let budget = Watts::new(0.8 * power.iter().map(|row| row[0]).sum::<f64>());
+                cells.push((
+                    PowerBipsMatrices::from_rows(power, bips),
+                    ModeCombination::uniform(cores, PowerMode::Turbo),
+                    budget,
+                ));
+            }
+        }
+        Self { cells }
+    }
+
+    /// Builds the telemetry for `node` at `tick`: its family's matrix for
+    /// the phase the node is currently in. Pure in `(node, tick)`, so
+    /// every consumer that replays the same node set over the same ticks
+    /// presents the engine with bit-identical reports.
+    #[must_use]
+    pub fn telemetry(&self, node: u64, tick: u64) -> NodeTelemetry {
+        let family = node as usize % FAMILIES;
+        let offset = node as usize / FAMILIES;
+        let phase = (tick as usize + offset) % PHASES;
+        let (matrices, current, budget) = &self.cells[family * PHASES + phase];
+        NodeTelemetry {
+            node,
+            tick,
+            matrices: matrices.clone(),
+            current: current.clone(),
+            budget: *budget,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_offsets_cycle_within_families() {
+        let tables = PhaseTables::build();
+        // Same family, offsets a full rotation apart: identical problems.
+        let a = tables.telemetry(0, 0);
+        let b = tables.telemetry((FAMILIES * PHASES) as u64, 0);
+        assert_eq!(a.budget, b.budget);
+        // One offset apart = one phase ahead.
+        let c = tables.telemetry(FAMILIES as u64, 0);
+        let d = tables.telemetry(0, 1);
+        assert_eq!(c.budget, d.budget);
+    }
+
+    #[test]
+    fn families_rotate_chip_widths() {
+        let tables = PhaseTables::build();
+        assert_eq!(tables.telemetry(0, 0).matrices.cores(), 8);
+        assert_eq!(tables.telemetry(1, 0).matrices.cores(), 16);
+        assert_eq!(tables.telemetry(2, 0).matrices.cores(), 32);
+        assert_eq!(tables.telemetry(3, 0).matrices.cores(), 8);
+    }
+}

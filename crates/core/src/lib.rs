@@ -66,6 +66,7 @@
 mod budget;
 mod curves;
 mod fleet;
+pub mod fleet_load;
 mod manager;
 mod matrices;
 mod metrics;
@@ -77,8 +78,8 @@ pub use curves::{
     evaluate_policy_point, sweep_policy, turbo_baseline, CurvePoint, PolicyCurve, DEFAULT_BUDGETS,
 };
 pub use fleet::{
-    DegradedConfig, FleetCheckpoint, FleetConfig, FleetEngine, FleetStats, NodeDecision,
-    NodeTelemetry, RackConfig, SubmitOutcome, FLEET_CHECKPOINT_VERSION,
+    node_shard, DegradedConfig, FleetCheckpoint, FleetConfig, FleetEngine, FleetStats,
+    NodeDecision, NodeIdHasher, NodeTelemetry, RackConfig, SubmitOutcome, FLEET_CHECKPOINT_VERSION,
 };
 pub use manager::{
     ExploreRecord, GlobalManager, GuardAction, GuardActionKind, GuardRails, RunOptions, RunResult,

@@ -15,20 +15,16 @@
 
 use std::time::Instant;
 
-use gpm_core::{
-    DegradedConfig, FleetConfig, FleetEngine, FleetStats, NodeTelemetry, PowerBipsMatrices,
-    RackConfig,
-};
+use gpm_core::fleet_load::PhaseTables;
+use gpm_core::{DegradedConfig, FleetConfig, FleetEngine, FleetStats, RackConfig};
 use gpm_faults::{FleetFaultKind, FleetFaultPlan, IntervalWindow, NodeSet};
-use gpm_types::{GpmError, ModeCombination, PowerMode, Result, Watts};
+use gpm_types::{GpmError, Result, Watts};
+use serde::Serialize;
 
-/// Distinct workload families in the synthetic fleet.
-pub const FAMILIES: usize = 64;
-/// Phases each family cycles through.
-pub const PHASES: usize = 4;
+pub use gpm_core::fleet_load::{FAMILIES, PHASES};
 
 /// Result of one saturating-load run (measured epoch only).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct FleetLoad {
     /// Nodes driven per tick.
     pub nodes: usize,
@@ -42,58 +38,6 @@ pub struct FleetLoad {
     pub decisions_per_sec: f64,
     /// Engine accounting over the measured epoch.
     pub stats: FleetStats,
-}
-
-/// Builds the telemetry for `node` at `tick`: its family's matrix for the
-/// phase the node is currently in.
-pub(crate) fn telemetry(tables: &PhaseTables, node: u64, tick: u64) -> NodeTelemetry {
-    let family = node as usize % FAMILIES;
-    let offset = node as usize / FAMILIES;
-    let phase = (tick as usize + offset) % PHASES;
-    let (matrices, current, budget) = &tables.cells[family * PHASES + phase];
-    NodeTelemetry {
-        node,
-        tick,
-        matrices: matrices.clone(),
-        current: current.clone(),
-        budget: *budget,
-    }
-}
-
-/// Precomputed per-(family, phase) decision problems.
-pub(crate) struct PhaseTables {
-    cells: Vec<(PowerBipsMatrices, ModeCombination, Watts)>,
-}
-
-impl PhaseTables {
-    pub(crate) fn build() -> Self {
-        let mut cells = Vec::with_capacity(FAMILIES * PHASES);
-        for family in 0..FAMILIES {
-            // 8/16/32-way chips in rotation across families.
-            let cores = 8usize << (family % 3);
-            for phase in 0..PHASES {
-                let power: Vec<[f64; 3]> = (0..cores)
-                    .map(|i| {
-                        let t = 12.0 + ((i * 7 + family * 3 + phase * 5) % 11) as f64 * 1.3;
-                        [t, t * 0.55, t * 0.3]
-                    })
-                    .collect();
-                let bips: Vec<[f64; 3]> = (0..cores)
-                    .map(|i| {
-                        let t = 0.4 + ((i * 5 + family * 2 + phase * 3) % 9) as f64 * 0.35;
-                        [t, t * 0.85, t * 0.7]
-                    })
-                    .collect();
-                let budget = Watts::new(0.8 * power.iter().map(|row| row[0]).sum::<f64>());
-                cells.push((
-                    PowerBipsMatrices::from_rows(power, bips),
-                    ModeCombination::uniform(cores, PowerMode::Turbo),
-                    budget,
-                ));
-            }
-        }
-        Self { cells }
-    }
 }
 
 /// Subtracts warm-epoch accounting so the result covers only the
@@ -181,7 +125,7 @@ fn run_inner(nodes: usize, ticks: usize, armed: bool) -> Result<FleetLoad> {
 
     let drive = |engine: &mut FleetEngine, tick: u64| -> u64 {
         for node in 0..nodes as u64 {
-            let accepted = engine.submit(telemetry(&tables, node, tick));
+            let accepted = engine.submit(tables.telemetry(node, tick));
             debug_assert!(accepted, "queue sized to the fleet");
         }
         engine.run_tick(tick).len() as u64
@@ -219,6 +163,34 @@ impl FleetLoad {
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         self.stats.hit_rate()
+    }
+
+    /// Machine-readable rendering for `gpm figure fleet --json`: the run
+    /// shape, the sustained rate, the combined hit rate and the full
+    /// [`FleetStats`] accounting, so scripts can diff the in-process tier
+    /// against `gpm loadgen` reports.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Report {
+            nodes: usize,
+            ticks: usize,
+            decisions: u64,
+            elapsed_seconds: f64,
+            decisions_per_sec: f64,
+            hit_rate: f64,
+            stats: FleetStats,
+        }
+        serde_json::to_string(&Report {
+            nodes: self.nodes,
+            ticks: self.ticks,
+            decisions: self.decisions,
+            elapsed_seconds: self.elapsed_seconds,
+            decisions_per_sec: self.decisions_per_sec,
+            hit_rate: self.hit_rate(),
+            stats: self.stats,
+        })
+        .expect("FleetLoad serializes")
     }
 
     /// Paper-style text rendering.
@@ -297,15 +269,11 @@ mod tests {
     }
 
     #[test]
-    fn phase_offsets_cycle_within_families() {
-        let tables = PhaseTables::build();
-        // Same family, offsets a full rotation apart: identical problems.
-        let a = telemetry(&tables, 0, 0);
-        let b = telemetry(&tables, (FAMILIES * PHASES) as u64, 0);
-        assert_eq!(a.budget, b.budget);
-        // One offset apart = one phase ahead.
-        let c = telemetry(&tables, FAMILIES as u64, 0);
-        let d = telemetry(&tables, 0, 1);
-        assert_eq!(c.budget, d.budget);
+    fn json_rendering_carries_the_accounting() {
+        let load = run(96, 2).expect("fleet run succeeds");
+        let text = load.to_json();
+        assert!(text.contains("\"decisions_per_sec\""));
+        assert!(text.contains("\"hit_rate\""));
+        assert!(text.contains("\"cache_hits\""));
     }
 }

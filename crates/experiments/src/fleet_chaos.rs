@@ -28,7 +28,7 @@ use gpm_core::{DegradedConfig, FleetConfig, FleetEngine, FleetStats, RackConfig}
 use gpm_faults::{FleetFaultPlan, FleetFaultSession};
 use gpm_types::{GpmError, Result, Watts};
 
-use crate::fleet::{telemetry, PhaseTables, PHASES};
+use gpm_core::fleet_load::{PhaseTables, PHASES};
 
 /// Rack budget headroom above the fault-free steady-state draw.
 const RACK_HEADROOM: f64 = 1.05;
@@ -82,14 +82,15 @@ fn steady_rack_watts(tables: &PhaseTables, nodes: usize) -> Result<f64> {
     let mut last = Vec::new();
     for tick in 0..=PHASES as u64 {
         for node in 0..nodes as u64 {
-            engine.submit(telemetry(tables, node, tick));
+            engine.submit(tables.telemetry(node, tick));
         }
         last = engine.run_tick(tick);
     }
     Ok(last
         .iter()
         .map(|d| {
-            telemetry(tables, d.node, d.tick)
+            tables
+                .telemetry(d.node, d.tick)
                 .matrices
                 .chip_power(&d.modes)
                 .value()
@@ -143,7 +144,7 @@ fn run_class(
             }
         }
         for node in 0..nodes as u64 {
-            engine.submit(telemetry(tables, node, tick));
+            engine.submit(tables.telemetry(node, tick));
         }
         engine.run_tick(tick);
         let now = engine.stats();

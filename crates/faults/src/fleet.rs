@@ -579,7 +579,8 @@ mod tests {
 
     #[test]
     fn defaults_fill_in() {
-        let plan = FleetFaultPlan::parse("flap:period=3;skew;corrupt;timeout").unwrap();
+        let plan = FleetFaultPlan::parse("flap:period=3;skew;corrupt;timeout")
+            .expect("flap:period=3;skew;corrupt;timeout spec parses");
         assert_eq!(
             plan.clauses[0].kind,
             FleetFaultKind::NodeFlap { period: 3, down: 1 }
@@ -627,7 +628,8 @@ mod tests {
 
     #[test]
     fn flap_cycles_deterministically() {
-        let plan = FleetFaultPlan::parse("flap@3:period=4,down=2,from=3,to=11").unwrap();
+        let plan = FleetFaultPlan::parse("flap@3:period=4,down=2,from=3,to=11")
+            .expect("flap@3:period=4,down=2,from=3,to=11 spec parses");
         let s = FleetFaultSession::new(&plan).unwrap();
         // Phase anchors at the window start (tick 3).
         let down: Vec<u64> = (0..14).filter(|&t| s.node_down(t, 3)).collect();
@@ -638,7 +640,8 @@ mod tests {
 
     #[test]
     fn skew_takes_largest_live_clause() {
-        let plan = FleetFaultPlan::parse("skew@1:ticks=2,from=2,to=6;skew@1:ticks=1").unwrap();
+        let plan = FleetFaultPlan::parse("skew@1:ticks=2,from=2,to=6;skew@1:ticks=1")
+            .expect("skew@1:ticks=2,from=2,to=6;skew@1:ticks=1 spec parses");
         let s = FleetFaultSession::new(&plan).unwrap();
         assert_eq!(s.tick_skew(0, 1), 1);
         assert_eq!(s.tick_skew(3, 1), 2);
@@ -665,7 +668,8 @@ mod tests {
 
     #[test]
     fn rate_one_always_fires_inside_window() {
-        let plan = FleetFaultPlan::parse("timeout:rate=1.0,from=2,to=4").unwrap();
+        let plan = FleetFaultPlan::parse("timeout:rate=1.0,from=2,to=4")
+            .expect("timeout:rate=1.0,from=2,to=4 spec parses");
         let s = FleetFaultSession::new(&plan).unwrap();
         assert!(!s.solver_timeout(1, 0));
         assert!(s.solver_timeout(2, 0));
@@ -675,10 +679,12 @@ mod tests {
 
     #[test]
     fn last_fault_tick_requires_closed_windows() {
-        let closed = FleetFaultPlan::parse("flap:period=2,from=1,to=5;skew:to=9").unwrap();
+        let closed = FleetFaultPlan::parse("flap:period=2,from=1,to=5;skew:to=9")
+            .expect("flap:period=2,from=1,to=5;skew:to=9 spec parses");
         let s = FleetFaultSession::new(&closed).unwrap();
         assert_eq!(s.last_fault_tick(), Some(8));
-        let open = FleetFaultPlan::parse("flap:period=2,from=1,to=5;skew").unwrap();
+        let open = FleetFaultPlan::parse("flap:period=2,from=1,to=5;skew")
+            .expect("flap:period=2,from=1,to=5;skew spec parses");
         let s = FleetFaultSession::new(&open).unwrap();
         assert_eq!(s.last_fault_tick(), None);
     }
@@ -698,8 +704,8 @@ mod tests {
 
     #[test]
     fn fleet_plan_roundtrips_through_json() {
-        let plan =
-            FleetFaultPlan::parse("flap@2:period=3,down=1;corrupt:field=shape,rate=0.2").unwrap();
+        let plan = FleetFaultPlan::parse("flap@2:period=3,down=1;corrupt:field=shape,rate=0.2")
+            .expect("flap@2:period=3,down=1;corrupt:field=shape,rate=0.2 spec parses");
         let json = serde_json::to_string(&plan).unwrap();
         let back: FleetFaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);

@@ -382,7 +382,7 @@ mod tests {
 
     #[test]
     fn stuck_without_delay_ignores() {
-        let plan = FaultPlan::parse("stuck@0").unwrap();
+        let plan = FaultPlan::parse("stuck@0").expect("stuck@0 spec parses");
         assert_eq!(
             plan.clauses[0].kind,
             FaultKind::StuckDvfs(DvfsFault::Ignore)
@@ -414,7 +414,7 @@ mod tests {
 
     #[test]
     fn validate_checks_core_range() {
-        let plan = FaultPlan::parse("dropout@3").unwrap();
+        let plan = FaultPlan::parse("dropout@3").expect("dropout@3 spec parses");
         assert!(plan.validate(4).is_ok());
         assert!(matches!(plan.validate(2), Err(GpmError::FaultSpec(_))));
         assert!(FaultPlan::none().validate(1).is_ok());
@@ -435,7 +435,8 @@ mod tests {
 
     #[test]
     fn plan_roundtrips_through_json() {
-        let plan = FaultPlan::parse("noise:std=0.1;stuck@1:delay=3").unwrap();
+        let plan = FaultPlan::parse("noise:std=0.1;stuck@1:delay=3")
+            .expect("noise:std=0.1;stuck@1:delay=3 spec parses");
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);

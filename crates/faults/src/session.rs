@@ -448,7 +448,8 @@ mod tests {
 
     #[test]
     fn dropout_zeroes_and_tags_dark() {
-        let plan = FaultPlan::parse("dropout@1:from=2,to=4").unwrap();
+        let plan =
+            FaultPlan::parse("dropout@1:from=2,to=4").expect("dropout@1:from=2,to=4 spec parses");
         let mut s = FaultSession::new(&plan, 2).unwrap();
         let raw = frames(&[10.0, 20.0]);
         assert_eq!(s.observe(1, &raw)[1].status, SensorStatus::Fresh);
@@ -463,7 +464,7 @@ mod tests {
 
     #[test]
     fn bias_scales_power() {
-        let plan = FaultPlan::parse("bias@0:factor=0.5").unwrap();
+        let plan = FaultPlan::parse("bias@0:factor=0.5").expect("bias@0:factor=0.5 spec parses");
         let mut s = FaultSession::new(&plan, 2).unwrap();
         let seen = s.observe(0, &frames(&[10.0, 20.0]));
         assert!((seen[0].power.value() - 5.0).abs() < 1e-12);
@@ -472,7 +473,9 @@ mod tests {
 
     #[test]
     fn noise_is_deterministic_per_seed() {
-        let plan = FaultPlan::parse("noise@all:std=0.1").unwrap().seeded(7);
+        let plan = FaultPlan::parse("noise@all:std=0.1")
+            .expect("noise@all:std=0.1 spec parses")
+            .seeded(7);
         let raw = frames(&[10.0, 20.0]);
         let mut a = FaultSession::new(&plan, 2).unwrap();
         let mut b = FaultSession::new(&plan, 2).unwrap();
@@ -487,7 +490,8 @@ mod tests {
 
     #[test]
     fn stale_replays_old_frames() {
-        let plan = FaultPlan::parse("stale@0:lag=2,from=3").unwrap();
+        let plan =
+            FaultPlan::parse("stale@0:lag=2,from=3").expect("stale@0:lag=2,from=3 spec parses");
         let mut s = FaultSession::new(&plan, 1).unwrap();
         for interval in 0..3 {
             let raw = frames(&[10.0 + interval as f64]);
@@ -502,7 +506,7 @@ mod tests {
 
     #[test]
     fn stale_lag_saturates_to_available_history() {
-        let plan = FaultPlan::parse("stale@0:lag=50").unwrap();
+        let plan = FaultPlan::parse("stale@0:lag=50").expect("stale@0:lag=50 spec parses");
         let mut s = FaultSession::new(&plan, 1).unwrap();
         // First interval: no older frame exists, reading stays fresh.
         let seen = s.observe(0, &frames(&[10.0]));
@@ -514,7 +518,8 @@ mod tests {
 
     #[test]
     fn stuck_ignore_keeps_current_mode() {
-        let plan = FaultPlan::parse("stuck@1:from=0,to=2").unwrap();
+        let plan =
+            FaultPlan::parse("stuck@1:from=0,to=2").expect("stuck@1:from=0,to=2 spec parses");
         let mut s = FaultSession::new(&plan, 2).unwrap();
         let cur = ModeCombination::uniform(2, PowerMode::Turbo);
         let req = ModeCombination::new(vec![PowerMode::Eff1, PowerMode::Eff2]);
@@ -527,7 +532,8 @@ mod tests {
 
     #[test]
     fn stuck_delay_defers_then_applies() {
-        let plan = FaultPlan::parse("stuck@0:delay=2,from=0,to=1").unwrap();
+        let plan = FaultPlan::parse("stuck@0:delay=2,from=0,to=1")
+            .expect("stuck@0:delay=2,from=0,to=1 spec parses");
         let mut s = FaultSession::new(&plan, 1).unwrap();
         let turbo = ModeCombination::uniform(1, PowerMode::Turbo);
         let eff2 = ModeCombination::uniform(1, PowerMode::Eff2);
@@ -548,7 +554,8 @@ mod tests {
 
     #[test]
     fn budget_shock_caps_fraction_and_fires_once_per_window() {
-        let plan = FaultPlan::parse("shock:frac=0.5,from=2,to=4").unwrap();
+        let plan = FaultPlan::parse("shock:frac=0.5,from=2,to=4")
+            .expect("shock:frac=0.5,from=2,to=4 spec parses");
         let mut s = FaultSession::new(&plan, 1).unwrap();
         assert_eq!(s.budget_fraction(0, 0.8), 0.8);
         assert_eq!(s.budget_fraction(2, 0.8), 0.5);
@@ -564,7 +571,7 @@ mod tests {
 
     #[test]
     fn validates_core_range_on_construction() {
-        let plan = FaultPlan::parse("dropout@5").unwrap();
+        let plan = FaultPlan::parse("dropout@5").expect("dropout@5 spec parses");
         assert!(matches!(
             FaultSession::new(&plan, 4),
             Err(GpmError::FaultSpec(_))

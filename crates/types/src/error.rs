@@ -54,6 +54,9 @@ pub enum GpmError {
         /// The benchmark whose trace ran out.
         benchmark: String,
     },
+    /// A wire-protocol frame was rejected (truncated, oversized, foreign
+    /// version, unknown kind, malformed body) or transport I/O failed.
+    Wire(String),
 }
 
 impl fmt::Display for GpmError {
@@ -92,6 +95,7 @@ impl fmt::Display for GpmError {
                     "trace for benchmark `{benchmark}` exhausted before termination"
                 )
             }
+            GpmError::Wire(msg) => write!(f, "wire protocol error: {msg}"),
         }
     }
 }
@@ -143,6 +147,10 @@ mod tests {
                     benchmark: "art".into(),
                 },
                 "art",
+            ),
+            (
+                GpmError::Wire("frame of 2 bytes is truncated".into()),
+                "truncated",
             ),
         ];
         for (err, needle) in cases {

@@ -51,6 +51,8 @@ REQUIRED_PATHS = (
     "fleet_decisions.fleet_decisions_10k_nodes.decisions_per_sec",
     "fleet_decisions.fleet_decisions_10k_nodes.hit_rate",
     "fleet_chaos_overhead.fleet_chaos_armed_10k_nodes.speedup",
+    "serve_decisions.serve_decisions_10k_nodes.speedup",
+    "serve_decisions.serve_decisions_10k_nodes.loopback_tcp_1shard_decisions_per_sec",
 )
 
 

@@ -87,6 +87,48 @@ cargo clippy -p gpm-types --all-targets -- -D warnings
 cargo clippy -p gpm-experiments --all-targets -- -D warnings
 cargo clippy -p gpm-cli --all-targets -- -D warnings
 
+# The fleet service promises wire-level determinism: per-node decision
+# streams bit-identical across shard counts, pool widths and transports,
+# corrupt frames rejected with named errors instead of panics, and
+# checkpoint/restore continuing bit-identically through the sharded
+# front. Run the equivalence group under a serial and a saturated pool
+# and lint the wire crate at zero-warning strictness.
+echo "==> fleet service: serve_equivalence under two pool widths + clippy -D warnings"
+GPM_THREADS=1 cargo test --quiet --test serve_equivalence
+GPM_THREADS=8 cargo test --quiet --test serve_equivalence
+cargo clippy -p gpm-net --all-targets -- -D warnings
+
+# Loopback serve smoke: `gpm serve` + `gpm loadgen` must keep running end
+# to end from the CLI over both transports — a Unix socket under a serial
+# pool and TCP under a saturated pool. `--once` exits the server after the
+# client disconnects; the retry loop absorbs bind latency.
+serve_smoke() {
+    local threads="$1" listen="$2" connect="$3"
+    echo "==> GPM_THREADS=$threads gpm serve --listen $listen + loadgen smoke"
+    GPM_THREADS="$threads" cargo run --release --quiet -p gpm-cli -- \
+        serve --listen "$listen" --shards 2 --once > /dev/null &
+    local server_pid=$!
+    local attempt
+    for attempt in $(seq 1 50); do
+        if GPM_THREADS="$threads" cargo run --release --quiet -p gpm-cli -- \
+            loadgen --connect "$connect" --nodes 64 --ticks 4 --shutdown \
+            > /dev/null 2>&1; then
+            break
+        fi
+        if [ "$attempt" -eq 50 ]; then
+            echo "serve smoke: loadgen never connected to $connect" >&2
+            kill "$server_pid" 2> /dev/null || true
+            return 1
+        fi
+        sleep 0.1
+    done
+    wait "$server_pid"
+}
+GPM_SERVE_SOCK="$(mktemp -u /tmp/gpm-ci-serve.XXXXXX.sock)"
+serve_smoke 1 "unix:$GPM_SERVE_SOCK" "unix:$GPM_SERVE_SOCK"
+rm -f "$GPM_SERVE_SOCK"
+serve_smoke 8 "tcp:127.0.0.1:47391" "tcp:127.0.0.1:47391"
+
 # 16-way wide-CMP smoke: the scaling tier must keep running end to end
 # from the CLI (exact MaxBIPS vs greedy on a 3^16 search space).
 echo "==> gpm figure wide --cores 16 --fast"

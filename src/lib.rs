@@ -23,6 +23,8 @@
 //!   policies: MaxBIPS, Priority, PullHiPushLo, ChipWide, Oracle, greedy.
 //! * [`faults`] — seeded fault injection at the sensor/actuator seam and
 //!   the guard rails hardening the manager against it.
+//! * [`net`] — the fleet decision service: binary wire protocol, sharded
+//!   thread-per-shard server, loadgen client.
 //! * [`experiments`] — drivers regenerating every table and figure.
 //!
 //! # Quickstart
@@ -63,6 +65,7 @@ pub use gpm_core as core;
 pub use gpm_experiments as experiments;
 pub use gpm_faults as faults;
 pub use gpm_microarch as microarch;
+pub use gpm_net as net;
 pub use gpm_par as par;
 pub use gpm_power as power;
 pub use gpm_trace as trace;
